@@ -1,0 +1,83 @@
+//! Criterion benches for E9–E11: compression build, querying the
+//! compressed graph, and compressed-graph maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expfinder_bench::*;
+use expfinder_compress::maintain::MaintainedCompression;
+use expfinder_compress::{compress_graph, CompressionMethod};
+use expfinder_core::bounded_simulation;
+use expfinder_graph::generate::random_updates;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_compress_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_build");
+    group.sample_size(10);
+    for &n in &[10_000usize, 40_000] {
+        let g = twitter_graph(n, SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compress_graph(&g, CompressionMethod::Bisimulation).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_compressed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_g_vs_gc");
+    group.sample_size(10);
+    let g = twitter_graph(40_000, SEED);
+    let gc = compress_graph(&g, CompressionMethod::Bisimulation).unwrap();
+    let q = twitter_pattern();
+    group.bench_function("on_G", |b| b.iter(|| bounded_simulation(&g, &q).unwrap()));
+    group.bench_function("on_Gc_with_expand", |b| {
+        b.iter(|| gc.expand(&bounded_simulation(&gc, &q).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compressed_maintenance");
+    group.sample_size(10);
+    let g0 = twitter_graph(20_000, SEED);
+    let ups = random_updates(&mut StdRng::seed_from_u64(SEED), &g0, 100, 0.5);
+    group.bench_function("maintain_100_updates", |b| {
+        b.iter_batched(
+            || {
+                (
+                    g0.clone(),
+                    MaintainedCompression::new(&g0, CompressionMethod::Bisimulation).unwrap(),
+                )
+            },
+            |(mut g, mut mc)| {
+                for &up in &ups {
+                    g.apply(up);
+                    mc.on_update(&g, up);
+                }
+                mc.refresh(&g);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("recompress_after_100", |b| {
+        b.iter_batched(
+            || {
+                let mut g = g0.clone();
+                for &up in &ups {
+                    g.apply(up);
+                }
+                g
+            },
+            |g| compress_graph(&g, CompressionMethod::Bisimulation).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress_build,
+    bench_query_compressed,
+    bench_maintenance
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for E7/E8: incremental maintenance vs batch
+//! recomputation under unit updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expfinder_bench::*;
+use expfinder_core::{bounded_simulation, graph_simulation};
+use expfinder_graph::generate::random_updates;
+use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One insert+delete round-trip through the simulation maintainer.
+fn bench_inc_sim_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_sim_unit_update");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        let g0 = collab_graph(n, SEED);
+        let q = collab_pattern_sim();
+        let ups = random_updates(&mut StdRng::seed_from_u64(SEED), &g0, 2, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || (g0.clone(), IncrementalSim::new(&g0, &q).unwrap()),
+                |(mut g, mut inc)| {
+                    for &up in &ups {
+                        g.apply(up);
+                        inc.on_update(&g, up);
+                    }
+                    inc.current().total_pairs()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_inc_bsim_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_bsim_unit_update");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        let g0 = collab_graph(n, SEED);
+        let q = collab_pattern();
+        let ups = random_updates(&mut StdRng::seed_from_u64(SEED), &g0, 2, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || (g0.clone(), IncrementalBoundedSim::new(&g0, &q)),
+                |(mut g, mut inc)| {
+                    for &up in &ups {
+                        g.apply(up);
+                        inc.on_update(&g, up);
+                    }
+                    inc.current().total_pairs()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The batch counterpart: recompute from scratch (what incremental saves).
+fn bench_batch_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_recompute");
+    group.sample_size(10);
+    for &n in &[4_000usize, 16_000] {
+        let g = collab_graph(n, SEED);
+        let qs = collab_pattern_sim();
+        let qb = collab_pattern();
+        group.bench_with_input(BenchmarkId::new("simulation", n), &n, |b, _| {
+            b.iter(|| graph_simulation(&g, &qs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, _| {
+            b.iter(|| bounded_simulation(&g, &qb).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inc_sim_unit,
+    bench_inc_bsim_unit,
+    bench_batch_recompute
+);
+criterion_main!(benches);

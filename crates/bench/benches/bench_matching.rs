@@ -1,0 +1,60 @@
+//! Criterion benches for E5: matching-engine performance.
+//!
+//! One group per matcher (simulation, bounded simulation, isomorphism)
+//! across graph sizes — the series behind the paper's "performance of the
+//! query engine" demonstration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expfinder_bench::*;
+use expfinder_core::{bounded_simulation, graph_simulation, subgraph_isomorphism, IsoOptions};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000, 32_000] {
+        let g = collab_graph(n, SEED);
+        let q = collab_pattern_sim();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| graph_simulation(&g, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_simulation");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000, 32_000] {
+        let g = collab_graph(n, SEED);
+        let q = collab_pattern();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| bounded_simulation(&g, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_iso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_isomorphism");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        let g = collab_graph(n, SEED);
+        let q = collab_pattern();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                subgraph_isomorphism(
+                    &g,
+                    &q,
+                    IsoOptions {
+                        limit: 1,
+                        max_steps: 500_000,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_bounded, bench_iso);
+criterion_main!(benches);

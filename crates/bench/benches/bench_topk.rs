@@ -1,0 +1,51 @@
+//! Criterion benches for E6: result-graph construction and top-K ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expfinder_bench::*;
+use expfinder_core::{bounded_simulation, rank_matches, top_k, ResultGraph};
+
+fn bench_result_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("result_graph_build");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let g = collab_graph(n, SEED);
+        let q = collab_pattern();
+        let m = bounded_simulation(&g, &q).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ResultGraph::build(&g, &q, &m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_matches");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let g = collab_graph(n, SEED);
+        let q = collab_pattern();
+        let m = bounded_simulation(&g, &q).unwrap();
+        let rg = ResultGraph::build(&g, &q, &m);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| rank_matches(&rg, &q, &m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("top_k_pipeline");
+    group.sample_size(10);
+    let g = collab_graph(8_000, SEED);
+    let q = collab_pattern();
+    let m = bounded_simulation(&g, &q).unwrap();
+    for &k in &[1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| top_k(&g, &q, &m, k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_result_graph, bench_ranking, bench_topk_pipeline);
+criterion_main!(benches);

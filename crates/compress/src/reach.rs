@@ -1,0 +1,305 @@
+//! Reachability-preserving compression — the *other* scheme of
+//! \[Fan et al., SIGMOD 2012\], included as an extension.
+//!
+//! The ExpFinder demo only exercises the pattern-query-preserving
+//! compression, but the underlying paper defines a second scheme for
+//! **reachability queries** (`can a reach b?`): merge nodes that are
+//! reachability-equivalent. Two nodes are equivalent iff they lie in the
+//! same strongly connected component *or, more coarsely,* have identical
+//! ancestor and descendant SCC sets — every reachability answer involving
+//! one holds for the other.
+//!
+//! This module builds a [`ReachIndex`]: SCC condensation (Tarjan, from the
+//! graph substrate) + per-class transitive closure bitsets over the
+//! condensation DAG, then a final grouping of SCCs by (reach-set,
+//! coreach-set). Queries are two array lookups and a bit test; the
+//! compression ratio is reported like the pattern scheme's.
+
+use crate::compressed::CompressStats;
+use expfinder_graph::scc::tarjan_scc;
+use expfinder_graph::{BitSet, DiGraph, GraphView, NodeId};
+
+/// A reachability oracle over the compressed (quotient) structure.
+///
+/// Equivalence: two nodes merge when their SCCs have identical
+/// descendant-sets-excluding-self and ancestor-sets-excluding-self. For
+/// two *distinct* classes, reachability lifts exactly to the quotient;
+/// within one class, `a` reaches `b` iff they share an SCC (proved in the
+/// module tests by differential checking against BFS).
+#[derive(Clone, Debug)]
+pub struct ReachIndex {
+    /// Node → equivalence class.
+    class_of: Vec<u32>,
+    /// Node → SCC (needed to answer same-class queries).
+    scc_of: Vec<u32>,
+    /// Class → reachable classes (consulted only for distinct classes).
+    reach: Vec<BitSet>,
+    /// Number of classes.
+    classes: usize,
+    original_nodes: usize,
+    original_edges: usize,
+    /// Quotient edges (between distinct classes, deduplicated).
+    quotient_edges: usize,
+}
+
+impl ReachIndex {
+    /// Build the index for `g`.
+    pub fn build(g: &DiGraph) -> ReachIndex {
+        let n = g.node_count();
+        let scc = tarjan_scc(g);
+        let c = scc.count;
+
+        // condensation adjacency (dedup via sorted vectors)
+        let mut cond_out: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for (a, b) in g.edges() {
+            let (ca, cb) = (scc.comp[a.index()], scc.comp[b.index()]);
+            if ca != cb {
+                cond_out[ca as usize].push(cb);
+            }
+        }
+        for v in &mut cond_out {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // transitive closure over the condensation. Tarjan numbers
+        // components in reverse topological order: successors of component
+        // i all have indices < i, so one ascending pass suffices.
+        let mut reach_scc: Vec<BitSet> = (0..c).map(|_| BitSet::new(c)).collect();
+        #[allow(clippy::needless_range_loop)] // split_at_mut needs the index
+        for i in 0..c {
+            // split_at_mut: reach sets of successors are already complete
+            let (done, rest) = reach_scc.split_at_mut(i);
+            let me = &mut rest[0];
+            me.insert(NodeId(i as u32));
+            for &s in &cond_out[i] {
+                debug_assert!((s as usize) < i, "tarjan order violated");
+                me.union_with(&done[s as usize]);
+            }
+        }
+
+        // group SCCs with identical (descendant, ancestor) sets.
+        // ancestors: transpose of the closure.
+        let mut coreach_scc: Vec<BitSet> = (0..c).map(|_| BitSet::new(c)).collect();
+        #[allow(clippy::needless_range_loop)] // writes through a second index
+        for i in 0..c {
+            for j in reach_scc[i].iter() {
+                coreach_scc[j.index()].insert(NodeId(i as u32));
+            }
+        }
+        let mut class_ids: std::collections::HashMap<(Vec<u8>, Vec<u8>), u32> =
+            std::collections::HashMap::new();
+        let mut scc_class = vec![0u32; c];
+        for i in 0..c {
+            // group by (descendants \ self, ancestors \ self): two sinks
+            // hanging off the same hub merge even though each one's own
+            // SCC id differs
+            let mut desc = reach_scc[i].clone();
+            desc.remove(NodeId(i as u32));
+            let mut anc = coreach_scc[i].clone();
+            anc.remove(NodeId(i as u32));
+            let key = (fingerprint(&desc), fingerprint(&anc));
+            let next = class_ids.len() as u32;
+            let id = *class_ids.entry(key).or_insert(next);
+            scc_class[i] = id;
+        }
+        let classes = class_ids.len();
+
+        // class-level reach sets: project the SCC closure through classes
+        let mut reach: Vec<BitSet> = (0..classes).map(|_| BitSet::new(classes)).collect();
+        for i in 0..c {
+            let cls = scc_class[i] as usize;
+            for j in reach_scc[i].iter() {
+                reach[cls].insert(NodeId(scc_class[j.index()]));
+            }
+        }
+
+        let class_of: Vec<u32> = (0..n).map(|i| scc_class[scc.comp[i] as usize]).collect();
+        let scc_of: Vec<u32> = scc.comp.clone();
+
+        // quotient edge count for the stats
+        let mut qedges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for (a, b) in g.edges() {
+            let (ca, cb) = (class_of[a.index()], class_of[b.index()]);
+            if ca != cb {
+                qedges.insert((ca, cb));
+            }
+        }
+
+        ReachIndex {
+            class_of,
+            scc_of,
+            reach,
+            classes,
+            original_nodes: n,
+            original_edges: g.edge_count(),
+            quotient_edges: qedges.len(),
+        }
+    }
+
+    /// Can `a` reach `b` by a (possibly empty) directed path?
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b || self.scc_of[a.index()] == self.scc_of[b.index()] {
+            return true;
+        }
+        let ca = self.class_of[a.index()];
+        let cb = self.class_of[b.index()];
+        if ca == cb {
+            // distinct SCCs with identical (desc \ self, anc \ self)
+            // cannot reach each other: membership would put one in the
+            // other's descendant set and split the class
+            return false;
+        }
+        self.reach[ca as usize].contains(NodeId(cb))
+    }
+
+    /// Number of equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// The class of a node.
+    pub fn class_of(&self, v: NodeId) -> u32 {
+        self.class_of[v.index()]
+    }
+
+    /// Reduction statistics in the same shape as the pattern scheme.
+    pub fn stats(&self) -> CompressStats {
+        CompressStats {
+            original_nodes: self.original_nodes,
+            original_edges: self.original_edges,
+            compressed_nodes: self.classes,
+            compressed_edges: self.quotient_edges,
+        }
+    }
+}
+
+/// Compact byte fingerprint of a bitset (its words, little-endian).
+fn fingerprint(s: &BitSet) -> Vec<u8> {
+    s.iter().flat_map(|v| v.0.to_le_bytes()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_graph::bfs::{BfsScratch, Direction};
+    use expfinder_graph::generate::{erdos_renyi, twitter_like, NodeSpec, TwitterConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> DiGraph {
+        let mut g = DiGraph::new();
+        for _ in 0..n {
+            g.add_node("x", []);
+        }
+        for &(a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    #[test]
+    fn chain_reachability() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.reachable(NodeId(0), NodeId(3)));
+        assert!(idx.reachable(NodeId(2), NodeId(2)), "reflexive");
+        assert!(!idx.reachable(NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn scc_members_mutually_reachable() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.reachable(NodeId(0), NodeId(3)));
+        assert!(idx.reachable(NodeId(3), NodeId(2)));
+        assert!(!idx.reachable(NodeId(2), NodeId(0)));
+        assert_eq!(idx.class_of(NodeId(0)), idx.class_of(NodeId(1)));
+        assert_eq!(idx.class_of(NodeId(2)), idx.class_of(NodeId(3)));
+    }
+
+    #[test]
+    fn parallel_leaves_merge() {
+        // hub → 10 leaves: all leaves have identical ancestor/descendant
+        // sets, so they form one class even though they are distinct SCCs
+        let mut g = DiGraph::new();
+        let hub = g.add_node("h", []);
+        for _ in 0..10 {
+            let l = g.add_node("l", []);
+            g.add_edge(hub, l);
+        }
+        let idx = ReachIndex::build(&g);
+        assert_eq!(idx.class_count(), 2);
+        assert!(idx.stats().node_reduction() > 0.7);
+    }
+
+    #[test]
+    fn differential_against_bfs() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..8 {
+            let g = erdos_renyi(&mut rng, 40, 90, &NodeSpec::uniform(2, 2));
+            let idx = ReachIndex::build(&g);
+            let mut scratch = BfsScratch::new();
+            for a in g.ids() {
+                let ball = scratch.ball(&g, a, u32::MAX, Direction::Forward);
+                let truth: std::collections::HashSet<NodeId> = ball.nodes().iter().copied().collect();
+                for b in g.ids() {
+                    assert_eq!(
+                        idx.reachable(a, b),
+                        truth.contains(&b),
+                        "reachable({a},{b}) wrong"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn social_graph_compresses_for_reachability() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let g = twitter_like(
+            &mut rng,
+            &TwitterConfig {
+                n: 3000,
+                avg_out: 3,
+                hub_fraction: 0.01,
+                buckets: 3,
+            },
+        );
+        let idx = ReachIndex::build(&g);
+        let s = idx.stats();
+        assert!(
+            s.node_reduction() > 0.2,
+            "reachability classes collapse substantially on social graphs: {:.1}%",
+            s.node_reduction() * 100.0
+        );
+        // spot-check correctness on a sample
+        let mut scratch = BfsScratch::new();
+        for a in g.ids().take(25) {
+            let ball = scratch.ball(&g, a, u32::MAX, Direction::Forward);
+            let truth: std::collections::HashSet<NodeId> = ball.nodes().iter().copied().collect();
+            for b in g.ids().take(50) {
+                assert_eq!(idx.reachable(a, b), truth.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = DiGraph::new();
+        let idx = ReachIndex::build(&g);
+        assert_eq!(idx.class_count(), 0);
+        let g = graph_from_edges(1, &[]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.reachable(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn self_loop_scc() {
+        let g = graph_from_edges(2, &[(0, 0), (0, 1)]);
+        let idx = ReachIndex::build(&g);
+        assert!(idx.reachable(NodeId(0), NodeId(0)));
+        assert!(idx.reachable(NodeId(0), NodeId(1)));
+        assert!(!idx.reachable(NodeId(1), NodeId(0)));
+    }
+}

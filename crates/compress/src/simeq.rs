@@ -1,0 +1,204 @@
+//! Simulation-equivalence compression (the aggressive mode).
+//!
+//! Two nodes are merged when each simulates the other in the data graph
+//! itself: `u ≼ v` iff they share a signature and every successor of `u`
+//! is simulated by some successor of `v`. Simulation equivalence is
+//! coarser than bisimulation (bisimilar ⇒ sim-equivalent), so it merges
+//! strictly more — SIGMOD 2012 uses it for maximal reduction on pattern
+//! queries. The fixpoint below keeps, for every node `u`, the bitset of
+//! nodes that simulate `u`; memory is `O(|V|²/8)` within signature groups,
+//! hence the node cap.
+
+use crate::partition::{signature_partition, Partition, SignaturePolicy};
+use crate::{CompressError, SIMEQ_NODE_CAP};
+use expfinder_graph::{BitSet, DiGraph, GraphView, NodeId};
+
+/// Compute the partition of `g` into simulation-equivalence classes.
+pub fn simulation_equivalence(
+    g: &DiGraph,
+    policy: &SignaturePolicy,
+) -> Result<Partition, CompressError> {
+    let n = g.node_count();
+    if n > SIMEQ_NODE_CAP {
+        return Err(CompressError::TooLargeForSimEq { nodes: n });
+    }
+
+    // sim[u] = set of v with "v simulates u" (u ≼ v).
+    // Init: same signature (start from the signature partition).
+    let sig = signature_partition(g, policy);
+    let mut sim: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for block in sig.blocks() {
+        for &u in block {
+            for &v in block {
+                sim[u.index()].insert(v);
+            }
+        }
+    }
+
+    // Naive refinement to the greatest fixpoint:
+    // remove v from sim[u] when some successor u' of u has no successor
+    // v' of v with u' ≼ v'.
+    loop {
+        let mut changed = false;
+        for u in g.ids() {
+            let u_succ = g.out_neighbors(u);
+            if u_succ.is_empty() {
+                continue;
+            }
+            let mut doomed: Vec<NodeId> = Vec::new();
+            for v in sim[u.index()].iter() {
+                let ok = u_succ.iter().all(|&up| {
+                    g.out_neighbors(v)
+                        .iter()
+                        .any(|&vp| sim[up.index()].contains(vp))
+                });
+                if !ok {
+                    doomed.push(v);
+                }
+            }
+            for v in doomed {
+                sim[u.index()].remove(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // classes: u ≈ v iff mutual; within each signature block, group by the
+    // canonical (smallest) mutual partner
+    let mut assignment: Vec<u32> = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for block in sig.blocks() {
+        for &u in block {
+            if assignment[u.index()] != u32::MAX {
+                continue;
+            }
+            let id = next;
+            next += 1;
+            assignment[u.index()] = id;
+            for &v in block {
+                if v > u
+                    && assignment[v.index()] == u32::MAX
+                    && sim[u.index()].contains(v)
+                    && sim[v.index()].contains(u)
+                {
+                    assignment[v.index()] = id;
+                }
+            }
+        }
+    }
+    Ok(Partition::from_assignment(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::coarsest_bisimulation;
+    use expfinder_graph::generate::{erdos_renyi, NodeSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn policy() -> SignaturePolicy {
+        SignaturePolicy::default()
+    }
+
+    #[test]
+    fn merges_one_directional_variants() {
+        // a1 → {b}, a2 → {b, c}, where c itself reaches b-like behavior?
+        // Simpler canonical example: a1 → b1, a2 → b1 and a2 → b2 where
+        // b1 ≈ b2 (both leaves, same label): bisimulation merges a1,a2 too
+        // here, so use distinct leaf labels to split bisim but keep simeq:
+        //   a1 → b,  a2 → b and a2 → b' (b' leaf labelled B as well but
+        //   with an extra successor).
+        // a1's successors {b} ⊆-simulated by a2's; and a2's {b, bx} — bx
+        // must be simulated by some successor of a1, i.e. b must simulate
+        // bx. Make bx a B-leaf and b a B-node with an edge to bx's twin…
+        // The classic separation: leaf x vs node y→leaf: y simulates x?
+        // x ≼ y (x has no successors, same label) but y ⋠ x. So:
+        //   a1 → x (B-leaf), a2 → x and a2 → y (B with successor C-leaf)
+        // y is simulated by nothing a1 has… so a2 ⋠ a1. Flip: every
+        // successor of a1 ({x}) is simulated by a successor of a2 (x
+        // itself) → a1 ≼ a2, not equal. For TRUE simeq beyond bisim:
+        //   a1 → x only; a2 → x, x' where x ≈ x' exactly — then bisim
+        //   already merges. Known fact: on *deterministic-ish* shapes
+        //   simeq == bisim; they differ on graphs like:
+        //   a1 → x, a2 → x and a2 → y with y ≼ x (y weaker).
+        // Then a1 ≈ a2 under simulation but NOT bisimilar (a2 has an edge
+        // into y's class, a1 does not).
+        let mut g = DiGraph::new();
+        let a1 = g.add_node("A", []);
+        let a2 = g.add_node("A", []);
+        let x = g.add_node("B", []); // B with successor
+        let y = g.add_node("B", []); // weaker B (leaf)
+        let z = g.add_node("C", []);
+        g.add_edge(a1, x);
+        g.add_edge(a2, x);
+        g.add_edge(a2, y);
+        g.add_edge(x, z);
+
+        let bi = coarsest_bisimulation(&g, &policy());
+        assert_ne!(bi.block_of(a1), bi.block_of(a2), "bisim keeps them apart");
+
+        let se = simulation_equivalence(&g, &policy()).unwrap();
+        assert_eq!(se.block_of(a1), se.block_of(a2), "simeq merges them");
+        assert_ne!(se.block_of(x), se.block_of(y), "x strictly stronger than y");
+    }
+
+    #[test]
+    fn refines_signature() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("A", []);
+        let b = g.add_node("B", []);
+        g.add_edge(a, b);
+        let se = simulation_equivalence(&g, &policy()).unwrap();
+        assert_ne!(se.block_of(a), se.block_of(b));
+    }
+
+    #[test]
+    fn simeq_at_most_as_fine_as_bisim() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let spec = NodeSpec::uniform(3, 3);
+        for _ in 0..10 {
+            let g = erdos_renyi(&mut rng, 40, 120, &spec);
+            let bi = coarsest_bisimulation(&g, &policy());
+            let se = simulation_equivalence(&g, &policy()).unwrap();
+            assert!(
+                se.block_count() <= bi.block_count(),
+                "simeq ({}) must be coarser or equal to bisim ({})",
+                se.block_count(),
+                bi.block_count()
+            );
+            // and bisimilar nodes must stay simeq-equal
+            for block in bi.blocks() {
+                let first = se.block_of(block[0]);
+                for &v in block {
+                    assert_eq!(se.block_of(v), first, "bisim class split by simeq");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_cap_enforced() {
+        let mut g = DiGraph::new();
+        for _ in 0..(SIMEQ_NODE_CAP + 1) {
+            g.add_node("x", []);
+        }
+        let err = simulation_equivalence(&g, &policy()).unwrap_err();
+        assert!(matches!(err, CompressError::TooLargeForSimEq { .. }));
+    }
+
+    #[test]
+    fn identical_leaves_collapse() {
+        let mut g = DiGraph::new();
+        let hub = g.add_node("H", []);
+        for _ in 0..5 {
+            let leaf = g.add_node("L", []);
+            g.add_edge(hub, leaf);
+        }
+        let se = simulation_equivalence(&g, &policy()).unwrap();
+        assert_eq!(se.block_count(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Matching core of ExpFinder.
+//!
+//! Implements the three matching semantics the paper discusses, the result
+//! graph, and the top-K ranking that is new in the ExpFinder paper:
+//!
+//! * [`graph_simulation`] — plain graph simulation, quadratic-time
+//!   (Henzinger–Henzinger–Kopke-style refinement with per-edge counters);
+//! * [`bounded_simulation`] — the paper's core semantics \[Fan et al.,
+//!   PVLDB 2010\]: pattern edges with bound `k` map to non-empty paths of
+//!   length ≤ `k`; computed as a greatest-fixpoint refinement whose step is
+//!   a multi-source reverse bounded BFS (cubic worst case);
+//! * [`subgraph_isomorphism`] — the classical baseline the paper argues is
+//!   too strict and too expensive (NP-complete);
+//! * [`ResultGraph`] — matches as nodes, edges weighted by shortest-path
+//!   length, exactly the result representation of \[PVLDB 2010\];
+//! * [`rank_matches`] / [`top_k`] — the social-impact ranking
+//!   `f(u_o, v) = (Σ dist(u,v) + Σ dist(v,u')) / |V'_r|` of paper §II.
+//!
+//! The maximum match relation `M(Q,G)` is represented by
+//! [`MatchRelation`]. Following the paper's definition, if any pattern
+//! node ends up with no valid match the whole result is empty.
+
+pub mod bsim;
+pub mod dualsim;
+pub mod iso;
+pub mod matchrel;
+pub mod naive;
+pub mod rank;
+pub mod result_graph;
+pub mod sim;
+
+pub use bsim::{bounded_simulation, bounded_simulation_with, EvalOptions, EvalStats, PlanMode};
+pub use dualsim::dual_simulation;
+pub use iso::{subgraph_isomorphism, IsoOptions};
+pub use matchrel::MatchRelation;
+pub use rank::{rank_matches, rank_value, top_k, RankedMatch};
+pub use result_graph::{BuildOptions, ResultGraph};
+pub use sim::graph_simulation;
+
+use std::fmt;
+
+/// Errors from the matching layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// [`graph_simulation`] was given a pattern with bounds > 1; use
+    /// [`bounded_simulation`] for those.
+    NotASimulationPattern,
+    /// Ranking was requested for a pattern without an output node.
+    NoOutputNode,
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::NotASimulationPattern => {
+                write!(f, "pattern has bounds > 1; use bounded_simulation")
+            }
+            MatchError::NoOutputNode => write!(f, "pattern has no output node to rank"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Collect the nodes of `g` satisfying each pattern node's predicate,
+/// as bitsets indexed by pattern node. Shared by all matchers.
+pub(crate) fn candidate_sets<G: expfinder_graph::GraphView>(
+    g: &G,
+    q: &expfinder_pattern::Pattern,
+) -> Vec<expfinder_graph::BitSet> {
+    let n = g.node_count();
+    q.nodes()
+        .iter()
+        .map(|pn| {
+            let compiled = pn.predicate.compile(g);
+            let mut set = expfinder_graph::BitSet::new(n);
+            for v in g.ids() {
+                if compiled.eval(g.vertex(v)) {
+                    set.insert(v);
+                }
+            }
+            set
+        })
+        .collect()
+}

@@ -1,0 +1,172 @@
+//! Naive reference implementations for differential testing.
+//!
+//! These recompute the same greatest fixpoints with deliberately different,
+//! simpler machinery (no counters, no shared BFS scratch, no worklists):
+//! every pass re-checks every pair from scratch until nothing changes.
+//! Slow — but independent, which is what a differential oracle needs.
+
+use crate::matchrel::MatchRelation;
+use crate::candidate_sets;
+use expfinder_graph::{GraphView, NodeId};
+use expfinder_pattern::{Bound, Pattern};
+use std::collections::{HashMap, VecDeque};
+
+/// Reference graph simulation by repeated full re-checks.
+pub fn naive_simulation<G: GraphView>(g: &G, q: &Pattern) -> MatchRelation {
+    let mut sim = candidate_sets(g, q);
+    loop {
+        let mut changed = false;
+        for e in q.edges() {
+            debug_assert!(e.bound.is_one());
+            let mut doomed = Vec::new();
+            for v in sim[e.from.index()].iter() {
+                let ok = g
+                    .out_neighbors(v)
+                    .iter()
+                    .any(|&w| sim[e.to.index()].contains(w));
+                if !ok {
+                    doomed.push(v);
+                }
+            }
+            for v in doomed {
+                sim[e.from.index()].remove(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    MatchRelation::from_sets(sim, g.node_count())
+}
+
+/// Is there a non-empty path from `v` to a member of `targets` of length
+/// ≤ `depth`? Independent BFS with its own queue/visited map.
+fn can_reach_within<G: GraphView>(
+    g: &G,
+    v: NodeId,
+    targets: &expfinder_graph::BitSet,
+    depth: u32,
+) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    let mut dist: HashMap<NodeId, u32> = HashMap::new();
+    let mut queue = VecDeque::new();
+    // start from v's successors at distance 1 so v itself needs a real path
+    for &w in g.out_neighbors(v) {
+        if targets.contains(w) {
+            return true;
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+            e.insert(1);
+            queue.push_back(w);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        if d >= depth {
+            continue;
+        }
+        for &w in g.out_neighbors(u) {
+            if targets.contains(w) {
+                return true;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// Reference bounded simulation by repeated full re-checks with per-node
+/// forward BFS.
+pub fn naive_bounded_simulation<G: GraphView>(g: &G, q: &Pattern) -> MatchRelation {
+    let mut sim = candidate_sets(g, q);
+    loop {
+        let mut changed = false;
+        for e in q.edges() {
+            let depth = match e.bound {
+                Bound::Hops(k) => k,
+                Bound::Unbounded => u32::MAX,
+            };
+            let mut doomed = Vec::new();
+            for v in sim[e.from.index()].iter() {
+                if !can_reach_within(g, v, &sim[e.to.index()], depth) {
+                    doomed.push(v);
+                }
+            }
+            for v in doomed {
+                sim[e.from.index()].remove(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    MatchRelation::from_sets(sim, g.node_count())
+}
+
+/// Check that `m` actually *is* a valid bounded simulation relation (every
+/// pair satisfies predicate + edge conditions). Used by property tests to
+/// assert soundness independently of any matcher.
+pub fn is_valid_bounded_relation<G: GraphView>(g: &G, q: &Pattern, m: &MatchRelation) -> bool {
+    for (ui, pn) in q.nodes().iter().enumerate() {
+        let u = expfinder_pattern::PNodeId(ui as u32);
+        let compiled = pn.predicate.compile(g);
+        for v in m.matches(u).iter() {
+            if !compiled.eval(g.vertex(v)) {
+                return false;
+            }
+            for e in q.out_edges(u) {
+                if !can_reach_within(g, v, m.matches(e.to), e.bound.depth()) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_graph::fixtures::collaboration_fig1;
+    use expfinder_pattern::fixtures::{fig1_pattern, fig1_pattern_simulation};
+
+    #[test]
+    fn naive_bsim_reproduces_example1() {
+        let f = collaboration_fig1();
+        let m = naive_bounded_simulation(&f.graph, &fig1_pattern());
+        assert_eq!(m.total_pairs(), 7);
+    }
+
+    #[test]
+    fn naive_sim_fails_on_fig1() {
+        let f = collaboration_fig1();
+        let m = naive_simulation(&f.graph, &fig1_pattern_simulation());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn validity_checker_accepts_real_result() {
+        let f = collaboration_fig1();
+        let q = fig1_pattern();
+        let m = naive_bounded_simulation(&f.graph, &q);
+        assert!(is_valid_bounded_relation(&f.graph, &q, &m));
+    }
+
+    #[test]
+    fn validity_checker_rejects_bogus_pair() {
+        let f = collaboration_fig1();
+        let q = fig1_pattern();
+        let mut m = naive_bounded_simulation(&f.graph, &q);
+        // force Fred into the SD matches: invalid before e1
+        let sd = q.node_id("sd").unwrap();
+        m.sets_mut()[sd.index()].insert(f.fred);
+        assert!(!is_valid_bounded_relation(&f.graph, &q, &m));
+    }
+}

@@ -1,0 +1,171 @@
+//! Query result cache.
+//!
+//! Paper §II: "the query engine directly returns M(Q,G) if it is already
+//! cached". Keys combine the graph name, its version counter and the
+//! pattern fingerprint, so updates invalidate implicitly — stale entries
+//! simply stop being requested and age out of the LRU.
+
+use expfinder_core::MatchRelation;
+use expfinder_pattern::Pattern;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: graph name, graph version, pattern fingerprint.
+pub type CacheKey = (String, u64, String);
+
+/// Hit/miss counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// A bounded LRU cache of match relations.
+pub struct QueryCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Arc<MatchRelation>>,
+    /// Keys in recency order (front = oldest).
+    order: Vec<CacheKey>,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Build the canonical key for a query.
+    pub fn key(graph: &str, version: u64, pattern: &Pattern) -> CacheKey {
+        (graph.to_owned(), version, pattern.fingerprint())
+    }
+
+    /// Look up; refreshes recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<MatchRelation>> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                let v = Arc::clone(v);
+                self.touch(key);
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used
+    /// entry if over capacity.
+    pub fn put(&mut self, key: CacheKey, value: Arc<MatchRelation>) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push(key);
+        } else {
+            self.touch(&key);
+        }
+        while self.map.len() > self.capacity {
+            let oldest = self.order.remove(0);
+            self.map.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_graph::BitSet;
+
+    fn rel(n: usize) -> Arc<MatchRelation> {
+        Arc::new(MatchRelation::from_sets(vec![BitSet::full(n)], n))
+    }
+
+    fn k(name: &str, v: u64) -> CacheKey {
+        (name.to_owned(), v, "fp".to_owned())
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = QueryCache::new(4);
+        assert!(c.get(&k("g", 1)).is_none());
+        c.put(k("g", 1), rel(3));
+        assert!(c.get(&k("g", 1)).is_some());
+        assert!(c.get(&k("g", 2)).is_none(), "different version misses");
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = QueryCache::new(2);
+        c.put(k("a", 1), rel(1));
+        c.put(k("b", 1), rel(1));
+        // touch a so b becomes the oldest
+        assert!(c.get(&k("a", 1)).is_some());
+        c.put(k("c", 1), rel(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&k("b", 1)).is_none(), "b evicted");
+        assert!(c.get(&k("a", 1)).is_some(), "a survived");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn put_refreshes_existing() {
+        let mut c = QueryCache::new(2);
+        c.put(k("a", 1), rel(1));
+        c.put(k("b", 1), rel(1));
+        c.put(k("a", 1), rel(2)); // refresh a
+        c.put(k("c", 1), rel(1)); // evicts b, not a
+        assert!(c.get(&k("a", 1)).is_some());
+        assert!(c.get(&k("b", 1)).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = QueryCache::new(2);
+        c.put(k("a", 1), rel(1));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut c = QueryCache::new(0);
+        c.put(k("a", 1), rel(1));
+        assert_eq!(c.len(), 1);
+    }
+}

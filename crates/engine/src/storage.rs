@@ -1,0 +1,190 @@
+//! File-based persistence for the engine catalog.
+//!
+//! Paper §II: "all the graphs and query results are stored and managed as
+//! files". A catalog directory contains a JSON manifest plus one `.efg`
+//! text file per graph; query results serialize to JSON documents.
+
+use crate::{EngineError, ExpFinder};
+use expfinder_core::MatchRelation;
+use expfinder_graph::{io as gio, BitSet, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// The catalog manifest.
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    format: String,
+    graphs: Vec<String>,
+}
+
+const FORMAT: &str = "expfinder-catalog-v1";
+
+/// Persist every graph of the engine into `dir` (created if missing).
+pub fn save_catalog(engine: &ExpFinder, dir: impl AsRef<Path>) -> Result<(), EngineError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let names = engine.graph_names();
+    for name in &names {
+        let g = engine.graph(name)?;
+        gio::save_text(g, dir.join(format!("{name}.efg")))
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
+    }
+    let manifest = Manifest {
+        format: FORMAT.to_owned(),
+        graphs: names,
+    };
+    let json =
+        serde_json::to_string_pretty(&manifest).map_err(|e| EngineError::Storage(e.to_string()))?;
+    fs::write(dir.join("manifest.json"), json)?;
+    Ok(())
+}
+
+/// Load a catalog directory into a fresh engine (default configuration).
+pub fn load_catalog(dir: impl AsRef<Path>) -> Result<ExpFinder, EngineError> {
+    let dir = dir.as_ref();
+    let json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: Manifest =
+        serde_json::from_str(&json).map_err(|e| EngineError::Storage(e.to_string()))?;
+    if manifest.format != FORMAT {
+        return Err(EngineError::Storage(format!(
+            "unknown catalog format {:?}",
+            manifest.format
+        )));
+    }
+    let mut engine = ExpFinder::default();
+    for name in manifest.graphs {
+        let g = gio::load_text(dir.join(format!("{name}.efg")))
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
+        engine.add_graph(&name, g)?;
+    }
+    Ok(engine)
+}
+
+/// Serializable form of a match relation.
+#[derive(Serialize, Deserialize)]
+pub struct ResultDoc {
+    /// Number of data-graph nodes the relation ranges over.
+    pub data_nodes: usize,
+    /// Per pattern node (in id order), the matched data node ids.
+    pub matches: Vec<Vec<u32>>,
+}
+
+impl ResultDoc {
+    pub fn from_relation(m: &MatchRelation) -> ResultDoc {
+        ResultDoc {
+            data_nodes: m.data_nodes(),
+            matches: (0..m.pattern_nodes())
+                .map(|i| {
+                    m.matches(expfinder_pattern::PNodeId(i as u32))
+                        .iter()
+                        .map(|v| v.0)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    pub fn into_relation(self) -> MatchRelation {
+        let sets: Vec<BitSet> = self
+            .matches
+            .iter()
+            .map(|ids| {
+                let mut s = BitSet::new(self.data_nodes);
+                for &i in ids {
+                    s.insert(NodeId(i));
+                }
+                s
+            })
+            .collect();
+        MatchRelation::from_sets(sets, self.data_nodes)
+    }
+}
+
+/// Save a query result as JSON.
+pub fn save_result(m: &MatchRelation, path: impl AsRef<Path>) -> Result<(), EngineError> {
+    let json = serde_json::to_string(&ResultDoc::from_relation(m))
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a query result from JSON.
+pub fn load_result(path: impl AsRef<Path>) -> Result<MatchRelation, EngineError> {
+    let json = fs::read_to_string(path)?;
+    let doc: ResultDoc =
+        serde_json::from_str(&json).map_err(|e| EngineError::Storage(e.to_string()))?;
+    Ok(doc.into_relation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_core::bounded_simulation;
+    use expfinder_graph::fixtures::collaboration_fig1;
+    use expfinder_graph::GraphView;
+    use expfinder_pattern::fixtures::fig1_pattern;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("expfinder_storage_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let dir = tmpdir("catalog");
+        let f = collaboration_fig1();
+        let mut e = ExpFinder::default();
+        e.add_graph("fig1", f.graph.clone()).unwrap();
+        e.add_graph("empty", expfinder_graph::DiGraph::new()).unwrap();
+        save_catalog(&e, &dir).unwrap();
+
+        let loaded = load_catalog(&dir).unwrap();
+        assert_eq!(loaded.graph_names(), vec!["empty", "fig1"]);
+        let g = loaded.graph("fig1").unwrap();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 11);
+        // loaded graph answers the paper query identically
+        let m = loaded.evaluate("fig1", &fig1_pattern()).unwrap();
+        assert_eq!(m.matches.total_pairs(), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let dir = tmpdir("result");
+        fs::create_dir_all(&dir).unwrap();
+        let f = collaboration_fig1();
+        let m = bounded_simulation(&f.graph, &fig1_pattern()).unwrap();
+        let p = dir.join("team.json");
+        save_result(&m, &p).unwrap();
+        let loaded = load_result(&p).unwrap();
+        assert_eq!(loaded, m);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_manifest_rejected() {
+        let dir = tmpdir("bad");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.json"),
+            r#"{"format":"something-else","graphs":[]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            load_catalog(&dir),
+            Err(EngineError::Storage(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        assert!(matches!(
+            load_catalog("/definitely/not/here"),
+            Err(EngineError::Io(_))
+        ));
+    }
+}

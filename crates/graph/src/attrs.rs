@@ -1,0 +1,276 @@
+//! Attribute values and string interning.
+//!
+//! Node content in ExpFinder graphs is a label (the "field" of an expert,
+//! e.g. `SA`) plus a small set of typed attributes (`experience = 7`,
+//! `specialty = "DBA"`, `name = "Bob"`). Labels and attribute keys repeat
+//! across millions of nodes, so both are interned to `u32` symbols; pattern
+//! predicates are compiled against a graph's interner before matching so
+//! the hot loop compares integers, never strings.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string (label or attribute key). Only meaningful together
+/// with the [`Interner`] that produced it.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional string ↔ symbol table. One per graph.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.names.len()).expect("interner overflow"));
+        self.names.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind a symbol. Panics on a foreign symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_str()))
+    }
+}
+
+/// A typed attribute value.
+///
+/// Comparisons between `Int` and `Float` coerce the integer; all other
+/// cross-type comparisons are undefined (`partial_cmp` returns `None`),
+/// which predicates treat as "does not satisfy".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Human-readable type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Str(_) => "str",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compare two values for predicate evaluation. `None` means the
+    /// comparison is meaningless (different, non-coercible types).
+    pub fn compare(&self, other: &AttrValue) -> Option<Ordering> {
+        use AttrValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Equality under the same coercion rules as [`AttrValue::compare`].
+    pub fn loose_eq(&self, other: &AttrValue) -> bool {
+        matches!(self.compare(other), Some(Ordering::Equal))
+    }
+
+    /// A canonical text form used by signatures and the text file format.
+    /// Distinct values map to distinct strings within a type.
+    pub fn canonical(&self) -> String {
+        match self {
+            AttrValue::Int(v) => format!("i{v}"),
+            AttrValue::Float(v) => format!("f{v:?}"),
+            AttrValue::Str(s) => format!("s{s}"),
+            AttrValue::Bool(b) => format!("b{b}"),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s:?}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_roundtrip_and_dedup() {
+        let mut it = Interner::new();
+        let a = it.intern("SA");
+        let b = it.intern("SD");
+        let a2 = it.intern("SA");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(it.resolve(a), "SA");
+        assert_eq!(it.resolve(b), "SD");
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.get("SA"), Some(a));
+        assert_eq!(it.get("missing"), None);
+    }
+
+    #[test]
+    fn interner_iter_order() {
+        let mut it = Interner::new();
+        it.intern("x");
+        it.intern("y");
+        let pairs: Vec<_> = it.iter().map(|(s, n)| (s.0, n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn attr_compare_same_types() {
+        assert_eq!(
+            AttrValue::Int(3).compare(&AttrValue::Int(5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            AttrValue::Str("a".into()).compare(&AttrValue::Str("a".into())),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            AttrValue::Bool(true).compare(&AttrValue::Bool(false)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn attr_compare_numeric_coercion() {
+        assert_eq!(
+            AttrValue::Int(3).compare(&AttrValue::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            AttrValue::Float(2.5).compare(&AttrValue::Int(3)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn attr_compare_cross_type_is_none() {
+        assert_eq!(AttrValue::Int(1).compare(&AttrValue::Str("1".into())), None);
+        assert_eq!(
+            AttrValue::Bool(true).compare(&AttrValue::Int(1)),
+            None,
+            "bool does not coerce to int"
+        );
+        assert!(!AttrValue::Int(1).loose_eq(&AttrValue::Bool(true)));
+    }
+
+    #[test]
+    fn canonical_distinguishes_types() {
+        assert_ne!(
+            AttrValue::Int(1).canonical(),
+            AttrValue::Str("1".into()).canonical()
+        );
+        assert_ne!(
+            AttrValue::Bool(true).canonical(),
+            AttrValue::Str("true".into()).canonical()
+        );
+    }
+
+    #[test]
+    fn nan_float_compare_is_none() {
+        assert_eq!(
+            AttrValue::Float(f64::NAN).compare(&AttrValue::Float(1.0)),
+            None
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! The dynamic attributed directed graph.
+//!
+//! Adjacency is stored in both directions as sorted `Vec<NodeId>` per node:
+//! matching needs fast forward *and* backward traversal (bounded simulation
+//! refreshes candidate sets with reverse BFS; removal cascades walk
+//! in-neighbors), and incremental maintenance needs `O(log d)` edge lookups
+//! plus `O(d)` inserts/removals. Sorted vectors beat hash sets here: the
+//! degrees of social graphs are small on average, iteration is the hot
+//! operation, and memory stays compact.
+
+use crate::attrs::{AttrValue, Interner, Sym};
+use crate::view::GraphView;
+use crate::NodeId;
+use std::fmt;
+
+/// The content of one node: an interned label plus sorted `(key, value)`
+/// attribute pairs. Kept deliberately small — most nodes carry 2–4
+/// attributes — so a sorted vec outperforms any map.
+#[derive(Clone, Debug, Default)]
+pub struct VertexData {
+    label: Sym,
+    attrs: Vec<(Sym, AttrValue)>,
+}
+
+impl VertexData {
+    pub fn new(label: Sym) -> Self {
+        VertexData {
+            label,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn label(&self) -> Sym {
+        self.label
+    }
+
+    /// Attribute lookup by interned key.
+    pub fn attr(&self, key: Sym) -> Option<&AttrValue> {
+        self.attrs
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+
+    /// Insert or overwrite an attribute.
+    pub fn set_attr(&mut self, key: Sym, value: AttrValue) {
+        match self.attrs.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => self.attrs[i].1 = value,
+            Err(i) => self.attrs.insert(i, (key, value)),
+        }
+    }
+
+    /// All attributes in key order.
+    pub fn attrs(&self) -> &[(Sym, AttrValue)] {
+        &self.attrs
+    }
+}
+
+/// A single edge insertion or deletion — the unit of the paper's ΔG.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    Insert(NodeId, NodeId),
+    Delete(NodeId, NodeId),
+}
+
+impl EdgeUpdate {
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeUpdate::Insert(a, b) | EdgeUpdate::Delete(a, b) => (a, b),
+        }
+    }
+
+    /// The update that undoes this one.
+    pub fn inverse(&self) -> EdgeUpdate {
+        match *self {
+            EdgeUpdate::Insert(a, b) => EdgeUpdate::Delete(a, b),
+            EdgeUpdate::Delete(a, b) => EdgeUpdate::Insert(a, b),
+        }
+    }
+}
+
+impl fmt::Display for EdgeUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeUpdate::Insert(a, b) => write!(f, "+({a},{b})"),
+            EdgeUpdate::Delete(a, b) => write!(f, "-({a},{b})"),
+        }
+    }
+}
+
+/// Dynamic attributed directed graph. Node ids are dense (`0..node_count`);
+/// nodes are never removed (the paper's ΔG consists of edge updates only).
+/// Every mutation bumps `version`, which the engine's cache keys on.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    interner: Interner,
+    vertices: Vec<VertexData>,
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    edge_count: usize,
+    version: u64,
+}
+
+impl DiGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size internal vectors for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        DiGraph {
+            interner: Interner::new(),
+            vertices: Vec::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+            edge_count: 0,
+            version: 0,
+        }
+    }
+
+    /// Add a node with the given label and attributes; returns its id.
+    pub fn add_node<'a>(
+        &mut self,
+        label: &str,
+        attrs: impl IntoIterator<Item = (&'a str, AttrValue)>,
+    ) -> NodeId {
+        let label = self.interner.intern(label);
+        let mut data = VertexData::new(label);
+        for (k, v) in attrs {
+            let key = self.interner.intern(k);
+            data.set_attr(key, v);
+        }
+        self.add_vertex(data)
+    }
+
+    /// Add a node from pre-built [`VertexData`] (symbols must come from this
+    /// graph's interner).
+    pub fn add_vertex(&mut self, data: VertexData) -> NodeId {
+        let id = NodeId::from_index(self.vertices.len());
+        self.vertices.push(data);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        self.version += 1;
+        id
+    }
+
+    /// Insert a directed edge. Returns `false` if it already existed or is
+    /// out of range. Self-loops are allowed (a person can "collaborate with
+    /// themselves" is meaningless, but generators and property tests may
+    /// produce them and the matching semantics handle them fine).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if from.index() >= self.vertices.len() || to.index() >= self.vertices.len() {
+            return false;
+        }
+        let fwd = &mut self.out[from.index()];
+        match fwd.binary_search(&to) {
+            Ok(_) => false,
+            Err(i) => {
+                fwd.insert(i, to);
+                let bwd = &mut self.inn[to.index()];
+                let j = bwd.binary_search(&from).unwrap_err();
+                bwd.insert(j, from);
+                self.edge_count += 1;
+                self.version += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove a directed edge. Returns `false` if it was not present.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if from.index() >= self.vertices.len() || to.index() >= self.vertices.len() {
+            return false;
+        }
+        let fwd = &mut self.out[from.index()];
+        match fwd.binary_search(&to) {
+            Err(_) => false,
+            Ok(i) => {
+                fwd.remove(i);
+                let bwd = &mut self.inn[to.index()];
+                let j = bwd.binary_search(&from).expect("in/out adjacency desync");
+                bwd.remove(j);
+                self.edge_count -= 1;
+                self.version += 1;
+                true
+            }
+        }
+    }
+
+    /// Apply one [`EdgeUpdate`]; returns whether the graph changed.
+    pub fn apply(&mut self, update: EdgeUpdate) -> bool {
+        match update {
+            EdgeUpdate::Insert(a, b) => self.add_edge(a, b),
+            EdgeUpdate::Delete(a, b) => self.remove_edge(a, b),
+        }
+    }
+
+    /// Edge membership test, `O(log out-degree)`.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out
+            .get(from.index())
+            .is_some_and(|v| v.binary_search(&to).is_ok())
+    }
+
+    /// Mutable access to a node's content. Bumps the version (attribute
+    /// changes can change match results).
+    pub fn vertex_mut(&mut self, v: NodeId) -> &mut VertexData {
+        self.version += 1;
+        &mut self.vertices[v.index()]
+    }
+
+    /// Set an attribute on an existing node, interning the key.
+    pub fn set_attr(&mut self, v: NodeId, key: &str, value: AttrValue) {
+        let key = self.interner.intern(key);
+        self.version += 1;
+        self.vertices[v.index()].set_attr(key, value);
+    }
+
+    /// Convenience: attribute lookup by string key.
+    pub fn attr_of(&self, v: NodeId, key: &str) -> Option<&AttrValue> {
+        let key = self.interner.get(key)?;
+        self.vertices[v.index()].attr(key)
+    }
+
+    /// Convenience: label string of a node.
+    pub fn label_str(&self, v: NodeId) -> &str {
+        self.interner.resolve(self.vertices[v.index()].label())
+    }
+
+    /// Intern a string into this graph's symbol table.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
+    /// Monotone counter bumped on every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Iterate over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.vertices.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(i, succ)| succ.iter().map(move |&t| (NodeId(i as u32), t)))
+    }
+
+    /// Total size |G| = |V| + |E| as used in the paper's complexity bounds.
+    pub fn size(&self) -> usize {
+        self.vertices.len() + self.edge_count
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out[v.index()].len()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inn[v.index()].len()
+    }
+}
+
+impl GraphView for DiGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out[v.index()]
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.inn[v.index()]
+    }
+
+    #[inline]
+    fn vertex(&self, v: NodeId) -> &VertexData {
+        &self.vertices[v.index()]
+    }
+
+    #[inline]
+    fn interner(&self) -> &Interner {
+        &self.interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("SA", [("experience", AttrValue::Int(7))]);
+        let b = g.add_node("SD", [("experience", AttrValue::Int(3))]);
+        assert_eq!(a, n(0));
+        assert_eq!(b, n(1));
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b), "duplicate edge rejected");
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_neighbors(a), &[b]);
+        assert_eq!(g.in_neighbors(b), &[a]);
+        assert_eq!(g.size(), 3);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_directions() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("x", []);
+        let b = g.add_node("x", []);
+        let c = g.add_node("x", []);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        assert!(g.remove_edge(a, b));
+        assert!(!g.remove_edge(a, b), "already removed");
+        assert_eq!(g.out_neighbors(a), &[c]);
+        assert!(g.in_neighbors(b).is_empty());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node("x", [])).collect();
+        // insert in scrambled order
+        g.add_edge(ids[0], ids[3]);
+        g.add_edge(ids[0], ids[1]);
+        g.add_edge(ids[0], ids[4]);
+        g.add_edge(ids[0], ids[2]);
+        let succ: Vec<u32> = g.out_neighbors(ids[0]).iter().map(|v| v.0).collect();
+        assert_eq!(succ, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let mut g = DiGraph::new();
+        let v0 = g.version();
+        let a = g.add_node("x", []);
+        let b = g.add_node("x", []);
+        assert!(g.version() > v0);
+        let v1 = g.version();
+        g.add_edge(a, b);
+        assert!(g.version() > v1);
+        let v2 = g.version();
+        assert!(!g.add_edge(a, b));
+        assert_eq!(g.version(), v2, "no-op does not bump version");
+        g.set_attr(a, "experience", AttrValue::Int(1));
+        assert!(g.version() > v2);
+    }
+
+    #[test]
+    fn out_of_range_edges_rejected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("x", []);
+        assert!(!g.add_edge(a, n(7)));
+        assert!(!g.remove_edge(n(7), a));
+        assert!(!g.has_edge(a, n(7)));
+    }
+
+    #[test]
+    fn apply_and_inverse() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("x", []);
+        let b = g.add_node("x", []);
+        let ins = EdgeUpdate::Insert(a, b);
+        assert!(g.apply(ins));
+        assert!(g.has_edge(a, b));
+        assert!(g.apply(ins.inverse()));
+        assert!(!g.has_edge(a, b));
+        assert_eq!(ins.endpoints(), (a, b));
+    }
+
+    #[test]
+    fn vertex_attrs_overwrite() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("x", [("experience", AttrValue::Int(1))]);
+        g.set_attr(a, "experience", AttrValue::Int(9));
+        assert_eq!(g.attr_of(a, "experience").unwrap().as_int(), Some(9));
+        assert_eq!(g.attr_of(a, "missing"), None);
+        assert_eq!(g.label_str(a), "x");
+    }
+
+    #[test]
+    fn self_loop_allowed() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("x", []);
+        assert!(g.add_edge(a, a));
+        assert_eq!(g.out_neighbors(a), &[a]);
+        assert_eq!(g.in_neighbors(a), &[a]);
+    }
+
+    #[test]
+    fn edges_iterator_enumerates_all() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("x", []);
+        let b = g.add_node("x", []);
+        let c = g.add_node("x", []);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        let mut es: Vec<_> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Dijkstra over weighted adjacency lists.
+//!
+//! The ranking function of the paper measures social distance inside the
+//! *result graph*, whose edges are weighted by shortest-path lengths in the
+//! data graph. Result graphs are small (matches only), so a plain binary
+//! heap Dijkstra is the right tool. The function is generic over an
+//! adjacency slice so the result graph (in `expfinder-core`) does not need
+//! to implement a full trait.
+
+use crate::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Single-source shortest paths over `adj`, where `adj[v]` lists
+/// `(neighbor, weight)` pairs. Returns a distance per node id
+/// ([`UNREACHABLE`] where no path exists). `adj.len()` defines the node
+/// universe.
+pub fn dijkstra(adj: &[Vec<(NodeId, u64)>], src: NodeId) -> Vec<u64> {
+    let mut dist = vec![UNREACHABLE; adj.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue; // stale entry
+        }
+        for &(w, cost) in &adj[u.index()] {
+            let nd = d.saturating_add(cost);
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheaper_route() {
+        // 0 → 1 (1), 1 → 2 (1), 0 → 2 (5)
+        let adj = vec![
+            vec![(n(1), 1), (n(2), 5)],
+            vec![(n(2), 1)],
+            vec![],
+        ];
+        let d = dijkstra(&adj, n(0));
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let adj = vec![vec![(n(1), 3)], vec![], vec![]];
+        let d = dijkstra(&adj, n(0));
+        assert_eq!(d[1], 3);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let adj = vec![vec![(n(1), 2)], vec![(n(0), 2)]];
+        let d = dijkstra(&adj, n(1));
+        assert_eq!(d, vec![2, 0]);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let adj = vec![vec![(n(1), 0)], vec![(n(2), 0)], vec![]];
+        let d = dijkstra(&adj, n(0));
+        assert_eq!(d, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn stale_heap_entries_skipped() {
+        // diamond where a longer path is pushed first
+        let adj = vec![
+            vec![(n(1), 10), (n(2), 1)],
+            vec![(n(3), 1)],
+            vec![(n(1), 1)],
+            vec![],
+        ];
+        let d = dijkstra(&adj, n(0));
+        assert_eq!(d[1], 2, "via node 2");
+        assert_eq!(d[3], 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! The reconstructed collaboration network of the paper's Figure 1.
+//!
+//! The scanned figure does not enumerate G's edge set, so the edges below
+//! were reconstructed to satisfy **every** fact the paper states (see
+//! DESIGN.md §3, substitution 3):
+//!
+//! * Example 1's match set: `M(Q,G) = {(SA,Bob), (SA,Walt), (BA,Jean),
+//!   (SD,Mat), (SD,Dan), (SD,Pat), (ST,Eva)}` — no Fred, no Bill;
+//! * the stated edge `(Bob, Dan)` ("Dan worked in a project led by Bob");
+//! * Example 2's ranks: `f(SA,Bob) = (1+1+2+3+2)/5 = 9/5` and
+//!   `f(SA,Walt) = (2+2+3)/3 = 7/3`, so Bob is the top-1 expert;
+//! * Example 3: inserting `e1` yields exactly `ΔM = {(SD, Fred)}`;
+//! * plain graph simulation and subgraph isomorphism both fail on the same
+//!   query (the paper's motivation for bounded simulation).
+//!
+//! Edge list (all meaning "collaborated with / worked under"):
+//! Bob→Dan, Bob→Mat, Mat→Dan, Mat→Pat, Pat→Dan, Dan→Eva, Eva→Jean,
+//! Jean→Eva, Walt→Bill, Bill→Dan, Bill→Jean; `e1 = Fred→Dan` (not inserted).
+//!
+//! The companion pattern (4 nodes SA*, SD, BA, ST; edges SA→SD bound 2,
+//! SA→BA bound 3, SD→ST bound 2, BA→ST bound 1) lives in
+//! `expfinder_pattern::fixtures` — this crate cannot depend on the pattern
+//! crate.
+
+use crate::digraph::DiGraph;
+use crate::{AttrValue, NodeId};
+
+/// The Fig. 1 graph together with named handles to each person and the
+/// not-yet-inserted update edge `e1`.
+#[derive(Clone, Debug)]
+pub struct Fig1 {
+    pub graph: DiGraph,
+    pub bob: NodeId,
+    pub walt: NodeId,
+    pub jean: NodeId,
+    pub dan: NodeId,
+    pub mat: NodeId,
+    pub pat: NodeId,
+    pub fred: NodeId,
+    pub eva: NodeId,
+    pub bill: NodeId,
+    /// The edge `e1` of Example 3 (Fred → Dan), *not* present in `graph`.
+    pub e1: (NodeId, NodeId),
+}
+
+impl Fig1 {
+    /// Name of a node, for display.
+    pub fn name_of(&self, v: NodeId) -> &str {
+        self.graph
+            .attr_of(v, "name")
+            .and_then(|a| a.as_str())
+            .unwrap_or("?")
+    }
+}
+
+fn person(
+    g: &mut DiGraph,
+    name: &str,
+    field: &str,
+    specialty: &str,
+    experience: i64,
+) -> NodeId {
+    g.add_node(
+        field,
+        [
+            ("name", AttrValue::Str(name.into())),
+            ("specialty", AttrValue::Str(specialty.into())),
+            ("experience", AttrValue::Int(experience)),
+        ],
+    )
+}
+
+/// Build the Figure 1 collaboration network.
+pub fn collaboration_fig1() -> Fig1 {
+    let mut g = DiGraph::new();
+    // node content exactly as printed in Fig. 1(b)
+    let walt = person(&mut g, "Walt", "SA", "", 5);
+    let bill = person(&mut g, "Bill", "GD", "", 2); // graphic designer
+    let jean = person(&mut g, "Jean", "BA", "", 3);
+    let dan = person(&mut g, "Dan", "SD", "programmer", 3);
+    let mat = person(&mut g, "Mat", "SD", "programmer", 4);
+    let eva = person(&mut g, "Eva", "ST", "", 2);
+    let bob = person(&mut g, "Bob", "SA", "", 7);
+    let pat = person(&mut g, "Pat", "SD", "DBA", 3);
+    let fred = person(&mut g, "Fred", "SD", "DBA", 2);
+
+    // collaboration edges (see module docs for the facts each one serves)
+    g.add_edge(bob, dan); // stated in the paper
+    g.add_edge(bob, mat); // dist(Bob,Mat)=1  → rank term 1
+    g.add_edge(mat, dan); // dist(Mat,Eva)=2  → (SD,Mat) valid
+    g.add_edge(mat, pat); // dist(Bob,Pat)=2  → rank term 2
+    g.add_edge(pat, dan); // dist(Pat,Eva)=2  → (SD,Pat) valid
+    g.add_edge(dan, eva); // dist(Dan,Eva)=1  → (SD,Dan) valid
+    g.add_edge(eva, jean); // dist(Bob,Jean)=3 → rank term 3
+    g.add_edge(jean, eva); // (BA,Jean) valid within bound 1
+    g.add_edge(walt, bill); // Walt's team runs through Bill
+    g.add_edge(bill, dan); // dist(Walt,Dan)=2
+    g.add_edge(bill, jean); // dist(Walt,Jean)=2
+
+    Fig1 {
+        graph: g,
+        bob,
+        walt,
+        jean,
+        dan,
+        mat,
+        pat,
+        fred,
+        eva,
+        bill,
+        e1: (fred, dan),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::GraphView;
+
+    #[test]
+    fn fig1_shape() {
+        let f = collaboration_fig1();
+        assert_eq!(f.graph.node_count(), 9);
+        assert_eq!(f.graph.edge_count(), 11);
+        assert!(f.graph.has_edge(f.bob, f.dan), "paper-stated edge");
+        assert!(
+            !f.graph.has_edge(f.e1.0, f.e1.1),
+            "e1 must not be pre-inserted"
+        );
+    }
+
+    #[test]
+    fn fig1_node_content() {
+        let f = collaboration_fig1();
+        assert_eq!(f.graph.label_str(f.bob), "SA");
+        assert_eq!(f.graph.attr_of(f.bob, "experience").unwrap().as_int(), Some(7));
+        assert_eq!(f.graph.attr_of(f.walt, "experience").unwrap().as_int(), Some(5));
+        assert_eq!(
+            f.graph.attr_of(f.pat, "specialty").unwrap().as_str(),
+            Some("DBA")
+        );
+        assert_eq!(f.name_of(f.eva), "Eva");
+        assert_eq!(f.graph.label_str(f.bill), "GD");
+    }
+
+    #[test]
+    fn fig1_key_distances() {
+        // the distances the ranking example depends on, checked by BFS
+        use crate::bfs::{BfsScratch, Direction};
+        let f = collaboration_fig1();
+        let mut s = BfsScratch::new();
+        let ball = s.ball(&f.graph, f.bob, 10, Direction::Forward);
+        assert_eq!(ball.dist_of(f.dan), Some(1));
+        assert_eq!(ball.dist_of(f.mat), Some(1));
+        assert_eq!(ball.dist_of(f.pat), Some(2));
+        assert_eq!(ball.dist_of(f.jean), Some(3));
+        assert_eq!(ball.dist_of(f.eva), Some(2));
+        let ball = s.ball(&f.graph, f.walt, 10, Direction::Forward);
+        assert_eq!(ball.dist_of(f.dan), Some(2));
+        assert_eq!(ball.dist_of(f.jean), Some(2));
+        assert_eq!(ball.dist_of(f.mat), None, "Walt must not reach Mat");
+        assert_eq!(ball.dist_of(f.pat), None, "Walt must not reach Pat");
+    }
+}

@@ -1,0 +1,619 @@
+//! Synthetic workload generators.
+//!
+//! The paper's demonstration uses (1) "a synthetic graph generator to
+//! generate arbitrarily large graphs" and (2) "a fraction of Twitter". The
+//! Twitter fraction is proprietary, so [`twitter_like`] substitutes a
+//! generated follower graph with the structural properties the experiments
+//! depend on: power-law in-degrees (hubs), a small role alphabet, and large
+//! populations of structurally equivalent leaf accounts (which is what makes
+//! query-preserving compression effective — DESIGN.md §3).
+//!
+//! All generators are deterministic functions of the caller-provided RNG,
+//! so every experiment is reproducible from a seed.
+
+use crate::digraph::{DiGraph, EdgeUpdate};
+use crate::view::GraphView;
+use crate::{AttrValue, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How node content is sampled: a label alphabet with optional Zipf skew
+/// plus a bucketed integer `experience` attribute. Small bucket counts make
+/// graphs compressible (more nodes share a signature); large counts make
+/// predicates selective.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Label alphabet (e.g. expert fields `SA`, `SD`, ...).
+    pub labels: Vec<String>,
+    /// Zipf-like skew over the alphabet: 0.0 = uniform; larger = the first
+    /// labels dominate.
+    pub skew: f64,
+    /// `experience` is drawn uniformly from `0..experience_buckets`.
+    pub experience_buckets: i64,
+}
+
+impl NodeSpec {
+    /// A spec with `k` labels `L0..Lk-1`, uniform, `buckets` experience values.
+    pub fn uniform(k: usize, buckets: i64) -> Self {
+        NodeSpec {
+            labels: (0..k).map(|i| format!("L{i}")).collect(),
+            skew: 0.0,
+            experience_buckets: buckets,
+        }
+    }
+
+    /// The expert-field alphabet used by the collaboration scenarios.
+    pub fn expert_fields() -> Self {
+        NodeSpec {
+            labels: ["SA", "SD", "BA", "ST", "PM", "QA", "GD", "OPS"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            skew: 0.0,
+            experience_buckets: 10,
+        }
+    }
+
+    fn sample_label(&self, rng: &mut impl Rng) -> usize {
+        let k = self.labels.len();
+        if self.skew <= 0.0 {
+            return rng.gen_range(0..k);
+        }
+        // inverse-CDF sampling of a Zipf(s) distribution over ranks 1..=k
+        let weights: Vec<f64> = (1..=k).map(|r| 1.0 / (r as f64).powf(self.skew)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        k - 1
+    }
+
+    /// Add a node with sampled content to `g`.
+    pub fn add_sampled_node(&self, g: &mut DiGraph, rng: &mut impl Rng) -> NodeId {
+        let li = self.sample_label(rng);
+        let exp = rng.gen_range(0..self.experience_buckets.max(1));
+        let label = self.labels[li].clone();
+        g.add_node(&label, [("experience", AttrValue::Int(exp))])
+    }
+}
+
+/// G(n, m): `n` nodes, `m` distinct directed edges chosen uniformly.
+pub fn erdos_renyi(rng: &mut impl Rng, n: usize, m: usize, spec: &NodeSpec) -> DiGraph {
+    let mut g = DiGraph::with_capacity(n);
+    for _ in 0..n {
+        spec.add_sampled_node(&mut g, rng);
+    }
+    if n == 0 {
+        return g;
+    }
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    let m = m.min(max_edges);
+    let mut inserted = 0usize;
+    while inserted < m {
+        let a = NodeId(rng.gen_range(0..n as u32));
+        let b = NodeId(rng.gen_range(0..n as u32));
+        if a != b && g.add_edge(a, b) {
+            inserted += 1;
+        }
+    }
+    g
+}
+
+/// Scale-free graph by preferential attachment: every new node points
+/// `out_per_node` edges at targets drawn proportionally to in-degree + 1.
+pub fn preferential_attachment(
+    rng: &mut impl Rng,
+    n: usize,
+    out_per_node: usize,
+    spec: &NodeSpec,
+) -> DiGraph {
+    let mut g = DiGraph::with_capacity(n);
+    // repeated-target list: node v appears in_degree(v)+1 times,
+    // giving O(1) preferential sampling
+    let mut pool: Vec<NodeId> = Vec::with_capacity(n * (out_per_node + 1));
+    for i in 0..n {
+        let v = spec.add_sampled_node(&mut g, rng);
+        pool.push(v);
+        if i == 0 {
+            continue;
+        }
+        let wanted = out_per_node.min(i);
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < wanted && attempts < wanted * 20 {
+            attempts += 1;
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v && g.add_edge(v, t) {
+                pool.push(t);
+                added += 1;
+            }
+        }
+    }
+    g
+}
+
+/// Parameters of the collaboration-network generator.
+#[derive(Clone, Debug)]
+pub struct CollabConfig {
+    /// Number of project teams.
+    pub teams: usize,
+    /// People per team (first member is the lead, labelled `SA`).
+    pub team_size: usize,
+    /// Probability of an extra edge between random members of the same team.
+    pub intra_extra: f64,
+    /// Number of cross-team collaboration edges per team.
+    pub cross_links: usize,
+    /// Experience buckets.
+    pub experience_buckets: i64,
+}
+
+impl Default for CollabConfig {
+    fn default() -> Self {
+        CollabConfig {
+            teams: 100,
+            team_size: 8,
+            intra_extra: 0.3,
+            cross_links: 2,
+            experience_buckets: 10,
+        }
+    }
+}
+
+const TEAM_ROLES: [(&str, &str); 7] = [
+    ("SD", "programmer"),
+    ("SD", "DBA"),
+    ("BA", ""),
+    ("ST", ""),
+    ("QA", ""),
+    ("PM", ""),
+    ("GD", ""),
+];
+
+/// A collaboration network shaped like the paper's Example 1: teams led by
+/// system architects, members with development roles, edges meaning
+/// "collaborated in a project led by / together with".
+pub fn collaboration(rng: &mut impl Rng, cfg: &CollabConfig) -> DiGraph {
+    let n = cfg.teams * cfg.team_size;
+    let mut g = DiGraph::with_capacity(n);
+    let mut team_members: Vec<Vec<NodeId>> = Vec::with_capacity(cfg.teams);
+
+    for _ in 0..cfg.teams {
+        let mut members = Vec::with_capacity(cfg.team_size);
+        // lead
+        let exp = rng.gen_range(3..cfg.experience_buckets.max(4));
+        let lead = g.add_node(
+            "SA",
+            [
+                ("experience", AttrValue::Int(exp)),
+                ("specialty", AttrValue::Str(String::new())),
+            ],
+        );
+        members.push(lead);
+        for s in 1..cfg.team_size {
+            let (role, spec) = TEAM_ROLES[(s - 1) % TEAM_ROLES.len()];
+            let exp = rng.gen_range(0..cfg.experience_buckets.max(1));
+            let v = g.add_node(
+                role,
+                [
+                    ("experience", AttrValue::Int(exp)),
+                    ("specialty", AttrValue::Str(spec.to_string())),
+                ],
+            );
+            members.push(v);
+            // the lead collaborates with every member
+            g.add_edge(lead, v);
+        }
+        // a chain of hand-offs through the team
+        for w in members.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        // extra intra-team edges
+        for _ in 0..cfg.team_size {
+            if rng.gen_bool(cfg.intra_extra.clamp(0.0, 1.0)) {
+                let a = members[rng.gen_range(0..members.len())];
+                let b = members[rng.gen_range(0..members.len())];
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        team_members.push(members);
+    }
+
+    // cross-team collaboration
+    for t in 0..cfg.teams {
+        for _ in 0..cfg.cross_links {
+            let other = rng.gen_range(0..cfg.teams);
+            if other == t {
+                continue;
+            }
+            let a = *team_members[t].choose(rng).expect("team not empty");
+            let b = *team_members[other].choose(rng).expect("team not empty");
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+/// Parameters of the Twitter-like generator.
+#[derive(Clone, Debug)]
+pub struct TwitterConfig {
+    /// Total accounts.
+    pub n: usize,
+    /// Average follow edges per account.
+    pub avg_out: usize,
+    /// Fraction of accounts that are celebrities/hubs.
+    pub hub_fraction: f64,
+    /// Experience (account-age) buckets.
+    pub buckets: i64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig {
+            n: 10_000,
+            avg_out: 5,
+            hub_fraction: 0.01,
+            buckets: 5,
+        }
+    }
+}
+
+/// Directed follower graph with the structure that makes real social
+/// graphs compressible: a small hub population (celebrities/media) that
+/// attracts the overwhelming majority of follow edges but follows nobody
+/// back (hubs are sinks), and a large population of regular accounts whose
+/// follow-sets are small subsets of the hubs — thousands of accounts end
+/// up structurally equivalent, which is exactly the property the paper's
+/// compression experiments (57% average reduction) rest on. A minority of
+/// peer-to-peer follows keeps the graph from being purely bipartite.
+pub fn twitter_like(rng: &mut impl Rng, cfg: &TwitterConfig) -> DiGraph {
+    let n = cfg.n;
+    let hubs = ((n as f64 * cfg.hub_fraction).ceil() as usize).clamp(1, n.max(1));
+    let mut g = DiGraph::with_capacity(n);
+    for i in 0..n {
+        let (label, exp) = if i < hubs {
+            if i % 3 == 0 {
+                ("media", rng.gen_range(0..cfg.buckets.max(1)))
+            } else {
+                ("celebrity", rng.gen_range(0..cfg.buckets.max(1)))
+            }
+        } else {
+            ("user", rng.gen_range(0..cfg.buckets.max(1)))
+        };
+        g.add_node(label, [("experience", AttrValue::Int(exp))]);
+    }
+    if n < 2 {
+        return g;
+    }
+    // popularity pool over hubs only: preferential attachment among hubs
+    let mut hub_pool: Vec<NodeId> = (0..hubs as u32).map(NodeId).collect();
+    for v in hubs as u32..n as u32 {
+        let v = NodeId(v);
+        let follows = sample_poissonish(rng, cfg.avg_out);
+        for _ in 0..follows {
+            let t = if rng.gen_bool(0.9) {
+                hub_pool[rng.gen_range(0..hub_pool.len())]
+            } else {
+                NodeId(rng.gen_range(0..n as u32))
+            };
+            if t != v && g.add_edge(v, t) && t.index() < hubs {
+                hub_pool.push(t);
+            }
+        }
+    }
+    g
+}
+
+/// Parameters of the organizational-hierarchy generator.
+#[derive(Clone, Debug)]
+pub struct HierarchyConfig {
+    /// Levels in the hierarchy (≥ 1).
+    pub depth: usize,
+    /// Children per node.
+    pub branching: usize,
+    /// Experience buckets per level (1 = perfectly uniform levels).
+    pub buckets: i64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            depth: 7,
+            branching: 4,
+            buckets: 2,
+        }
+    }
+}
+
+const HIERARCHY_ROLES: [&str; 8] = ["CEO", "VP", "DIR", "PM", "SA", "SD", "ST", "QA"];
+
+/// A reporting hierarchy: a uniform tree whose levels carry role labels
+/// (CEO → VP → ... → QA) and bucketed experience. Nodes on the same level
+/// with the same bucket profile are structurally equivalent, so the graph
+/// compresses to nearly one block per (level, bucket) — the behaviour of
+/// real organizational and citation data that the paper's compression
+/// numbers rest on.
+pub fn hierarchy(rng: &mut impl Rng, cfg: &HierarchyConfig) -> DiGraph {
+    let depth = cfg.depth.max(1);
+    let mut g = DiGraph::new();
+    let root = g.add_node(
+        HIERARCHY_ROLES[0],
+        [("experience", AttrValue::Int(cfg.buckets.max(1) - 1))],
+    );
+    let mut frontier = vec![root];
+    for level in 1..depth {
+        let role = HIERARCHY_ROLES[level.min(HIERARCHY_ROLES.len() - 1)];
+        let mut next = Vec::with_capacity(frontier.len() * cfg.branching);
+        for &parent in &frontier {
+            for _ in 0..cfg.branching.max(1) {
+                let exp = rng.gen_range(0..cfg.buckets.max(1));
+                let child = g.add_node(role, [("experience", AttrValue::Int(exp))]);
+                g.add_edge(parent, child);
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+/// A cheap integer approximation of a Poisson(mean) sample: uniform in
+/// `[mean/2, 3*mean/2]`. Degree *distribution shape* across nodes is set by
+/// the preferential pool, not by this per-node count.
+fn sample_poissonish(rng: &mut impl Rng, mean: usize) -> usize {
+    if mean == 0 {
+        return 0;
+    }
+    rng.gen_range(mean / 2..=mean + mean / 2)
+}
+
+/// Generate a batch of `count` valid edge updates against `g`:
+/// `insert_ratio` of them are insertions of currently-absent edges, the
+/// rest deletions of currently-present edges. Updates are valid when
+/// applied *in order* (a scratch copy tracks intermediate state).
+pub fn random_updates(
+    rng: &mut impl Rng,
+    g: &DiGraph,
+    count: usize,
+    insert_ratio: f64,
+) -> Vec<EdgeUpdate> {
+    let mut scratch = g.clone();
+    let n = scratch.node_count();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut edge_list: Vec<(NodeId, NodeId)> = scratch.edges().collect();
+    let mut updates = Vec::with_capacity(count);
+    let mut attempts_left = count * 50 + 100;
+    while updates.len() < count && attempts_left > 0 {
+        attempts_left -= 1;
+        let do_insert = edge_list.is_empty() || rng.gen_bool(insert_ratio.clamp(0.0, 1.0));
+        if do_insert {
+            let a = NodeId(rng.gen_range(0..n as u32));
+            let b = NodeId(rng.gen_range(0..n as u32));
+            if a != b && scratch.add_edge(a, b) {
+                edge_list.push((a, b));
+                updates.push(EdgeUpdate::Insert(a, b));
+            }
+        } else {
+            let i = rng.gen_range(0..edge_list.len());
+            let (a, b) = edge_list.swap_remove(i);
+            if scratch.remove_edge(a, b) {
+                updates.push(EdgeUpdate::Delete(a, b));
+            }
+        }
+    }
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(&mut rng, 100, 300, &NodeSpec::uniform(4, 5));
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 300);
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_max_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(&mut rng, 4, 1000, &NodeSpec::uniform(2, 2));
+        assert_eq!(g.edge_count(), 12, "n(n-1) distinct directed edges");
+    }
+
+    #[test]
+    fn erdos_renyi_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(&mut rng, 0, 10, &NodeSpec::uniform(2, 2));
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let spec = NodeSpec::uniform(3, 4);
+        let a = erdos_renyi(&mut StdRng::seed_from_u64(7), 50, 120, &spec);
+        let b = erdos_renyi(&mut StdRng::seed_from_u64(7), 50, 120, &spec);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn preferential_attachment_skews_in_degree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = preferential_attachment(&mut rng, 2000, 3, &NodeSpec::uniform(3, 4));
+        assert_eq!(g.node_count(), 2000);
+        let max_in = g.ids().map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.edge_count() as f64 / 2000.0;
+        assert!(
+            max_in as f64 > avg_in * 10.0,
+            "hubs exist: max {max_in} vs avg {avg_in}"
+        );
+    }
+
+    #[test]
+    fn collaboration_has_sa_leads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = CollabConfig {
+            teams: 10,
+            team_size: 6,
+            ..CollabConfig::default()
+        };
+        let g = collaboration(&mut rng, &cfg);
+        assert_eq!(g.node_count(), 60);
+        let sa_count = g.ids().filter(|&v| g.label_str(v) == "SA").count();
+        assert_eq!(sa_count, 10);
+        // every lead has out-degree ≥ team_size - 1
+        for v in g.ids().filter(|&v| g.label_str(v) == "SA") {
+            assert!(g.out_degree(v) >= 5);
+        }
+    }
+
+    #[test]
+    fn twitter_like_has_hub_labels() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = TwitterConfig {
+            n: 1000,
+            avg_out: 4,
+            hub_fraction: 0.02,
+            buckets: 3,
+        };
+        let g = twitter_like(&mut rng, &cfg);
+        assert_eq!(g.node_count(), 1000);
+        let celebs = g
+            .ids()
+            .filter(|&v| g.label_str(v) == "celebrity" || g.label_str(v) == "media")
+            .count();
+        assert_eq!(celebs, 20);
+        assert!(g.edge_count() > 1000);
+    }
+
+    #[test]
+    fn random_updates_apply_cleanly() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut g = erdos_renyi(&mut rng, 50, 200, &NodeSpec::uniform(2, 2));
+        let ups = random_updates(&mut rng, &g, 60, 0.5);
+        assert_eq!(ups.len(), 60);
+        for u in &ups {
+            assert!(g.apply(*u), "update {u} must be applicable in order");
+        }
+    }
+
+    #[test]
+    fn random_updates_all_inserts_or_deletes() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = erdos_renyi(&mut rng, 30, 100, &NodeSpec::uniform(2, 2));
+        let ins = random_updates(&mut rng, &g, 20, 1.0);
+        assert!(ins.iter().all(|u| matches!(u, EdgeUpdate::Insert(..))));
+        let dels = random_updates(&mut rng, &g, 20, 0.0);
+        assert!(dels.iter().all(|u| matches!(u, EdgeUpdate::Delete(..))));
+    }
+
+    #[test]
+    fn zipf_skew_prefers_early_labels() {
+        let spec = NodeSpec {
+            labels: (0..10).map(|i| format!("L{i}")).collect(),
+            skew: 1.5,
+            experience_buckets: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..5000 {
+            counts[spec.sample_label(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hierarchy_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = hierarchy(
+            &mut rng,
+            &HierarchyConfig {
+                depth: 4,
+                branching: 3,
+                buckets: 1,
+            },
+        );
+        // 1 + 3 + 9 + 27 nodes, each non-root with exactly one parent
+        assert_eq!(g.node_count(), 40);
+        assert_eq!(g.edge_count(), 39);
+        assert_eq!(g.label_str(NodeId(0)), "CEO");
+        let roots = g.ids().filter(|&v| g.in_degree(v) == 0).count();
+        assert_eq!(roots, 1);
+        let leaves = g.ids().filter(|&v| g.out_degree(v) == 0).count();
+        assert_eq!(leaves, 27);
+    }
+
+    #[test]
+    fn hierarchy_single_level() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = hierarchy(
+            &mut rng,
+            &HierarchyConfig {
+                depth: 1,
+                branching: 5,
+                buckets: 2,
+            },
+        );
+        assert_eq!(g.node_count(), 1, "depth 1 = just the root");
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn hierarchy_levels_carry_distinct_roles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = hierarchy(
+            &mut rng,
+            &HierarchyConfig {
+                depth: 3,
+                branching: 2,
+                buckets: 1,
+            },
+        );
+        let labels: std::collections::HashSet<&str> =
+            g.ids().map(|v| g.label_str(v)).collect();
+        assert!(labels.contains("CEO"));
+        assert!(labels.contains("VP"));
+        assert!(labels.contains("DIR"));
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn uniform_hierarchy_is_highly_bisimilar() {
+        // with one bucket, all nodes on a level are structurally identical;
+        // checked here indirectly: every level has uniform out-degree
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = hierarchy(
+            &mut rng,
+            &HierarchyConfig {
+                depth: 5,
+                branching: 4,
+                buckets: 1,
+            },
+        );
+        for v in g.ids() {
+            let d = g.out_degree(v);
+            assert!(d == 0 || d == 4);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! File storage for graphs.
+//!
+//! The paper's architecture stores "all the graphs and query results ... as
+//! files". Two formats are provided:
+//!
+//! * a line-oriented **text format** (`.efg`) that is diffable and easy to
+//!   author by hand (used by the shell and the examples), and
+//! * **JSON** via serde, for interchange with other tooling.
+//!
+//! Both round-trip the complete graph: node order, labels, typed
+//! attributes and edges.
+
+use crate::attrs::AttrValue;
+use crate::digraph::DiGraph;
+use crate::view::GraphView;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised by graph file IO.
+#[derive(Debug)]
+pub enum GraphIoError {
+    Io(std::io::Error),
+    /// Text-format parse failure with 1-based line number.
+    Parse {
+        line: usize,
+        msg: String,
+    },
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "io error: {e}"),
+            GraphIoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphIoError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for GraphIoError {
+    fn from(e: serde_json::Error) -> Self {
+        GraphIoError::Json(e)
+    }
+}
+
+const HEADER: &str = "# expfinder-graph v1";
+
+/// Percent-encode the characters that would break the whitespace-separated
+/// text format.
+fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b' ' | b'%' | b'=' | b'\n' | b'\r' | b'\t' => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| "truncated escape".to_string())?;
+            let v = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| "invalid utf8 after decode".into())
+}
+
+fn encode_value(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(x) => format!("i:{x}"),
+        AttrValue::Float(x) => format!("f:{x:?}"),
+        AttrValue::Bool(x) => format!("b:{x}"),
+        AttrValue::Str(x) => format!("s:{}", encode(x)),
+    }
+}
+
+fn decode_value(s: &str) -> Result<AttrValue, String> {
+    let (tag, body) = s.split_once(':').ok_or_else(|| format!("bad value {s:?}"))?;
+    match tag {
+        "i" => body
+            .parse::<i64>()
+            .map(AttrValue::Int)
+            .map_err(|e| format!("bad int {body:?}: {e}")),
+        "f" => body
+            .parse::<f64>()
+            .map(AttrValue::Float)
+            .map_err(|e| format!("bad float {body:?}: {e}")),
+        "b" => body
+            .parse::<bool>()
+            .map(AttrValue::Bool)
+            .map_err(|e| format!("bad bool {body:?}: {e}")),
+        "s" => decode(body).map(AttrValue::Str),
+        _ => Err(format!("unknown value tag {tag:?}")),
+    }
+}
+
+/// Write `g` in the text format.
+pub fn write_text<W: Write>(g: &DiGraph, w: &mut W) -> Result<(), GraphIoError> {
+    writeln!(w, "{HEADER}")?;
+    for v in g.ids() {
+        let data = g.vertex(v);
+        write!(w, "n {}", encode(g.interner().resolve(data.label())))?;
+        for (k, val) in data.attrs() {
+            write!(
+                w,
+                " {}={}",
+                encode(g.interner().resolve(*k)),
+                encode_value(val)
+            )?;
+        }
+        writeln!(w)?;
+    }
+    for (a, b) in g.edges() {
+        writeln!(w, "e {} {}", a.0, b.0)?;
+    }
+    Ok(())
+}
+
+/// Read a graph from the text format.
+pub fn read_text<R: BufRead>(r: &mut R) -> Result<DiGraph, GraphIoError> {
+    let mut g = DiGraph::new();
+    let mut lineno = 0usize;
+    let mut line = String::new();
+    let parse_err = |lineno: usize, msg: String| GraphIoError::Parse { line: lineno, msg };
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_ascii_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let label_enc = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "node missing label".into()))?;
+                let label = decode(label_enc).map_err(|m| parse_err(lineno, m))?;
+                let mut attrs: Vec<(String, AttrValue)> = Vec::new();
+                for kv in parts {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| parse_err(lineno, format!("bad attr {kv:?}")))?;
+                    let key = decode(k).map_err(|m| parse_err(lineno, m))?;
+                    let val = decode_value(v).map_err(|m| parse_err(lineno, m))?;
+                    attrs.push((key, val));
+                }
+                g.add_node(&label, attrs.iter().map(|(k, v)| (k.as_str(), v.clone())));
+            }
+            Some("e") => {
+                let a: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge source".into()))?;
+                let b: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge target".into()))?;
+                if !g.add_edge(NodeId(a), NodeId(b)) {
+                    return Err(parse_err(
+                        lineno,
+                        format!("edge ({a},{b}) duplicate or out of range"),
+                    ));
+                }
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown record {other:?}")));
+            }
+            None => {}
+        }
+    }
+    Ok(g)
+}
+
+/// Save in text format to `path`.
+pub fn save_text(g: &DiGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_text(g, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load text format from `path`.
+pub fn load_text(path: impl AsRef<Path>) -> Result<DiGraph, GraphIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_text(&mut r)
+}
+
+/// Serde document mirror of a graph (used for the JSON format).
+#[derive(Serialize, Deserialize)]
+pub struct GraphDoc {
+    pub nodes: Vec<NodeDoc>,
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// One node in a [`GraphDoc`].
+#[derive(Serialize, Deserialize)]
+pub struct NodeDoc {
+    pub label: String,
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl GraphDoc {
+    /// Snapshot a graph into a serializable document.
+    pub fn from_graph(g: &DiGraph) -> Self {
+        let nodes = g
+            .ids()
+            .map(|v| {
+                let data = g.vertex(v);
+                NodeDoc {
+                    label: g.interner().resolve(data.label()).to_owned(),
+                    attrs: data
+                        .attrs()
+                        .iter()
+                        .map(|(k, val)| (g.interner().resolve(*k).to_owned(), val.clone()))
+                        .collect(),
+                }
+            })
+            .collect();
+        let edges = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        GraphDoc { nodes, edges }
+    }
+
+    /// Materialize the document as a graph.
+    pub fn into_graph(self) -> DiGraph {
+        let mut g = DiGraph::with_capacity(self.nodes.len());
+        for nd in &self.nodes {
+            g.add_node(&nd.label, nd.attrs.iter().map(|(k, v)| (k.as_str(), v.clone())));
+        }
+        for (a, b) in self.edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+}
+
+/// Serialize to a JSON string.
+pub fn to_json(g: &DiGraph) -> Result<String, GraphIoError> {
+    Ok(serde_json::to_string(&GraphDoc::from_graph(g))?)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_json(s: &str) -> Result<DiGraph, GraphIoError> {
+    let doc: GraphDoc = serde_json::from_str(s)?;
+    Ok(doc.into_graph())
+}
+
+/// Save as JSON to `path`.
+pub fn save_json(g: &DiGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(&mut w, &GraphDoc::from_graph(g))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load JSON from `path`.
+pub fn load_json(path: impl AsRef<Path>) -> Result<DiGraph, GraphIoError> {
+    let mut s = String::new();
+    BufReader::new(File::open(path)?).read_to_string(&mut s)?;
+    from_json(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> DiGraph {
+        let mut g = DiGraph::new();
+        let a = g.add_node(
+            "SA",
+            [
+                ("experience", AttrValue::Int(7)),
+                ("name", AttrValue::Str("Bob Smith".into())),
+            ],
+        );
+        let b = g.add_node(
+            "SD",
+            [
+                ("experience", AttrValue::Float(2.5)),
+                ("active", AttrValue::Bool(true)),
+            ],
+        );
+        let c = g.add_node("weird=label %", []);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        g
+    }
+
+    fn assert_graphs_equal(a: &DiGraph, b: &DiGraph) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in a.ids() {
+            assert_eq!(a.label_str(v), b.label_str(v), "label of {v}");
+            let va = a.vertex(v);
+            let vb = b.vertex(v);
+            assert_eq!(va.attrs().len(), vb.attrs().len());
+            for (k, val) in va.attrs() {
+                let key = a.interner().resolve(*k);
+                let other = b.attr_of(v, key).expect("attr present");
+                assert!(val.loose_eq(other) || val.canonical() == other.canonical());
+            }
+        }
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(&mut std::io::Cursor::new(buf)).unwrap();
+        assert_graphs_equal(&g, &g2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = sample_graph();
+        let s = to_json(&g).unwrap();
+        let g2 = from_json(&s).unwrap();
+        assert_graphs_equal(&g, &g2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("expfinder_io_test.efg");
+        let p2 = dir.join("expfinder_io_test.json");
+        save_text(&g, &p1).unwrap();
+        save_json(&g, &p2).unwrap();
+        assert_graphs_equal(&g, &load_text(&p1).unwrap());
+        assert_graphs_equal(&g, &load_json(&p2).unwrap());
+        let _ = std::fs::remove_file(p1);
+        let _ = std::fs::remove_file(p2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let input = format!("{HEADER}\nn ok\nbogus record\n");
+        let err = read_text(&mut std::io::Cursor::new(input.into_bytes())).unwrap_err();
+        match err {
+            GraphIoError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn edge_out_of_range_rejected() {
+        let input = format!("{HEADER}\nn a\ne 0 9\n");
+        let err = read_text(&mut std::io::Cursor::new(input.into_bytes())).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let input = format!("{HEADER}\n\n# comment\nn a\nn b\ne 0 1\n");
+        let g = read_text(&mut std::io::Cursor::new(input.into_bytes())).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        for s in ["plain", "with space", "a=b", "100%", "tab\there", ""] {
+            assert_eq!(decode(&encode(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn float_text_roundtrip_exact() {
+        let v = AttrValue::Float(0.1 + 0.2);
+        let enc = encode_value(&v);
+        match decode_value(&enc).unwrap() {
+            AttrValue::Float(f) => assert_eq!(f, 0.1 + 0.2, "Debug float encoding is lossless"),
+            other => panic!("wrong type {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Used by the compression module's statistics and by the generators (to
+//! report connectivity of produced graphs). Iterative formulation: the
+//! social graphs we target have long paths that would overflow a recursive
+//! implementation's stack.
+
+use crate::view::GraphView;
+use crate::NodeId;
+
+/// Assignment of every node to a strongly connected component.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// `comp[v]` is the component index of node `v`. Component indices are
+    /// in reverse topological order of the condensation (Tarjan property).
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccResult {
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.comp {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// True if `a` and `b` are in the same component.
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.comp[a.index()] == self.comp[b.index()]
+    }
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Compute SCCs of `g` with an explicit-stack Tarjan.
+pub fn tarjan_scc<G: GraphView>(g: &G) -> SccResult {
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![0u32; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0usize;
+
+    // call frame: (node, next child position)
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let vi = v.index();
+            if *child == 0 {
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let succ = g.out_neighbors(v);
+            if *child < succ.len() {
+                let w = succ[*child];
+                *child += 1;
+                let wi = w.index();
+                if index[wi] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                // v is done
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    let pi = p.index();
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    // v roots a component
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp[w.index()] = count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccResult { comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    fn graph_from_edges(n: u32, edges: &[(u32, u32)]) -> DiGraph {
+        let mut g = DiGraph::new();
+        for _ in 0..n {
+            g.add_node("x", []);
+        }
+        for &(a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 1);
+        assert!(scc.same(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 4);
+        assert!(!scc.same(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // {0,1} cycle → {2,3} cycle
+        let g = graph_from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 2);
+        assert!(scc.same(NodeId(0), NodeId(1)));
+        assert!(scc.same(NodeId(2), NodeId(3)));
+        assert!(!scc.same(NodeId(0), NodeId(2)));
+        // Tarjan order: successor component gets the smaller id
+        assert!(scc.comp[2] < scc.comp[0]);
+        assert_eq!(scc.sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn disconnected_nodes() {
+        let g = graph_from_edges(3, &[]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 3);
+    }
+
+    #[test]
+    fn self_loop_single_component() {
+        let g = graph_from_edges(2, &[(0, 0), (0, 1)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 50k-node chain would blow a recursive Tarjan
+        let n = 50_000u32;
+        let mut g = DiGraph::with_capacity(n as usize);
+        for _ in 0..n {
+            g.add_node("x", []);
+        }
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, n as usize);
+    }
+}

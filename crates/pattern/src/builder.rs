@@ -1,0 +1,199 @@
+//! Fluent construction of pattern queries.
+
+use crate::{Bound, PNodeId, Pattern, PatternEdge, PatternError, PatternNode, Predicate};
+
+/// Builder for [`Pattern`]s; the programmatic counterpart of the GUI
+/// "Pattern Builder" panel in the paper's Fig. 4.
+///
+/// ```
+/// use expfinder_pattern::{PatternBuilder, Predicate, Bound};
+///
+/// let q = PatternBuilder::new()
+///     .node_output("sa", Predicate::label("SA").and(Predicate::attr_ge("experience", 5)))
+///     .node("sd", Predicate::label("SD"))
+///     .node("ba", Predicate::label("BA"))
+///     .edge("sa", "sd", Bound::hops(2))
+///     .edge("sa", "ba", Bound::hops(3))
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.node_count(), 3);
+/// ```
+#[derive(Default, Debug)]
+pub struct PatternBuilder {
+    nodes: Vec<PatternNode>,
+    edges: Vec<(String, String, Bound)>,
+    output: Option<String>,
+    error: Option<PatternError>,
+}
+
+impl PatternBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named node with its search condition.
+    pub fn node(mut self, name: impl Into<String>, predicate: Predicate) -> Self {
+        self.nodes.push(PatternNode {
+            name: name.into(),
+            predicate,
+        });
+        self
+    }
+
+    /// Add a node and mark it as the output node (the paper's `*`).
+    pub fn node_output(mut self, name: impl Into<String>, predicate: Predicate) -> Self {
+        let name = name.into();
+        if let Some(prev) = &self.output {
+            // two output nodes is a construction error; remember the first
+            // problem and surface it from build()
+            if self.error.is_none() {
+                self.error = Some(PatternError::DuplicateNodeName(format!(
+                    "second output node {name:?} (already have {prev:?})"
+                )));
+            }
+        }
+        self.output = Some(name.clone());
+        self.node(name, predicate)
+    }
+
+    /// Mark a previously added node as the output node.
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.output = Some(name.into());
+        self
+    }
+
+    /// Add an edge between named nodes with a bound.
+    pub fn edge(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        bound: Bound,
+    ) -> Self {
+        self.edges.push((from.into(), to.into(), bound));
+        self
+    }
+
+    /// Validate and assemble the pattern.
+    pub fn build(self) -> Result<Pattern, PatternError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let find = |name: &str, nodes: &[PatternNode]| -> Result<PNodeId, PatternError> {
+            nodes
+                .iter()
+                .position(|n| n.name == name)
+                .map(|i| PNodeId(i as u32))
+                .ok_or_else(|| PatternError::UnknownNodeName(name.to_owned()))
+        };
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (f, t, b) in &self.edges {
+            edges.push(PatternEdge {
+                from: find(f, &self.nodes)?,
+                to: find(t, &self.nodes)?,
+                bound: *b,
+            });
+        }
+        let output = match &self.output {
+            Some(name) => Some(find(name, &self.nodes)?),
+            None => None,
+        };
+        Pattern::from_parts(self.nodes, edges, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_pattern() {
+        let p = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .node("b", Predicate::True)
+            .edge("a", "b", Bound::ONE)
+            .output("b")
+            .build()
+            .unwrap();
+        assert_eq!(p.output(), p.node_id("b"));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_rejected() {
+        let err = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .edge("a", "ghost", Bound::ONE)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PatternError::UnknownNodeName("ghost".into()));
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let err = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .output("ghost")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PatternError::UnknownNodeName("ghost".into()));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .node("a", Predicate::True)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PatternError::DuplicateNodeName("a".into()));
+    }
+
+    #[test]
+    fn duplicate_edges_rejected() {
+        let err = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .node("b", Predicate::True)
+            .edge("a", "b", Bound::ONE)
+            .edge("a", "b", Bound::hops(2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::DuplicateEdge(..)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .edge("a", "a", Bound::ONE)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PatternError::SelfLoop("a".into()));
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        let err = PatternBuilder::new().build().unwrap_err();
+        assert_eq!(err, PatternError::EmptyPattern);
+    }
+
+    #[test]
+    fn double_output_rejected() {
+        let err = PatternBuilder::new()
+            .node_output("a", Predicate::True)
+            .node_output("b", Predicate::True)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::DuplicateNodeName(_)));
+    }
+
+    #[test]
+    fn opposite_direction_edges_allowed() {
+        let p = PatternBuilder::new()
+            .node("a", Predicate::True)
+            .node("b", Predicate::True)
+            .edge("a", "b", Bound::ONE)
+            .edge("b", "a", Bound::hops(2))
+            .build()
+            .unwrap();
+        assert_eq!(p.edge_count(), 2, "cyclic patterns are legal");
+    }
+}

@@ -1,0 +1,133 @@
+//! Pattern fixtures: the paper's Fig. 1 query and the three demo queries
+//! of Figs. 4–5.
+
+use crate::{Bound, Pattern, PatternBuilder, Predicate};
+
+/// The pattern query of the paper's Fig. 1(a):
+///
+/// * `SA*` — system architect, ≥ 5 years, **output node**;
+/// * `SD` — system developer (programmers and DBAs carry label `SD` with a
+///   `specialty` attribute), ≥ 2 years;
+/// * `BA` — business analyst, ≥ 3 years;
+/// * `ST` — tester, ≥ 2 years;
+/// * edges `SA→SD` within 2 and `SA→BA` within 3 (stated in the text);
+///   `SD→ST` within 2 and `BA→ST` within 1 complete the team topology
+///   (reconstructed — see `expfinder_graph::fixtures` docs).
+pub fn fig1_pattern() -> Pattern {
+    PatternBuilder::new()
+        .node_output(
+            "sa",
+            Predicate::label("SA").and(Predicate::attr_ge("experience", 5)),
+        )
+        .node(
+            "sd",
+            Predicate::label("SD").and(Predicate::attr_ge("experience", 2)),
+        )
+        .node(
+            "ba",
+            Predicate::label("BA").and(Predicate::attr_ge("experience", 3)),
+        )
+        .node(
+            "st",
+            Predicate::label("ST").and(Predicate::attr_ge("experience", 2)),
+        )
+        .edge("sa", "sd", Bound::hops(2))
+        .edge("sa", "ba", Bound::hops(3))
+        .edge("sd", "st", Bound::hops(2))
+        .edge("ba", "st", Bound::hops(1))
+        .build()
+        .expect("fig1 pattern is valid")
+}
+
+/// The same query with every bound collapsed to one hop — the plain
+/// simulation query the paper shows failing on Fig. 1's graph.
+pub fn fig1_pattern_simulation() -> Pattern {
+    fig1_pattern().as_simulation()
+}
+
+/// Demo queries in the spirit of Fig. 4 (`Q1`, `Q2`, `Q3`): different
+/// topologies (tree, star, cycle) and search conditions. They are designed
+/// to run against [`expfinder_graph::generate::collaboration`] graphs.
+pub fn demo_queries() -> Vec<(String, Pattern)> {
+    let q1 = fig1_pattern();
+
+    // Q2: a star — an architect directly leading a developer, and within
+    // two hops of both a tester and a QA engineer.
+    let q2 = PatternBuilder::new()
+        .node_output(
+            "sa",
+            Predicate::label("SA").and(Predicate::attr_ge("experience", 4)),
+        )
+        .node("sd", Predicate::label("SD"))
+        .node("st", Predicate::label("ST"))
+        .node("qa", Predicate::label("QA"))
+        .edge("sa", "sd", Bound::ONE)
+        .edge("sa", "st", Bound::hops(2))
+        .edge("sa", "qa", Bound::hops(2))
+        .build()
+        .expect("q2 is valid");
+
+    // Q3: a cycle — architect ↔ project manager ↔ developer collaboration
+    // loop (the paper stresses "general (possibly cyclic) patterns").
+    let q3 = PatternBuilder::new()
+        .node_output(
+            "sa",
+            Predicate::label("SA").and(Predicate::attr_ge("experience", 3)),
+        )
+        .node("pm", Predicate::label("PM"))
+        .node("sd", Predicate::label("SD").and(Predicate::attr_ge("experience", 1)))
+        .edge("sa", "pm", Bound::hops(2))
+        .edge("pm", "sd", Bound::hops(2))
+        .edge("sd", "sa", Bound::hops(3))
+        .build()
+        .expect("q3 is valid");
+
+    vec![
+        ("Q1".to_owned(), q1),
+        ("Q2".to_owned(), q2),
+        ("Q3".to_owned(), q3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_pattern_shape() {
+        let p = fig1_pattern();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.output(), p.node_id("sa"));
+        assert_eq!(p.max_bound(), Some(3));
+        assert!(!p.is_simulation());
+    }
+
+    #[test]
+    fn simulation_variant_is_one_bounded() {
+        assert!(fig1_pattern_simulation().is_simulation());
+    }
+
+    #[test]
+    fn demo_queries_valid_and_distinct() {
+        let qs = demo_queries();
+        assert_eq!(qs.len(), 3);
+        let fps: std::collections::HashSet<_> =
+            qs.iter().map(|(_, p)| p.fingerprint()).collect();
+        assert_eq!(fps.len(), 3, "all three queries are distinct");
+        for (_, p) in &qs {
+            assert!(p.output().is_some(), "demo queries rank an output node");
+        }
+    }
+
+    #[test]
+    fn q3_is_cyclic() {
+        let qs = demo_queries();
+        let q3 = &qs[2].1;
+        // every node has both in- and out-edges → cycle
+        for u in q3.ids() {
+            assert!(q3.out_edges(u).count() > 0);
+            assert!(q3.in_edges(u).count() > 0);
+        }
+    }
+}

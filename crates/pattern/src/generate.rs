@@ -1,0 +1,223 @@
+//! Random pattern generation for benchmarks.
+//!
+//! The paper's performance study varies both |G| and |Q|; this module
+//! produces patterns of controlled size, shape and bound range whose
+//! predicates are drawn from a label alphabet, so generated queries have
+//! non-trivial (but non-empty) candidate sets on generated graphs.
+
+use crate::{Bound, PNodeId, Pattern, PatternEdge, PatternNode, Predicate};
+use rand::Rng;
+
+/// Topology of a generated pattern.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PatternShape {
+    /// `v0 → v1 → ... → vk`.
+    Chain,
+    /// `v0 → vi` for all i ≥ 1 (the Fig. 1 team shape).
+    Star,
+    /// Random tree rooted at `v0`.
+    Tree,
+    /// Chain closed into a cycle (exercises cyclic-pattern handling).
+    Cycle,
+    /// Random DAG edges (`vi → vj` with i < j).
+    Dag,
+}
+
+/// Parameters for [`random_pattern`].
+#[derive(Clone, Debug)]
+pub struct PatternConfig {
+    pub shape: PatternShape,
+    /// Number of pattern nodes (≥ 1; ≥ 2 for shapes with edges, ≥ 3 for cycle).
+    pub nodes: usize,
+    /// Bounds are drawn uniformly from this inclusive range.
+    pub bound_range: (u32, u32),
+    /// Label alphabet predicates draw from.
+    pub labels: Vec<String>,
+    /// Probability that a node also constrains `experience >= t` for a
+    /// random threshold below `max_experience`.
+    pub experience_pred_prob: f64,
+    /// Upper bound (exclusive) for experience thresholds.
+    pub max_experience: i64,
+    /// Extra random DAG edges on top of the base shape.
+    pub extra_edges: usize,
+}
+
+impl PatternConfig {
+    /// A reasonable default over the given alphabet.
+    pub fn new(shape: PatternShape, nodes: usize, labels: Vec<String>) -> Self {
+        PatternConfig {
+            shape,
+            nodes,
+            bound_range: (1, 3),
+            labels,
+            experience_pred_prob: 0.5,
+            max_experience: 10,
+            extra_edges: 0,
+        }
+    }
+}
+
+/// Generate a random pattern; the output node is always `v0`.
+pub fn random_pattern(rng: &mut impl Rng, cfg: &PatternConfig) -> Pattern {
+    let n = cfg.nodes.max(1);
+    let nodes: Vec<PatternNode> = (0..n)
+        .map(|i| {
+            let label = &cfg.labels[rng.gen_range(0..cfg.labels.len().max(1))];
+            let mut pred = Predicate::label(label.clone());
+            if rng.gen_bool(cfg.experience_pred_prob.clamp(0.0, 1.0)) {
+                // keep thresholds low so candidate sets stay non-empty
+                let t = rng.gen_range(0..cfg.max_experience.max(1) / 2 + 1);
+                pred = pred.and(Predicate::attr_ge("experience", t));
+            }
+            PatternNode {
+                name: format!("v{i}"),
+                predicate: pred,
+            }
+        })
+        .collect();
+
+    let bound = |rng: &mut dyn rand::RngCore| {
+        let (lo, hi) = cfg.bound_range;
+        Bound::hops(rng.gen_range(lo.max(1)..=hi.max(lo.max(1))))
+    };
+
+    let mut edges: Vec<PatternEdge> = Vec::new();
+    let push = |edges: &mut Vec<PatternEdge>, f: usize, t: usize, b: Bound| {
+        if f != t
+            && !edges
+                .iter()
+                .any(|e| e.from.index() == f && e.to.index() == t)
+        {
+            edges.push(PatternEdge {
+                from: PNodeId(f as u32),
+                to: PNodeId(t as u32),
+                bound: b,
+            });
+        }
+    };
+
+    match cfg.shape {
+        PatternShape::Chain => {
+            for i in 1..n {
+                let b = bound(rng);
+                push(&mut edges, i - 1, i, b);
+            }
+        }
+        PatternShape::Star => {
+            for i in 1..n {
+                let b = bound(rng);
+                push(&mut edges, 0, i, b);
+            }
+        }
+        PatternShape::Tree => {
+            for i in 1..n {
+                let parent = rng.gen_range(0..i);
+                let b = bound(rng);
+                push(&mut edges, parent, i, b);
+            }
+        }
+        PatternShape::Cycle => {
+            for i in 1..n {
+                let b = bound(rng);
+                push(&mut edges, i - 1, i, b);
+            }
+            if n >= 3 {
+                let b = bound(rng);
+                push(&mut edges, n - 1, 0, b);
+            }
+        }
+        PatternShape::Dag => {
+            for i in 1..n {
+                let parent = rng.gen_range(0..i);
+                let b = bound(rng);
+                push(&mut edges, parent, i, b);
+            }
+        }
+    }
+    for _ in 0..cfg.extra_edges {
+        if n < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..n - 1);
+        let b_idx = rng.gen_range(a + 1..n);
+        let bd = bound(rng);
+        push(&mut edges, a, b_idx, bd);
+    }
+
+    Pattern::from_parts(nodes, edges, Some(PNodeId(0))).expect("generated pattern is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels() -> Vec<String> {
+        vec!["SA".into(), "SD".into(), "BA".into(), "ST".into()]
+    }
+
+    #[test]
+    fn shapes_produce_expected_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (shape, expected) in [
+            (PatternShape::Chain, 5),
+            (PatternShape::Star, 5),
+            (PatternShape::Tree, 5),
+            (PatternShape::Cycle, 6),
+            (PatternShape::Dag, 5),
+        ] {
+            let p = random_pattern(&mut rng, &PatternConfig::new(shape, 6, labels()));
+            assert_eq!(p.edge_count(), expected, "{shape:?}");
+            assert_eq!(p.node_count(), 6);
+            assert_eq!(p.output(), Some(PNodeId(0)));
+        }
+    }
+
+    #[test]
+    fn bounds_respect_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = PatternConfig::new(PatternShape::Tree, 10, labels());
+        cfg.bound_range = (2, 4);
+        let p = random_pattern(&mut rng, &cfg);
+        for e in p.edges() {
+            match e.bound {
+                Bound::Hops(k) => assert!((2..=4).contains(&k)),
+                Bound::Unbounded => panic!("generator never emits unbounded"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let cfg = PatternConfig::new(PatternShape::Dag, 8, labels());
+        let a = random_pattern(&mut StdRng::seed_from_u64(3), &cfg);
+        let b = random_pattern(&mut StdRng::seed_from_u64(3), &cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn extra_edges_added_without_duplicates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cfg = PatternConfig::new(PatternShape::Chain, 6, labels());
+        cfg.extra_edges = 20;
+        let p = random_pattern(&mut rng, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for e in p.edges() {
+            assert!(seen.insert((e.from, e.to)), "duplicate edge");
+            assert_ne!(e.from, e.to, "self loop");
+        }
+        assert!(p.edge_count() >= 5);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_pattern(
+            &mut rng,
+            &PatternConfig::new(PatternShape::Chain, 1, labels()),
+        );
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.edge_count(), 0);
+    }
+}

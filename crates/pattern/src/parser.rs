@@ -1,0 +1,684 @@
+//! Text DSL for pattern queries — the substitute for the paper's GUI
+//! "Pattern Builder" (Fig. 4).
+//!
+//! Grammar (statements end with `;`, `#` starts a line comment):
+//!
+//! ```text
+//! node sa* where label = "SA" and experience >= 5;
+//! node sd  where label = "SD" and experience >= 2;
+//! node ba  where label = "BA" and experience >= 3;
+//! node st  where label = "ST" and experience >= 2;
+//! edge sa -> sd within 2;
+//! edge sa -> ba within 3;
+//! edge sd -> st within 2;
+//! edge ba -> st within 1;
+//! ```
+//!
+//! * `*` after a node name marks the output node (the paper's `SA*`).
+//! * `within k` is the bound; `within *` means unbounded; omitted = 1 hop.
+//! * Conditions: `label = "..."`, `key op value` (`= != < <= > >=`),
+//!   `key contains "..."`, `has key`, combined with `and`, `or`, `not`
+//!   and parentheses. A missing `where` clause means "matches anything".
+
+use crate::{Bound, PatternBuilder, Pattern, Predicate, CmpOp};
+use expfinder_graph::AttrValue;
+use std::fmt;
+
+/// Parse failure with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub col: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Star,
+    Semi,
+    LParen,
+    RParen,
+    Arrow,
+    Op(CmpOp),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Star => write!(f, "'*'"),
+            Tok::Semi => write!(f, "';'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::Arrow => write!(f, "'->'"),
+            Tok::Op(op) => write!(f, "'{op}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    return self.lex_number(true, line, col);
+                } else {
+                    return Err(self.err("expected '->' or a negative number after '-'"));
+                }
+            }
+            b'=' => {
+                self.bump();
+                Tok::Op(CmpOp::Eq)
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Op(CmpOp::Ne)
+                } else {
+                    return Err(self.err("expected '=' after '!'"));
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Op(CmpOp::Le)
+                } else {
+                    Tok::Op(CmpOp::Lt)
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Op(CmpOp::Ge)
+                } else {
+                    Tok::Op(CmpOp::Gt)
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err("unterminated string")),
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            other => {
+                                return Err(self.err(format!(
+                                    "bad escape \\{}",
+                                    other.map(|c| c as char).unwrap_or('?')
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => return self.lex_number(false, line, col),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok((tok, line, col))
+    }
+
+    fn lex_number(
+        &mut self,
+        negative: bool,
+        line: usize,
+        col: usize,
+    ) -> Result<(Tok, usize, usize), ParseError> {
+        let mut s = String::new();
+        if negative {
+            s.push('-');
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c as char);
+                self.bump();
+            } else if c == b'.' && !is_float {
+                is_float = true;
+                s.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let tok = if is_float {
+            Tok::Float(s.parse().map_err(|e| self.err(format!("bad float: {e}")))?)
+        } else {
+            Tok::Int(s.parse().map_err(|e| self.err(format!("bad int: {e}")))?)
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn cur(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let (_, line, col) = &self.toks[self.pos];
+        ParseError {
+            line: *line,
+            col: *col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.cur() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {want}, found {}", self.cur())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.cur().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.cur(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // pred := and_expr ( "or" and_expr )*
+    fn pred(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.unary()?;
+        while self.eat_kw("and") {
+            let right = self.unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_kw("not") {
+            return Ok(self.unary()?.negate());
+        }
+        if *self.cur() == Tok::LParen {
+            self.bump();
+            let p = self.pred()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(p);
+        }
+        self.atom()
+    }
+
+    fn value(&mut self) -> Result<AttrValue, ParseError> {
+        match self.cur().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(AttrValue::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(AttrValue::Float(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(AttrValue::Str(s))
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(AttrValue::Bool(true))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(AttrValue::Bool(false))
+            }
+            other => Err(self.err_here(format!("expected a value, found {other}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_kw("true") {
+            return Ok(Predicate::True);
+        }
+        if self.eat_kw("has") {
+            let key = self.expect_ident()?;
+            return Ok(Predicate::has_attr(key));
+        }
+        if self.is_kw("label") {
+            self.bump();
+            match self.bump() {
+                Tok::Op(CmpOp::Eq) => {}
+                other => return Err(self.err_here(format!("expected '=' after label, found {other}"))),
+            }
+            match self.bump() {
+                Tok::Str(s) => return Ok(Predicate::label(s)),
+                other => return Err(self.err_here(format!("expected string label, found {other}"))),
+            }
+        }
+        let key = self.expect_ident()?;
+        if self.eat_kw("contains") {
+            match self.bump() {
+                Tok::Str(s) => return Ok(Predicate::contains(key, s)),
+                other => {
+                    return Err(self.err_here(format!("expected string after contains, found {other}")))
+                }
+            }
+        }
+        match self.bump() {
+            Tok::Op(op) => {
+                let v = self.value()?;
+                Ok(Predicate::cmp(key, op, v))
+            }
+            other => Err(self.err_here(format!(
+                "expected comparison operator or 'contains' after {key:?}, found {other}"
+            ))),
+        }
+    }
+
+    fn parse_pattern(&mut self) -> Result<Pattern, ParseError> {
+        let mut b = PatternBuilder::new();
+        loop {
+            if *self.cur() == Tok::Eof {
+                break;
+            }
+            if self.eat_kw("node") {
+                let name = self.expect_ident()?;
+                let is_output = if *self.cur() == Tok::Star {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let pred = if self.eat_kw("where") {
+                    self.pred()?
+                } else {
+                    Predicate::True
+                };
+                self.expect(&Tok::Semi)?;
+                b = if is_output {
+                    b.node_output(name, pred)
+                } else {
+                    b.node(name, pred)
+                };
+            } else if self.eat_kw("edge") {
+                let from = self.expect_ident()?;
+                self.expect(&Tok::Arrow)?;
+                let to = self.expect_ident()?;
+                let bound = if self.eat_kw("within") {
+                    match self.bump() {
+                        Tok::Int(k) if k >= 1 => Bound::hops(k as u32),
+                        Tok::Int(k) => {
+                            return Err(self.err_here(format!("bound must be ≥ 1, got {k}")))
+                        }
+                        Tok::Star => Bound::Unbounded,
+                        other => {
+                            return Err(self.err_here(format!(
+                                "expected a bound (integer or '*'), found {other}"
+                            )))
+                        }
+                    }
+                } else {
+                    Bound::ONE
+                };
+                self.expect(&Tok::Semi)?;
+                b = b.edge(from, to, bound);
+            } else {
+                return Err(self.err_here(format!(
+                    "expected 'node' or 'edge' statement, found {}",
+                    self.cur()
+                )));
+            }
+        }
+        b.build().map_err(|e| ParseError {
+            line: 0,
+            col: 0,
+            msg: e.to_string(),
+        })
+    }
+}
+
+/// Parse a pattern from DSL text.
+pub fn parse(src: &str) -> Result<Pattern, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let t = lexer.next_tok()?;
+        let eof = t.0 == Tok::Eof;
+        toks.push(t);
+        if eof {
+            break;
+        }
+    }
+    Parser { toks, pos: 0 }.parse_pattern()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = r#"
+        # the paper's Fig. 1 pattern
+        node sa* where label = "SA" and experience >= 5;
+        node sd  where label = "SD" and experience >= 2;
+        node ba  where label = "BA" and experience >= 3;
+        node st  where label = "ST" and experience >= 2;
+        edge sa -> sd within 2;
+        edge sa -> ba within 3;
+        edge sd -> st within 2;
+        edge ba -> st within 1;
+    "#;
+
+    #[test]
+    fn parses_fig1_pattern() {
+        let p = parse(FIG1).unwrap();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.output(), p.node_id("sa"));
+        let sa = p.node_id("sa").unwrap();
+        let bounds: Vec<Bound> = p.out_edges(sa).map(|e| e.bound).collect();
+        assert!(bounds.contains(&Bound::hops(2)));
+        assert!(bounds.contains(&Bound::hops(3)));
+    }
+
+    #[test]
+    fn default_bound_is_one() {
+        let p = parse("node a; node b; edge a -> b;").unwrap();
+        assert!(p.is_simulation());
+    }
+
+    #[test]
+    fn unbounded_edge() {
+        let p = parse("node a; node b; edge a -> b within *;").unwrap();
+        assert_eq!(p.edges()[0].bound, Bound::Unbounded);
+    }
+
+    #[test]
+    fn missing_where_means_true() {
+        let p = parse("node a;").unwrap();
+        assert!(matches!(p.node(p.node_id("a").unwrap()).predicate, Predicate::True));
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let p = parse(
+            r#"node a where (label = "X" or label = "Y") and not experience < 3;"#,
+        )
+        .unwrap();
+        let pred = &p.node(p.node_id("a").unwrap()).predicate;
+        match pred {
+            Predicate::And(parts) => {
+                assert!(matches!(parts[0], Predicate::Or(_)));
+                assert!(matches!(parts[1], Predicate::Not(_)));
+            }
+            other => panic!("unexpected structure {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_contains_has_bool_float_negative() {
+        let p = parse(
+            r#"node a where specialty contains "DBA" and has name
+                 and score >= 2.5 and delta > -3 and active = true;"#,
+        )
+        .unwrap();
+        let fp = p.fingerprint();
+        assert!(fp.contains("S(specialty~DBA)"), "{fp}");
+        assert!(fp.contains("H(name)"), "{fp}");
+        assert!(fp.contains("f2.5"), "{fp}");
+        assert!(fp.contains("i-3"), "{fp}");
+        assert!(fp.contains("btrue"), "{fp}");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let p = parse(r#"node a where name = "say \"hi\"\n";"#).unwrap();
+        let fp = p.fingerprint();
+        assert!(fp.contains("say \"hi\"\n"), "{fp}");
+    }
+
+    #[test]
+    fn error_locations() {
+        let err = parse("node a where label != \"X\";").unwrap_err();
+        assert_eq!(err.line, 1, "label only supports '=': {err}");
+
+        let err = parse("node\n  123;").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = parse("node a; edge a -> ;").unwrap_err();
+        assert!(err.msg.contains("identifier"), "{err}");
+    }
+
+    #[test]
+    fn zero_bound_rejected() {
+        let err = parse("node a; node b; edge a -> b within 0;").unwrap_err();
+        assert!(err.msg.contains("≥ 1"), "{err}");
+    }
+
+    #[test]
+    fn builder_errors_surface() {
+        let err = parse("node a; edge a -> ghost;").unwrap_err();
+        assert!(err.msg.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string() {
+        let err = parse(r#"node a where label = "oops;"#).unwrap_err();
+        assert!(err.msg.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn comment_handling() {
+        let p = parse("# leading comment\nnode a; # trailing\n# full line\nnode b;").unwrap();
+        assert_eq!(p.node_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::generate::{random_pattern, PatternConfig, PatternShape};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `parse(display(p))` is the identity on fingerprints for every
+        /// generated pattern — the Display form is a complete, lossless
+        /// serialization in the DSL.
+        #[test]
+        fn display_parse_roundtrip(
+            seed in 0u64..10_000,
+            nodes in 1usize..7,
+            shape_idx in 0usize..5,
+        ) {
+            let shape = [
+                PatternShape::Chain,
+                PatternShape::Star,
+                PatternShape::Tree,
+                PatternShape::Cycle,
+                PatternShape::Dag,
+            ][shape_idx];
+            let labels = vec!["SA".into(), "SD".into(), "a b".into(), "x\"y".into()];
+            let mut cfg = PatternConfig::new(shape, nodes, labels);
+            cfg.extra_edges = 2;
+            let p = random_pattern(&mut StdRng::seed_from_u64(seed), &cfg);
+            let text = p.to_string();
+            let reparsed = parse(&text)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+            prop_assert_eq!(p.fingerprint(), reparsed.fingerprint());
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total_on_garbage(input in "\\PC{0,120}") {
+            let _ = parse(&input);
+        }
+
+        /// Whitespace and comments are insignificant.
+        #[test]
+        fn whitespace_insensitive(extra_ws in 0usize..5) {
+            let pad = " ".repeat(extra_ws);
+            let src = format!(
+                "node{pad} a*{pad} where label = \"X\";{pad}\n# c\nnode b;{pad}edge a -> b within 2;"
+            );
+            let p = parse(&src).unwrap();
+            prop_assert_eq!(p.node_count(), 2);
+            prop_assert_eq!(p.edge_count(), 1);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The interactive ExpFinder shell — the substitute for the paper's GUI
+//! (ExpFinder Manager, Pattern Builder and result browser of Figs. 3–5).
+//!
+//! Run with: `cargo run --example expfinder_shell`
+//! Then try:
+//!
+//! ```text
+//! gen work collab teams=200 size=8
+//! experts 3 node sa* where label = "SA" and experience >= 5; \
+//!   node sd where label = "SD"; node st where label = "ST"; \
+//!   edge sa -> sd within 2; edge sd -> st within 2;
+//! compress
+//! update random 20
+//! rollup
+//! help
+//! ```
+//!
+//! The shell starts with the paper's Fig. 1 network preloaded as `fig1`.
+
+use expfinder::engine::shell::Shell;
+use expfinder::graph::fixtures::collaboration_fig1;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::default();
+    shell
+        .engine_mut()
+        .add_graph("fig1", collaboration_fig1().graph)
+        .expect("fresh engine");
+    let _ = shell.select("fig1");
+
+    println!("ExpFinder — finding experts by graph pattern matching (ICDE 2013)");
+    println!("Fig. 1 graph preloaded as `fig1`. Type `help` for commands, Ctrl-D to exit.");
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("expfinder> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match shell.exec(&line) {
+                Ok(out) if out.is_empty() => {}
+                Ok(out) => println!("{out}"),
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,109 @@
+//! Concurrency tests: the engine's read path (`evaluate`, `find_experts`)
+//! is `&self` with an internal lock on the result cache, so many threads
+//! may query the same engine simultaneously — the demo scenario of several
+//! GUI users browsing one dataset.
+
+use expfinder::graph::generate::{collaboration, CollabConfig};
+use expfinder::pattern::fixtures::demo_queries;
+use expfinder::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine_with_collab() -> ExpFinder {
+    let g = collaboration(
+        &mut StdRng::seed_from_u64(99),
+        &CollabConfig {
+            teams: 30,
+            team_size: 6,
+            ..CollabConfig::default()
+        },
+    );
+    let mut e = ExpFinder::default();
+    e.add_graph("c", g).unwrap();
+    e
+}
+
+#[test]
+fn parallel_queries_agree() {
+    let engine = engine_with_collab();
+    let queries = demo_queries();
+
+    // reference answers, sequential
+    let reference: Vec<usize> = queries
+        .iter()
+        .map(|(_, q)| engine.evaluate("c", q).unwrap().matches.total_pairs())
+        .collect();
+
+    // hammer the engine from 8 threads × 3 queries each
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let engine = &engine;
+            let queries = &queries;
+            let reference = &reference;
+            handles.push(s.spawn(move |_| {
+                for round in 0..5 {
+                    for (i, (_, q)) in queries.iter().enumerate() {
+                        let got = engine.evaluate("c", q).unwrap().matches.total_pairs();
+                        assert_eq!(got, reference[i], "thread {t} round {round} query {i}");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+    .unwrap();
+
+    // the cache took hits from all threads without corruption
+    let stats = engine.cache_stats();
+    assert!(stats.hits > 0);
+    assert_eq!(stats.hits + stats.misses, 8 * 5 * 3 + 3);
+}
+
+#[test]
+fn parallel_ranked_reports_agree() {
+    let engine = engine_with_collab();
+    let (_, q) = &demo_queries()[0];
+    let reference = engine.find_experts("c", q, 3).unwrap();
+    let ref_ids: Vec<_> = reference.experts.iter().map(|e| e.node).collect();
+
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let engine = &engine;
+            let ref_ids = &ref_ids;
+            handles.push(s.spawn(move |_| {
+                let report = engine.find_experts("c", q, 3).unwrap();
+                let ids: Vec<_> = report.experts.iter().map(|e| e.node).collect();
+                assert_eq!(&ids, ref_ids);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn matchers_are_send_across_threads() {
+    // match relations and result graphs move across thread boundaries
+    let g = collaboration(
+        &mut StdRng::seed_from_u64(5),
+        &CollabConfig {
+            teams: 10,
+            team_size: 5,
+            ..CollabConfig::default()
+        },
+    );
+    let (_, q) = demo_queries().remove(0);
+    let handle = std::thread::spawn(move || {
+        let m = bounded_simulation(&g, &q).unwrap();
+        let rg = ResultGraph::build(&g, &q, &m);
+        (m.total_pairs(), rg.node_count())
+    });
+    let (pairs, nodes) = handle.join().unwrap();
+    assert!(pairs >= nodes || pairs == 0);
+}
