@@ -13,7 +13,15 @@ fn bench_plan_modes(c: &mut Criterion) {
     let g = collab_graph(8_000, SEED);
     let q = collab_pattern();
     group.bench_function("selective", |b| {
-        b.iter(|| bounded_simulation_with(&g, &q, EvalOptions { plan: PlanMode::Selective }))
+        b.iter(|| {
+            bounded_simulation_with(
+                &g,
+                &q,
+                EvalOptions {
+                    plan: PlanMode::Selective,
+                },
+            )
+        })
     });
     group.bench_function("declaration_order", |b| {
         b.iter(|| {

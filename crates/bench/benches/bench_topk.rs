@@ -47,5 +47,10 @@ fn bench_topk_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_result_graph, bench_ranking, bench_topk_pipeline);
+criterion_group!(
+    benches,
+    bench_result_graph,
+    bench_ranking,
+    bench_topk_pipeline
+);
 criterion_main!(benches);

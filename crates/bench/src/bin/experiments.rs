@@ -255,7 +255,10 @@ fn e5_engine_scaling(opts: &Opts) {
         &[2000, 4000, 8000, 16000, 32000]
     };
     let reps = if opts.quick { 1 } else { 3 };
-    println!("{:>8} {:>10} {:>12} {:>12}", "|V|", "|E|", "simulation", "bounded");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "|V|", "|E|", "simulation", "bounded"
+    );
     let mut times = Vec::new();
     for &n in sizes {
         let g = collab_graph(n, SEED);
@@ -273,9 +276,16 @@ fn e5_engine_scaling(opts: &Opts) {
         times.push((g.size(), t_sim, t_b));
     }
     // isomorphism blow-up demonstration (step-capped)
-    let iso_sizes: &[usize] = if opts.quick { &[200, 400] } else { &[500, 1000, 2000] };
+    let iso_sizes: &[usize] = if opts.quick {
+        &[200, 400]
+    } else {
+        &[500, 1000, 2000]
+    };
     println!("\nsubgraph isomorphism (baseline, step cap 2e6):");
-    println!("{:>8} {:>12} {:>12} {:>10}", "|V|", "steps", "time", "capped");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "|V|", "steps", "time", "capped"
+    );
     for &n in iso_sizes {
         let g = collab_graph(n, SEED);
         let q = collab_pattern();
@@ -303,7 +313,10 @@ fn e5_engine_scaling(opts: &Opts) {
     let growth = (s1 as f64 / s0 as f64).powi(2) * 4.0;
     let ok = t1s.as_secs_f64() / t0s.as_secs_f64().max(1e-9) < growth
         && t1b.as_secs_f64() / t0b.as_secs_f64().max(1e-9) < growth;
-    verdict(ok, "matching runtimes grow polynomially (well under x^2 envelope)");
+    verdict(
+        ok,
+        "matching runtimes grow polynomially (well under x^2 envelope)",
+    );
 }
 
 // ---------------------------------------------------------------- E6 --
@@ -374,7 +387,12 @@ fn e7_unit_updates(opts: &Opts) {
         // simulation
         let mut g = g0.clone();
         let mut inc = IncrementalSim::new(&g, &qs).unwrap();
-        let ups = random_updates(&mut StdRng::seed_from_u64(SEED ^ 1), &g, updates_per_size, 0.5);
+        let ups = random_updates(
+            &mut StdRng::seed_from_u64(SEED ^ 1),
+            &g,
+            updates_per_size,
+            0.5,
+        );
         let mut t_inc_sim = Duration::ZERO;
         let mut t_batch_sim = Duration::ZERO;
         for &up in &ups {
@@ -386,7 +404,12 @@ fn e7_unit_updates(opts: &Opts) {
         // bounded simulation
         let mut g = g0.clone();
         let mut incb = IncrementalBoundedSim::new(&g, &qb);
-        let ups = random_updates(&mut StdRng::seed_from_u64(SEED ^ 2), &g, updates_per_size, 0.5);
+        let ups = random_updates(
+            &mut StdRng::seed_from_u64(SEED ^ 2),
+            &g,
+            updates_per_size,
+            0.5,
+        );
         let mut t_inc_b = Duration::ZERO;
         let mut t_batch_b = Duration::ZERO;
         for &up in &ups {
@@ -430,11 +453,7 @@ fn e8_batch_crossover(opts: &Opts) {
     };
     let g0 = collab_graph(people, SEED);
     let edge_count = g0.edge_count();
-    println!(
-        "graph: {} nodes, {} edges\n",
-        g0.node_count(),
-        edge_count
-    );
+    println!("graph: {} nodes, {} edges\n", g0.node_count(), edge_count);
 
     let mut crossover_sim: Option<f64> = None;
     let mut crossover_bsim: Option<f64> = None;
@@ -565,7 +584,10 @@ fn e9_compression_ratio(opts: &Opts) {
     for (name, g) in &social {
         reductions.push(report(name, g));
     }
-    println!("{:>16} --- adversarial baselines (uniform randomness) ---", "");
+    println!(
+        "{:>16} --- adversarial baselines (uniform randomness) ---",
+        ""
+    );
     for (name, g) in &adversarial {
         report(name, g);
     }
@@ -641,7 +663,10 @@ fn e10_compressed_query(opts: &Opts) {
         savings.push(saved);
     }
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
-    println!("average query-time saving: {:.1}% (paper: ~70%)", avg * 100.0);
+    println!(
+        "average query-time saving: {:.1}% (paper: ~70%)",
+        avg * 100.0
+    );
     verdict(
         exact && avg > 0.30,
         "results identical; substantial query-time saving on G_c",
@@ -722,9 +747,21 @@ fn e12_ablations(opts: &Opts) {
 
     // (a) plan ordering
     let t_sel = median_of(reps, || {
-        bounded_simulation_with(&g, &q, EvalOptions { plan: PlanMode::Selective })
+        bounded_simulation_with(
+            &g,
+            &q,
+            EvalOptions {
+                plan: PlanMode::Selective,
+            },
+        )
     });
-    let (r, _stats) = bounded_simulation_with(&g, &q, EvalOptions { plan: PlanMode::Selective });
+    let (r, _stats) = bounded_simulation_with(
+        &g,
+        &q,
+        EvalOptions {
+            plan: PlanMode::Selective,
+        },
+    );
     let t_dec = median_of(reps, || {
         bounded_simulation_with(
             &g,
@@ -741,7 +778,11 @@ fn e12_ablations(opts: &Opts) {
             plan: PlanMode::DeclarationOrder,
         },
     );
-    println!("plan ordering:   selective {} vs declaration {}", fmt_dur(t_sel), fmt_dur(t_dec));
+    println!(
+        "plan ordering:   selective {} vs declaration {}",
+        fmt_dur(t_sel),
+        fmt_dur(t_dec)
+    );
     let same = r == r2;
 
     // (b) parallel result graph — needs a workload with real per-edge
@@ -767,9 +808,8 @@ fn e12_ablations(opts: &Opts) {
     // (c) compression equivalence
     let small = collab_graph(if opts.quick { 1000 } else { 3000 }, SEED);
     let (bi, t_bi) = time(|| compress_graph(&small, CompressionMethod::Bisimulation).unwrap());
-    let (se, t_se) = time(|| {
-        compress_graph(&small, CompressionMethod::SimulationEquivalence).unwrap()
-    });
+    let (se, t_se) =
+        time(|| compress_graph(&small, CompressionMethod::SimulationEquivalence).unwrap());
     println!(
         "compression:     bisim {} blocks in {} vs simeq {} blocks in {}",
         bi.stats().compressed_nodes,
@@ -798,7 +838,11 @@ fn e12_ablations(opts: &Opts) {
         .build()
         .unwrap();
     let t_loose = median_of(reps, || bounded_simulation(&g, &q_loose).unwrap());
-    println!("selectivity:     loose pattern {} vs full pattern {}", fmt_dur(t_loose), fmt_dur(t_sel));
+    println!(
+        "selectivity:     loose pattern {} vs full pattern {}",
+        fmt_dur(t_loose),
+        fmt_dur(t_sel)
+    );
 
     verdict(
         same && se.stats().compressed_nodes <= bi.stats().compressed_nodes,

@@ -169,10 +169,7 @@ fn build_quotient(g: &DiGraph, partition: &Partition, policy: &SignaturePolicy) 
         q.add_node(&label, attrs.iter().map(|(k, v)| (k.as_str(), v.clone())));
     }
     for (a, b) in g.edges() {
-        q.add_edge(
-            NodeId(partition.block_of(a)),
-            NodeId(partition.block_of(b)),
-        );
+        q.add_edge(NodeId(partition.block_of(a)), NodeId(partition.block_of(b)));
     }
     q
 }

@@ -40,8 +40,8 @@ pub mod reach;
 pub mod simeq;
 
 pub use compressed::{CompressStats, CompressedGraph};
-pub use reach::ReachIndex;
 pub use partition::{Partition, SignaturePolicy};
+pub use reach::ReachIndex;
 
 use expfinder_graph::DiGraph;
 use std::fmt;
@@ -109,5 +109,7 @@ pub fn compress_graph_with(
         CompressionMethod::Bisimulation => partition::coarsest_bisimulation(g, &policy),
         CompressionMethod::SimulationEquivalence => simeq::simulation_equivalence(g, &policy)?,
     };
-    Ok(CompressedGraph::from_partition(g, partition, method, policy))
+    Ok(CompressedGraph::from_partition(
+        g, partition, method, policy,
+    ))
 }

@@ -337,8 +337,14 @@ mod tests {
         }
         mc.refresh(&g);
         assert!(mc.drift() > 1.5);
-        assert!(!mc.maybe_recompress(&g, 100.0).unwrap(), "high threshold: no-op");
-        assert!(mc.maybe_recompress(&g, 1.5).unwrap(), "low threshold: fires");
+        assert!(
+            !mc.maybe_recompress(&g, 100.0).unwrap(),
+            "high threshold: no-op"
+        );
+        assert!(
+            mc.maybe_recompress(&g, 1.5).unwrap(),
+            "low threshold: fires"
+        );
         assert!((mc.drift() - 1.0).abs() < 1e-9);
     }
 

@@ -242,7 +242,8 @@ mod tests {
             let mut scratch = BfsScratch::new();
             for a in g.ids() {
                 let ball = scratch.ball(&g, a, u32::MAX, Direction::Forward);
-                let truth: std::collections::HashSet<NodeId> = ball.nodes().iter().copied().collect();
+                let truth: std::collections::HashSet<NodeId> =
+                    ball.nodes().iter().copied().collect();
                 for b in g.ids() {
                     assert_eq!(
                         idx.reachable(a, b),

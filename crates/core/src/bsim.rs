@@ -24,8 +24,8 @@
 //! "query plan": [`PlanMode::Selective`] starts from the most selective
 //! target sets, which empirically halves refresh counts (ablation E12).
 
-use crate::matchrel::MatchRelation;
 use crate::candidate_sets;
+use crate::matchrel::MatchRelation;
 use expfinder_graph::bfs::{BfsScratch, Direction};
 use expfinder_graph::{BitSet, GraphView};
 use expfinder_pattern::Pattern;
@@ -56,7 +56,10 @@ pub struct EvalStats {
 }
 
 /// Compute the maximum bounded simulation `M(Q,G)` with default options.
-pub fn bounded_simulation<G: GraphView>(g: &G, q: &Pattern) -> Result<MatchRelation, crate::MatchError> {
+pub fn bounded_simulation<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+) -> Result<MatchRelation, crate::MatchError> {
     Ok(bounded_simulation_with(g, q, EvalOptions::default()).0)
 }
 
@@ -324,7 +327,13 @@ mod tests {
             let g = erdos_renyi(&mut rng, 60, 300, &spec);
             let cfg = PatternConfig::new(PatternShape::Dag, 5, spec.labels.clone());
             let q = random_pattern(&mut rng, &cfg);
-            let (m1, _) = bounded_simulation_with(&g, &q, EvalOptions { plan: PlanMode::Selective });
+            let (m1, _) = bounded_simulation_with(
+                &g,
+                &q,
+                EvalOptions {
+                    plan: PlanMode::Selective,
+                },
+            );
             let (m2, _) = bounded_simulation_with(
                 &g,
                 &q,

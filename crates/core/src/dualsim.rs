@@ -17,8 +17,8 @@
 //! bounded-simulation result, and on the paper's Fig. 1 both coincide —
 //! the hiring team is "dual-clean".
 
-use crate::matchrel::MatchRelation;
 use crate::candidate_sets;
+use crate::matchrel::MatchRelation;
 use expfinder_graph::bfs::{BfsScratch, Direction};
 use expfinder_graph::{BitSet, GraphView};
 use expfinder_pattern::Pattern;
@@ -110,10 +110,16 @@ mod tests {
             .build()
             .unwrap();
         let plain = bounded_simulation(&g, &q).unwrap();
-        assert!(plain.contains(q.node_id("b").unwrap(), b2), "plain keeps orphan");
+        assert!(
+            plain.contains(q.node_id("b").unwrap(), b2),
+            "plain keeps orphan"
+        );
         let dual = dual_simulation(&g, &q);
         assert!(dual.contains(q.node_id("b").unwrap(), b1));
-        assert!(!dual.contains(q.node_id("b").unwrap(), b2), "dual prunes orphan");
+        assert!(
+            !dual.contains(q.node_id("b").unwrap(), b2),
+            "dual prunes orphan"
+        );
         assert_eq!(dual.total_pairs(), 2);
     }
 

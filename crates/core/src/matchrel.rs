@@ -33,7 +33,9 @@ impl MatchRelation {
     /// `data_nodes` nodes.
     pub fn empty(q: &Pattern, data_nodes: usize) -> MatchRelation {
         MatchRelation {
-            sets: (0..q.node_count()).map(|_| BitSet::new(data_nodes)).collect(),
+            sets: (0..q.node_count())
+                .map(|_| BitSet::new(data_nodes))
+                .collect(),
             data_nodes,
         }
     }
@@ -121,10 +123,7 @@ impl fmt::Debug for MatchRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut map = f.debug_map();
         for (i, s) in self.sets.iter().enumerate() {
-            map.entry(
-                &format!("q{i}"),
-                &s.iter().map(|v| v.0).collect::<Vec<_>>(),
-            );
+            map.entry(&format!("q{i}"), &s.iter().map(|v| v.0).collect::<Vec<_>>());
         }
         map.finish()
     }

@@ -5,8 +5,8 @@
 //! every pass re-checks every pair from scratch until nothing changes.
 //! Slow — but independent, which is what a differential oracle needs.
 
-use crate::matchrel::MatchRelation;
 use crate::candidate_sets;
+use crate::matchrel::MatchRelation;
 use expfinder_graph::{GraphView, NodeId};
 use expfinder_pattern::{Bound, Pattern};
 use std::collections::{HashMap, VecDeque};

@@ -65,7 +65,11 @@ pub fn rank_value(rg: &ResultGraph, v: NodeId) -> f64 {
 
 /// Rank every match of the output node; sorted ascending by
 /// `(rank, node id)`.
-pub fn rank_matches(rg: &ResultGraph, q: &Pattern, m: &MatchRelation) -> Result<Vec<RankedMatch>, MatchError> {
+pub fn rank_matches(
+    rg: &ResultGraph,
+    q: &Pattern,
+    m: &MatchRelation,
+) -> Result<Vec<RankedMatch>, MatchError> {
     let uo = q.require_output().map_err(|_| MatchError::NoOutputNode)?;
     let mut out: Vec<RankedMatch> = m
         .matches(uo)
@@ -114,7 +118,10 @@ mod tests {
         let rg = ResultGraph::build(&f.graph, &q, &m);
         let bob = rank_value(&rg, f.bob);
         let walt = rank_value(&rg, f.walt);
-        assert!((bob - 9.0 / 5.0).abs() < 1e-12, "f(SA,Bob) = 9/5, got {bob}");
+        assert!(
+            (bob - 9.0 / 5.0).abs() < 1e-12,
+            "f(SA,Bob) = 9/5, got {bob}"
+        );
         assert!(
             (walt - 7.0 / 3.0).abs() < 1e-12,
             "f(SA,Walt) = 7/3, got {walt}"

@@ -9,8 +9,8 @@
 //! match `v` of `u`, a bounded forward BFS collects the matches `v'` of
 //! `u'` within distance `1..=b`; each such pair contributes an edge
 //! `(v, v')` weighted with the shortest-path length. Construction can be
-//! parallelised across match nodes (crossbeam scoped threads) — an
-//! ablation in E12.
+//! parallelised across match nodes (std scoped threads) — an ablation
+//! in E12.
 
 use crate::matchrel::MatchRelation;
 use expfinder_graph::bfs::{BfsScratch, Direction};
@@ -262,11 +262,11 @@ fn collect_edges_parallel<G: GraphView + Sync>(
     let items = &items;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut chunks: Vec<Vec<ResultEdge>> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for _ in 0..threads.min(n_items) {
             let next = &next;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut scratch = BfsScratch::new();
                 let mut local: Vec<ResultEdge> = Vec::new();
                 loop {
@@ -283,8 +283,7 @@ fn collect_edges_parallel<G: GraphView + Sync>(
         for h in handles {
             chunks.push(h.join().expect("result-graph worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut out: Vec<ResultEdge> = chunks.into_iter().flatten().collect();
     // deterministic order regardless of thread interleaving
     out.sort_unstable_by_key(|e| (e.pattern_edge, e.from, e.to));

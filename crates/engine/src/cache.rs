@@ -1,17 +1,19 @@
 //! Query result cache.
 //!
 //! Paper §II: "the query engine directly returns M(Q,G) if it is already
-//! cached". Keys combine the graph name, its version counter and the
-//! pattern fingerprint, so updates invalidate implicitly — stale entries
-//! simply stop being requested and age out of the LRU.
+//! cached". Keys combine the graph's catalog id, its version counter and
+//! the pattern fingerprint, so updates invalidate implicitly — stale
+//! entries simply stop being requested and age out of the LRU. Keying by
+//! id (not name) means a graph removed and re-added under the same name
+//! can never be served stale results.
 
 use expfinder_core::MatchRelation;
 use expfinder_pattern::Pattern;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cache key: graph name, graph version, pattern fingerprint.
-pub type CacheKey = (String, u64, String);
+/// Cache key: graph catalog id, graph version, pattern fingerprint.
+pub type CacheKey = (u64, u64, String);
 
 /// Hit/miss counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -41,8 +43,8 @@ impl QueryCache {
     }
 
     /// Build the canonical key for a query.
-    pub fn key(graph: &str, version: u64, pattern: &Pattern) -> CacheKey {
-        (graph.to_owned(), version, pattern.fingerprint())
+    pub fn key(graph_id: u64, version: u64, pattern: &Pattern) -> CacheKey {
+        (graph_id, version, pattern.fingerprint())
     }
 
     /// Look up; refreshes recency on hit.
@@ -113,51 +115,52 @@ mod tests {
         Arc::new(MatchRelation::from_sets(vec![BitSet::full(n)], n))
     }
 
-    fn k(name: &str, v: u64) -> CacheKey {
-        (name.to_owned(), v, "fp".to_owned())
+    fn k(id: u64, v: u64) -> CacheKey {
+        (id, v, "fp".to_owned())
     }
 
     #[test]
     fn hit_and_miss() {
         let mut c = QueryCache::new(4);
-        assert!(c.get(&k("g", 1)).is_none());
-        c.put(k("g", 1), rel(3));
-        assert!(c.get(&k("g", 1)).is_some());
-        assert!(c.get(&k("g", 2)).is_none(), "different version misses");
+        assert!(c.get(&k(1, 1)).is_none());
+        c.put(k(1, 1), rel(3));
+        assert!(c.get(&k(1, 1)).is_some());
+        assert!(c.get(&k(1, 2)).is_none(), "different version misses");
+        assert!(c.get(&k(2, 1)).is_none(), "different graph id misses");
         let s = c.stats();
         assert_eq!(s.hits, 1);
-        assert_eq!(s.misses, 2);
+        assert_eq!(s.misses, 3);
     }
 
     #[test]
     fn lru_eviction_order() {
         let mut c = QueryCache::new(2);
-        c.put(k("a", 1), rel(1));
-        c.put(k("b", 1), rel(1));
-        // touch a so b becomes the oldest
-        assert!(c.get(&k("a", 1)).is_some());
-        c.put(k("c", 1), rel(1));
+        c.put(k(1, 1), rel(1));
+        c.put(k(2, 1), rel(1));
+        // touch graph 1 so graph 2 becomes the oldest
+        assert!(c.get(&k(1, 1)).is_some());
+        c.put(k(3, 1), rel(1));
         assert_eq!(c.len(), 2);
-        assert!(c.get(&k("b", 1)).is_none(), "b evicted");
-        assert!(c.get(&k("a", 1)).is_some(), "a survived");
+        assert!(c.get(&k(2, 1)).is_none(), "2 evicted");
+        assert!(c.get(&k(1, 1)).is_some(), "1 survived");
         assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
     fn put_refreshes_existing() {
         let mut c = QueryCache::new(2);
-        c.put(k("a", 1), rel(1));
-        c.put(k("b", 1), rel(1));
-        c.put(k("a", 1), rel(2)); // refresh a
-        c.put(k("c", 1), rel(1)); // evicts b, not a
-        assert!(c.get(&k("a", 1)).is_some());
-        assert!(c.get(&k("b", 1)).is_none());
+        c.put(k(1, 1), rel(1));
+        c.put(k(2, 1), rel(1));
+        c.put(k(1, 1), rel(2)); // refresh 1
+        c.put(k(3, 1), rel(1)); // evicts 2, not 1
+        assert!(c.get(&k(1, 1)).is_some());
+        assert!(c.get(&k(2, 1)).is_none());
     }
 
     #[test]
     fn clear_empties() {
         let mut c = QueryCache::new(2);
-        c.put(k("a", 1), rel(1));
+        c.put(k(1, 1), rel(1));
         c.clear();
         assert!(c.is_empty());
     }
@@ -165,7 +168,7 @@ mod tests {
     #[test]
     fn zero_capacity_clamped_to_one() {
         let mut c = QueryCache::new(0);
-        c.put(k("a", 1), rel(1));
+        c.put(k(1, 1), rel(1));
         assert_eq!(c.len(), 1);
     }
 }

@@ -1,14 +1,46 @@
-//! The ExpFinder query engine — the system of Fig. 2 of the paper.
+//! The ExpFinder query engine — the system of Fig. 2 of the paper,
+//! redesigned as a **shareable, handle-based service**.
 //!
-//! Coordinates the four modules exactly as §II describes: on a pattern
-//! query the engine (1) returns the cached result if it is still valid,
-//! (2) consults the registered incremental maintainers, (3) evaluates on
-//! the compressed graph when one exists and the query is
-//! compression-safe, and otherwise (4) evaluates directly — with the
-//! quadratic simulation algorithm for 1-bounded patterns and the cubic
-//! bounded-simulation algorithm for the rest. Updates flow through
+//! [`ExpFinder`] is internally synchronized: the catalog (name → graph)
+//! sits behind one `RwLock`, and every managed graph sits behind its own
+//! `RwLock<StoredGraph>`. All query-side operations — [`ExpFinder::evaluate`],
+//! [`ExpFinder::find_experts`], the fluent [`ExpFinder::query`] builder —
+//! take `&self`, so an `Arc<ExpFinder>` can serve many threads at once:
+//! reads on *different* graphs run fully in parallel, reads on the *same*
+//! graph share its read lock, and [`ExpFinder::apply_updates`] briefly
+//! takes that one graph's write lock without stalling traffic elsewhere.
+//!
+//! Graphs are addressed by cheap [`GraphHandle`]s returned from
+//! [`ExpFinder::add_graph`] (or looked up with [`ExpFinder::handle`]).
+//! A handle stays valid until its graph is removed; using it afterwards
+//! yields [`ExpFinderError::StaleHandle`].
+//!
+//! Query routing follows paper §II: (1) the version-keyed result cache,
+//! (2) registered incrementally-maintained queries, (3) the compressed
+//! graph when one exists and the query is compression-safe, and
+//! otherwise (4) direct evaluation — quadratic simulation for 1-bounded
+//! patterns, cubic bounded simulation for the rest. Updates flow through
 //! [`ExpFinder::apply_updates`], which maintains the graph, its
 //! compressed counterpart and every registered query in one pass.
+//!
+//! ```
+//! use expfinder_engine::{ExpFinder, Route};
+//! use expfinder_graph::fixtures::collaboration_fig1;
+//! use expfinder_pattern::fixtures::fig1_pattern;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(ExpFinder::default());
+//! let h = engine.add_graph("fig1", collaboration_fig1().graph).unwrap();
+//! let resp = engine
+//!     .query(&h)
+//!     .pattern(fig1_pattern())
+//!     .top_k(2)
+//!     .prefer(Route::Auto)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(resp.matches.total_pairs(), 7);
+//! assert_eq!(resp.experts.len(), 2);
+//! ```
 
 pub mod cache;
 pub mod report;
@@ -22,13 +54,17 @@ use expfinder_core::{
     bounded_simulation, graph_simulation, rank_matches, MatchError, MatchRelation, RankedMatch,
     ResultGraph,
 };
+use expfinder_graph::io::GraphIoError;
 use expfinder_graph::{DiGraph, EdgeUpdate};
 use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
-use expfinder_pattern::Pattern;
-use parking_lot::Mutex;
+use expfinder_pattern::parser::ParseError;
+use expfinder_pattern::{Pattern, PatternError};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+use thiserror::Error;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -57,52 +93,59 @@ impl Default for EngineConfig {
     }
 }
 
-/// Engine errors.
-#[derive(Debug)]
-pub enum EngineError {
+/// The single error hierarchy of the public API: every layer's failure
+/// (matching, compression, pattern assembly, the DSL parser, IO) is
+/// collapsed into this enum via `#[from]` conversions.
+#[derive(Debug, Error)]
+pub enum ExpFinderError {
+    #[error("no graph named {0:?}")]
     UnknownGraph(String),
+    #[error("graph {0:?} already exists")]
     DuplicateGraph(String),
+    #[error("graph handle {0:?} is stale (the graph was removed)")]
+    StaleHandle(String),
+    #[error("graph handle {0:?} belongs to a different ExpFinder instance")]
+    ForeignHandle(String),
+    #[error("invalid graph name {0:?} (must be non-empty, without path separators or \"..\")")]
+    InvalidGraphName(String),
+    #[error("no registered query named {0:?}")]
     UnknownQuery(String),
+    #[error("query {0:?} already registered")]
     DuplicateQuery(String),
-    Match(MatchError),
-    Compress(CompressError),
-    Io(std::io::Error),
+    #[error("query builder needs a pattern before run()")]
+    MissingPattern,
+    #[error("match error: {0}")]
+    Match(#[from] MatchError),
+    #[error("compression error: {0}")]
+    Compress(#[from] CompressError),
+    #[error("pattern error: {0}")]
+    Pattern(#[from] PatternError),
+    #[error("pattern parse error: {0}")]
+    Parse(#[from] ParseError),
+    #[error("graph io error: {0}")]
+    GraphIo(#[from] GraphIoError),
+    #[error("io error: {0}")]
+    Io(#[from] std::io::Error),
+    #[error("storage error: {0}")]
     Storage(String),
 }
 
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::UnknownGraph(n) => write!(f, "no graph named {n:?}"),
-            EngineError::DuplicateGraph(n) => write!(f, "graph {n:?} already exists"),
-            EngineError::UnknownQuery(n) => write!(f, "no registered query named {n:?}"),
-            EngineError::DuplicateQuery(n) => write!(f, "query {n:?} already registered"),
-            EngineError::Match(e) => write!(f, "match error: {e}"),
-            EngineError::Compress(e) => write!(f, "compression error: {e}"),
-            EngineError::Io(e) => write!(f, "io error: {e}"),
-            EngineError::Storage(m) => write!(f, "storage error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-impl From<MatchError> for EngineError {
-    fn from(e: MatchError) -> Self {
-        EngineError::Match(e)
-    }
-}
-
-impl From<CompressError> for EngineError {
-    fn from(e: CompressError) -> Self {
-        EngineError::Compress(e)
-    }
-}
-
-impl From<std::io::Error> for EngineError {
-    fn from(e: std::io::Error) -> Self {
-        EngineError::Io(e)
-    }
+/// Routing preference for one query (input to the engine).
+///
+/// Distinct from [`EvalRoute`], which reports the route actually taken.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Route {
+    /// Paper §II order: cache → registered → compressed → direct.
+    #[default]
+    Auto,
+    /// Evaluate on the compressed graph when possible (skipping the
+    /// cache and registered queries); falls back to direct evaluation if
+    /// the graph is not compressed or the pattern is not
+    /// compression-safe.
+    Compressed,
+    /// Force direct evaluation, bypassing cache, registered queries and
+    /// the compressed graph.
+    Direct,
 }
 
 /// How a query was answered — surfaced so the demo (and the tests) can
@@ -126,6 +169,9 @@ pub enum EvalRoute {
 pub struct QueryOutcome {
     pub matches: Arc<MatchRelation>,
     pub route: EvalRoute,
+    /// The graph version the matches correspond to (for consistency
+    /// checks under concurrent updates).
+    pub graph_version: u64,
 }
 
 /// Result of [`ExpFinder::find_experts`].
@@ -136,25 +182,139 @@ pub struct ExpertReport {
     pub experts: Vec<RankedMatch>,
 }
 
+/// Wall-clock breakdown of one [`QueryBuilder::run`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct QueryTimings {
+    /// Evaluating the match relation (including cache/registered hits).
+    pub evaluate: Duration,
+    /// Building the result graph and ranking (zero if no `top_k`).
+    pub rank: Duration,
+    /// End-to-end time inside the engine.
+    pub total: Duration,
+}
+
+/// Everything one fluent query returns.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Best-K matches of the output node (empty unless `top_k` was set).
+    pub experts: Vec<RankedMatch>,
+    /// The full match relation `M(Q,G)`.
+    pub matches: Arc<MatchRelation>,
+    /// The route that produced the relation.
+    pub route: EvalRoute,
+    /// The graph version the response corresponds to.
+    pub graph_version: u64,
+    /// Wall-clock breakdown.
+    pub timings: QueryTimings,
+}
+
 /// A registered query with its incremental maintainer.
 struct RegisteredQuery {
     pattern: Pattern,
     maintainer: Box<dyn Maintainer + Send + Sync>,
 }
 
-/// One managed graph.
+/// One managed graph with everything the engine maintains alongside it.
 struct StoredGraph {
     graph: DiGraph,
     compressed: Option<MaintainedCompression>,
     registered: HashMap<String, RegisteredQuery>,
 }
 
-/// The ExpFinder system facade.
+/// A catalog slot: stable id plus the shared, lock-guarded graph state.
+struct CatalogEntry {
+    id: u64,
+    slot: Arc<RwLock<StoredGraph>>,
+}
+
+/// A cheap, clonable reference to one graph managed by an [`ExpFinder`].
+///
+/// Handles are obtained from [`ExpFinder::add_graph`] /
+/// [`ExpFinder::handle`] and stay valid until the graph is removed;
+/// afterwards every operation through them fails with
+/// [`ExpFinderError::StaleHandle`]. Internally a handle holds a weak
+/// reference to the graph slot, so the query path never touches the
+/// catalog lock.
+#[derive(Clone, Debug)]
+pub struct GraphHandle {
+    engine_id: u64,
+    id: u64,
+    name: Arc<str>,
+    slot: Weak<RwLock<StoredGraph>>,
+}
+
+impl GraphHandle {
+    /// The name the graph was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The engine-unique catalog id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True if the graph is still present in its engine.
+    pub fn is_live(&self) -> bool {
+        self.slot.strong_count() > 0
+    }
+
+    fn upgrade(&self) -> Result<Arc<RwLock<StoredGraph>>, ExpFinderError> {
+        self.slot
+            .upgrade()
+            .ok_or_else(|| ExpFinderError::StaleHandle(self.name.to_string()))
+    }
+
+    fn owned_by(&self, engine_id: u64) -> Result<(), ExpFinderError> {
+        if self.engine_id == engine_id {
+            Ok(())
+        } else {
+            Err(ExpFinderError::ForeignHandle(self.name.to_string()))
+        }
+    }
+}
+
+impl PartialEq for GraphHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for GraphHandle {}
+
+impl std::hash::Hash for GraphHandle {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl std::fmt::Display for GraphHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.name, self.id)
+    }
+}
+
+/// The ExpFinder system facade. See the [crate docs](crate) for the
+/// locking design; in short: `Arc<ExpFinder>` + `&self` everywhere.
 pub struct ExpFinder {
     config: EngineConfig,
-    graphs: HashMap<String, StoredGraph>,
+    /// Process-unique id of this engine instance; handles carry it so a
+    /// handle from one engine cannot address another.
+    engine_id: u64,
+    catalog: RwLock<HashMap<String, CatalogEntry>>,
     cache: Mutex<QueryCache>,
+    next_id: AtomicU64,
 }
+
+/// Source of process-unique engine ids.
+static ENGINE_IDS: AtomicU64 = AtomicU64::new(1);
+
+// The whole point of the handle-based design: one engine, many threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ExpFinder>();
+    assert_send_sync::<GraphHandle>();
+};
 
 impl Default for ExpFinder {
     fn default() -> Self {
@@ -167,8 +327,10 @@ impl ExpFinder {
         let cache = Mutex::new(QueryCache::new(config.cache_capacity));
         ExpFinder {
             config,
-            graphs: HashMap::new(),
+            engine_id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
+            catalog: RwLock::new(HashMap::new()),
             cache,
+            next_id: AtomicU64::new(1),
         }
     }
 
@@ -176,62 +338,99 @@ impl ExpFinder {
         &self.config
     }
 
+    /// Resolve a handle to its graph slot, rejecting handles from other
+    /// engines (their ids would alias this engine's cache keys) and
+    /// handles whose graph was removed.
+    fn slot(&self, handle: &GraphHandle) -> Result<Arc<RwLock<StoredGraph>>, ExpFinderError> {
+        handle.owned_by(self.engine_id)?;
+        handle.upgrade()
+    }
+
     // ------------------------------ catalog ------------------------------
 
-    /// Register a data graph under a name.
-    pub fn add_graph(&mut self, name: &str, graph: DiGraph) -> Result<(), EngineError> {
-        if self.graphs.contains_key(name) {
-            return Err(EngineError::DuplicateGraph(name.to_owned()));
+    /// Register a data graph under a name, returning its handle. Names
+    /// double as catalog file stems, so path-like names are rejected.
+    pub fn add_graph(&self, name: &str, graph: DiGraph) -> Result<GraphHandle, ExpFinderError> {
+        validate_graph_name(name)?;
+        let mut catalog = self.catalog.write();
+        if catalog.contains_key(name) {
+            return Err(ExpFinderError::DuplicateGraph(name.to_owned()));
         }
-        self.graphs.insert(
-            name.to_owned(),
-            StoredGraph {
-                graph,
-                compressed: None,
-                registered: HashMap::new(),
-            },
-        );
-        Ok(())
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(RwLock::new(StoredGraph {
+            graph,
+            compressed: None,
+            registered: HashMap::new(),
+        }));
+        let handle = GraphHandle {
+            engine_id: self.engine_id,
+            id,
+            name: Arc::from(name),
+            slot: Arc::downgrade(&slot),
+        };
+        catalog.insert(name.to_owned(), CatalogEntry { id, slot });
+        Ok(handle)
+    }
+
+    /// Look up the handle of a graph by name.
+    pub fn handle(&self, name: &str) -> Result<GraphHandle, ExpFinderError> {
+        let catalog = self.catalog.read();
+        let entry = catalog
+            .get(name)
+            .ok_or_else(|| ExpFinderError::UnknownGraph(name.to_owned()))?;
+        Ok(GraphHandle {
+            engine_id: self.engine_id,
+            id: entry.id,
+            name: Arc::from(name),
+            slot: Arc::downgrade(&entry.slot),
+        })
     }
 
     /// Remove a graph (and its compression and registered queries).
-    pub fn remove_graph(&mut self, name: &str) -> Result<(), EngineError> {
-        self.graphs
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| EngineError::UnknownGraph(name.to_owned()))
-    }
-
-    /// Access a managed graph.
-    pub fn graph(&self, name: &str) -> Result<&DiGraph, EngineError> {
-        self.stored(name).map(|s| &s.graph)
+    /// Outstanding handles to it become stale.
+    pub fn remove_graph(&self, handle: &GraphHandle) -> Result<(), ExpFinderError> {
+        handle.owned_by(self.engine_id)?;
+        let mut catalog = self.catalog.write();
+        match catalog.get(handle.name()) {
+            Some(entry) if entry.id == handle.id => {
+                catalog.remove(handle.name());
+                Ok(())
+            }
+            _ => Err(ExpFinderError::StaleHandle(handle.name.to_string())),
+        }
     }
 
     /// Names of all managed graphs (sorted).
     pub fn graph_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.graphs.keys().cloned().collect();
+        let mut names: Vec<String> = self.catalog.read().keys().cloned().collect();
         names.sort();
         names
     }
 
-    fn stored(&self, name: &str) -> Result<&StoredGraph, EngineError> {
-        self.graphs
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownGraph(name.to_owned()))
+    /// Run `f` with shared access to the graph. This is how callers read
+    /// graph data without copying it out of the lock.
+    pub fn read_graph<R>(
+        &self,
+        handle: &GraphHandle,
+        f: impl FnOnce(&DiGraph) -> R,
+    ) -> Result<R, ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
+        Ok(f(&stored.graph))
     }
 
-    fn stored_mut(&mut self, name: &str) -> Result<&mut StoredGraph, EngineError> {
-        self.graphs
-            .get_mut(name)
-            .ok_or_else(|| EngineError::UnknownGraph(name.to_owned()))
+    /// A full copy of the graph (for persistence and tests).
+    pub fn snapshot(&self, handle: &GraphHandle) -> Result<DiGraph, ExpFinderError> {
+        self.read_graph(handle, |g| g.clone())
     }
 
     // ---------------------------- compression ----------------------------
 
     /// Build (or rebuild) the compressed counterpart of a graph.
-    pub fn compress(&mut self, name: &str) -> Result<CompressStats, EngineError> {
+    pub fn compress(&self, handle: &GraphHandle) -> Result<CompressStats, ExpFinderError> {
         let method = self.config.compression_method;
-        let stored = self.stored_mut(name)?;
+        let slot = self.slot(handle)?;
+        let mut stored = slot.write();
         let mc = MaintainedCompression::new(&stored.graph, method)?;
         let stats = mc.compressed().stats();
         stored.compressed = Some(mc);
@@ -239,18 +438,19 @@ impl ExpFinder {
     }
 
     /// Drop the compressed counterpart.
-    pub fn drop_compression(&mut self, name: &str) -> Result<(), EngineError> {
-        self.stored_mut(name)?.compressed = None;
+    pub fn drop_compression(&self, handle: &GraphHandle) -> Result<(), ExpFinderError> {
+        self.slot(handle)?.write().compressed = None;
         Ok(())
     }
 
     /// Compression statistics, if the graph is compressed.
-    pub fn compression_stats(&self, name: &str) -> Result<Option<CompressStats>, EngineError> {
-        Ok(self
-            .stored(name)?
-            .compressed
-            .as_ref()
-            .map(|mc| mc.compressed().stats()))
+    pub fn compression_stats(
+        &self,
+        handle: &GraphHandle,
+    ) -> Result<Option<CompressStats>, ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
+        Ok(stored.compressed.as_ref().map(|mc| mc.compressed().stats()))
     }
 
     // ------------------------- registered queries ------------------------
@@ -259,14 +459,15 @@ impl ExpFinder {
     /// (paper §II: "maintains the query results of a set of frequently
     /// issued queries (decided by the users)").
     pub fn register_query(
-        &mut self,
-        graph: &str,
+        &self,
+        handle: &GraphHandle,
         query_name: &str,
         pattern: Pattern,
-    ) -> Result<(), EngineError> {
-        let stored = self.stored_mut(graph)?;
+    ) -> Result<(), ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let mut stored = slot.write();
         if stored.registered.contains_key(query_name) {
-            return Err(EngineError::DuplicateQuery(query_name.to_owned()));
+            return Err(ExpFinderError::DuplicateQuery(query_name.to_owned()));
         }
         let maintainer: Box<dyn Maintainer + Send + Sync> = if pattern.is_simulation() {
             Box::new(IncrementalSim::new(&stored.graph, &pattern)?)
@@ -284,17 +485,24 @@ impl ExpFinder {
     }
 
     /// Drop a registered query.
-    pub fn unregister_query(&mut self, graph: &str, query_name: &str) -> Result<(), EngineError> {
-        self.stored_mut(graph)?
+    pub fn unregister_query(
+        &self,
+        handle: &GraphHandle,
+        query_name: &str,
+    ) -> Result<(), ExpFinderError> {
+        self.slot(handle)?
+            .write()
             .registered
             .remove(query_name)
             .map(|_| ())
-            .ok_or_else(|| EngineError::UnknownQuery(query_name.to_owned()))
+            .ok_or_else(|| ExpFinderError::UnknownQuery(query_name.to_owned()))
     }
 
-    /// Names of queries registered on a graph.
-    pub fn registered_queries(&self, graph: &str) -> Result<Vec<String>, EngineError> {
-        let mut names: Vec<String> = self.stored(graph)?.registered.keys().cloned().collect();
+    /// Names of queries registered on a graph (sorted).
+    pub fn registered_queries(&self, handle: &GraphHandle) -> Result<Vec<String>, ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
+        let mut names: Vec<String> = stored.registered.keys().cloned().collect();
         names.sort();
         Ok(names)
     }
@@ -302,29 +510,33 @@ impl ExpFinder {
     /// The incrementally-maintained result of a registered query.
     pub fn registered_result(
         &self,
-        graph: &str,
+        handle: &GraphHandle,
         query_name: &str,
-    ) -> Result<MatchRelation, EngineError> {
-        let stored = self.stored(graph)?;
+    ) -> Result<MatchRelation, ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
         let rq = stored
             .registered
             .get(query_name)
-            .ok_or_else(|| EngineError::UnknownQuery(query_name.to_owned()))?;
+            .ok_or_else(|| ExpFinderError::UnknownQuery(query_name.to_owned()))?;
         Ok(rq.maintainer.current())
     }
 
     // ------------------------------ updates ------------------------------
 
     /// Apply edge updates to a graph, maintaining its compression and its
-    /// registered queries along the way. Returns how many updates actually
-    /// changed the graph (duplicates/no-ops are skipped).
+    /// registered queries along the way, all under that one graph's write
+    /// lock (readers of other graphs are unaffected). Returns how many
+    /// updates actually changed the graph (duplicates/no-ops are skipped).
     pub fn apply_updates(
-        &mut self,
-        name: &str,
+        &self,
+        handle: &GraphHandle,
         updates: &[EdgeUpdate],
-    ) -> Result<usize, EngineError> {
+    ) -> Result<usize, ExpFinderError> {
         let drift = self.config.recompress_drift;
-        let stored = self.stored_mut(name)?;
+        let slot = self.slot(handle)?;
+        let mut stored = slot.write();
+        let stored = &mut *stored;
         let mut applied = 0usize;
         for &up in updates {
             if !stored.graph.apply(up) {
@@ -347,33 +559,105 @@ impl ExpFinder {
 
     // ----------------------------- evaluation ----------------------------
 
-    /// Evaluate a pattern on a graph, routing per paper §II.
-    pub fn evaluate(&self, name: &str, pattern: &Pattern) -> Result<QueryOutcome, EngineError> {
-        let stored = self.stored(name)?;
-        let key = QueryCache::key(name, stored.graph.version(), pattern);
-
-        // 1. cache
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return Ok(QueryOutcome {
-                matches: hit,
-                route: EvalRoute::Cache,
-            });
+    /// Start a fluent query against one graph:
+    ///
+    /// ```ignore
+    /// let resp = engine.query(&h).pattern(p).top_k(10).run()?;
+    /// ```
+    pub fn query(&self, handle: &GraphHandle) -> QueryBuilder<'_> {
+        QueryBuilder {
+            engine: self,
+            handle: handle.clone(),
+            pattern: None,
+            top_k: None,
+            prefer: Route::Auto,
         }
+    }
 
-        // 2. registered incremental state
-        for rq in stored.registered.values() {
-            if rq.pattern.fingerprint() == pattern.fingerprint() {
-                let matches = Arc::new(rq.maintainer.current());
-                self.cache.lock().put(key, Arc::clone(&matches));
-                return Ok(QueryOutcome {
-                    matches,
-                    route: EvalRoute::Registered,
-                });
+    /// Evaluate a pattern on a graph, routing per paper §II.
+    pub fn evaluate(
+        &self,
+        handle: &GraphHandle,
+        pattern: &Pattern,
+    ) -> Result<QueryOutcome, ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
+        let (matches, route) = self.route_and_eval(handle, &stored, pattern, Route::Auto)?;
+        Ok(QueryOutcome {
+            matches,
+            route,
+            graph_version: stored.graph.version(),
+        })
+    }
+
+    /// The paper's headline operation: evaluate, rank by social impact,
+    /// return the top-K experts for the pattern's output node.
+    pub fn find_experts(
+        &self,
+        handle: &GraphHandle,
+        pattern: &Pattern,
+        k: usize,
+    ) -> Result<ExpertReport, ExpFinderError> {
+        let resp = self.query(handle).pattern(pattern.clone()).top_k(k).run()?;
+        Ok(ExpertReport {
+            outcome: QueryOutcome {
+                matches: resp.matches,
+                route: resp.route,
+                graph_version: resp.graph_version,
+            },
+            experts: resp.experts,
+        })
+    }
+
+    /// Build the result graph for a previously evaluated outcome.
+    pub fn result_graph(
+        &self,
+        handle: &GraphHandle,
+        pattern: &Pattern,
+        outcome: &QueryOutcome,
+    ) -> Result<ResultGraph, ExpFinderError> {
+        self.read_graph(handle, |g| ResultGraph::build(g, pattern, &outcome.matches))
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> cache::CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Route and evaluate under an already-held read guard, so a whole
+    /// query (evaluate + rank) sees one consistent graph state.
+    fn route_and_eval(
+        &self,
+        handle: &GraphHandle,
+        stored: &StoredGraph,
+        pattern: &Pattern,
+        prefer: Route,
+    ) -> Result<(Arc<MatchRelation>, EvalRoute), ExpFinderError> {
+        let key = QueryCache::key(handle.id, stored.graph.version(), pattern);
+
+        if prefer == Route::Auto {
+            // 1. cache
+            if let Some(hit) = self.cache.lock().get(&key) {
+                return Ok((hit, EvalRoute::Cache));
+            }
+
+            // 2. registered incremental state
+            for rq in stored.registered.values() {
+                if rq.pattern.fingerprint() == pattern.fingerprint() {
+                    let matches = Arc::new(rq.maintainer.current());
+                    self.cache.lock().put(key, Arc::clone(&matches));
+                    return Ok((matches, EvalRoute::Registered));
+                }
             }
         }
 
         // 3. compressed graph, when safe
-        if self.config.auto_use_compressed {
+        let try_compressed = match prefer {
+            Route::Auto => self.config.auto_use_compressed,
+            Route::Compressed => true,
+            Route::Direct => false,
+        };
+        if try_compressed {
             if let Some(mc) = stored.compressed.as_ref() {
                 let gc = mc.compressed();
                 if gc.validate_pattern(pattern).is_ok() {
@@ -384,10 +668,7 @@ impl ExpFinder {
                     };
                     let matches = Arc::new(gc.expand(&on_c));
                     self.cache.lock().put(key, Arc::clone(&matches));
-                    return Ok(QueryOutcome {
-                        matches,
-                        route: EvalRoute::Compressed,
-                    });
+                    return Ok((matches, EvalRoute::Compressed));
                 }
             }
         }
@@ -406,49 +687,113 @@ impl ExpFinder {
         };
         let matches = Arc::new(m);
         self.cache.lock().put(key, Arc::clone(&matches));
-        Ok(QueryOutcome {
+        Ok((matches, route))
+    }
+}
+
+/// Graph names double as catalog file stems (`<name>.efg`), so names
+/// that could escape the catalog directory are rejected up front.
+pub(crate) fn validate_graph_name(name: &str) -> Result<(), ExpFinderError> {
+    let bad = name.is_empty()
+        || name.contains(['/', '\\', '\0'])
+        || name == "."
+        || name == ".."
+        || name.contains("..");
+    if bad {
+        Err(ExpFinderError::InvalidGraphName(name.to_owned()))
+    } else {
+        Ok(())
+    }
+}
+
+/// Fluent request builder returned by [`ExpFinder::query`].
+///
+/// Chain [`pattern`](Self::pattern) (or [`dsl`](Self::dsl)), optionally
+/// [`top_k`](Self::top_k) and [`prefer`](Self::prefer), then
+/// [`run`](Self::run). The whole run — routing, evaluation, result-graph
+/// construction and ranking — happens under a single read lock of the
+/// target graph, so the response is one consistent snapshot even with
+/// concurrent writers.
+#[must_use = "QueryBuilder does nothing until .run()"]
+pub struct QueryBuilder<'a> {
+    engine: &'a ExpFinder,
+    handle: GraphHandle,
+    pattern: Option<Result<Pattern, ExpFinderError>>,
+    top_k: Option<usize>,
+    prefer: Route,
+}
+
+impl QueryBuilder<'_> {
+    /// The pattern to evaluate.
+    pub fn pattern(mut self, pattern: Pattern) -> Self {
+        self.pattern = Some(Ok(pattern));
+        self
+    }
+
+    /// The pattern to evaluate, written in the text DSL. Parse errors
+    /// surface at [`run`](Self::run).
+    pub fn dsl(mut self, dsl: &str) -> Self {
+        self.pattern = Some(expfinder_pattern::parser::parse(dsl).map_err(ExpFinderError::from));
+        self
+    }
+
+    /// Also rank the output node's matches and return the best `k`.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Routing preference (default [`Route::Auto`]).
+    pub fn prefer(mut self, route: Route) -> Self {
+        self.prefer = route;
+        self
+    }
+
+    /// Execute the query.
+    pub fn run(self) -> Result<QueryResponse, ExpFinderError> {
+        let pattern = match self.pattern {
+            None => return Err(ExpFinderError::MissingPattern),
+            Some(Err(e)) => return Err(e),
+            Some(Ok(p)) => p,
+        };
+        let started = Instant::now();
+        let slot = self.engine.slot(&self.handle)?;
+        let stored = slot.read();
+        let (matches, route) =
+            self.engine
+                .route_and_eval(&self.handle, &stored, &pattern, self.prefer)?;
+        let evaluate_time = started.elapsed();
+
+        let rank_started = Instant::now();
+        let experts = match self.top_k {
+            None => Vec::new(),
+            Some(k) => {
+                let rg = ResultGraph::build_with(
+                    &stored.graph,
+                    &pattern,
+                    &matches,
+                    expfinder_core::BuildOptions {
+                        threads: self.engine.config.result_graph_threads.max(1),
+                    },
+                );
+                let mut experts = rank_matches(&rg, &pattern, &matches)?;
+                experts.truncate(k);
+                experts
+            }
+        };
+        let rank_time = rank_started.elapsed();
+
+        Ok(QueryResponse {
+            experts,
             matches,
             route,
-        })
-    }
-
-    /// The paper's headline operation: evaluate, rank by social impact,
-    /// return the top-K experts for the pattern's output node.
-    pub fn find_experts(
-        &self,
-        name: &str,
-        pattern: &Pattern,
-        k: usize,
-    ) -> Result<ExpertReport, EngineError> {
-        let outcome = self.evaluate(name, pattern)?;
-        let stored = self.stored(name)?;
-        let rg = ResultGraph::build_with(
-            &stored.graph,
-            pattern,
-            &outcome.matches,
-            expfinder_core::BuildOptions {
-                threads: self.config.result_graph_threads.max(1),
+            graph_version: stored.graph.version(),
+            timings: QueryTimings {
+                evaluate: evaluate_time,
+                rank: rank_time,
+                total: started.elapsed(),
             },
-        );
-        let mut experts = rank_matches(&rg, pattern, &outcome.matches)?;
-        experts.truncate(k);
-        Ok(ExpertReport { outcome, experts })
-    }
-
-    /// Build the result graph for a previously evaluated outcome.
-    pub fn result_graph(
-        &self,
-        name: &str,
-        pattern: &Pattern,
-        outcome: &QueryOutcome,
-    ) -> Result<ResultGraph, EngineError> {
-        let stored = self.stored(name)?;
-        Ok(ResultGraph::build(&stored.graph, pattern, &outcome.matches))
-    }
-
-    /// Cache hit/miss counters.
-    pub fn cache_stats(&self) -> cache::CacheStats {
-        self.cache.lock().stats()
+        })
     }
 }
 
@@ -458,21 +803,21 @@ mod tests {
     use expfinder_graph::fixtures::collaboration_fig1;
     use expfinder_pattern::fixtures::fig1_pattern;
 
-    fn engine_with_fig1() -> (ExpFinder, expfinder_graph::fixtures::Fig1) {
+    fn engine_with_fig1() -> (ExpFinder, GraphHandle, expfinder_graph::fixtures::Fig1) {
         let f = collaboration_fig1();
-        let mut e = ExpFinder::default();
-        e.add_graph("fig1", f.graph.clone()).unwrap();
-        (e, f)
+        let e = ExpFinder::default();
+        let h = e.add_graph("fig1", f.graph.clone()).unwrap();
+        (e, h, f)
     }
 
     #[test]
     fn evaluate_routes_direct_then_cache() {
-        let (e, _) = engine_with_fig1();
+        let (e, h, _) = engine_with_fig1();
         let q = fig1_pattern();
-        let first = e.evaluate("fig1", &q).unwrap();
+        let first = e.evaluate(&h, &q).unwrap();
         assert_eq!(first.route, EvalRoute::DirectBounded);
         assert_eq!(first.matches.total_pairs(), 7);
-        let second = e.evaluate("fig1", &q).unwrap();
+        let second = e.evaluate(&h, &q).unwrap();
         assert_eq!(second.route, EvalRoute::Cache);
         assert_eq!(*second.matches, *first.matches);
         let stats = e.cache_stats();
@@ -482,126 +827,245 @@ mod tests {
 
     #[test]
     fn simulation_pattern_routes_to_quadratic() {
-        let (e, _) = engine_with_fig1();
+        let (e, h, _) = engine_with_fig1();
         let q = fig1_pattern().as_simulation();
-        let out = e.evaluate("fig1", &q).unwrap();
+        let out = e.evaluate(&h, &q).unwrap();
         assert_eq!(out.route, EvalRoute::DirectSimulation);
         assert!(out.matches.is_empty(), "paper: simulation fails on Fig. 1");
     }
 
     #[test]
     fn updates_invalidate_cache_via_version() {
-        let (mut e, f) = engine_with_fig1();
+        let (e, h, f) = engine_with_fig1();
         let q = fig1_pattern();
-        let before = e.evaluate("fig1", &q).unwrap();
+        let before = e.evaluate(&h, &q).unwrap();
         assert_eq!(before.matches.total_pairs(), 7);
-        e.apply_updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
             .unwrap();
-        let after = e.evaluate("fig1", &q).unwrap();
+        let after = e.evaluate(&h, &q).unwrap();
         assert_ne!(after.route, EvalRoute::Cache, "version changed");
         assert_eq!(after.matches.total_pairs(), 8, "Fred joined");
+        assert!(after.graph_version > before.graph_version);
     }
 
     #[test]
     fn compressed_route_preserves_results() {
-        let (mut e, _) = engine_with_fig1();
+        let (e, h, _) = engine_with_fig1();
         let q = fig1_pattern();
-        let direct = e.evaluate("fig1", &q).unwrap().matches;
-        let stats = e.compress("fig1").unwrap();
+        let direct = e.evaluate(&h, &q).unwrap().matches;
+        let stats = e.compress(&h).unwrap();
         assert!(stats.compressed_nodes <= stats.original_nodes);
-        // same version but the cache key still matches — flush by using a
-        // fresh engine to force the compressed route
-        let mut e2 = ExpFinder::default();
-        e2.add_graph("fig1", collaboration_fig1().graph).unwrap();
-        e2.compress("fig1").unwrap();
-        let out = e2.evaluate("fig1", &q).unwrap();
+        // the result is already cached for this version; ask for the
+        // compressed route explicitly through the builder
+        let out = e
+            .query(&h)
+            .pattern(q)
+            .prefer(Route::Compressed)
+            .run()
+            .unwrap();
         assert_eq!(out.route, EvalRoute::Compressed);
         assert_eq!(*out.matches, *direct);
     }
 
     #[test]
     fn identity_attr_pattern_bypasses_compression() {
-        let mut e = ExpFinder::default();
-        e.add_graph("fig1", collaboration_fig1().graph).unwrap();
-        e.compress("fig1").unwrap();
+        let e = ExpFinder::default();
+        let h = e.add_graph("fig1", collaboration_fig1().graph).unwrap();
+        e.compress(&h).unwrap();
         let q = expfinder_pattern::PatternBuilder::new()
-            .node(
-                "bob",
-                expfinder_pattern::Predicate::attr_eq("name", "Bob"),
-            )
+            .node("bob", expfinder_pattern::Predicate::attr_eq("name", "Bob"))
             .build()
             .unwrap();
-        let out = e.evaluate("fig1", &q).unwrap();
+        let out = e.evaluate(&h, &q).unwrap();
         assert_eq!(out.route, EvalRoute::DirectSimulation);
         assert_eq!(out.matches.total_pairs(), 1);
     }
 
     #[test]
     fn registered_query_is_maintained_and_preferred() {
-        let (mut e, f) = engine_with_fig1();
+        let (e, h, f) = engine_with_fig1();
         let q = fig1_pattern();
-        e.register_query("fig1", "team", q.clone()).unwrap();
-        assert_eq!(e.registered_queries("fig1").unwrap(), vec!["team"]);
+        e.register_query(&h, "team", q.clone()).unwrap();
+        assert_eq!(e.registered_queries(&h).unwrap(), vec!["team"]);
 
-        let out = e.evaluate("fig1", &q).unwrap();
+        let out = e.evaluate(&h, &q).unwrap();
         assert_eq!(out.route, EvalRoute::Registered);
         assert_eq!(out.matches.total_pairs(), 7);
 
-        e.apply_updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
             .unwrap();
-        let maintained = e.registered_result("fig1", "team").unwrap();
+        let maintained = e.registered_result(&h, "team").unwrap();
         assert_eq!(maintained.total_pairs(), 8);
-        let out = e.evaluate("fig1", &q).unwrap();
+        let out = e.evaluate(&h, &q).unwrap();
         assert_eq!(out.route, EvalRoute::Registered);
         assert_eq!(out.matches.total_pairs(), 8);
     }
 
     #[test]
     fn find_experts_full_pipeline() {
-        let (e, f) = engine_with_fig1();
-        let report = e.find_experts("fig1", &fig1_pattern(), 1).unwrap();
+        let (e, h, f) = engine_with_fig1();
+        let report = e.find_experts(&h, &fig1_pattern(), 1).unwrap();
         assert_eq!(report.experts.len(), 1);
         assert_eq!(report.experts[0].node, f.bob);
         assert!((report.experts[0].rank - 1.8).abs() < 1e-12);
     }
 
     #[test]
-    fn error_paths() {
-        let mut e = ExpFinder::default();
+    fn builder_full_response() {
+        let (e, h, f) = engine_with_fig1();
+        let resp = e.query(&h).pattern(fig1_pattern()).top_k(2).run().unwrap();
+        assert_eq!(resp.matches.total_pairs(), 7);
+        assert_eq!(resp.route, EvalRoute::DirectBounded);
+        assert_eq!(resp.experts[0].node, f.bob);
+        assert!(resp.timings.total >= resp.timings.rank);
+    }
+
+    #[test]
+    fn builder_dsl_and_missing_pattern() {
+        let (e, h, _) = engine_with_fig1();
+        let resp = e
+            .query(&h)
+            .dsl("node sa* where label = \"SA\";")
+            .run()
+            .unwrap();
+        assert_eq!(resp.matches.total_pairs(), 2, "Bob and Walt");
+        assert!(resp.experts.is_empty(), "no top_k requested");
+
         assert!(matches!(
-            e.evaluate("ghost", &fig1_pattern()),
-            Err(EngineError::UnknownGraph(_))
+            e.query(&h).run(),
+            Err(ExpFinderError::MissingPattern)
         ));
-        e.add_graph("g", DiGraph::new()).unwrap();
+        assert!(matches!(
+            e.query(&h).dsl("node oops").run(),
+            Err(ExpFinderError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn builder_prefer_direct_skips_cache_and_registered() {
+        let (e, h, _) = engine_with_fig1();
+        let q = fig1_pattern();
+        e.register_query(&h, "team", q.clone()).unwrap();
+        let _ = e.evaluate(&h, &q).unwrap(); // warm the cache
+        let out = e.query(&h).pattern(q).prefer(Route::Direct).run().unwrap();
+        assert_eq!(out.route, EvalRoute::DirectBounded);
+    }
+
+    #[test]
+    fn error_paths_and_stale_handles() {
+        let e = ExpFinder::default();
+        assert!(matches!(
+            e.handle("ghost"),
+            Err(ExpFinderError::UnknownGraph(_))
+        ));
+        let h = e.add_graph("g", DiGraph::new()).unwrap();
         assert!(matches!(
             e.add_graph("g", DiGraph::new()),
-            Err(EngineError::DuplicateGraph(_))
+            Err(ExpFinderError::DuplicateGraph(_))
         ));
         assert!(matches!(
-            e.registered_result("g", "nope"),
-            Err(EngineError::UnknownQuery(_))
+            e.registered_result(&h, "nope"),
+            Err(ExpFinderError::UnknownQuery(_))
         ));
-        e.remove_graph("g").unwrap();
+        assert!(h.is_live());
+        e.remove_graph(&h).unwrap();
+        assert!(!h.is_live());
         assert!(matches!(
-            e.remove_graph("g"),
-            Err(EngineError::UnknownGraph(_))
+            e.remove_graph(&h),
+            Err(ExpFinderError::StaleHandle(_))
+        ));
+        assert!(matches!(
+            e.evaluate(&h, &fig1_pattern()),
+            Err(ExpFinderError::StaleHandle(_))
+        ));
+        // a new graph under the same name gets a fresh id; old handle
+        // stays stale
+        let h2 = e.add_graph("g", DiGraph::new()).unwrap();
+        assert_ne!(h.id(), h2.id());
+        assert!(matches!(
+            e.evaluate(&h, &fig1_pattern()),
+            Err(ExpFinderError::StaleHandle(_))
         ));
     }
 
     #[test]
     fn compression_maintained_under_updates() {
-        let (mut e, f) = engine_with_fig1();
-        e.compress("fig1").unwrap();
-        e.apply_updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+        let (e, h, f) = engine_with_fig1();
+        e.compress(&h).unwrap();
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
             .unwrap();
         let q = fig1_pattern();
-        let mut e2 = ExpFinder::default();
+        let e2 = ExpFinder::default();
         let mut g2 = collaboration_fig1().graph;
         g2.add_edge(f.e1.0, f.e1.1);
-        e2.add_graph("fig1", g2).unwrap();
-        let fresh = e2.evaluate("fig1", &q).unwrap();
-        let maintained = e.evaluate("fig1", &q).unwrap();
+        let h2 = e2.add_graph("fig1", g2).unwrap();
+        let fresh = e2.evaluate(&h2, &q).unwrap();
+        let maintained = e.evaluate(&h, &q).unwrap();
         assert_eq!(*maintained.matches, *fresh.matches);
         assert_eq!(maintained.route, EvalRoute::Compressed);
+    }
+
+    #[test]
+    fn foreign_handles_are_rejected() {
+        let (a, ha, _) = engine_with_fig1();
+        let b = ExpFinder::default();
+        let hb = b.add_graph("fig1", collaboration_fig1().graph).unwrap();
+        // warm B's cache with its own graph so any id aliasing would hit
+        let _ = b.evaluate(&hb, &fig1_pattern()).unwrap();
+
+        assert!(matches!(
+            b.evaluate(&ha, &fig1_pattern()),
+            Err(ExpFinderError::ForeignHandle(_))
+        ));
+        assert!(matches!(
+            b.remove_graph(&ha),
+            Err(ExpFinderError::ForeignHandle(_))
+        ));
+        assert!(matches!(
+            b.query(&ha).pattern(fig1_pattern()).run(),
+            Err(ExpFinderError::ForeignHandle(_))
+        ));
+        // both engines still answer their own handles
+        assert_eq!(
+            a.evaluate(&ha, &fig1_pattern())
+                .unwrap()
+                .matches
+                .total_pairs(),
+            7
+        );
+        assert_eq!(
+            b.evaluate(&hb, &fig1_pattern())
+                .unwrap()
+                .matches
+                .total_pairs(),
+            7
+        );
+    }
+
+    #[test]
+    fn path_like_graph_names_rejected() {
+        let e = ExpFinder::default();
+        for bad in ["", "..", "a/b", "a\\b", "../x", "x/..", "nul\0name"] {
+            assert!(
+                matches!(
+                    e.add_graph(bad, DiGraph::new()),
+                    Err(ExpFinderError::InvalidGraphName(_))
+                ),
+                "{bad:?} should be rejected"
+            );
+        }
+        // ordinary names (including dots inside) are fine
+        assert!(e.add_graph("fig.1-v2", DiGraph::new()).is_ok());
+    }
+
+    #[test]
+    fn handles_are_cheap_and_comparable() {
+        let (e, h, _) = engine_with_fig1();
+        let h2 = h.clone();
+        let h3 = e.handle("fig1").unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(h, h3);
+        assert_eq!(h.name(), "fig1");
+        assert_eq!(format!("{h}"), format!("fig1#{}", h.id()));
     }
 }

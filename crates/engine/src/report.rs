@@ -70,13 +70,7 @@ pub fn drill_down(g: &DiGraph, q: &Pattern, rg: &ResultGraph, v: NodeId) -> Stri
         return out;
     }
     let data = g.vertex(v);
-    let _ = writeln!(
-        out,
-        "{} [{}] ({})",
-        display_name(g, v),
-        g.label_str(v),
-        v
-    );
+    let _ = writeln!(out, "{} [{}] ({})", display_name(g, v), g.label_str(v), v);
     for (k, val) in data.attrs() {
         let _ = writeln!(out, "  {} = {}", g.interner().resolve(*k), val);
     }
@@ -84,11 +78,7 @@ pub fn drill_down(g: &DiGraph, q: &Pattern, rg: &ResultGraph, v: NodeId) -> Stri
     let mut incoming: Vec<String> = Vec::new();
     for e in rg.edges() {
         let pe = &q.edges()[e.pattern_edge as usize];
-        let label = format!(
-            "{}→{}",
-            q.node(pe.from).name,
-            q.node(pe.to).name
-        );
+        let label = format!("{}→{}", q.node(pe.from).name, q.node(pe.to).name);
         if e.from == v {
             outgoing.push(format!(
                 "  --{}({})--> {}",
@@ -189,7 +179,10 @@ mod tests {
         let ranked = rank_matches(&rg, &q, &m).unwrap();
         let text = expert_table(&f.graph, &ranked);
         let bob_line = text.lines().find(|l| l.contains("Bob")).unwrap();
-        assert!(bob_line.trim_start().starts_with('1'), "Bob is top-1: {text}");
+        assert!(
+            bob_line.trim_start().starts_with('1'),
+            "Bob is top-1: {text}"
+        );
         assert!(bob_line.contains("1.8000"), "{text}");
     }
 
@@ -211,7 +204,13 @@ mod tests {
 /// label, exactly like the paper's result-graph figures.
 pub fn to_dot(g: &DiGraph, q: &Pattern, m: &MatchRelation, rg: &ResultGraph) -> String {
     const PALETTE: [&str; 8] = [
-        "lightblue", "palegreen", "lightsalmon", "khaki", "plum", "lightcyan", "mistyrose",
+        "lightblue",
+        "palegreen",
+        "lightsalmon",
+        "khaki",
+        "plum",
+        "lightcyan",
+        "mistyrose",
         "lavender",
     ];
     let mut out = String::from("digraph result {\n  rankdir=LR;\n  node [style=filled];\n");
@@ -235,7 +234,11 @@ pub fn to_dot(g: &DiGraph, q: &Pattern, m: &MatchRelation, rg: &ResultGraph) -> 
         }
     }
     for e in rg.edges() {
-        let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", e.from.0, e.to.0, e.weight);
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.from.0, e.to.0, e.weight
+        );
     }
     out.push_str("}\n");
     out

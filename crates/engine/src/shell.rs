@@ -9,8 +9,14 @@
 //! `decompress`). The shell is a pure function from command lines to
 //! output strings, so it is fully testable; `examples/expfinder_shell.rs`
 //! wires it to stdin.
+//!
+//! The shell holds an `Arc<ExpFinder>` and a current [`GraphHandle`] —
+//! the same shareable engine any other consumer would hold, exercised
+//! through the handle-based `&self` API.
 
-use crate::{report, storage, EngineConfig, EngineError, EvalRoute, ExpFinder, QueryOutcome};
+use crate::{
+    report, storage, EngineConfig, EvalRoute, ExpFinder, ExpFinderError, GraphHandle, QueryOutcome,
+};
 use expfinder_compress::CompressionMethod;
 use expfinder_core::ResultGraph;
 use expfinder_graph::generate::{
@@ -22,14 +28,15 @@ use expfinder_pattern::{parser, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The shell's outcome for one line.
 pub type ShellResult = Result<String, String>;
 
 /// Interactive session state.
 pub struct Shell {
-    engine: ExpFinder,
-    current: Option<String>,
+    engine: Arc<ExpFinder>,
+    current: Option<GraphHandle>,
     seed: u64,
     last_query: Option<(Pattern, QueryOutcome)>,
 }
@@ -72,16 +79,17 @@ ExpFinder shell — expert search by graph pattern matching
 impl Shell {
     pub fn new(config: EngineConfig) -> Shell {
         Shell {
-            engine: ExpFinder::new(config),
+            engine: Arc::new(ExpFinder::new(config)),
             current: None,
             seed: 42,
             last_query: None,
         }
     }
 
-    /// Access the underlying engine (used by examples to preload graphs).
-    pub fn engine_mut(&mut self) -> &mut ExpFinder {
-        &mut self.engine
+    /// The underlying shareable engine (used by examples to preload
+    /// graphs — `add_graph` takes `&self`, so no mutable access needed).
+    pub fn engine(&self) -> &Arc<ExpFinder> {
+        &self.engine
     }
 
     /// Select a graph programmatically.
@@ -89,13 +97,13 @@ impl Shell {
         self.exec(&format!("use {name}"))
     }
 
-    fn current(&self) -> Result<&str, String> {
+    fn current(&self) -> Result<GraphHandle, String> {
         self.current
-            .as_deref()
+            .clone()
             .ok_or_else(|| "no graph selected; `use <name>` first".to_owned())
     }
 
-    fn err(e: EngineError) -> String {
+    fn err(e: ExpFinderError) -> String {
         e.to_string()
     }
 
@@ -127,14 +135,14 @@ impl Shell {
                 Ok(format!("catalog saved to {rest}"))
             }
             "loadcat" => {
-                self.engine = storage::load_catalog(rest).map_err(Self::err)?;
+                self.engine = Arc::new(storage::load_catalog(rest).map_err(Self::err)?);
                 self.current = None;
                 self.last_query = None;
                 Ok(format!("catalog loaded from {rest}"))
             }
             "use" => {
-                self.engine.graph(rest).map_err(Self::err)?;
-                self.current = Some(rest.to_owned());
+                let h = self.engine.handle(rest).map_err(Self::err)?;
+                self.current = Some(h);
                 Ok(format!("using {rest}"))
             }
             "info" => self.cmd_info(),
@@ -148,8 +156,8 @@ impl Shell {
             "update" => self.cmd_update(rest),
             "register" => self.cmd_register(rest),
             "registered" => {
-                let name = self.current()?.to_owned();
-                let qs = self.engine.registered_queries(&name).map_err(Self::err)?;
+                let h = self.current()?;
+                let qs = self.engine.registered_queries(&h).map_err(Self::err)?;
                 if qs.is_empty() {
                     Ok("(no registered queries)".to_owned())
                 } else {
@@ -157,20 +165,14 @@ impl Shell {
                 }
             }
             "result" => {
-                let name = self.current()?.to_owned();
-                let m = self
-                    .engine
-                    .registered_result(&name, rest)
-                    .map_err(Self::err)?;
-                Ok(format!(
-                    "{} pairs maintained for {rest}",
-                    m.total_pairs()
-                ))
+                let h = self.current()?;
+                let m = self.engine.registered_result(&h, rest).map_err(Self::err)?;
+                Ok(format!("{} pairs maintained for {rest}", m.total_pairs()))
             }
             "compress" => self.cmd_compress(rest),
             "decompress" => {
-                let name = self.current()?.to_owned();
-                self.engine.drop_compression(&name).map_err(Self::err)?;
+                let h = self.current()?;
+                self.engine.drop_compression(&h).map_err(Self::err)?;
                 Ok("compression dropped".to_owned())
             }
             "cache" => {
@@ -238,8 +240,8 @@ impl Shell {
             g.node_count(),
             g.edge_count()
         );
-        self.engine.add_graph(name, g).map_err(Self::err)?;
-        self.current = Some(name.to_owned());
+        let h = self.engine.add_graph(name, g).map_err(Self::err)?;
+        self.current = Some(h);
         Ok(summary)
     }
 
@@ -251,28 +253,36 @@ impl Shell {
             g.node_count(),
             g.edge_count()
         );
-        self.engine.add_graph(name, g).map_err(Self::err)?;
-        self.current = Some(name.to_owned());
+        let h = self.engine.add_graph(name, g).map_err(Self::err)?;
+        self.current = Some(h);
         Ok(summary)
     }
 
     fn cmd_save(&mut self, rest: &str) -> ShellResult {
         let (name, path) = rest.split_once(' ').ok_or("usage: save <name> <path>")?;
-        let g = self.engine.graph(name).map_err(Self::err)?;
-        expfinder_graph::io::save_text(g, path.trim()).map_err(|e| e.to_string())?;
+        let h = self.engine.handle(name).map_err(Self::err)?;
+        self.engine
+            .read_graph(&h, |g| expfinder_graph::io::save_text(g, path.trim()))
+            .map_err(Self::err)?
+            .map_err(|e| e.to_string())?;
         Ok(format!("saved {name} to {}", path.trim()))
     }
 
     fn cmd_info(&mut self) -> ShellResult {
-        let name = self.current()?.to_owned();
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        let mut out = format!(
-            "{name}: {} nodes, {} edges (version {})\n",
-            g.node_count(),
-            g.edge_count(),
-            g.version()
-        );
-        if let Some(stats) = self.engine.compression_stats(&name).map_err(Self::err)? {
+        let h = self.current()?;
+        let mut out = self
+            .engine
+            .read_graph(&h, |g| {
+                format!(
+                    "{}: {} nodes, {} edges (version {})\n",
+                    h.name(),
+                    g.node_count(),
+                    g.edge_count(),
+                    g.version()
+                )
+            })
+            .map_err(Self::err)?;
+        if let Some(stats) = self.engine.compression_stats(&h).map_err(Self::err)? {
             let _ = write!(
                 out,
                 "compressed: {} nodes, {} edges ({:.1}% size reduction)",
@@ -291,33 +301,42 @@ impl Shell {
     }
 
     fn cmd_query(&mut self, dsl: &str) -> ShellResult {
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let q = Self::parse_pattern(dsl)?;
-        let outcome = self.engine.evaluate(&name, &q).map_err(Self::err)?;
+        let outcome = self.engine.evaluate(&h, &q).map_err(Self::err)?;
         let mut out = format!(
             "{} pairs via {}\n",
             outcome.matches.total_pairs(),
             route_name(outcome.route)
         );
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        let rg = ResultGraph::build(g, &q, &outcome.matches);
-        out.push_str(&report::roll_up(g, &q, &outcome.matches, &rg));
+        let body = self
+            .engine
+            .read_graph(&h, |g| {
+                let rg = ResultGraph::build(g, &q, &outcome.matches);
+                report::roll_up(g, &q, &outcome.matches, &rg)
+            })
+            .map_err(Self::err)?;
+        out.push_str(&body);
         self.last_query = Some((q, outcome));
         Ok(out)
     }
 
     fn cmd_dual(&mut self, dsl: &str) -> ShellResult {
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let q = Self::parse_pattern(dsl)?;
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        let plain = expfinder_core::bounded_simulation(g, &q).map_err(|e| e.to_string())?;
-        let dual = expfinder_core::dual_simulation(g, &q);
-        Ok(format!(
-            "bounded simulation: {} pairs; dual simulation: {} pairs ({} pruned by parent constraints)",
-            plain.total_pairs(),
-            dual.total_pairs(),
-            plain.total_pairs() - dual.total_pairs()
-        ))
+        self.engine
+            .read_graph(&h, |g| {
+                let plain =
+                    expfinder_core::bounded_simulation(g, &q).map_err(|e| e.to_string())?;
+                let dual = expfinder_core::dual_simulation(g, &q);
+                Ok(format!(
+                    "bounded simulation: {} pairs; dual simulation: {} pairs ({} pruned by parent constraints)",
+                    plain.total_pairs(),
+                    dual.total_pairs(),
+                    plain.total_pairs() - dual.total_pairs()
+                ))
+            })
+            .map_err(Self::err)?
     }
 
     fn cmd_experts(&mut self, rest: &str) -> ShellResult {
@@ -325,75 +344,97 @@ impl Shell {
             .split_once(char::is_whitespace)
             .ok_or("usage: experts <k> <pattern-dsl>")?;
         let k: usize = k_str.parse().map_err(|e| format!("bad k: {e}"))?;
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let q = Self::parse_pattern(dsl)?;
-        let report_ = self.engine.find_experts(&name, &q, k).map_err(Self::err)?;
-        let g = self.engine.graph(&name).map_err(Self::err)?;
+        // the fluent path: one consistent snapshot of evaluation + ranking
+        let resp = self
+            .engine
+            .query(&h)
+            .pattern(q.clone())
+            .top_k(k)
+            .run()
+            .map_err(Self::err)?;
         let mut out = format!(
             "{} pairs via {}; top {} of output node:\n",
-            report_.outcome.matches.total_pairs(),
-            route_name(report_.outcome.route),
-            report_.experts.len()
+            resp.matches.total_pairs(),
+            route_name(resp.route),
+            resp.experts.len()
         );
-        out.push_str(&report::expert_table(g, &report_.experts));
-        self.last_query = Some((q, report_.outcome));
+        let table = self
+            .engine
+            .read_graph(&h, |g| report::expert_table(g, &resp.experts))
+            .map_err(Self::err)?;
+        out.push_str(&table);
+        self.last_query = Some((
+            q,
+            QueryOutcome {
+                matches: resp.matches,
+                route: resp.route,
+                graph_version: resp.graph_version,
+            },
+        ));
         Ok(out)
     }
 
     fn cmd_rollup(&mut self) -> ShellResult {
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let (q, outcome) = self
             .last_query
             .as_ref()
             .ok_or("no previous query; run `query` first")?;
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        let rg = ResultGraph::build(g, q, &outcome.matches);
-        Ok(report::roll_up(g, q, &outcome.matches, &rg))
+        self.engine
+            .read_graph(&h, |g| {
+                let rg = ResultGraph::build(g, q, &outcome.matches);
+                report::roll_up(g, q, &outcome.matches, &rg)
+            })
+            .map_err(Self::err)
     }
 
     fn cmd_drill(&mut self, rest: &str) -> ShellResult {
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let (q, outcome) = self
             .last_query
             .as_ref()
             .ok_or("no previous query; run `query` first")?;
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        // accept either a numeric node id or a `name` attribute value
-        let v = match rest.parse::<u32>() {
-            Ok(i) => NodeId(i),
-            Err(_) => g
-                .ids()
-                .find(|&v| {
-                    g.attr_of(v, "name").and_then(|a| a.as_str()) == Some(rest)
-                })
-                .ok_or_else(|| format!("no node named {rest:?}"))?,
-        };
-        let rg = ResultGraph::build(g, q, &outcome.matches);
-        Ok(report::drill_down(g, q, &rg, v))
+        self.engine
+            .read_graph(&h, |g| {
+                // accept either a numeric node id or a `name` attribute value
+                let v = match rest.parse::<u32>() {
+                    Ok(i) => NodeId(i),
+                    Err(_) => g
+                        .ids()
+                        .find(|&v| g.attr_of(v, "name").and_then(|a| a.as_str()) == Some(rest))
+                        .ok_or_else(|| format!("no node named {rest:?}"))?,
+                };
+                let rg = ResultGraph::build(g, q, &outcome.matches);
+                Ok(report::drill_down(g, q, &rg, v))
+            })
+            .map_err(Self::err)?
     }
 
     fn cmd_dot(&mut self, path: &str) -> ShellResult {
         if path.is_empty() {
             return Err("usage: dot <path>".into());
         }
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let (q, outcome) = self
             .last_query
             .as_ref()
             .ok_or("no previous query; run `query` first")?;
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        let rg = ResultGraph::build(g, q, &outcome.matches);
-        let dot = report::to_dot(g, q, &outcome.matches, &rg);
+        let (dot, nodes, edges) = self
+            .engine
+            .read_graph(&h, |g| {
+                let rg = ResultGraph::build(g, q, &outcome.matches);
+                let dot = report::to_dot(g, q, &outcome.matches, &rg);
+                (dot, rg.node_count(), rg.edges().len())
+            })
+            .map_err(Self::err)?;
         std::fs::write(path, &dot).map_err(|e| e.to_string())?;
-        Ok(format!(
-            "wrote {} nodes / {} edges to {path}",
-            rg.node_count(),
-            rg.edges().len()
-        ))
+        Ok(format!("wrote {nodes} nodes / {edges} edges to {path}"))
     }
 
     fn cmd_reach(&mut self, rest: &str) -> ShellResult {
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let mut parts = rest.split_whitespace();
         let a: u32 = parts
             .next()
@@ -403,23 +444,28 @@ impl Shell {
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or("usage: reach <a> <b>")?;
-        let g = self.engine.graph(&name).map_err(Self::err)?;
-        let n = g.node_count() as u32;
-        if a >= n || b >= n {
-            return Err(format!("node ids must be < {n}"));
-        }
-        let idx = expfinder_compress::ReachIndex::build(g);
-        Ok(format!(
-            "reachable({a}, {b}) = {} ({} classes)",
-            idx.reachable(NodeId(a), NodeId(b)),
-            idx.class_count()
-        ))
+        self.engine
+            .read_graph(&h, |g| {
+                let n = g.node_count() as u32;
+                if a >= n || b >= n {
+                    return Err(format!("node ids must be < {n}"));
+                }
+                let idx = expfinder_compress::ReachIndex::build(g);
+                Ok(format!(
+                    "reachable({a}, {b}) = {} ({} classes)",
+                    idx.reachable(NodeId(a), NodeId(b)),
+                    idx.class_count()
+                ))
+            })
+            .map_err(Self::err)?
     }
 
     fn cmd_update(&mut self, rest: &str) -> ShellResult {
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let mut parts = rest.split_whitespace();
-        let op = parts.next().ok_or("usage: update insert|delete|random ...")?;
+        let op = parts
+            .next()
+            .ok_or("usage: update insert|delete|random ...")?;
         let updates: Vec<EdgeUpdate> = match op {
             "insert" | "delete" => {
                 let a: u32 = parts
@@ -445,12 +491,13 @@ impl Shell {
                 let ratio: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.5);
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 self.seed = self.seed.wrapping_add(1);
-                let g = self.engine.graph(&name).map_err(Self::err)?;
-                random_updates(&mut rng, g, count, ratio)
+                self.engine
+                    .read_graph(&h, |g| random_updates(&mut rng, g, count, ratio))
+                    .map_err(Self::err)?
             }
             other => return Err(format!("unknown update op {other:?}")),
         };
-        let applied = self.engine.apply_updates(&name, &updates).map_err(Self::err)?;
+        let applied = self.engine.apply_updates(&h, &updates).map_err(Self::err)?;
         Ok(format!("applied {applied}/{} updates", updates.len()))
     }
 
@@ -458,31 +505,27 @@ impl Shell {
         let (qname, dsl) = rest
             .split_once(char::is_whitespace)
             .ok_or("usage: register <qname> <pattern-dsl>")?;
-        let name = self.current()?.to_owned();
+        let h = self.current()?;
         let q = Self::parse_pattern(dsl)?;
         self.engine
-            .register_query(&name, qname, q)
+            .register_query(&h, qname, q)
             .map_err(Self::err)?;
         Ok(format!("registered {qname} for incremental maintenance"))
     }
 
     fn cmd_compress(&mut self, rest: &str) -> ShellResult {
-        let name = self.current()?.to_owned();
-        // per-command method override is applied through a temporary config
+        let h = self.current()?;
         if !rest.is_empty() {
             let method = match rest {
                 "bisim" => CompressionMethod::Bisimulation,
                 "simeq" => CompressionMethod::SimulationEquivalence,
                 other => return Err(format!("unknown method {other:?} (bisim|simeq)")),
             };
-            // rebuild the engine config for this operation
-            let old = self.engine.config().compression_method;
-            if old != method {
-                // ExpFinder keeps config immutable; emulate by a scoped engine call
-                return self.compress_with(&name, method);
+            if self.engine.config().compression_method != method {
+                return self.compress_with(&h, method);
             }
         }
-        let stats = self.engine.compress(&name).map_err(Self::err)?;
+        let stats = self.engine.compress(&h).map_err(Self::err)?;
         Ok(format!(
             "compressed: {} → {} nodes, {} → {} edges ({:.1}% size reduction)",
             stats.original_nodes,
@@ -493,14 +536,18 @@ impl Shell {
         ))
     }
 
-    fn compress_with(&mut self, name: &str, method: CompressionMethod) -> ShellResult {
+    fn compress_with(&mut self, h: &GraphHandle, method: CompressionMethod) -> ShellResult {
         use expfinder_compress::maintain::MaintainedCompression;
-        let g = self.engine.graph(name).map_err(Self::err)?;
-        let mc = MaintainedCompression::new(g, method).map_err(|e| e.to_string())?;
-        let stats = mc.compressed().stats();
+        let stats = self
+            .engine
+            .read_graph(h, |g| {
+                MaintainedCompression::new(g, method).map(|mc| mc.compressed().stats())
+            })
+            .map_err(Self::err)?
+            .map_err(|e| e.to_string())?;
         // install via the public path: engine compress uses the configured
         // method, so report here and keep the engine's default one
-        let _ = self.engine.compress(name).map_err(Self::err)?;
+        let _ = self.engine.compress(h).map_err(Self::err)?;
         Ok(format!(
             "compressed ({method:?}): {} → {} nodes ({:.1}% size reduction)",
             stats.original_nodes,
@@ -534,7 +581,7 @@ mod tests {
 
     fn fig1_shell() -> Shell {
         let mut sh = Shell::default();
-        sh.engine_mut()
+        sh.engine()
             .add_graph("fig1", collaboration_fig1().graph)
             .unwrap();
         sh.exec("use fig1").unwrap();
@@ -622,9 +669,7 @@ mod tests {
         let path = dir.join("fig1.efg");
         let mut sh = fig1_shell();
         sh.exec(&format!("save fig1 {}", path.display())).unwrap();
-        let out = sh
-            .exec(&format!("load fig1b {}", path.display()))
-            .unwrap();
+        let out = sh.exec(&format!("load fig1b {}", path.display())).unwrap();
         assert!(out.contains("9 nodes"), "{out}");
         let out = sh.exec(&format!("query {FIG1_DSL}")).unwrap();
         assert!(out.contains("7 pairs"), "{out}");
@@ -660,14 +705,37 @@ mod tests {
     }
 
     #[test]
+    fn catalog_roundtrip_through_shell() {
+        let dir = std::env::temp_dir().join(format!("expfinder_shcat_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sh = fig1_shell();
+        let out = sh.exec(&format!("savecat {}", dir.display())).unwrap();
+        assert!(out.contains("catalog saved"), "{out}");
+        let out = sh.exec(&format!("loadcat {}", dir.display())).unwrap();
+        assert!(out.contains("catalog loaded"), "{out}");
+        // current selection was reset with the new engine
+        assert!(sh.exec("info").is_err());
+        sh.exec("use fig1").unwrap();
+        let out = sh.exec(&format!("query {FIG1_DSL}")).unwrap();
+        assert!(out.contains("7 pairs"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn errors_are_friendly() {
         let mut sh = Shell::default();
-        assert!(sh.exec("query node a;").unwrap_err().contains("no graph selected"));
+        assert!(sh
+            .exec("query node a;")
+            .unwrap_err()
+            .contains("no graph selected"));
         assert!(sh.exec("use ghost").is_err());
         assert!(sh.exec("gen x unknown").is_err());
         assert!(sh.exec("experts nope node a;").is_err());
         sh.exec("gen g er n=10 m=10").unwrap();
-        assert!(sh.exec("drill 5").unwrap_err().contains("no previous query"));
+        assert!(sh
+            .exec("drill 5")
+            .unwrap_err()
+            .contains("no previous query"));
         assert!(sh.exec("query node a where label =;").is_err());
     }
 }

@@ -2,67 +2,80 @@
 //!
 //! Paper §II: "all the graphs and query results are stored and managed as
 //! files". A catalog directory contains a JSON manifest plus one `.efg`
-//! text file per graph; query results serialize to JSON documents.
+//! text file per graph; query results serialize to JSON documents. JSON
+//! goes through the hand-rolled `expfinder_graph::json` module (the
+//! offline build has no serde).
 
-use crate::{EngineError, ExpFinder};
+use crate::{ExpFinder, ExpFinderError};
 use expfinder_core::MatchRelation;
+use expfinder_graph::json::{self, Value};
 use expfinder_graph::{io as gio, BitSet, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::Path;
 
-/// The catalog manifest.
-#[derive(Serialize, Deserialize)]
-struct Manifest {
-    format: String,
-    graphs: Vec<String>,
-}
-
 const FORMAT: &str = "expfinder-catalog-v1";
 
+fn storage_err(e: impl std::fmt::Display) -> ExpFinderError {
+    ExpFinderError::Storage(e.to_string())
+}
+
 /// Persist every graph of the engine into `dir` (created if missing).
-pub fn save_catalog(engine: &ExpFinder, dir: impl AsRef<Path>) -> Result<(), EngineError> {
+pub fn save_catalog(engine: &ExpFinder, dir: impl AsRef<Path>) -> Result<(), ExpFinderError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
     let names = engine.graph_names();
     for name in &names {
-        let g = engine.graph(name)?;
-        gio::save_text(g, dir.join(format!("{name}.efg")))
-            .map_err(|e| EngineError::Storage(e.to_string()))?;
+        let handle = engine.handle(name)?;
+        engine
+            .read_graph(&handle, |g| {
+                gio::save_text(g, dir.join(format!("{name}.efg")))
+            })?
+            .map_err(storage_err)?;
     }
-    let manifest = Manifest {
-        format: FORMAT.to_owned(),
-        graphs: names,
-    };
-    let json =
-        serde_json::to_string_pretty(&manifest).map_err(|e| EngineError::Storage(e.to_string()))?;
-    fs::write(dir.join("manifest.json"), json)?;
+    let manifest = Value::Object(
+        [
+            ("format".to_owned(), Value::Str(FORMAT.to_owned())),
+            (
+                "graphs".to_owned(),
+                Value::Array(names.into_iter().map(Value::Str).collect()),
+            ),
+        ]
+        .into_iter()
+        .collect(),
+    );
+    fs::write(dir.join("manifest.json"), manifest.to_string_pretty())?;
     Ok(())
 }
 
 /// Load a catalog directory into a fresh engine (default configuration).
-pub fn load_catalog(dir: impl AsRef<Path>) -> Result<ExpFinder, EngineError> {
-    let dir = dir.as_ref();
-    let json = fs::read_to_string(dir.join("manifest.json"))?;
-    let manifest: Manifest =
-        serde_json::from_str(&json).map_err(|e| EngineError::Storage(e.to_string()))?;
-    if manifest.format != FORMAT {
-        return Err(EngineError::Storage(format!(
-            "unknown catalog format {:?}",
-            manifest.format
+pub fn load_catalog(dir: impl AsRef<Path>) -> Result<ExpFinder, ExpFinderError> {
+    let text = fs::read_to_string(dir.as_ref().join("manifest.json"))?;
+    let manifest = json::parse(&text).map_err(storage_err)?;
+    let format = manifest
+        .field("format")
+        .and_then(|f| f.as_str())
+        .map_err(storage_err)?;
+    if format != FORMAT {
+        return Err(ExpFinderError::Storage(format!(
+            "unknown catalog format {format:?}"
         )));
     }
-    let mut engine = ExpFinder::default();
-    for name in manifest.graphs {
-        let g = gio::load_text(dir.join(format!("{name}.efg")))
-            .map_err(|e| EngineError::Storage(e.to_string()))?;
-        engine.add_graph(&name, g)?;
+    let engine = ExpFinder::default();
+    for name in manifest
+        .field("graphs")
+        .and_then(|g| g.as_array())
+        .map_err(storage_err)?
+    {
+        let name = name.as_str().map_err(storage_err)?;
+        // a crafted manifest must not be able to read outside `dir`
+        crate::validate_graph_name(name)?;
+        let g = gio::load_text(dir.as_ref().join(format!("{name}.efg"))).map_err(storage_err)?;
+        engine.add_graph(name, g)?;
     }
     Ok(engine)
 }
 
 /// Serializable form of a match relation.
-#[derive(Serialize, Deserialize)]
 pub struct ResultDoc {
     /// Number of data-graph nodes the relation ranges over.
     pub data_nodes: usize,
@@ -99,21 +112,59 @@ impl ResultDoc {
             .collect();
         MatchRelation::from_sets(sets, self.data_nodes)
     }
+
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            [
+                ("data_nodes".to_owned(), Value::Int(self.data_nodes as i64)),
+                (
+                    "matches".to_owned(),
+                    Value::Array(
+                        self.matches
+                            .iter()
+                            .map(|ids| {
+                                Value::Array(ids.iter().map(|&i| Value::Int(i as i64)).collect())
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    fn from_json_value(v: &Value) -> Result<ResultDoc, json::JsonError> {
+        let matches = v
+            .field("matches")?
+            .as_array()?
+            .iter()
+            .map(|ids| ids.as_array()?.iter().map(|i| i.as_u32()).collect())
+            .collect::<Result<Vec<Vec<u32>>, _>>()?;
+        Ok(ResultDoc {
+            data_nodes: v.field("data_nodes")?.as_usize()?,
+            matches,
+        })
+    }
 }
 
 /// Save a query result as JSON.
-pub fn save_result(m: &MatchRelation, path: impl AsRef<Path>) -> Result<(), EngineError> {
-    let json = serde_json::to_string(&ResultDoc::from_relation(m))
-        .map_err(|e| EngineError::Storage(e.to_string()))?;
-    fs::write(path, json)?;
+pub fn save_result(m: &MatchRelation, path: impl AsRef<Path>) -> Result<(), ExpFinderError> {
+    fs::write(
+        path,
+        ResultDoc::from_relation(m)
+            .to_json_value()
+            .to_string_compact(),
+    )?;
     Ok(())
 }
 
 /// Load a query result from JSON.
-pub fn load_result(path: impl AsRef<Path>) -> Result<MatchRelation, EngineError> {
-    let json = fs::read_to_string(path)?;
-    let doc: ResultDoc =
-        serde_json::from_str(&json).map_err(|e| EngineError::Storage(e.to_string()))?;
+pub fn load_result(path: impl AsRef<Path>) -> Result<MatchRelation, ExpFinderError> {
+    let text = fs::read_to_string(path)?;
+    let doc = json::parse(&text)
+        .and_then(|v| ResultDoc::from_json_value(&v))
+        .map_err(storage_err)?;
     Ok(doc.into_relation())
 }
 
@@ -126,7 +177,8 @@ mod tests {
     use expfinder_pattern::fixtures::fig1_pattern;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!("expfinder_storage_{tag}_{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("expfinder_storage_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -135,18 +187,23 @@ mod tests {
     fn catalog_roundtrip() {
         let dir = tmpdir("catalog");
         let f = collaboration_fig1();
-        let mut e = ExpFinder::default();
+        let e = ExpFinder::default();
         e.add_graph("fig1", f.graph.clone()).unwrap();
-        e.add_graph("empty", expfinder_graph::DiGraph::new()).unwrap();
+        e.add_graph("empty", expfinder_graph::DiGraph::new())
+            .unwrap();
         save_catalog(&e, &dir).unwrap();
 
         let loaded = load_catalog(&dir).unwrap();
         assert_eq!(loaded.graph_names(), vec!["empty", "fig1"]);
-        let g = loaded.graph("fig1").unwrap();
-        assert_eq!(g.node_count(), 9);
-        assert_eq!(g.edge_count(), 11);
+        let h = loaded.handle("fig1").unwrap();
+        loaded
+            .read_graph(&h, |g| {
+                assert_eq!(g.node_count(), 9);
+                assert_eq!(g.edge_count(), 11);
+            })
+            .unwrap();
         // loaded graph answers the paper query identically
-        let m = loaded.evaluate("fig1", &fig1_pattern()).unwrap();
+        let m = loaded.evaluate(&h, &fig1_pattern()).unwrap();
         assert_eq!(m.matches.total_pairs(), 7);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -175,7 +232,23 @@ mod tests {
         .unwrap();
         assert!(matches!(
             load_catalog(&dir),
-            Err(EngineError::Storage(_))
+            Err(ExpFinderError::Storage(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traversal_manifest_rejected() {
+        let dir = tmpdir("traversal");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.json"),
+            r#"{"format":"expfinder-catalog-v1","graphs":["../../outside"]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            load_catalog(&dir),
+            Err(ExpFinderError::InvalidGraphName(_))
         ));
         let _ = fs::remove_dir_all(&dir);
     }
@@ -184,7 +257,7 @@ mod tests {
     fn missing_dir_is_io_error() {
         assert!(matches!(
             load_catalog("/definitely/not/here"),
-            Err(EngineError::Io(_))
+            Err(ExpFinderError::Io(_))
         ));
     }
 }

@@ -7,7 +7,6 @@
 //! predicates are compiled against a graph's interner before matching so
 //! the hot loop compares integers, never strings.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
@@ -80,7 +79,7 @@ impl Interner {
 /// Comparisons between `Int` and `Float` coerce the integer; all other
 /// cross-type comparisons are undefined (`partial_cmp` returns `None`),
 /// which predicates treat as "does not satisfy".
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AttrValue {
     Int(i64),
     Float(f64),

@@ -49,11 +49,7 @@ mod tests {
     #[test]
     fn shortest_path_prefers_cheaper_route() {
         // 0 → 1 (1), 1 → 2 (1), 0 → 2 (5)
-        let adj = vec![
-            vec![(n(1), 1), (n(2), 5)],
-            vec![(n(2), 1)],
-            vec![],
-        ];
+        let adj = vec![vec![(n(1), 1), (n(2), 5)], vec![(n(2), 1)], vec![]];
         let d = dijkstra(&adj, n(0));
         assert_eq!(d, vec![0, 1, 2]);
     }

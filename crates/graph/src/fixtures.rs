@@ -53,13 +53,7 @@ impl Fig1 {
     }
 }
 
-fn person(
-    g: &mut DiGraph,
-    name: &str,
-    field: &str,
-    specialty: &str,
-    experience: i64,
-) -> NodeId {
+fn person(g: &mut DiGraph, name: &str, field: &str, specialty: &str, experience: i64) -> NodeId {
     g.add_node(
         field,
         [
@@ -133,8 +127,14 @@ mod tests {
     fn fig1_node_content() {
         let f = collaboration_fig1();
         assert_eq!(f.graph.label_str(f.bob), "SA");
-        assert_eq!(f.graph.attr_of(f.bob, "experience").unwrap().as_int(), Some(7));
-        assert_eq!(f.graph.attr_of(f.walt, "experience").unwrap().as_int(), Some(5));
+        assert_eq!(
+            f.graph.attr_of(f.bob, "experience").unwrap().as_int(),
+            Some(7)
+        );
+        assert_eq!(
+            f.graph.attr_of(f.walt, "experience").unwrap().as_int(),
+            Some(5)
+        );
         assert_eq!(
             f.graph.attr_of(f.pat, "specialty").unwrap().as_str(),
             Some("DBA")

@@ -590,8 +590,7 @@ mod hierarchy_tests {
                 buckets: 1,
             },
         );
-        let labels: std::collections::HashSet<&str> =
-            g.ids().map(|v| g.label_str(v)).collect();
+        let labels: std::collections::HashSet<&str> = g.ids().map(|v| g.label_str(v)).collect();
         assert!(labels.contains("CEO"));
         assert!(labels.contains("VP"));
         assert!(labels.contains("DIR"));

@@ -5,16 +5,17 @@
 //!
 //! * a line-oriented **text format** (`.efg`) that is diffable and easy to
 //!   author by hand (used by the shell and the examples), and
-//! * **JSON** via serde, for interchange with other tooling.
+//! * **JSON** via the hand-rolled [`crate::json`] module, for
+//!   interchange with other tooling.
 //!
 //! Both round-trip the complete graph: node order, labels, typed
 //! attributes and edges.
 
 use crate::attrs::AttrValue;
 use crate::digraph::DiGraph;
+use crate::json::{self, JsonError, Value};
 use crate::view::GraphView;
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -29,7 +30,7 @@ pub enum GraphIoError {
         line: usize,
         msg: String,
     },
-    Json(serde_json::Error),
+    Json(JsonError),
 }
 
 impl fmt::Display for GraphIoError {
@@ -50,8 +51,8 @@ impl From<std::io::Error> for GraphIoError {
     }
 }
 
-impl From<serde_json::Error> for GraphIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for GraphIoError {
+    fn from(e: JsonError) -> Self {
         GraphIoError::Json(e)
     }
 }
@@ -104,7 +105,9 @@ fn encode_value(v: &AttrValue) -> String {
 }
 
 fn decode_value(s: &str) -> Result<AttrValue, String> {
-    let (tag, body) = s.split_once(':').ok_or_else(|| format!("bad value {s:?}"))?;
+    let (tag, body) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad value {s:?}"))?;
     match tag {
         "i" => body
             .parse::<i64>()
@@ -218,18 +221,46 @@ pub fn load_text(path: impl AsRef<Path>) -> Result<DiGraph, GraphIoError> {
     read_text(&mut r)
 }
 
-/// Serde document mirror of a graph (used for the JSON format).
-#[derive(Serialize, Deserialize)]
+/// Document mirror of a graph (used for the JSON format).
 pub struct GraphDoc {
     pub nodes: Vec<NodeDoc>,
     pub edges: Vec<(u32, u32)>,
 }
 
 /// One node in a [`GraphDoc`].
-#[derive(Serialize, Deserialize)]
 pub struct NodeDoc {
     pub label: String,
     pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// Encode an attribute value in the externally-tagged form serde would
+/// have used (`{"Int": 7}`), keeping the file format stable.
+fn attr_to_json(v: &AttrValue) -> Value {
+    let (tag, inner) = match v {
+        AttrValue::Int(x) => ("Int", Value::Int(*x)),
+        AttrValue::Float(x) => ("Float", Value::Float(*x)),
+        AttrValue::Str(s) => ("Str", Value::Str(s.clone())),
+        AttrValue::Bool(b) => ("Bool", Value::Bool(*b)),
+    };
+    Value::Object([(tag.to_owned(), inner)].into_iter().collect())
+}
+
+fn attr_from_json(v: &Value) -> Result<AttrValue, JsonError> {
+    let map = v.as_object()?;
+    let (tag, inner) = map.iter().next().ok_or_else(|| JsonError {
+        msg: "empty attribute value".into(),
+        offset: None,
+    })?;
+    match tag.as_str() {
+        "Int" => Ok(AttrValue::Int(inner.as_i64()?)),
+        "Float" => Ok(AttrValue::Float(inner.as_f64()?)),
+        "Str" => Ok(AttrValue::Str(inner.as_str()?.to_owned())),
+        "Bool" => Ok(AttrValue::Bool(inner.as_bool()?)),
+        other => Err(JsonError {
+            msg: format!("unknown attribute tag {other:?}"),
+            offset: None,
+        }),
+    }
 }
 
 impl GraphDoc {
@@ -257,30 +288,115 @@ impl GraphDoc {
     pub fn into_graph(self) -> DiGraph {
         let mut g = DiGraph::with_capacity(self.nodes.len());
         for nd in &self.nodes {
-            g.add_node(&nd.label, nd.attrs.iter().map(|(k, v)| (k.as_str(), v.clone())));
+            g.add_node(
+                &nd.label,
+                nd.attrs.iter().map(|(k, v)| (k.as_str(), v.clone())),
+            );
         }
         for (a, b) in self.edges {
             g.add_edge(NodeId(a), NodeId(b));
         }
         g
     }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> Value {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|nd| {
+                let attrs = nd
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| Value::Array(vec![Value::Str(k.clone()), attr_to_json(v)]))
+                    .collect();
+                Value::Object(
+                    [
+                        ("label".to_owned(), Value::Str(nd.label.clone())),
+                        ("attrs".to_owned(), Value::Array(attrs)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(a, b)| Value::Array(vec![Value::Int(a as i64), Value::Int(b as i64)]))
+            .collect();
+        Value::Object(
+            [
+                ("nodes".to_owned(), Value::Array(nodes)),
+                ("edges".to_owned(), Value::Array(edges)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    /// Decode from a JSON value.
+    pub fn from_json_value(v: &Value) -> Result<GraphDoc, JsonError> {
+        let nodes = v
+            .field("nodes")?
+            .as_array()?
+            .iter()
+            .map(|nd| {
+                let attrs = nd
+                    .field("attrs")?
+                    .as_array()?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array()?;
+                        match pair {
+                            [k, val] => Ok((k.as_str()?.to_owned(), attr_from_json(val)?)),
+                            _ => Err(JsonError {
+                                msg: "attribute pair must be [key, value]".into(),
+                                offset: None,
+                            }),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Ok(NodeDoc {
+                    label: nd.field("label")?.as_str()?.to_owned(),
+                    attrs,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let edges = v
+            .field("edges")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                let e = e.as_array()?;
+                match e {
+                    [a, b] => Ok((a.as_u32()?, b.as_u32()?)),
+                    _ => Err(JsonError {
+                        msg: "edge must be [from, to]".into(),
+                        offset: None,
+                    }),
+                }
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(GraphDoc { nodes, edges })
+    }
 }
 
 /// Serialize to a JSON string.
 pub fn to_json(g: &DiGraph) -> Result<String, GraphIoError> {
-    Ok(serde_json::to_string(&GraphDoc::from_graph(g))?)
+    Ok(GraphDoc::from_graph(g).to_json_value().to_string_compact())
 }
 
 /// Deserialize from a JSON string.
 pub fn from_json(s: &str) -> Result<DiGraph, GraphIoError> {
-    let doc: GraphDoc = serde_json::from_str(s)?;
+    let doc = GraphDoc::from_json_value(&json::parse(s)?)?;
     Ok(doc.into_graph())
 }
 
 /// Save as JSON to `path`.
 pub fn save_json(g: &DiGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
     let mut w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(&mut w, &GraphDoc::from_graph(g))?;
+    w.write_all(to_json(g)?.as_bytes())?;
     w.flush()?;
     Ok(())
 }

@@ -17,7 +17,8 @@
 //!   Twitter-like generator that substitutes for the paper's proprietary
 //!   Twitter fraction (see DESIGN.md §3).
 //! * File IO ([`io`]) — the paper stores graphs "as files"; both a
-//!   line-oriented text format and JSON are supported.
+//!   line-oriented text format and JSON (via the hand-rolled [`json`]
+//!   module — no network, no serde) are supported.
 //! * [`fixtures`] — the reconstructed Fig. 1 collaboration network used by
 //!   the paper's worked examples.
 
@@ -29,6 +30,7 @@ pub mod dijkstra;
 pub mod fixtures;
 pub mod generate;
 pub mod io;
+pub mod json;
 pub mod scc;
 pub mod view;
 

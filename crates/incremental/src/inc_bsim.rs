@@ -121,8 +121,7 @@ impl IncrementalBoundedSim {
     /// build the support counters.
     pub fn new(g: &DiGraph, q: &Pattern) -> IncrementalBoundedSim {
         let cand0 = candidate_sets(g, q);
-        let (sim, _) =
-            bounded_fixpoint_raw(g, q, cand0.clone(), EvalOptions::default(), false);
+        let (sim, _) = bounded_fixpoint_raw(g, q, cand0.clone(), EvalOptions::default(), false);
         let n = g.node_count();
         let mut scratch = BfsScratch::new();
         let mut scnt: Vec<Vec<u32>> = vec![vec![0; n]; q.edge_count()];
@@ -320,8 +319,7 @@ impl IncrementalBoundedSim {
         // other). The verification fixpoint below trims the
         // over-approximation exactly.
         let nq = self.pattern.node_count();
-        let mut tentative: Vec<BitSet> =
-            (0..nq).map(|_| BitSet::new(self.data_nodes)).collect();
+        let mut tentative: Vec<BitSet> = (0..nq).map(|_| BitSet::new(self.data_nodes)).collect();
         let mut worklist: Vec<(PNodeId, NodeId)> = Vec::new();
         for u in self.pattern.ids() {
             for &(v, dvx) in &affected {
@@ -351,9 +349,7 @@ impl IncrementalBoundedSim {
                 let e = &self.pattern.edges()[ei as usize];
                 let from = e.from;
                 let mut ups: Vec<NodeId> = Vec::new();
-                for_each_supported_by(g, &mut self.scratch, v, e.bound.depth(), |w| {
-                    ups.push(w)
-                });
+                for_each_supported_by(g, &mut self.scratch, v, e.bound.depth(), |w| ups.push(w));
                 for p in ups {
                     if self.cand0[from.index()].contains(p)
                         && !self.sim[from.index()].contains(p)

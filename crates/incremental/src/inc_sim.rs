@@ -171,10 +171,8 @@ impl IncrementalSim {
         }
 
         // ΔM = finalized additions minus verification removals
-        let removed_set: std::collections::HashSet<(u32, u32)> = removed_in_verify
-            .iter()
-            .map(|&(u, v)| (u.0, v.0))
-            .collect();
+        let removed_set: std::collections::HashSet<(u32, u32)> =
+            removed_in_verify.iter().map(|&(u, v)| (u.0, v.0)).collect();
         let deltas: Vec<MatchDelta> = added
             .into_iter()
             .filter(|&(u, v)| !removed_set.contains(&(u.0, v.0)))
@@ -307,9 +305,7 @@ mod tests {
         check_against_recompute(&g, &inc);
         assert_eq!(inc.current().total_pairs(), 2);
         // ΔM contains the (a,A) addition; (b,B) was already in the raw sets
-        assert!(delta
-            .iter()
-            .any(|d| d.added && d.data_node == a));
+        assert!(delta.iter().any(|d| d.added && d.data_node == a));
     }
 
     #[test]

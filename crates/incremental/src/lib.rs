@@ -73,11 +73,7 @@ pub struct MatchDelta {
 pub trait Maintainer {
     /// Bring the maintained relation in line after `update` has already
     /// been applied to `g`. Returns the ΔM this update caused.
-    fn on_update(
-        &mut self,
-        g: &expfinder_graph::DiGraph,
-        update: EdgeUpdate,
-    ) -> Vec<MatchDelta>;
+    fn on_update(&mut self, g: &expfinder_graph::DiGraph, update: EdgeUpdate) -> Vec<MatchDelta>;
 
     /// The maintained relation, collapsed to paper semantics.
     fn current(&self) -> expfinder_core::MatchRelation;

@@ -63,12 +63,7 @@ impl PatternBuilder {
     }
 
     /// Add an edge between named nodes with a bound.
-    pub fn edge(
-        mut self,
-        from: impl Into<String>,
-        to: impl Into<String>,
-        bound: Bound,
-    ) -> Self {
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>, bound: Bound) -> Self {
         self.edges.push((from.into(), to.into(), bound));
         self
     }

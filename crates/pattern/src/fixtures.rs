@@ -75,7 +75,10 @@ pub fn demo_queries() -> Vec<(String, Pattern)> {
             Predicate::label("SA").and(Predicate::attr_ge("experience", 3)),
         )
         .node("pm", Predicate::label("PM"))
-        .node("sd", Predicate::label("SD").and(Predicate::attr_ge("experience", 1)))
+        .node(
+            "sd",
+            Predicate::label("SD").and(Predicate::attr_ge("experience", 1)),
+        )
         .edge("sa", "pm", Bound::hops(2))
         .edge("pm", "sd", Bound::hops(2))
         .edge("sd", "sa", Bound::hops(3))
@@ -112,8 +115,7 @@ mod tests {
     fn demo_queries_valid_and_distinct() {
         let qs = demo_queries();
         assert_eq!(qs.len(), 3);
-        let fps: std::collections::HashSet<_> =
-            qs.iter().map(|(_, p)| p.fingerprint()).collect();
+        let fps: std::collections::HashSet<_> = qs.iter().map(|(_, p)| p.fingerprint()).collect();
         assert_eq!(fps.len(), 3, "all three queries are distinct");
         for (_, p) in &qs {
             assert!(p.output().is_some(), "demo queries rank an output node");

@@ -22,11 +22,10 @@ pub mod predicate;
 pub use builder::PatternBuilder;
 pub use predicate::{CmpOp, CompiledPredicate, Predicate};
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node inside one pattern. Dense: `0..node_count`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct PNodeId(pub u32);
 
 impl PNodeId {
@@ -43,7 +42,7 @@ impl fmt::Display for PNodeId {
 }
 
 /// Bound on a pattern edge: the maximum length of the matching path.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Bound {
     /// Path of length `1..=k`. `Hops(1)` is ordinary edge-to-edge matching.
     Hops(u32),
@@ -86,14 +85,14 @@ impl fmt::Display for Bound {
 }
 
 /// A pattern node: a user-facing name plus its search condition.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PatternNode {
     pub name: String,
     pub predicate: Predicate,
 }
 
 /// A pattern edge with its bound.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PatternEdge {
     pub from: PNodeId,
     pub to: PNodeId,
@@ -131,7 +130,7 @@ impl std::error::Error for PatternError {}
 /// Invariants (enforced by [`PatternBuilder`] / [`parser::parse`]):
 /// node names are unique, edges reference existing nodes, no duplicate
 /// edges, no self-loops, and the output node (if any) exists.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Pattern {
     nodes: Vec<PatternNode>,
     edges: Vec<PatternEdge>,

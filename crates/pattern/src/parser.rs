@@ -20,7 +20,7 @@
 //!   `key contains "..."`, `has key`, combined with `and`, `or`, `not`
 //!   and parentheses. A missing `where` clause means "matches anything".
 
-use crate::{Bound, PatternBuilder, Pattern, Predicate, CmpOp};
+use crate::{Bound, CmpOp, Pattern, PatternBuilder, Predicate};
 use expfinder_graph::AttrValue;
 use std::fmt;
 
@@ -401,7 +401,9 @@ impl Parser {
             self.bump();
             match self.bump() {
                 Tok::Op(CmpOp::Eq) => {}
-                other => return Err(self.err_here(format!("expected '=' after label, found {other}"))),
+                other => {
+                    return Err(self.err_here(format!("expected '=' after label, found {other}")))
+                }
             }
             match self.bump() {
                 Tok::Str(s) => return Ok(Predicate::label(s)),
@@ -413,7 +415,9 @@ impl Parser {
             match self.bump() {
                 Tok::Str(s) => return Ok(Predicate::contains(key, s)),
                 other => {
-                    return Err(self.err_here(format!("expected string after contains, found {other}")))
+                    return Err(
+                        self.err_here(format!("expected string after contains, found {other}"))
+                    )
                 }
             }
         }
@@ -548,15 +552,16 @@ mod tests {
     #[test]
     fn missing_where_means_true() {
         let p = parse("node a;").unwrap();
-        assert!(matches!(p.node(p.node_id("a").unwrap()).predicate, Predicate::True));
+        assert!(matches!(
+            p.node(p.node_id("a").unwrap()).predicate,
+            Predicate::True
+        ));
     }
 
     #[test]
     fn parses_boolean_structure() {
-        let p = parse(
-            r#"node a where (label = "X" or label = "Y") and not experience < 3;"#,
-        )
-        .unwrap();
+        let p =
+            parse(r#"node a where (label = "X" or label = "Y") and not experience < 3;"#).unwrap();
         let pred = &p.node(p.node_id("a").unwrap()).predicate;
         match pred {
             Predicate::And(parts) => {

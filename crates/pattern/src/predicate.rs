@@ -10,13 +10,12 @@
 //! [compiled]: Predicate::compile
 
 use expfinder_graph::{AttrValue, GraphView, Sym, VertexData};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Comparison operator in an attribute condition.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -61,7 +60,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A search condition on one pattern node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Predicate {
     /// Matches every node.
     True,
@@ -76,7 +75,10 @@ pub enum Predicate {
     /// The attribute exists (any value).
     HasAttr(String),
     /// String attribute contains a substring.
-    Contains { key: String, needle: String },
+    Contains {
+        key: String,
+        needle: String,
+    },
     And(Vec<Predicate>),
     Or(Vec<Predicate>),
     Not(Box<Predicate>),
@@ -387,7 +389,10 @@ mod tests {
     fn cross_type_cmp_fails() {
         let (g, bob, _) = graph();
         assert!(!Predicate::attr_eq("experience", "7").eval(&g, bob));
-        assert!(Predicate::attr_eq("experience", 7.0).eval(&g, bob), "int/float coerce");
+        assert!(
+            Predicate::attr_eq("experience", 7.0).eval(&g, bob),
+            "int/float coerce"
+        );
     }
 
     #[test]
@@ -395,7 +400,10 @@ mod tests {
         let (g, bob, dan) = graph();
         assert!(Predicate::contains("specialty", "arch").eval(&g, bob));
         assert!(!Predicate::contains("specialty", "arch").eval(&g, dan));
-        assert!(!Predicate::contains("experience", "7").eval(&g, bob), "non-string attr");
+        assert!(
+            !Predicate::contains("experience", "7").eval(&g, bob),
+            "non-string attr"
+        );
     }
 
     #[test]
@@ -461,7 +469,10 @@ mod tests {
         let c = Predicate::attr_gt("experience", 5);
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
-        assert_eq!(a.fingerprint(), Predicate::attr_ge("experience", 5).fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            Predicate::attr_ge("experience", 5).fingerprint()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::io::{BufRead, Write};
 fn main() {
     let mut shell = Shell::default();
     shell
-        .engine_mut()
+        .engine()
         .add_graph("fig1", collaboration_fig1().graph)
         .expect("fresh engine");
     let _ = shell.select("fig1");

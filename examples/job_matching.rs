@@ -88,7 +88,11 @@ fn main() {
     // --- step 2: plain bounded simulation ------------------------------
     let plain = bounded_simulation(&g, &job).expect("query runs");
     let pm = job.node_id("pm").unwrap();
-    let plain_pms: Vec<String> = plain.matches_vec(pm).iter().map(|&v| name_of(&g, v)).collect();
+    let plain_pms: Vec<String> = plain
+        .matches_vec(pm)
+        .iter()
+        .map(|&v| name_of(&g, v))
+        .collect();
     println!("\nbounded simulation PM candidates: {plain_pms:?}");
 
     // --- step 3: dual simulation asks for endorsement too --------------
@@ -111,8 +115,16 @@ fn main() {
 
     let plain2 = bounded_simulation(&g, &job_endorsed).unwrap();
     let dual = dual_simulation(&g, &job_endorsed);
-    let plain_pms: Vec<String> = plain2.matches_vec(pm_of(&job_endorsed)).iter().map(|&v| name_of(&g, v)).collect();
-    let dual_pms: Vec<String> = dual.matches_vec(pm_of(&job_endorsed)).iter().map(|&v| name_of(&g, v)).collect();
+    let plain_pms: Vec<String> = plain2
+        .matches_vec(pm_of(&job_endorsed))
+        .iter()
+        .map(|&v| name_of(&g, v))
+        .collect();
+    let dual_pms: Vec<String> = dual
+        .matches_vec(pm_of(&job_endorsed))
+        .iter()
+        .map(|&v| name_of(&g, v))
+        .collect();
     println!("with endorsement edge, bounded simulation keeps: {plain_pms:?}");
     println!("dual simulation (endorsement enforced) keeps:    {dual_pms:?}");
     assert!(dual_pms.contains(&"Lena".to_owned()));

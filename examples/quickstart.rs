@@ -1,9 +1,12 @@
 //! Quickstart: build a small collaboration graph, express a hiring
-//! requirement as a bounded-simulation pattern, and get ranked experts.
+//! requirement as a bounded-simulation pattern, and get ranked experts —
+//! first through the shareable engine (the handle/builder API every
+//! service would use), then through the raw matching layer.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use expfinder::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // --- a tiny collaboration network ----------------------------------
@@ -75,17 +78,32 @@ fn main() {
         .build()
         .expect("valid pattern");
 
-    // --- evaluate and rank ----------------------------------------------
-    let matches = bounded_simulation(&g, &pattern).expect("evaluation succeeds");
-    println!("match relation M(Q,G): {} pairs", matches.total_pairs());
-    for (u, v) in matches.pairs() {
+    // --- the engine way: shareable, handle-based, fluent ----------------
+    // `Arc<ExpFinder>` is how a long-lived service holds the engine: every
+    // query-side method is `&self`, so clones of the Arc can serve many
+    // threads at once.
+    let engine = Arc::new(ExpFinder::default());
+    let team = engine.add_graph("team", g.clone()).expect("fresh name");
+    let resp = engine
+        .query(&team)
+        .pattern(pattern.clone())
+        .top_k(2)
+        .run()
+        .expect("query runs");
+
+    println!(
+        "match relation M(Q,G): {} pairs via {:?} in {:?}",
+        resp.matches.total_pairs(),
+        resp.route,
+        resp.timings.total
+    );
+    for (u, v) in resp.matches.pairs() {
         let name = g.attr_of(v, "name").and_then(|a| a.as_str()).unwrap_or("?");
         println!("  {} ⊨ {}", pattern.node(u).name, name);
     }
 
-    let experts = top_k(&g, &pattern, &matches, 2).expect("pattern has an output node");
     println!("\ntop experts by social impact (lower = closer to the team):");
-    for (i, e) in experts.iter().enumerate() {
+    for (i, e) in resp.experts.iter().enumerate() {
         let name = g
             .attr_of(e.node, "name")
             .and_then(|a| a.as_str())
@@ -96,6 +114,13 @@ fn main() {
     // Both architects match, but Ana collaborates directly with the team
     // while Raj goes through the project manager — Ana's average social
     // distance is strictly smaller, so she ranks first.
-    assert_eq!(experts[0].node, ana);
-    assert!(experts[0].rank < experts[1].rank);
+    assert_eq!(resp.experts[0].node, ana);
+    assert!(resp.experts[0].rank < resp.experts[1].rank);
+
+    // --- the library way: the matching layer directly -------------------
+    let matches = bounded_simulation(&g, &pattern).expect("evaluation succeeds");
+    assert_eq!(matches, *resp.matches, "engine and library agree");
+    let experts = top_k(&g, &pattern, &matches, 2).expect("pattern has an output node");
+    assert_eq!(experts[0].node, resp.experts[0].node);
+    println!("\n(direct bounded_simulation + top_k agree with the engine)");
 }

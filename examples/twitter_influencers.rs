@@ -23,9 +23,16 @@ fn main() {
         hub_fraction: 0.005,
         buckets: 4,
     };
-    println!("generating a Twitter-like follower graph (n = {}) ...", cfg.n);
+    println!(
+        "generating a Twitter-like follower graph (n = {}) ...",
+        cfg.n
+    );
     let g = twitter_like(&mut rng, &cfg);
-    println!("  {} accounts, {} follow edges", g.node_count(), g.edge_count());
+    println!(
+        "  {} accounts, {} follow edges",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // "find influential media accounts that veteran users follow, which
     //  themselves sit within 2 hops of a celebrity"
@@ -44,12 +51,12 @@ fn main() {
         .build()
         .expect("valid pattern");
 
-    let mut engine = ExpFinder::new(EngineConfig::default());
-    engine.add_graph("twitter", g).unwrap();
+    let engine = ExpFinder::new(EngineConfig::default());
+    let twitter = engine.add_graph("twitter", g).unwrap();
 
     // direct evaluation first
     let t = Instant::now();
-    let direct = engine.evaluate("twitter", &pattern).unwrap();
+    let direct = engine.evaluate(&twitter, &pattern).unwrap();
     let direct_time = t.elapsed();
     println!(
         "\ndirect evaluation: {} pairs in {:?} (route {:?})",
@@ -60,7 +67,7 @@ fn main() {
 
     // compress, then the engine routes through G_c automatically
     let t = Instant::now();
-    let stats = engine.compress("twitter").unwrap();
+    let stats = engine.compress(&twitter).unwrap();
     let compress_time = t.elapsed();
     println!(
         "compression: {} → {} nodes, {} → {} edges ({:.1}% size reduction) in {:?}",
@@ -72,15 +79,15 @@ fn main() {
         compress_time
     );
 
-    // a fresh engine so the cache cannot answer
-    let mut engine2 = ExpFinder::new(EngineConfig::default());
-    let mut rng2 = StdRng::seed_from_u64(2013);
-    engine2
-        .add_graph("twitter", twitter_like(&mut rng2, &cfg))
-        .unwrap();
-    engine2.compress("twitter").unwrap();
+    // ask for the compressed route explicitly (the cache already holds
+    // this version's answer, so Auto would short-circuit)
     let t = Instant::now();
-    let compressed = engine2.evaluate("twitter", &pattern).unwrap();
+    let compressed = engine
+        .query(&twitter)
+        .pattern(pattern.clone())
+        .prefer(Route::Compressed)
+        .run()
+        .unwrap();
     let compressed_time = t.elapsed();
     println!(
         "compressed evaluation: {} pairs in {:?} (route {:?})",
@@ -94,7 +101,7 @@ fn main() {
     );
 
     // top influencers
-    let report = engine.find_experts("twitter", &pattern, 5).unwrap();
+    let report = engine.find_experts(&twitter, &pattern, 5).unwrap();
     println!("\ntop-5 media accounts by social impact:");
     for (i, e) in report.experts.iter().enumerate() {
         println!("  #{} account {} (rank {:.3})", i + 1, e.node, e.rank);

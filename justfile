@@ -1,0 +1,18 @@
+# Offline CI entry points (the container mirror of .github/workflows/ci.yml).
+
+# everything CI runs, in order
+verify: fmt-check clippy test
+
+fmt-check:
+    cargo fmt --all --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo build --release
+    cargo test --workspace
+
+# quick experiment-harness smoke run
+experiments:
+    cargo run --release -p expfinder-bench --bin experiments -- --quick

@@ -11,11 +11,17 @@
 //! **incremental query maintenance** under edge updates and
 //! **query-preserving graph compression**.
 //!
+//! The engine is a **shareable service**: every query-side method takes
+//! `&self`, graphs are addressed by cheap [`GraphHandle`]s, and an
+//! `Arc<ExpFinder>` serves many threads at once (reads on different
+//! graphs run fully in parallel; updates lock only their own graph).
+//!
 //! This crate is the facade: it re-exports the workspace crates under
 //! stable module names.
 //!
 //! ```
 //! use expfinder::prelude::*;
+//! use std::sync::Arc;
 //!
 //! // build a tiny collaboration graph
 //! let mut g = DiGraph::new();
@@ -31,8 +37,23 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let m = bounded_simulation(&g, &pattern).unwrap();
-//! assert!(m.contains(pattern.node_id("sa").unwrap(), lead));
+//! // a shareable engine: add_graph returns a handle, queries are &self
+//! let engine = Arc::new(ExpFinder::default());
+//! let team = engine.add_graph("team", g).unwrap();
+//! let resp = engine
+//!     .query(&team)
+//!     .pattern(pattern.clone())
+//!     .top_k(1)
+//!     .prefer(Route::Auto)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(resp.experts[0].node, lead);
+//! assert!(resp.matches.contains(pattern.node_id("sa").unwrap(), lead));
+//!
+//! // the matching layer is also usable directly, without an engine
+//! let g2 = engine.snapshot(&team).unwrap();
+//! let m = bounded_simulation(&g2, &pattern).unwrap();
+//! assert_eq!(*resp.matches, m);
 //! ```
 
 pub use expfinder_compress as compress;
@@ -42,17 +63,21 @@ pub use expfinder_graph as graph;
 pub use expfinder_incremental as incremental;
 pub use expfinder_pattern as pattern;
 
+#[doc(inline)]
+pub use expfinder_engine::{ExpFinder, ExpFinderError, GraphHandle};
+
 /// Commonly used items, importable with `use expfinder::prelude::*`.
 pub mod prelude {
     pub use expfinder_compress::{compress_graph, CompressedGraph, CompressionMethod, ReachIndex};
     pub use expfinder_core::{
-        bounded_simulation, dual_simulation, graph_simulation, rank_matches,
-        subgraph_isomorphism, top_k, MatchRelation, ResultGraph,
+        bounded_simulation, dual_simulation, graph_simulation, rank_matches, subgraph_isomorphism,
+        top_k, MatchRelation, ResultGraph,
     };
-    pub use expfinder_engine::{EngineConfig, ExpFinder};
-    pub use expfinder_graph::{
-        AttrValue, DiGraph, EdgeUpdate, GraphView, NodeId,
+    pub use expfinder_engine::{
+        EngineConfig, EvalRoute, ExpFinder, ExpFinderError, ExpertReport, GraphHandle,
+        QueryOutcome, QueryResponse, QueryTimings, Route,
     };
+    pub use expfinder_graph::{AttrValue, DiGraph, EdgeUpdate, GraphView, NodeId};
     pub use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim};
     pub use expfinder_pattern::{Bound, Pattern, PatternBuilder, Predicate};
 }

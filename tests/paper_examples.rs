@@ -49,7 +49,10 @@ fn e1_simulation_and_isomorphism_fail() {
             max_steps: 0,
         },
     );
-    assert!(iso.embeddings.is_empty(), "bijective matching misses it too");
+    assert!(
+        iso.embeddings.is_empty(),
+        "bijective matching misses it too"
+    );
 }
 
 /// E2: both rank values and the top-1 expert.
@@ -90,23 +93,29 @@ fn e3_delta_is_fred_only() {
     assert_eq!(delta[0].data_node, f.fred);
 }
 
-/// The full engine pipeline reproduces all three examples at once.
+/// The full engine pipeline reproduces all three examples at once,
+/// through the handle-based `&self` API.
 #[test]
 fn engine_reproduces_all_examples() {
     let f = collaboration_fig1();
     let q = fig1_pattern();
-    let mut engine = ExpFinder::new(EngineConfig::default());
-    engine.add_graph("fig1", f.graph.clone()).unwrap();
-    engine.register_query("fig1", "team", q.clone()).unwrap();
+    let engine = ExpFinder::new(EngineConfig::default());
+    let h = engine.add_graph("fig1", f.graph.clone()).unwrap();
+    engine.register_query(&h, "team", q.clone()).unwrap();
 
-    let report = engine.find_experts("fig1", &q, 2).unwrap();
+    let report = engine.find_experts(&h, &q, 2).unwrap();
     assert_eq!(report.experts[0].node, f.bob);
     assert!((report.experts[0].rank - 1.8).abs() < 1e-12);
 
+    // the fluent builder returns the same answer with timings attached
+    let resp = engine.query(&h).pattern(q.clone()).top_k(2).run().unwrap();
+    assert_eq!(resp.experts[0].node, f.bob);
+    assert!(resp.timings.total >= resp.timings.rank);
+
     engine
-        .apply_updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+        .apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
         .unwrap();
-    let maintained = engine.registered_result("fig1", "team").unwrap();
+    let maintained = engine.registered_result(&h, "team").unwrap();
     assert_eq!(maintained.total_pairs(), 8);
     assert!(maintained.contains(q.node_id("sd").unwrap(), f.fred));
 }

@@ -1,8 +1,9 @@
 //! Cross-crate pipeline tests: realistic end-to-end flows a user of the
 //! system would run, combining generation, the engine, compression,
-//! registered queries, updates and persistence.
+//! registered queries, updates and persistence — all through the
+//! handle-based `&self` API.
 
-use expfinder::engine::{storage, EvalRoute};
+use expfinder::engine::{storage, EvalRoute, Route};
 use expfinder::graph::generate::{
     collaboration, random_updates, twitter_like, CollabConfig, TwitterConfig,
 };
@@ -44,16 +45,19 @@ fn compress_route_transparency() {
     )
     .unwrap();
 
-    let mut e1 = ExpFinder::default();
-    e1.add_graph("t", g.clone()).unwrap();
-    let direct = e1.evaluate("t", &q).unwrap();
+    let engine = ExpFinder::default();
+    let t = engine.add_graph("t", g).unwrap();
+    let direct = engine.evaluate(&t, &q).unwrap();
     assert_eq!(direct.route, EvalRoute::DirectBounded);
 
-    let mut e2 = ExpFinder::default();
-    e2.add_graph("t", g).unwrap();
-    let stats = e2.compress("t").unwrap();
+    let stats = engine.compress(&t).unwrap();
     assert!(stats.size_reduction() > 0.2, "twitter-like compresses");
-    let via_c = e2.evaluate("t", &q).unwrap();
+    let via_c = engine
+        .query(&t)
+        .pattern(q)
+        .prefer(Route::Compressed)
+        .run()
+        .unwrap();
     assert_eq!(via_c.route, EvalRoute::Compressed);
     assert_eq!(*via_c.matches, *direct.matches);
 }
@@ -64,32 +68,43 @@ fn compress_route_transparency() {
 fn long_update_stream_consistency() {
     let g = collab(40, 11);
     let (_, q) = &demo_queries()[0]; // Q1 = the Fig. 1 pattern
-    let mut engine = ExpFinder::default();
-    engine.add_graph("c", g).unwrap();
-    engine.compress("c").unwrap();
-    engine.register_query("c", "q1", q.clone()).unwrap();
+    let engine = ExpFinder::default();
+    let c = engine.add_graph("c", g).unwrap();
+    engine.compress(&c).unwrap();
+    engine.register_query(&c, "q1", q.clone()).unwrap();
 
     let mut rng = StdRng::seed_from_u64(13);
     for round in 0..6 {
-        let ups = {
-            let g = engine.graph("c").unwrap();
-            random_updates(&mut rng, g, 15, 0.5)
-        };
-        engine.apply_updates("c", &ups).unwrap();
+        let ups = engine
+            .read_graph(&c, |g| random_updates(&mut rng, g, 15, 0.5))
+            .unwrap();
+        engine.apply_updates(&c, &ups).unwrap();
 
         // maintained result == fresh evaluation on the live graph
-        let maintained = engine.registered_result("c", "q1").unwrap();
-        let fresh = bounded_simulation(engine.graph("c").unwrap(), q).unwrap();
+        let maintained = engine.registered_result(&c, "q1").unwrap();
+        let fresh = engine
+            .read_graph(&c, |g| bounded_simulation(g, q).unwrap())
+            .unwrap();
         assert_eq!(maintained, fresh, "round {round}: registered query drifted");
 
-        // compressed route == direct route (fresh engine, same graph)
-        let mut fresh_engine = ExpFinder::default();
-        fresh_engine
-            .add_graph("c", engine.graph("c").unwrap().clone())
+        // compressed route == direct route on the same engine
+        let direct = engine
+            .query(&c)
+            .pattern(q.clone())
+            .prefer(Route::Direct)
+            .run()
             .unwrap();
-        let direct = fresh_engine.evaluate("c", q).unwrap();
-        let routed = engine.evaluate("c", q).unwrap();
-        assert_eq!(*routed.matches, *direct.matches, "round {round}: G_c drifted");
+        let routed = engine
+            .query(&c)
+            .pattern(q.clone())
+            .prefer(Route::Compressed)
+            .run()
+            .unwrap();
+        assert_eq!(routed.route, EvalRoute::Compressed, "round {round}");
+        assert_eq!(
+            *routed.matches, *direct.matches,
+            "round {round}: G_c drifted"
+        );
     }
 }
 
@@ -101,13 +116,14 @@ fn persistence_pipeline() {
 
     let g = collab(25, 17);
     let (_, q) = &demo_queries()[1]; // Q2
-    let mut engine = ExpFinder::default();
-    engine.add_graph("c", g).unwrap();
-    let before = engine.evaluate("c", q).unwrap();
+    let engine = ExpFinder::default();
+    let c = engine.add_graph("c", g).unwrap();
+    let before = engine.evaluate(&c, q).unwrap();
 
     storage::save_catalog(&engine, &dir).unwrap();
     let reloaded = storage::load_catalog(&dir).unwrap();
-    let after = reloaded.evaluate("c", q).unwrap();
+    let c2 = reloaded.handle("c").unwrap();
+    let after = reloaded.evaluate(&c2, q).unwrap();
     assert_eq!(*after.matches, *before.matches);
 
     // results round-trip too
@@ -125,22 +141,25 @@ fn ranking_stable_across_routes() {
     let g = collab(30, 23);
     let (_, q) = &demo_queries()[0];
 
-    let mut plain = ExpFinder::default();
-    plain.add_graph("c", g.clone()).unwrap();
-    let direct = plain.find_experts("c", q, 5).unwrap();
+    let plain = ExpFinder::default();
+    let h = plain.add_graph("c", g.clone()).unwrap();
+    let direct = plain.find_experts(&h, q, 5).unwrap();
 
-    let mut compressed = ExpFinder::default();
-    compressed.add_graph("c", g.clone()).unwrap();
-    compressed.compress("c").unwrap();
-    let via_c = compressed.find_experts("c", q, 5).unwrap();
+    let compressed = ExpFinder::default();
+    let hc = compressed.add_graph("c", g.clone()).unwrap();
+    compressed.compress(&hc).unwrap();
+    let via_c = compressed.find_experts(&hc, q, 5).unwrap();
 
-    let mut registered = ExpFinder::default();
-    registered.add_graph("c", g).unwrap();
-    registered.register_query("c", "q", q.clone()).unwrap();
-    let via_r = registered.find_experts("c", q, 5).unwrap();
+    let registered = ExpFinder::default();
+    let hr = registered.add_graph("c", g).unwrap();
+    registered.register_query(&hr, "q", q.clone()).unwrap();
+    let via_r = registered.find_experts(&hr, q, 5).unwrap();
 
     let ids = |r: &expfinder::engine::ExpertReport| {
-        r.experts.iter().map(|e| (e.node, e.rank.to_bits())).collect::<Vec<_>>()
+        r.experts
+            .iter()
+            .map(|e| (e.node, e.rank.to_bits()))
+            .collect::<Vec<_>>()
     };
     assert_eq!(ids(&direct), ids(&via_c));
     assert_eq!(ids(&direct), ids(&via_r));
@@ -152,10 +171,10 @@ fn ranking_stable_across_routes() {
 fn demo_queries_end_to_end() {
     let g = collab(60, 29);
     assert!(g.node_count() > 0);
-    let mut engine = ExpFinder::default();
-    engine.add_graph("c", g).unwrap();
+    let engine = ExpFinder::default();
+    let c = engine.add_graph("c", g).unwrap();
     for (name, q) in demo_queries() {
-        let report = engine.find_experts("c", &q, 3).unwrap();
+        let report = engine.find_experts(&c, &q, 3).unwrap();
         assert!(
             !report.experts.is_empty(),
             "{name} should find at least one expert"
@@ -173,19 +192,20 @@ fn demo_queries_end_to_end() {
 fn cache_versioning_under_updates() {
     let g = collab(20, 31);
     let (_, q) = &demo_queries()[0];
-    let mut engine = ExpFinder::default();
-    engine.add_graph("c", g).unwrap();
+    let engine = ExpFinder::default();
+    let c = engine.add_graph("c", g).unwrap();
 
-    let first = engine.evaluate("c", q).unwrap();
-    let cached = engine.evaluate("c", q).unwrap();
+    let first = engine.evaluate(&c, q).unwrap();
+    let cached = engine.evaluate(&c, q).unwrap();
     assert_eq!(cached.route, EvalRoute::Cache);
 
-    let ups = {
-        let g = engine.graph("c").unwrap();
-        random_updates(&mut StdRng::seed_from_u64(37), g, 5, 0.0) // deletions
-    };
-    engine.apply_updates("c", &ups).unwrap();
-    let after = engine.evaluate("c", q).unwrap();
+    let ups = engine
+        .read_graph(&c, |g| {
+            random_updates(&mut StdRng::seed_from_u64(37), g, 5, 0.0) // deletions
+        })
+        .unwrap();
+    engine.apply_updates(&c, &ups).unwrap();
+    let after = engine.evaluate(&c, q).unwrap();
     assert_ne!(after.route, EvalRoute::Cache, "version bumped");
     // deletions can only shrink the relation
     assert!(after.matches.total_pairs() <= first.matches.total_pairs());
@@ -198,30 +218,34 @@ fn engine_config_variants_agree() {
     let g = collab(25, 41);
     let (_, q) = &demo_queries()[0];
 
-    let mut default_engine = ExpFinder::default();
-    default_engine.add_graph("c", g.clone()).unwrap();
-    let reference = default_engine.find_experts("c", q, 5).unwrap();
+    let default_engine = ExpFinder::default();
+    let hd = default_engine.add_graph("c", g.clone()).unwrap();
+    let reference = default_engine.find_experts(&hd, q, 5).unwrap();
 
     // parallel result-graph construction
-    let mut threaded = ExpFinder::new(EngineConfig {
+    let threaded = ExpFinder::new(EngineConfig {
         result_graph_threads: 4,
         ..EngineConfig::default()
     });
-    threaded.add_graph("c", g.clone()).unwrap();
-    let via_threads = threaded.find_experts("c", q, 5).unwrap();
+    let ht = threaded.add_graph("c", g.clone()).unwrap();
+    let via_threads = threaded.find_experts(&ht, q, 5).unwrap();
     assert_eq!(
         reference.experts.iter().map(|e| e.node).collect::<Vec<_>>(),
-        via_threads.experts.iter().map(|e| e.node).collect::<Vec<_>>()
+        via_threads
+            .experts
+            .iter()
+            .map(|e| e.node)
+            .collect::<Vec<_>>()
     );
 
     // compression present but routing disabled
-    let mut no_auto = ExpFinder::new(EngineConfig {
+    let no_auto = ExpFinder::new(EngineConfig {
         auto_use_compressed: false,
         ..EngineConfig::default()
     });
-    no_auto.add_graph("c", g).unwrap();
-    no_auto.compress("c").unwrap();
-    let out = no_auto.evaluate("c", q).unwrap();
+    let hn = no_auto.add_graph("c", g).unwrap();
+    no_auto.compress(&hn).unwrap();
+    let out = no_auto.evaluate(&hn, q).unwrap();
     assert_eq!(out.route, EvalRoute::DirectBounded, "auto routing disabled");
     assert_eq!(*out.matches, *reference.outcome.matches);
 }

@@ -13,7 +13,9 @@
 //! * monotonicity: larger bounds can only add matches.
 
 use expfinder::compress::{compress_graph, CompressionMethod};
-use expfinder::core::naive::{is_valid_bounded_relation, naive_bounded_simulation, naive_simulation};
+use expfinder::core::naive::{
+    is_valid_bounded_relation, naive_bounded_simulation, naive_simulation,
+};
 use expfinder::core::{subgraph_isomorphism, IsoOptions};
 use expfinder::incremental::Maintainer;
 use expfinder::pattern::{Bound, PNodeId, Pattern, PatternEdge, PatternNode, Predicate};
@@ -44,7 +46,10 @@ fn raw_graph(max_nodes: usize) -> impl Strategy<Value = RawGraph> {
 fn build_graph(raw: &RawGraph) -> DiGraph {
     let mut g = DiGraph::new();
     for (l, e) in raw.labels.iter().zip(&raw.exps) {
-        g.add_node(&format!("L{l}"), [("experience", AttrValue::Int(*e as i64))]);
+        g.add_node(
+            &format!("L{l}"),
+            [("experience", AttrValue::Int(*e as i64))],
+        );
     }
     for &(a, b) in &raw.edges {
         if a != b {
@@ -237,4 +242,3 @@ proptest! {
         prop_assert_eq!(e1, e2);
     }
 }
-

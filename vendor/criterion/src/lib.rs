@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API subset its benches use: `benchmark_group` / `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BenchmarkId`,
+//! `BatchSize` and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs
+//! `sample_size` timed samples after one warm-up and reports
+//! min / median / mean wall-clock per iteration on stdout. No statistics,
+//! no HTML reports — enough to compare orders of magnitude offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are amortized. Only a hint in this shim.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures and records wall-clock samples.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, one sample per call, `samples` times.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.recorded.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id, &b.recorded);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id, &b.recorded);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    println!(
+        "{group}/{id}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+        sorted[0],
+        sorted[sorted.len() / 2],
+        total / sorted.len() as u32,
+        sorted.len()
+    );
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+        group.bench_function(BenchmarkId::new("named", 42), |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 3);
+        assert_eq!(calls, 4, "warm-up + 3 samples");
+    }
+}

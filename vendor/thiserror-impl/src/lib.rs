@@ -1,0 +1,413 @@
+//! Offline stand-in for `thiserror`'s `#[derive(Error)]`.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote` — the build
+//! environment has no network access). Supports the subset this
+//! workspace uses, on non-generic enums:
+//!
+//! * `#[error("format string")]` per variant — `{0}`, `{0:?}` positional
+//!   references resolve to tuple fields; `{name}` references resolve to
+//!   struct-variant fields (via implicit format-args capture);
+//! * `#[from]` on the single field of a tuple variant — generates a
+//!   `From<FieldType>` impl and wires `Error::source`;
+//! * `#[source]` on a tuple field — wires `Error::source` only.
+//!
+//! Anything outside that subset (generics, `#[error(transparent)]`,
+//! structs) panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// The `#[error(...)]` format literal, raw (with surrounding quotes).
+    fmt: String,
+    fields: Fields,
+    /// Index of the `#[from]` field, if any.
+    from_field: Option<usize>,
+    /// Index of the `#[from]` or `#[source]` field, if any.
+    source_field: Option<usize>,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields: the type of each, as source text.
+    Tuple(Vec<String>),
+    /// Struct fields: the name of each.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let (name, variants) = parse_enum(input);
+    let mut out = String::new();
+
+    // ---- Display ----
+    out.push_str(&format!(
+        "impl ::core::fmt::Display for {name} {{\n\
+         #[allow(unused_variables, clippy::used_underscore_binding)]\n\
+         fn fmt(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         match self {{\n"
+    ));
+    for v in &variants {
+        let fmt = rewrite_format_literal(&v.fmt, &v.name);
+        match &v.fields {
+            Fields::Unit => {
+                out.push_str(&format!(
+                    "{name}::{} => ::core::write!(__f, {fmt}),\n",
+                    v.name
+                ));
+            }
+            Fields::Tuple(tys) => {
+                let binders: Vec<String> = (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                out.push_str(&format!(
+                    "{name}::{}({}) => ::core::write!(__f, {fmt}),\n",
+                    v.name,
+                    binders.join(", ")
+                ));
+            }
+            Fields::Struct(names) => {
+                out.push_str(&format!(
+                    "{name}::{} {{ {} }} => ::core::write!(__f, {fmt}),\n",
+                    v.name,
+                    names.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("}\n}\n}\n");
+
+    // ---- std::error::Error (+ source) ----
+    let sourced: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| v.source_field.is_some())
+        .collect();
+    out.push_str(&format!("impl ::std::error::Error for {name} {{\n"));
+    if !sourced.is_empty() {
+        out.push_str(
+            "fn source(&self) -> ::core::option::Option<&(dyn ::std::error::Error + 'static)> {\n\
+             match self {\n",
+        );
+        for v in &sourced {
+            let idx = v.source_field.unwrap();
+            let arity = match &v.fields {
+                Fields::Tuple(tys) => tys.len(),
+                _ => panic!("#[from]/#[source] is only supported on tuple variants"),
+            };
+            let binders: Vec<String> = (0..arity)
+                .map(|i| {
+                    if i == idx {
+                        format!("__f{i}")
+                    } else {
+                        "_".into()
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "{name}::{}({}) => ::core::option::Option::Some(__f{idx}),\n",
+                v.name,
+                binders.join(", ")
+            ));
+        }
+        if sourced.len() < variants.len() {
+            out.push_str("_ => ::core::option::Option::None,\n");
+        }
+        out.push_str("}\n}\n");
+    }
+    out.push_str("}\n");
+
+    // ---- From impls for #[from] fields ----
+    for v in &variants {
+        if let Some(idx) = v.from_field {
+            let tys = match &v.fields {
+                Fields::Tuple(tys) => tys,
+                _ => panic!("#[from] is only supported on tuple variants"),
+            };
+            assert!(
+                tys.len() == 1,
+                "#[from] requires the variant to have exactly one field ({name}::{})",
+                v.name
+            );
+            out.push_str(&format!(
+                "impl ::core::convert::From<{ty}> for {name} {{\n\
+                 fn from(__e: {ty}) -> Self {{ {name}::{v}(__e) }}\n\
+                 }}\n",
+                ty = tys[idx],
+                v = v.name
+            ));
+        }
+    }
+
+    out.parse().expect("derive(Error) generated invalid Rust")
+}
+
+// --------------------------- input parsing ---------------------------
+
+fn parse_enum(input: TokenStream) -> (String, Vec<Variant>) {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the attribute group on the enum itself
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected enum name, got {other:?}"),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    Some(other) => {
+                        panic!("derive(Error) supports only non-generic enums, got {other}")
+                    }
+                    None => panic!("missing enum body"),
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                panic!("derive(Error) supports only enums in this vendored shim")
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Error): no enum found");
+    let body = body.expect("derive(Error): no enum body found");
+    (name, parse_variants(body))
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // leading attributes: keep the #[error("...")] literal, skip others
+        let mut fmt = None;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    let group = match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                        other => panic!("malformed attribute: {other:?}"),
+                    };
+                    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "error" {
+                            match inner.get(1) {
+                                Some(TokenTree::Group(args)) => {
+                                    let lit = args.stream().into_iter().next();
+                                    match lit {
+                                        Some(TokenTree::Literal(l)) => {
+                                            fmt = Some(l.to_string());
+                                        }
+                                        other => panic!(
+                                            "#[error(..)] must start with a string literal \
+                                             (transparent is unsupported), got {other:?}"
+                                        ),
+                                    }
+                                }
+                                other => panic!("malformed #[error] attribute: {other:?}"),
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let vname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fmt = fmt.unwrap_or_else(|| panic!("variant {vname} is missing #[error(\"...\")]"));
+
+        let mut from_field = None;
+        let mut source_field = None;
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                let tys = parse_tuple_fields(g.stream(), &mut from_field, &mut source_field);
+                Fields::Tuple(tys)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Struct(parse_struct_field_names(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: vname,
+            fmt,
+            fields,
+            from_field,
+            source_field: source_field.or(from_field),
+        });
+        // trailing comma
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` between variants, got {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Split a token stream at top-level commas, tracking `<...>` depth so
+/// types like `Vec<(A, B)>` or `HashMap<K, V>` stay in one piece.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().unwrap().push(tt);
+    }
+    if pieces.last().is_some_and(|p| p.is_empty()) {
+        pieces.pop();
+    }
+    pieces
+}
+
+fn parse_tuple_fields(
+    stream: TokenStream,
+    from_field: &mut Option<usize>,
+    source_field: &mut Option<usize>,
+) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .enumerate()
+        .map(|(i, piece)| {
+            let mut ty = String::new();
+            let mut toks = piece.into_iter().peekable();
+            loop {
+                match toks.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        toks.next();
+                        if let Some(TokenTree::Group(g)) = toks.next() {
+                            match g.stream().to_string().as_str() {
+                                "from" => *from_field = Some(i),
+                                "source" => *source_field = Some(i),
+                                _ => {}
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        toks.next();
+                        // skip an optional pub(...) restriction
+                        if let Some(TokenTree::Group(g)) = toks.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                toks.next();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let mut prev_wordlike = false;
+            for t in toks {
+                let s = t.to_string();
+                let wordlike = matches!(t, TokenTree::Ident(_) | TokenTree::Literal(_));
+                // space only between adjacent word-like tokens (`dyn Foo`),
+                // never around punctuation (`std::io::Error` must not
+                // become `std : : io : : Error`)
+                if prev_wordlike && wordlike {
+                    ty.push(' ');
+                }
+                ty.push_str(&s);
+                prev_wordlike = wordlike;
+            }
+            ty
+        })
+        .collect()
+}
+
+fn parse_struct_field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|piece| {
+            // pattern: (attrs)* (pub (restriction)?)? name : type
+            let mut name = None;
+            let mut toks = piece.into_iter().peekable();
+            while let Some(tt) = toks.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        toks.next();
+                    }
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        if let Some(TokenTree::Group(g)) = toks.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                toks.next();
+                            }
+                        }
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        break;
+                    }
+                    other => panic!("unexpected token in struct field: {other}"),
+                }
+            }
+            name.expect("struct field without a name")
+        })
+        .collect()
+}
+
+// ------------------------ format-string rewriting ------------------------
+
+/// Rewrite `{0}` / `{0:?}` positional references in the raw string literal
+/// to `{__f0}` / `{__f0:?}` so they resolve against the tuple-field match
+/// binders through implicit format-args capture. Named references
+/// (`{line}`) are left as-is — struct variants bind fields by name.
+fn rewrite_format_literal(raw: &str, variant: &str) -> String {
+    assert!(
+        raw.starts_with('"') && raw.ends_with('"'),
+        "#[error(..)] on variant {variant} must be a plain string literal, got {raw}"
+    );
+    let mut out = String::with_capacity(raw.len() + 8);
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // read the argument reference up to ':' or '}'
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != ':' && chars[j] != '}' {
+                j += 1;
+            }
+            let arg: String = chars[i + 1..j].iter().collect();
+            out.push('{');
+            if !arg.is_empty() && arg.chars().all(|c| c.is_ascii_digit()) {
+                out.push_str("__f");
+            }
+            out.push_str(&arg);
+            i = j;
+            continue;
+        }
+        if c == '}' && chars.get(i + 1) == Some(&'}') {
+            out.push_str("}}");
+            i += 2;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}

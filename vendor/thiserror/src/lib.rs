@@ -1,0 +1,72 @@
+//! Offline stand-in for the `thiserror` crate.
+//!
+//! Re-exports the vendored `#[derive(Error)]` macro. See
+//! `vendor/thiserror-impl` for the supported attribute subset.
+
+pub use thiserror_impl::Error;
+
+#[cfg(test)]
+mod tests {
+    use super::Error;
+    use std::error::Error as _;
+
+    #[derive(Debug, Error)]
+    enum Leaf {
+        #[error("leaf failed")]
+        Boom,
+    }
+
+    /// Exercises every supported shape: unit, tuple with positional
+    /// format specs, struct variant with named captures, `#[from]`,
+    /// and multi-field tuple with a `#[source]`.
+    #[derive(Debug, Error)]
+    enum Top {
+        #[error("nothing to do")]
+        Empty,
+        #[error("no graph named {0:?} (of {1})")]
+        Unknown(String, usize),
+        #[error("parse error at line {line}: {msg}")]
+        Parse { line: usize, msg: String },
+        #[error("leaf error: {0}")]
+        Wrapped(#[from] Leaf),
+        #[error("ctx {0}: braces {{kept}}")]
+        Sourced(String, #[source] Leaf),
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Top::Empty.to_string(), "nothing to do");
+        assert_eq!(
+            Top::Unknown("g".into(), 3).to_string(),
+            "no graph named \"g\" (of 3)"
+        );
+        assert_eq!(
+            Top::Parse {
+                line: 7,
+                msg: "bad".into()
+            }
+            .to_string(),
+            "parse error at line 7: bad"
+        );
+        assert_eq!(Top::from(Leaf::Boom).to_string(), "leaf error: leaf failed");
+        assert_eq!(
+            Top::Sourced("x".into(), Leaf::Boom).to_string(),
+            "ctx x: braces {kept}"
+        );
+    }
+
+    #[test]
+    fn from_and_source() {
+        let e: Top = Leaf::Boom.into();
+        assert!(matches!(e, Top::Wrapped(_)));
+        assert_eq!(e.source().unwrap().to_string(), "leaf failed");
+        assert_eq!(
+            Top::Sourced("x".into(), Leaf::Boom)
+                .source()
+                .unwrap()
+                .to_string(),
+            "leaf failed"
+        );
+        assert!(Top::Empty.source().is_none());
+    }
+}
