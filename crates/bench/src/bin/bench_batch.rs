@@ -1,0 +1,90 @@
+//! Standalone batch/parallel benchmark.
+//!
+//! Usage:
+//!   cargo run --release -p expfinder-bench --bin bench_batch
+//!   cargo run --release -p expfinder-bench --bin bench_batch -- --quick
+//!   cargo run --release -p expfinder-bench --bin bench_batch -- \
+//!       --threads 8 --batch 64 --out BENCH_2.json --min-batch-speedup 3.0
+//!
+//! Runs the sequential-vs-parallel measurement of
+//! [`expfinder_bench::batchbench`] and writes the machine-readable
+//! document (default `BENCH_2.json`). With `--min-batch-speedup X` the
+//! process exits non-zero when any workload's batch speedup falls below
+//! `X` — the hook a perf-gating CI job attaches to on multi-core runners.
+
+use expfinder_bench::batchbench::{run_batch_bench, write_bench_json, BatchBenchOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut batch: Option<usize> = None;
+    let mut out = "BENCH_2.json".to_owned();
+    let mut min_speedup: Option<f64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--threads" => threads = Some(take(&mut i).parse().expect("bad --threads")),
+            "--batch" => batch = Some(take(&mut i).parse().expect("bad --batch")),
+            "--out" => out = take(&mut i),
+            "--min-batch-speedup" => {
+                min_speedup = Some(take(&mut i).parse().expect("bad --min-batch-speedup"))
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // explicit flags win over the profile, whatever the argument order
+    let mut opts = if quick {
+        BatchBenchOptions::quick()
+    } else {
+        BatchBenchOptions::default()
+    };
+    if let Some(t) = threads {
+        opts.threads = t;
+    }
+    if let Some(b) = batch {
+        opts.batch_size = b;
+    }
+
+    let doc = run_batch_bench(&opts);
+    write_bench_json(&out, &doc).expect("writing bench json");
+
+    if let Some(min) = min_speedup {
+        let workloads = doc.field("workloads").unwrap().as_array().unwrap();
+        let mut ok = true;
+        for w in workloads {
+            let name = w.field("name").unwrap().as_str().unwrap();
+            let sp = w
+                .field("batch")
+                .unwrap()
+                .field("speedup")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            if sp < min {
+                eprintln!("GATE FAIL: {name} batch speedup {sp:.2}x < required {min:.2}x");
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("gate passed: all batch speedups >= {min:.2}x");
+    }
+}

@@ -7,6 +7,7 @@
 //!   cargo run --release --bin experiments -- e8      # one experiment
 //!   cargo run --release --bin experiments -- --quick # smaller workloads
 
+use expfinder_bench::batchbench::{run_batch_bench, write_bench_json, BatchBenchOptions};
 use expfinder_bench::*;
 use expfinder_compress::maintain::MaintainedCompression;
 use expfinder_compress::{compress_graph, CompressionMethod};
@@ -79,6 +80,9 @@ fn main() {
     }
     if want("e12") {
         e12_ablations(&opts);
+    }
+    if want("e13") {
+        e13_batch_parallel(&opts);
     }
     println!("\nharness complete.");
 }
@@ -847,5 +851,50 @@ fn e12_ablations(opts: &Opts) {
     verdict(
         same && se.stats().compressed_nodes <= bi.stats().compressed_nodes,
         "plans agree on results; simeq compresses at least as much as bisim",
+    );
+}
+
+// --------------------------------------------------------------- E13 --
+
+fn e13_batch_parallel(opts: &Opts) {
+    banner(
+        "E13",
+        "batch query execution — sequential vs parallel (extension)",
+        "a batch of queries drained across a scoped pool, each query using \
+         the CSR fast path with parallel refinement, returns bit-identical \
+         results to the sequential engine; BENCH_2.json records the baseline",
+    );
+    let bench_opts = if opts.quick {
+        BatchBenchOptions::quick()
+    } else {
+        BatchBenchOptions::default()
+    };
+    // quick runs record to a scratch file so the checked-in full-profile
+    // baseline (BENCH_2.json) is only ever rewritten by a full run
+    let out = if opts.quick {
+        "BENCH_smoke.json"
+    } else {
+        "BENCH_2.json"
+    };
+    // run_batch_bench asserts sequential/parallel result equality itself
+    let doc = run_batch_bench(&bench_opts);
+    let written = write_bench_json(out, &doc).is_ok();
+    let identical = doc
+        .field("workloads")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .all(|w| {
+            w.field("batch")
+                .unwrap()
+                .field("results_identical")
+                .unwrap()
+                .as_bool()
+                .unwrap()
+        });
+    verdict(
+        written && identical,
+        "parallel results identical to sequential; baseline recorded",
     );
 }

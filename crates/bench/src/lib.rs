@@ -4,6 +4,8 @@
 //! Every workload is a deterministic function of a seed so the
 //! experiments in EXPERIMENTS.md are reproducible bit-for-bit.
 
+pub mod batchbench;
+
 use expfinder_graph::generate::{
     collaboration, erdos_renyi, hierarchy, preferential_attachment, twitter_like, CollabConfig,
     HierarchyConfig, NodeSpec, TwitterConfig,

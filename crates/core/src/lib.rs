@@ -25,6 +25,7 @@ pub mod dualsim;
 pub mod iso;
 pub mod matchrel;
 pub mod naive;
+pub mod parallel;
 pub mod rank;
 pub mod result_graph;
 pub mod sim;
@@ -33,6 +34,10 @@ pub use bsim::{bounded_simulation, bounded_simulation_with, EvalOptions, EvalSta
 pub use dualsim::dual_simulation;
 pub use iso::{subgraph_isomorphism, IsoOptions};
 pub use matchrel::MatchRelation;
+pub use parallel::{
+    parallel_bounded_simulation, parallel_candidate_sets, parallel_dual_simulation,
+    parallel_simulation,
+};
 pub use rank::{rank_matches, rank_value, top_k, RankedMatch};
 pub use result_graph::{BuildOptions, ResultGraph};
 pub use sim::graph_simulation;
@@ -68,18 +73,41 @@ pub(crate) fn candidate_sets<G: expfinder_graph::GraphView>(
     g: &G,
     q: &expfinder_pattern::Pattern,
 ) -> Vec<expfinder_graph::BitSet> {
+    q.ids().map(|u| candidate_set(g, q, u)).collect()
+}
+
+/// The candidate set of one pattern node. When the view maintains a label
+/// index (`CsrGraph` does) and the predicate implies a label, only that
+/// label class is scanned; otherwise every node is tested.
+pub(crate) fn candidate_set<G: expfinder_graph::GraphView>(
+    g: &G,
+    q: &expfinder_pattern::Pattern,
+    u: expfinder_pattern::PNodeId,
+) -> expfinder_graph::BitSet {
     let n = g.node_count();
-    q.nodes()
-        .iter()
-        .map(|pn| {
-            let compiled = pn.predicate.compile(g);
-            let mut set = expfinder_graph::BitSet::new(n);
+    let pn = &q.nodes()[u.index()];
+    let compiled = pn.predicate.compile(g);
+    let mut set = expfinder_graph::BitSet::new(n);
+    let indexed = pn
+        .predicate
+        .required_label()
+        .and_then(|l| g.interner().get(l))
+        .and_then(|sym| g.nodes_with_label(sym));
+    match indexed {
+        Some(class) => {
+            for v in class.iter() {
+                if compiled.eval(g.vertex(v)) {
+                    set.insert(v);
+                }
+            }
+        }
+        None => {
             for v in g.ids() {
                 if compiled.eval(g.vertex(v)) {
                     set.insert(v);
                 }
             }
-            set
-        })
-        .collect()
+        }
+    }
+    set
 }

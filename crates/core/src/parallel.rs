@@ -1,0 +1,330 @@
+//! Parallel refinement — the multi-threaded evaluation path.
+//!
+//! All three matching semantics in this crate (plain simulation, bounded
+//! simulation, bounded dual simulation) are greatest-fixpoint refinements:
+//! starting from predicate candidate sets, per-pattern-edge constraints
+//! repeatedly intersect a set with a reach-set computed by one bounded
+//! multi-source BFS, until nothing shrinks. The greatest fixpoint of a
+//! monotone operator on a finite lattice is *unique*, so the order in
+//! which constraints are applied changes cost, never results — which is
+//! exactly what makes the fixpoint safe to parallelise.
+//!
+//! The scheme here is round-based (Jacobi-style) chaotic iteration over a
+//! frontier worklist:
+//!
+//! 1. all constraints start on the frontier;
+//! 2. each round, workers pull constraints off a shared counter (the
+//!    chunked work-queue idiom of [`crate::result_graph`]) and compute
+//!    their reach-sets **in parallel** from the current sets — reads only;
+//! 3. the intersections are applied sequentially (cheap, O(|V|/64) words
+//!    per set), and every constraint whose *seed* set shrank joins the
+//!    next frontier;
+//! 4. repeat until the frontier is empty — i.e. a fixpoint.
+//!
+//! Within a round the reach-sets are computed from a snapshot that is a
+//! superset of the final fixpoint, so every removal is sound; at
+//! termination every constraint holds, so the result *is* the greatest
+//! fixpoint — bit-identical to the sequential functions (property-tested
+//! in `tests/batch.rs`). Candidate-set construction parallelises the same
+//! way, one pattern node per work item, seeded from the label index when
+//! the view provides one ([`GraphView::nodes_with_label`]).
+
+use crate::matchrel::MatchRelation;
+use crate::{candidate_set, MatchError};
+use expfinder_graph::bfs::{BfsScratch, Direction};
+use expfinder_graph::{BitSet, GraphView};
+use expfinder_pattern::{PNodeId, Pattern};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One refinement constraint: `sim(constrained) ∩= reach(sim(seeds))`,
+/// where the reach-set is a bounded multi-source BFS from the seed set in
+/// direction `dir`.
+#[derive(Copy, Clone, Debug)]
+struct Constraint {
+    constrained: PNodeId,
+    seeds: PNodeId,
+    depth: u32,
+    dir: Direction,
+}
+
+/// Which constraint system to solve.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Semantics {
+    /// Forward constraints only (child support) — simulation flavours.
+    Forward,
+    /// Forward and backward constraints — dual simulation.
+    Dual,
+}
+
+/// Parallel plain graph simulation: identical results to
+/// [`crate::graph_simulation`], computed with `threads` workers.
+pub fn parallel_simulation<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> Result<MatchRelation, MatchError> {
+    if !q.is_simulation() {
+        return Err(MatchError::NotASimulationPattern);
+    }
+    Ok(refine(g, q, Semantics::Forward, threads))
+}
+
+/// Parallel bounded simulation: identical results to
+/// [`crate::bounded_simulation`], computed with `threads` workers.
+pub fn parallel_bounded_simulation<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> Result<MatchRelation, MatchError> {
+    Ok(refine(g, q, Semantics::Forward, threads))
+}
+
+/// Parallel bounded dual simulation: identical results to
+/// [`crate::dual_simulation`], computed with `threads` workers.
+pub fn parallel_dual_simulation<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> MatchRelation {
+    refine(g, q, Semantics::Dual, threads)
+}
+
+/// Candidate sets computed with `threads` workers, one pattern node per
+/// work item. Identical to the sequential seeding used by every matcher.
+pub fn parallel_candidate_sets<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> Vec<BitSet> {
+    let ids: Vec<PNodeId> = q.ids().collect();
+    run_items(threads, &ids, || (), |_, &u| (u, candidate_set(g, q, u)))
+        .map(|mut sets| {
+            sets.sort_by_key(|(u, _)| u.index());
+            sets.into_iter().map(|(_, s)| s).collect()
+        })
+        .unwrap_or_else(|| crate::candidate_sets(g, q))
+}
+
+/// The shared fixpoint driver.
+fn refine<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    semantics: Semantics,
+    threads: usize,
+) -> MatchRelation {
+    let n = g.node_count();
+    let mut sim = parallel_candidate_sets(g, q, threads);
+
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for e in q.edges() {
+        constraints.push(Constraint {
+            constrained: e.from,
+            seeds: e.to,
+            depth: e.bound.depth(),
+            dir: Direction::Backward,
+        });
+        if semantics == Semantics::Dual {
+            constraints.push(Constraint {
+                constrained: e.to,
+                seeds: e.from,
+                depth: e.bound.depth(),
+                dir: Direction::Forward,
+            });
+        }
+    }
+    if constraints.is_empty() {
+        return MatchRelation::from_sets(sim, n);
+    }
+
+    let mut frontier: Vec<usize> = (0..constraints.len()).collect();
+    while !frontier.is_empty() {
+        // phase 1: reach-sets of the frontier, computed in parallel from
+        // an immutable snapshot of the current sets (each worker reuses
+        // one BFS scratch across its items)
+        let reach_for = |scratch: &mut BfsScratch, cid: usize| {
+            let c = constraints[cid];
+            let mut reach = BitSet::new(n);
+            scratch.multi_source_within(g, &sim[c.seeds.index()], c.depth, c.dir, &mut reach);
+            (cid, reach)
+        };
+        let reaches = run_items(threads, &frontier, BfsScratch::new, |scratch, &cid| {
+            reach_for(scratch, cid)
+        })
+        .unwrap_or_else(|| {
+            let mut scratch = BfsScratch::new();
+            frontier
+                .iter()
+                .map(|&cid| reach_for(&mut scratch, cid))
+                .collect()
+        });
+
+        // phase 2: apply intersections; note which pattern nodes shrank
+        let mut shrunk = vec![false; q.node_count()];
+        for (cid, reach) in reaches {
+            let u = constraints[cid].constrained;
+            let set = &mut sim[u.index()];
+            let before = set.count();
+            set.intersect_with(&reach);
+            if set.count() < before {
+                if set.is_empty() {
+                    // some pattern node became unmatchable: M(Q,G) = ∅
+                    return MatchRelation::empty(q, n);
+                }
+                shrunk[u.index()] = true;
+            }
+        }
+
+        // phase 3: next frontier = constraints whose seed set shrank
+        frontier = (0..constraints.len())
+            .filter(|&cid| shrunk[constraints[cid].seeds.index()])
+            .collect();
+    }
+
+    MatchRelation::from_sets(sim, n)
+}
+
+/// Map `f` over `items` with up to `threads` scoped workers pulling from a
+/// shared counter — the one chunked work-queue idiom shared by the
+/// parallel refinement, candidate seeding and the engine's batch
+/// executor. Each worker owns one `W` built by `mk_worker` (reusable
+/// scratch state; pass `|| ()` when none is needed). Results arrive in
+/// worker-completion order — pair them with their item index when order
+/// matters. Returns `None` when one inline pass is cheaper (a lone worker
+/// or a lone item) — callers then run sequentially without paying a
+/// thread spawn.
+pub fn run_items<T: Sync, R: Send, W>(
+    threads: usize,
+    items: &[T],
+    mk_worker: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, &T) -> R + Sync,
+) -> Option<Vec<R>> {
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return None;
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let mk_worker = &mk_worker;
+            handles.push(s.spawn(move || {
+                let mut worker = mk_worker();
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push(f(&mut worker, &items[i]));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("parallel refinement worker panicked"));
+        }
+    });
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bounded_simulation, dual_simulation, graph_simulation};
+    use expfinder_graph::fixtures::collaboration_fig1;
+    use expfinder_graph::generate::{erdos_renyi, NodeSpec};
+    use expfinder_graph::CsrGraph;
+    use expfinder_pattern::fixtures::{fig1_pattern, fig1_pattern_simulation};
+    use expfinder_pattern::generate::{random_pattern, PatternConfig, PatternShape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_parallel_equals_sequential() {
+        let f = collaboration_fig1();
+        let q = fig1_pattern();
+        for threads in [1, 2, 4] {
+            let par = parallel_bounded_simulation(&f.graph, &q, threads).unwrap();
+            assert_eq!(par, bounded_simulation(&f.graph, &q).unwrap());
+            let csr = CsrGraph::snapshot(&f.graph);
+            let par_csr = parallel_bounded_simulation(&csr, &q, threads).unwrap();
+            assert_eq!(par_csr, par, "CSR fast path agrees ({threads} threads)");
+        }
+    }
+
+    #[test]
+    fn simulation_rejects_bounded_patterns() {
+        let f = collaboration_fig1();
+        assert_eq!(
+            parallel_simulation(&f.graph, &fig1_pattern(), 2).unwrap_err(),
+            MatchError::NotASimulationPattern
+        );
+        let m = parallel_simulation(&f.graph, &fig1_pattern_simulation(), 2).unwrap();
+        assert_eq!(
+            m,
+            graph_simulation(&f.graph, &fig1_pattern_simulation()).unwrap()
+        );
+    }
+
+    #[test]
+    fn random_graphs_all_semantics_agree() {
+        let mut rng = StdRng::seed_from_u64(2607);
+        let spec = NodeSpec::uniform(3, 4);
+        for trial in 0..15 {
+            let g = erdos_renyi(&mut rng, 40, 160, &spec);
+            let csr = CsrGraph::snapshot(&g);
+            let mut cfg = PatternConfig::new(PatternShape::Dag, 4, spec.labels.clone());
+            cfg.bound_range = (1, 3);
+            cfg.extra_edges = 1;
+            let q = random_pattern(&mut rng, &cfg);
+
+            let seq_b = bounded_simulation(&g, &q).unwrap();
+            let seq_d = dual_simulation(&g, &q);
+            for threads in [1, 3] {
+                assert_eq!(
+                    parallel_bounded_simulation(&csr, &q, threads).unwrap(),
+                    seq_b,
+                    "trial {trial} bsim {threads}t"
+                );
+                assert_eq!(
+                    parallel_dual_simulation(&csr, &q, threads),
+                    seq_d,
+                    "trial {trial} dual {threads}t"
+                );
+            }
+
+            let qs = q.as_simulation();
+            let seq_s = graph_simulation(&g, &qs).unwrap();
+            assert_eq!(
+                parallel_simulation(&csr, &qs, 3).unwrap(),
+                seq_s,
+                "trial {trial} sim"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_sets_match_indexed_and_plain() {
+        let f = collaboration_fig1();
+        let q = fig1_pattern();
+        let csr = CsrGraph::snapshot(&f.graph);
+        let plain = parallel_candidate_sets(&f.graph, &q, 1);
+        let indexed = parallel_candidate_sets(&csr, &q, 4);
+        assert_eq!(plain, indexed, "label index changes cost, not membership");
+    }
+
+    #[test]
+    fn edgeless_pattern_is_candidate_filter() {
+        let f = collaboration_fig1();
+        let q = expfinder_pattern::PatternBuilder::new()
+            .node("sa", expfinder_pattern::Predicate::label("SA"))
+            .build()
+            .unwrap();
+        let m = parallel_bounded_simulation(&f.graph, &q, 2).unwrap();
+        assert_eq!(m, bounded_simulation(&f.graph, &q).unwrap());
+        assert_eq!(m.total_pairs(), 2);
+    }
+}

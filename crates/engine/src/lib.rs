@@ -23,6 +23,17 @@
 //! [`ExpFinder::apply_updates`], which maintains the graph, its
 //! compressed counterpart and every registered query in one pass.
 //!
+//! Execution is parallel by default ([`ExecConfig`]): direct evaluation
+//! runs the parallel refinement of `expfinder-core` over an immutable
+//! [`CsrGraph`] snapshot that the engine
+//! builds lazily once per graph version and caches next to the
+//! compression state (stale snapshots are detected by version and
+//! rebuilt on the next parallel read), and whole batches of queries are
+//! drained across a scoped worker pool by [`ExpFinder::query_batch`].
+//! Parallelism never changes answers — the refinement computes the same
+//! greatest fixpoint — and `ExecConfig::sequential()` restores the fully
+//! deterministic single-threaded schedule.
+//!
 //! ```
 //! use expfinder_engine::{ExpFinder, Route};
 //! use expfinder_graph::fixtures::collaboration_fig1;
@@ -51,11 +62,11 @@ use cache::QueryCache;
 use expfinder_compress::maintain::MaintainedCompression;
 use expfinder_compress::{CompressError, CompressStats, CompressionMethod};
 use expfinder_core::{
-    bounded_simulation, graph_simulation, rank_matches, MatchError, MatchRelation, RankedMatch,
-    ResultGraph,
+    bounded_simulation, graph_simulation, parallel_bounded_simulation, parallel_simulation,
+    rank_matches, MatchError, MatchRelation, RankedMatch, ResultGraph,
 };
 use expfinder_graph::io::GraphIoError;
-use expfinder_graph::{DiGraph, EdgeUpdate};
+use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate};
 use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
 use expfinder_pattern::parser::ParseError;
 use expfinder_pattern::{Pattern, PatternError};
@@ -77,8 +88,8 @@ pub struct EngineConfig {
     pub compression_method: CompressionMethod,
     /// Recompress when maintenance drift exceeds this factor.
     pub recompress_drift: f64,
-    /// Threads for result-graph construction.
-    pub result_graph_threads: usize,
+    /// Parallel execution knobs (per-query threads + batch fan-out).
+    pub exec: ExecConfig,
 }
 
 impl Default for EngineConfig {
@@ -88,7 +99,45 @@ impl Default for EngineConfig {
             auto_use_compressed: true,
             compression_method: CompressionMethod::Bisimulation,
             recompress_drift: 2.0,
-            result_graph_threads: 1,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// Parallel execution configuration.
+///
+/// Both knobs default to [`std::thread::available_parallelism`]. Set
+/// `threads: 1` for fully sequential, deterministic-schedule execution
+/// (the escape hatch tests use); results are bit-identical either way —
+/// the parallel refinement computes the same greatest fixpoint.
+#[derive(Copy, Clone, Debug)]
+pub struct ExecConfig {
+    /// Worker threads *inside* one query: parallel sim/dualsim/bsim
+    /// refinement over the CSR snapshot, and result-graph construction.
+    /// `1` disables the parallel path (and the CSR snapshot with it);
+    /// graphs too small to amortize a snapshot stay sequential whatever
+    /// the budget.
+    pub threads: usize,
+    /// Queries evaluated concurrently by [`ExpFinder::query_batch`].
+    pub batch_parallelism: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ExecConfig {
+            threads: cores,
+            batch_parallelism: cores,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Fully sequential execution: one thread everywhere.
+    pub fn sequential() -> Self {
+        ExecConfig {
+            threads: 1,
+            batch_parallelism: 1,
         }
     }
 }
@@ -219,6 +268,49 @@ struct StoredGraph {
     graph: DiGraph,
     compressed: Option<MaintainedCompression>,
     registered: HashMap<String, RegisteredQuery>,
+    /// Read-optimized CSR snapshot, built lazily once per graph version
+    /// (checked via [`CsrGraph::version`]) and shared by every parallel
+    /// query at that version. Lives behind its own `Mutex` so it can be
+    /// (re)built under the graph's *read* lock.
+    csr: Mutex<Option<Arc<CsrGraph>>>,
+}
+
+/// Graphs smaller than this (|V| + |E|) never take the CSR/parallel
+/// path: below it a sequential evaluation finishes in roughly the time a
+/// snapshot build (or a thread spawn) costs, so the fast path would be a
+/// slow path — in particular on update-heavy workloads, where every
+/// version bump would trigger a rebuild.
+const PARALLEL_MIN_GRAPH_SIZE: usize = 4096;
+
+impl StoredGraph {
+    fn new(graph: DiGraph) -> StoredGraph {
+        StoredGraph {
+            graph,
+            compressed: None,
+            registered: HashMap::new(),
+            csr: Mutex::new(None),
+        }
+    }
+
+    /// Should evaluation take the CSR/parallel path at this thread
+    /// budget? Only when there is real work to amortize the snapshot.
+    fn parallel_eligible(&self, threads: usize) -> bool {
+        threads > 1 && self.graph.size() >= PARALLEL_MIN_GRAPH_SIZE
+    }
+
+    /// The CSR snapshot for the current graph version, building (and
+    /// caching) it if the version moved since the last build.
+    fn csr(&self) -> Arc<CsrGraph> {
+        let mut slot = self.csr.lock();
+        match &*slot {
+            Some(c) if c.version() == self.graph.version() => Arc::clone(c),
+            _ => {
+                let c = Arc::new(CsrGraph::snapshot(&self.graph));
+                *slot = Some(Arc::clone(&c));
+                c
+            }
+        }
+    }
 }
 
 /// A catalog slot: stable id plus the shared, lock-guarded graph state.
@@ -357,11 +449,7 @@ impl ExpFinder {
             return Err(ExpFinderError::DuplicateGraph(name.to_owned()));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(RwLock::new(StoredGraph {
-            graph,
-            compressed: None,
-            registered: HashMap::new(),
-        }));
+        let slot = Arc::new(RwLock::new(StoredGraph::new(graph)));
         let handle = GraphHandle {
             engine_id: self.engine_id,
             id,
@@ -582,7 +670,13 @@ impl ExpFinder {
     ) -> Result<QueryOutcome, ExpFinderError> {
         let slot = self.slot(handle)?;
         let stored = slot.read();
-        let (matches, route) = self.route_and_eval(handle, &stored, pattern, Route::Auto)?;
+        let (matches, route) = self.route_and_eval(
+            handle,
+            &stored,
+            pattern,
+            Route::Auto,
+            self.config.exec.threads.max(1),
+        )?;
         Ok(QueryOutcome {
             matches,
             route,
@@ -624,14 +718,156 @@ impl ExpFinder {
         self.cache.lock().stats()
     }
 
+    /// Execute a whole batch of queries against one graph, draining them
+    /// across a scoped worker pool of `exec.batch_parallelism` threads —
+    /// the workload shape of a production service (and of expert-finding
+    /// benchmarks, which evaluate over *sets* of queries).
+    ///
+    /// Results come back in spec order, one `Result` per spec, so a single
+    /// malformed DSL string fails its own slot without sinking the batch.
+    /// Each query runs under its own read lock and reports the
+    /// `graph_version` it observed; every response individually equals a
+    /// sequential [`QueryBuilder::run`] at that version (property-tested),
+    /// but a batch racing a writer may span versions.
+    ///
+    /// The thread budget is split, not multiplied: with `w` batch workers
+    /// active, each query refines with `exec.threads / w` (min 1) inner
+    /// threads, so a batch never runs more than `threads + w` threads
+    /// total — batch-level parallelism is the better lever when there are
+    /// many queries, per-query parallelism when there is one.
+    ///
+    /// ```
+    /// use expfinder_engine::{ExpFinder, QuerySpec};
+    /// use expfinder_graph::fixtures::collaboration_fig1;
+    /// use expfinder_pattern::fixtures::fig1_pattern;
+    ///
+    /// let engine = ExpFinder::default();
+    /// let h = engine.add_graph("fig1", collaboration_fig1().graph).unwrap();
+    /// let specs = vec![
+    ///     QuerySpec::pattern(fig1_pattern()).top_k(2),
+    ///     QuerySpec::dsl("node sa* where label = \"SA\";"),
+    /// ];
+    /// let responses = engine.query_batch(&h, specs);
+    /// assert_eq!(responses.len(), 2);
+    /// assert_eq!(responses[0].as_ref().unwrap().experts.len(), 2);
+    /// assert_eq!(responses[1].as_ref().unwrap().matches.total_pairs(), 2);
+    /// ```
+    pub fn query_batch(
+        &self,
+        handle: &GraphHandle,
+        specs: Vec<QuerySpec>,
+    ) -> Vec<Result<QueryResponse, ExpFinderError>> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.exec.batch_parallelism.clamp(1, specs.len());
+        let inner_threads = (self.config.exec.threads / workers).max(1);
+        let indices: Vec<usize> = (0..specs.len()).collect();
+        let pairs = expfinder_core::parallel::run_items(
+            workers,
+            &indices,
+            || (),
+            |_, &i| (i, self.run_spec(handle, &specs[i], inner_threads)),
+        );
+        match pairs {
+            Some(mut pairs) => {
+                pairs.sort_by_key(|(i, _)| *i);
+                pairs.into_iter().map(|(_, r)| r).collect()
+            }
+            None => {
+                let threads = self.config.exec.threads.max(1);
+                specs
+                    .iter()
+                    .map(|sp| self.run_spec(handle, sp, threads))
+                    .collect()
+            }
+        }
+    }
+
+    /// Resolve one [`QuerySpec`] (parsing its DSL if needed) and run it
+    /// with the given inner-thread budget.
+    fn run_spec(
+        &self,
+        handle: &GraphHandle,
+        spec: &QuerySpec,
+        threads: usize,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let pattern = match &spec.source {
+            SpecSource::Pattern(p) => p.clone(),
+            SpecSource::Dsl(s) => expfinder_pattern::parser::parse(s)?,
+        };
+        self.execute(handle, &pattern, spec.top_k, spec.prefer, threads)
+    }
+
+    /// The single-query execution path shared by [`QueryBuilder::run`] and
+    /// [`ExpFinder::query_batch`]: routing, evaluation, result-graph
+    /// construction and ranking under one read lock of the target graph,
+    /// with `threads` workers for the parallel stages.
+    fn execute(
+        &self,
+        handle: &GraphHandle,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+        threads: usize,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let threads = threads.max(1);
+        let started = Instant::now();
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
+        let (matches, route) = self.route_and_eval(handle, &stored, pattern, prefer, threads)?;
+        let evaluate_time = started.elapsed();
+
+        let rank_started = Instant::now();
+        let experts = match top_k {
+            None => Vec::new(),
+            Some(k) => {
+                let opts = expfinder_core::BuildOptions { threads };
+                // reuse the CSR snapshot only when direct evaluation just
+                // built (or fetched) it; a cache/registered/compressed hit
+                // never touched it, and building one merely to rank would
+                // cost more than it saves
+                let direct = matches!(
+                    route,
+                    EvalRoute::DirectSimulation | EvalRoute::DirectBounded
+                );
+                let mut experts = if direct && stored.parallel_eligible(threads) {
+                    let csr = stored.csr();
+                    let rg = ResultGraph::build_with(&*csr, pattern, &matches, opts);
+                    rank_matches(&rg, pattern, &matches)?
+                } else {
+                    let rg = ResultGraph::build_with(&stored.graph, pattern, &matches, opts);
+                    rank_matches(&rg, pattern, &matches)?
+                };
+                experts.truncate(k);
+                experts
+            }
+        };
+        let rank_time = rank_started.elapsed();
+
+        Ok(QueryResponse {
+            experts,
+            matches,
+            route,
+            graph_version: stored.graph.version(),
+            timings: QueryTimings {
+                evaluate: evaluate_time,
+                rank: rank_time,
+                total: started.elapsed(),
+            },
+        })
+    }
+
     /// Route and evaluate under an already-held read guard, so a whole
-    /// query (evaluate + rank) sees one consistent graph state.
+    /// query (evaluate + rank) sees one consistent graph state. `threads`
+    /// is the budget for direct evaluation's parallel refinement.
     fn route_and_eval(
         &self,
         handle: &GraphHandle,
         stored: &StoredGraph,
         pattern: &Pattern,
         prefer: Route,
+        threads: usize,
     ) -> Result<(Arc<MatchRelation>, EvalRoute), ExpFinderError> {
         let key = QueryCache::key(handle.id, stored.graph.version(), pattern);
 
@@ -673,8 +909,24 @@ impl ExpFinder {
             }
         }
 
-        // 4. direct evaluation
-        let (m, route) = if pattern.is_simulation() {
+        // 4. direct evaluation — through the CSR snapshot with parallel
+        // refinement when the thread budget and graph size warrant it,
+        // sequentially on the live adjacency otherwise. Both compute the
+        // same greatest fixpoint.
+        let (m, route) = if stored.parallel_eligible(threads) {
+            let csr = stored.csr();
+            if pattern.is_simulation() {
+                (
+                    parallel_simulation(&*csr, pattern, threads)?,
+                    EvalRoute::DirectSimulation,
+                )
+            } else {
+                (
+                    parallel_bounded_simulation(&*csr, pattern, threads)?,
+                    EvalRoute::DirectBounded,
+                )
+            }
+        } else if pattern.is_simulation() {
             (
                 graph_simulation(&stored.graph, pattern)?,
                 EvalRoute::DirectSimulation,
@@ -756,44 +1008,59 @@ impl QueryBuilder<'_> {
             Some(Err(e)) => return Err(e),
             Some(Ok(p)) => p,
         };
-        let started = Instant::now();
-        let slot = self.engine.slot(&self.handle)?;
-        let stored = slot.read();
-        let (matches, route) =
-            self.engine
-                .route_and_eval(&self.handle, &stored, &pattern, self.prefer)?;
-        let evaluate_time = started.elapsed();
+        let threads = self.engine.config.exec.threads.max(1);
+        self.engine
+            .execute(&self.handle, &pattern, self.top_k, self.prefer, threads)
+    }
+}
 
-        let rank_started = Instant::now();
-        let experts = match self.top_k {
-            None => Vec::new(),
-            Some(k) => {
-                let rg = ResultGraph::build_with(
-                    &stored.graph,
-                    &pattern,
-                    &matches,
-                    expfinder_core::BuildOptions {
-                        threads: self.engine.config.result_graph_threads.max(1),
-                    },
-                );
-                let mut experts = rank_matches(&rg, &pattern, &matches)?;
-                experts.truncate(k);
-                experts
-            }
-        };
-        let rank_time = rank_started.elapsed();
+/// How one [`QuerySpec`] names its pattern.
+#[derive(Clone, Debug)]
+enum SpecSource {
+    Pattern(Pattern),
+    Dsl(String),
+}
 
-        Ok(QueryResponse {
-            experts,
-            matches,
-            route,
-            graph_version: stored.graph.version(),
-            timings: QueryTimings {
-                evaluate: evaluate_time,
-                rank: rank_time,
-                total: started.elapsed(),
-            },
-        })
+/// One query of a batch: a pattern (or DSL text parsed at execution
+/// time), an optional `top_k`, and a routing preference — the owned
+/// counterpart of [`QueryBuilder`] that [`ExpFinder::query_batch`] can
+/// fan out across threads.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    source: SpecSource,
+    top_k: Option<usize>,
+    prefer: Route,
+}
+
+impl QuerySpec {
+    /// A spec from an assembled pattern.
+    pub fn pattern(pattern: Pattern) -> QuerySpec {
+        QuerySpec {
+            source: SpecSource::Pattern(pattern),
+            top_k: None,
+            prefer: Route::Auto,
+        }
+    }
+
+    /// A spec from DSL text; parse errors surface in the batch slot.
+    pub fn dsl(dsl: impl Into<String>) -> QuerySpec {
+        QuerySpec {
+            source: SpecSource::Dsl(dsl.into()),
+            top_k: None,
+            prefer: Route::Auto,
+        }
+    }
+
+    /// Also rank the output node's matches and return the best `k`.
+    pub fn top_k(mut self, k: usize) -> QuerySpec {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Routing preference (default [`Route::Auto`]).
+    pub fn prefer(mut self, route: Route) -> QuerySpec {
+        self.prefer = route;
+        self
     }
 }
 
@@ -1056,6 +1323,114 @@ mod tests {
         }
         // ordinary names (including dots inside) are fine
         assert!(e.add_graph("fig.1-v2", DiGraph::new()).is_ok());
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_runs() {
+        let (e, h, _) = engine_with_fig1();
+        let specs = vec![
+            QuerySpec::pattern(fig1_pattern()).top_k(2),
+            QuerySpec::dsl("node sa* where label = \"SA\";"),
+            QuerySpec::pattern(fig1_pattern()).prefer(Route::Direct),
+        ];
+        let batch = e.query_batch(&h, specs.clone());
+        assert_eq!(batch.len(), 3);
+        for (i, spec) in specs.into_iter().enumerate() {
+            let single = e.run_spec(&h, &spec, 1).unwrap();
+            let b = batch[i].as_ref().unwrap();
+            assert_eq!(*b.matches, *single.matches, "slot {i}");
+            assert_eq!(
+                b.experts.iter().map(|x| x.node).collect::<Vec<_>>(),
+                single.experts.iter().map(|x| x.node).collect::<Vec<_>>()
+            );
+            assert_eq!(b.graph_version, single.graph_version);
+        }
+    }
+
+    #[test]
+    fn query_batch_isolates_per_slot_errors() {
+        let (e, h, _) = engine_with_fig1();
+        let specs = vec![
+            QuerySpec::dsl("node oops"),
+            QuerySpec::pattern(fig1_pattern()),
+        ];
+        let batch = e.query_batch(&h, specs);
+        assert!(matches!(batch[0], Err(ExpFinderError::Parse(_))));
+        assert_eq!(batch[1].as_ref().unwrap().matches.total_pairs(), 7);
+
+        // stale handle fails every slot, not the call
+        e.remove_graph(&h).unwrap();
+        let batch = e.query_batch(&h, vec![QuerySpec::pattern(fig1_pattern())]);
+        assert!(matches!(batch[0], Err(ExpFinderError::StaleHandle(_))));
+        // and an empty batch is a no-op
+        assert!(e.query_batch(&h, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn parallel_exec_identical_to_sequential() {
+        let f = collaboration_fig1();
+        let seq = ExpFinder::new(EngineConfig {
+            exec: ExecConfig::sequential(),
+            ..EngineConfig::default()
+        });
+        let par = ExpFinder::new(EngineConfig {
+            exec: ExecConfig {
+                threads: 4,
+                batch_parallelism: 4,
+            },
+            ..EngineConfig::default()
+        });
+        let hs = seq.add_graph("fig1", f.graph.clone()).unwrap();
+        let hp = par.add_graph("fig1", f.graph.clone()).unwrap();
+        let q = fig1_pattern();
+        let rs = seq.query(&hs).pattern(q.clone()).top_k(3).run().unwrap();
+        let rp = par.query(&hp).pattern(q.clone()).top_k(3).run().unwrap();
+        assert_eq!(*rs.matches, *rp.matches);
+        assert_eq!(rs.route, rp.route);
+        assert_eq!(
+            rs.experts
+                .iter()
+                .map(|x| (x.node, x.rank))
+                .collect::<Vec<_>>(),
+            rp.experts
+                .iter()
+                .map(|x| (x.node, x.rank))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn csr_snapshot_rebuilt_after_updates() {
+        // fig1 plus inert padding so the graph crosses the parallel-path
+        // size threshold (a bare fig1 stays on the sequential path)
+        let f = collaboration_fig1();
+        let mut g = f.graph.clone();
+        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+            g.add_node("pad", []);
+        }
+        let e = ExpFinder::new(EngineConfig {
+            exec: ExecConfig {
+                threads: 2,
+                batch_parallelism: 1,
+            },
+            ..EngineConfig::default()
+        });
+        let h = e.add_graph("fig1", g).unwrap();
+        let q = fig1_pattern();
+        let before = e
+            .query(&h)
+            .pattern(q.clone())
+            .prefer(Route::Direct)
+            .run()
+            .unwrap();
+        assert_eq!(before.matches.total_pairs(), 7);
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        // the cached snapshot is stale by version; the next parallel query
+        // must rebuild it and see Fred
+        let after = e.query(&h).pattern(q).prefer(Route::Direct).run().unwrap();
+        assert_eq!(after.matches.total_pairs(), 8, "snapshot was refreshed");
+        assert!(after.graph_version > before.graph_version);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::{
     report, storage, EngineConfig, EvalRoute, ExpFinder, ExpFinderError, GraphHandle, QueryOutcome,
+    QuerySpec,
 };
 use expfinder_compress::CompressionMethod;
 use expfinder_core::ResultGraph;
@@ -58,6 +59,8 @@ ExpFinder shell — expert search by graph pattern matching
   use <name>                     select the current graph
   info                           current graph summary
   query <pattern-dsl>            evaluate a pattern (one line, ';'-separated)
+  batch <file>                   run one query DSL per line, in parallel,
+                                 printing per-query timings
   dual <pattern-dsl>             evaluate under dual simulation (extension)
   experts <k> <pattern-dsl>      evaluate + rank, print the top-k experts
   rollup                         summary of the last result
@@ -147,6 +150,7 @@ impl Shell {
             }
             "info" => self.cmd_info(),
             "query" => self.cmd_query(rest),
+            "batch" => self.cmd_batch(rest),
             "dual" => self.cmd_dual(rest),
             "experts" => self.cmd_experts(rest),
             "rollup" => self.cmd_rollup(),
@@ -318,6 +322,65 @@ impl Shell {
             .map_err(Self::err)?;
         out.push_str(&body);
         self.last_query = Some((q, outcome));
+        Ok(out)
+    }
+
+    /// `batch <file>`: one query DSL per line (blank lines and `#`
+    /// comments skipped), executed through [`ExpFinder::query_batch`] —
+    /// the whole file drains across the engine's batch worker pool.
+    fn cmd_batch(&mut self, path: &str) -> ShellResult {
+        if path.is_empty() {
+            return Err("usage: batch <file>".into());
+        }
+        let h = self.current()?;
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if lines.is_empty() {
+            return Err(format!("{path}: no queries (one DSL per line)"));
+        }
+        let specs: Vec<QuerySpec> = lines.iter().map(|(_, l)| QuerySpec::dsl(*l)).collect();
+        let started = std::time::Instant::now();
+        let results = self.engine.query_batch(&h, specs);
+        let wall = started.elapsed();
+
+        let mut out = String::new();
+        let mut failed = 0usize;
+        for ((lineno, _), result) in lines.iter().zip(&results) {
+            match result {
+                Ok(resp) => {
+                    let _ = writeln!(
+                        out,
+                        "line {lineno}: {} pairs via {} in {:.2}ms (v{})",
+                        resp.matches.total_pairs(),
+                        route_name(resp.route),
+                        resp.timings.total.as_secs_f64() * 1e3,
+                        resp.graph_version
+                    );
+                }
+                Err(e) => {
+                    failed += 1;
+                    let _ = writeln!(out, "line {lineno}: error: {e}");
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "batch: {} queries ({} failed) in {:.2}ms, {} workers",
+            results.len(),
+            failed,
+            wall.as_secs_f64() * 1e3,
+            // mirror query_batch's clamp: never more workers than queries
+            self.engine
+                .config()
+                .exec
+                .batch_parallelism
+                .clamp(1, results.len())
+        );
         Ok(out)
     }
 
@@ -693,6 +756,27 @@ mod tests {
         let out = sh.exec("reach 5 6").unwrap();
         assert!(out.contains("= false"), "{out}");
         assert!(sh.exec("reach 6 99").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_command_runs_file() {
+        let dir = std::env::temp_dir().join(format!("expfinder_batch_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("queries.txt");
+        std::fs::write(
+            &path,
+            format!("# demo batch\n{FIG1_DSL}\nnode sa* where label = \"SA\";\n\nnode oops\n"),
+        )
+        .unwrap();
+        let mut sh = fig1_shell();
+        let out = sh.exec(&format!("batch {}", path.display())).unwrap();
+        assert!(out.contains("line 2: 7 pairs"), "{out}");
+        assert!(out.contains("line 3: 2 pairs"), "{out}");
+        assert!(out.contains("line 5: error"), "{out}");
+        assert!(out.contains("3 queries (1 failed)"), "{out}");
+        assert!(sh.exec("batch").is_err());
+        assert!(sh.exec("batch /nonexistent/queries.txt").is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

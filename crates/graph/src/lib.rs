@@ -8,6 +8,9 @@
 //!   counter that the engine uses for cache invalidation.
 //! * [`GraphView`] — the read-only abstraction all matchers are written
 //!   against, so the same algorithms run on plain and compressed graphs.
+//! * [`CsrGraph`] — an immutable CSR snapshot with contiguous adjacency
+//!   and a label → bitset candidate index; the engine's read-optimized
+//!   fast path for (parallel) query execution.
 //! * Traversals: bounded (multi-source) BFS with reusable scratch space
 //!   ([`bfs`]), Dijkstra over weighted adjacency ([`dijkstra`]), Tarjan SCC
 //!   ([`scc`]).
@@ -25,6 +28,7 @@
 pub mod attrs;
 pub mod bfs;
 pub mod bitset;
+pub mod csr;
 pub mod digraph;
 pub mod dijkstra;
 pub mod fixtures;
@@ -36,6 +40,7 @@ pub mod view;
 
 pub use attrs::{AttrValue, Interner, Sym};
 pub use bitset::BitSet;
+pub use csr::CsrGraph;
 pub use digraph::{DiGraph, EdgeUpdate, VertexData};
 pub use view::GraphView;
 

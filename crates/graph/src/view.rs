@@ -6,7 +6,8 @@
 //! `CompressedGraph` (in `expfinder-compress`) implement. Node ids are
 //! guaranteed dense: `0..node_count()`.
 
-use crate::attrs::Interner;
+use crate::attrs::{Interner, Sym};
+use crate::bitset::BitSet;
 use crate::digraph::VertexData;
 use crate::NodeId;
 
@@ -29,6 +30,16 @@ pub trait GraphView {
 
     /// The symbol table labels and attribute keys are interned in.
     fn interner(&self) -> &Interner;
+
+    /// Candidate index hook: the set of nodes carrying `label`, when the
+    /// view maintains one (`None` = no index; callers fall back to a full
+    /// scan). [`crate::csr::CsrGraph`] overrides this; the mutable
+    /// [`crate::DiGraph`] does not pay for an index it would have to
+    /// maintain on every update.
+    fn nodes_with_label(&self, label: Sym) -> Option<&BitSet> {
+        let _ = label;
+        None
+    }
 
     /// Iterate all node ids (provided).
     fn ids(&self) -> NodeIdRange {

@@ -179,6 +179,19 @@ impl Predicate {
 
     // ------------------------------- analysis ----------------------------
 
+    /// A label every satisfying node is guaranteed to carry, if the
+    /// predicate implies one: a bare label test, or any label test inside
+    /// a conjunction. Used to seed candidate sets from a graph's label
+    /// index ([`GraphView::nodes_with_label`]) instead of scanning all
+    /// nodes. Disjunctions and negations imply nothing.
+    pub fn required_label(&self) -> Option<&str> {
+        match self {
+            Predicate::Label(l) => Some(l),
+            Predicate::And(ps) => ps.iter().find_map(|p| p.required_label()),
+            _ => None,
+        }
+    }
+
     /// Collect every attribute key this predicate mentions.
     pub fn collect_attrs(&self, out: &mut BTreeSet<String>) {
         match self {
@@ -481,5 +494,31 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("label = \"SA\""), "{s}");
         assert!(s.contains("experience >= 5"), "{s}");
+    }
+
+    #[test]
+    fn required_label_analysis() {
+        assert_eq!(Predicate::label("SA").required_label(), Some("SA"));
+        assert_eq!(
+            Predicate::label("SA")
+                .and(Predicate::attr_ge("experience", 5))
+                .required_label(),
+            Some("SA")
+        );
+        assert_eq!(
+            Predicate::attr_ge("experience", 5)
+                .and(Predicate::label("SD"))
+                .required_label(),
+            Some("SD")
+        );
+        // disjunction and negation imply no single label
+        assert_eq!(
+            Predicate::label("SA")
+                .or(Predicate::label("SD"))
+                .required_label(),
+            None
+        );
+        assert_eq!(Predicate::label("SA").negate().required_label(), None);
+        assert_eq!(Predicate::True.required_label(), None);
     }
 }

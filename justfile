@@ -1,6 +1,6 @@
 # Offline CI entry points (the container mirror of .github/workflows/ci.yml).
 
-# everything CI runs, in order
+# everything the CI `check` job runs, in order
 verify: fmt-check clippy test
 
 fmt-check:
@@ -13,6 +13,30 @@ test:
     cargo build --release
     cargo test --workspace
 
+# the CI `doc` job: rustdoc with warnings promoted to errors
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# the CI MSRV leg: build/test on the pinned 1.82 toolchain (requires
+# `rustup toolchain install 1.82` once; no fmt/clippy gates — their
+# output and lint sets drift across compiler versions)
+msrv:
+    cargo +1.82 build --release
+    cargo +1.82 test --workspace
+
+# the CI `bench-smoke` job: quick harness run, fails on panic, refreshes
+# the BENCH_*.json baselines CI uploads as artifacts
+bench-smoke: experiments
+
 # quick experiment-harness smoke run
 experiments:
     cargo run --release -p expfinder-bench --bin experiments -- --quick
+
+# full sequential-vs-parallel batch benchmark (writes BENCH_2.json)
+bench-batch:
+    cargo run --release -p expfinder-bench --bin bench_batch
+
+# hard perf gate for multi-core hosts: fail unless every workload's
+# batch throughput is >= 3x the sequential baseline (ISSUE 2 criterion)
+bench-gate:
+    cargo run --release -p expfinder-bench --bin bench_batch -- --threads 8 --min-batch-speedup 3.0 --out BENCH_gate.json

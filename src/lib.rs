@@ -74,10 +74,10 @@ pub mod prelude {
         top_k, MatchRelation, ResultGraph,
     };
     pub use expfinder_engine::{
-        EngineConfig, EvalRoute, ExpFinder, ExpFinderError, ExpertReport, GraphHandle,
-        QueryOutcome, QueryResponse, QueryTimings, Route,
+        EngineConfig, EvalRoute, ExecConfig, ExpFinder, ExpFinderError, ExpertReport, GraphHandle,
+        QueryOutcome, QueryResponse, QuerySpec, QueryTimings, Route,
     };
-    pub use expfinder_graph::{AttrValue, DiGraph, EdgeUpdate, GraphView, NodeId};
+    pub use expfinder_graph::{AttrValue, CsrGraph, DiGraph, EdgeUpdate, GraphView, NodeId};
     pub use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim};
     pub use expfinder_pattern::{Bound, Pattern, PatternBuilder, Predicate};
 }

@@ -222,9 +222,12 @@ fn engine_config_variants_agree() {
     let hd = default_engine.add_graph("c", g.clone()).unwrap();
     let reference = default_engine.find_experts(&hd, q, 5).unwrap();
 
-    // parallel result-graph construction
+    // parallel execution (CSR fast path + threaded result graph)
     let threaded = ExpFinder::new(EngineConfig {
-        result_graph_threads: 4,
+        exec: ExecConfig {
+            threads: 4,
+            batch_parallelism: 4,
+        },
         ..EngineConfig::default()
     });
     let ht = threaded.add_graph("c", g.clone()).unwrap();

@@ -209,7 +209,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element count for [`vec`]: an exact size or a range.
+    /// Element count for [`vec()`]: an exact size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
