@@ -17,12 +17,11 @@
 //! measuring — a speedup that changed the results would be a bug, not a
 //! win.
 
-use crate::{collab_graph, fmt_dur, median_of, time, twitter_graph, SEED};
+use crate::{collab_graph, fmt_dur, json_obj as obj, median_of, time, twitter_graph, SEED};
 use expfinder_engine::{EngineConfig, ExecConfig, ExpFinder, QuerySpec, Route};
 use expfinder_graph::json::Value;
 use expfinder_graph::{DiGraph, GraphView};
 use expfinder_pattern::{Bound, Pattern, PatternBuilder, Predicate};
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Knobs for one benchmark run.
@@ -101,15 +100,6 @@ pub fn twitter_variant(i: usize) -> Pattern {
         .edge("fan", "celebrity", Bound::hops(2))
         .build()
         .expect("valid variant")
-}
-
-fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(
-        fields
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect::<BTreeMap<_, _>>(),
-    )
 }
 
 fn ms(d: Duration) -> Value {

@@ -1,0 +1,94 @@
+//! Standalone server throughput benchmark.
+//!
+//! Usage:
+//!   cargo run --release -p expfinder-bench --bin bench_serve
+//!   cargo run --release -p expfinder-bench --bin bench_serve -- --quick
+//!   cargo run --release -p expfinder-bench --bin bench_serve -- \
+//!       --clients 8 --requests 200 --out BENCH_3.json --min-rps 100
+//!
+//! Boots an in-process `expfinder-server`, hammers `/query` and `/batch`
+//! from N concurrent client threads over real TCP, and writes the
+//! machine-readable document (default `BENCH_3.json`). With `--min-rps X`
+//! the process exits non-zero when the `/query` endpoint's requests per
+//! second fall below `X` — the hook the `bench-smoke` CI job attaches to
+//! as an advisory gate (promote to blocking on beefier runners).
+
+use expfinder_bench::batchbench::write_bench_json;
+use expfinder_bench::servebench::{run_serve_bench, ServeBenchOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut batch: Option<usize> = None;
+    let mut out = "BENCH_3.json".to_owned();
+    let mut min_rps: Option<f64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--clients" => clients = Some(take(&mut i).parse().expect("bad --clients")),
+            "--requests" => requests = Some(take(&mut i).parse().expect("bad --requests")),
+            "--workers" => workers = Some(take(&mut i).parse().expect("bad --workers")),
+            "--batch" => batch = Some(take(&mut i).parse().expect("bad --batch")),
+            "--out" => out = take(&mut i),
+            "--min-rps" => min_rps = Some(take(&mut i).parse().expect("bad --min-rps")),
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // explicit flags win over the profile, whatever the argument order
+    let mut opts = if quick {
+        ServeBenchOptions::quick()
+    } else {
+        ServeBenchOptions::default()
+    };
+    if let Some(c) = clients {
+        opts.clients = c;
+    }
+    if let Some(r) = requests {
+        opts.requests_per_client = r;
+    }
+    if let Some(w) = workers {
+        opts.workers = w;
+    }
+    if let Some(b) = batch {
+        opts.batch_size = b;
+    }
+
+    let doc = run_serve_bench(&opts);
+    write_bench_json(&out, &doc).expect("writing bench json");
+
+    if let Some(min) = min_rps {
+        let rps = doc
+            .field("endpoints")
+            .unwrap()
+            .field("query")
+            .unwrap()
+            .field("rps")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        if rps < min {
+            eprintln!("GATE FAIL: /query throughput {rps:.1} req/s < required {min:.1} req/s");
+            std::process::exit(1);
+        }
+        println!("gate passed: /query throughput {rps:.1} req/s >= {min:.1} req/s");
+    }
+}

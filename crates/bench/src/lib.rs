@@ -5,6 +5,7 @@
 //! experiments in EXPERIMENTS.md are reproducible bit-for-bit.
 
 pub mod batchbench;
+pub mod servebench;
 
 use expfinder_graph::generate::{
     collaboration, erdos_renyi, hierarchy, preferential_attachment, twitter_like, CollabConfig,
@@ -120,6 +121,17 @@ pub fn twitter_pattern() -> Pattern {
         .edge("fan", "celebrity", Bound::hops(2))
         .build()
         .expect("valid")
+}
+
+/// Build a JSON object from `(key, value)` pairs — the one helper every
+/// benchmark-document writer in this crate shares.
+pub fn json_obj(fields: Vec<(&str, expfinder_graph::json::Value)>) -> expfinder_graph::json::Value {
+    expfinder_graph::json::Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<std::collections::BTreeMap<_, _>>(),
+    )
 }
 
 /// Wall-clock one call.

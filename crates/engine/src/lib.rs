@@ -66,7 +66,7 @@ use expfinder_core::{
     rank_matches, MatchError, MatchRelation, RankedMatch, ResultGraph,
 };
 use expfinder_graph::io::GraphIoError;
-use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate};
+use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate, GraphView};
 use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
 use expfinder_pattern::parser::ParseError;
 use expfinder_pattern::{Pattern, PatternError};
@@ -177,6 +177,32 @@ pub enum ExpFinderError {
     Io(#[from] std::io::Error),
     #[error("storage error: {0}")]
     Storage(String),
+}
+
+impl ExpFinderError {
+    /// The HTTP status code this error maps to on the wire.
+    ///
+    /// This is the **single** error→status mapping of the system: the
+    /// `expfinder-server` crate uses it for every endpoint's error
+    /// responses, and the shell's `batch` command reuses it when
+    /// reporting per-slot failures, so a query that fails locally and
+    /// one that fails over HTTP read the same way.
+    pub fn http_status(&self) -> u16 {
+        use ExpFinderError::*;
+        match self {
+            // the named resource does not exist (anymore)
+            UnknownGraph(_) | UnknownQuery(_) | StaleHandle(_) => 404,
+            // the named resource already exists
+            DuplicateGraph(_) | DuplicateQuery(_) => 409,
+            // the request itself is malformed
+            InvalidGraphName(_) | MissingPattern | Pattern(_) | Parse(_) | GraphIo(_) => 400,
+            // well-formed but unprocessable against this graph
+            Match(_) | Compress(_) => 422,
+            // server-side faults: cross-engine handles never come off the
+            // wire, and IO/storage failures are not the client's doing
+            ForeignHandle(_) | Io(_) | Storage(_) => 500,
+        }
+    }
 }
 
 /// Routing preference for one query (input to the engine).
@@ -311,6 +337,48 @@ impl StoredGraph {
             }
         }
     }
+}
+
+/// Point-in-time summary of one managed graph, from
+/// [`ExpFinder::graph_infos`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphInfo {
+    pub name: String,
+    pub nodes: usize,
+    pub edges: usize,
+    pub version: u64,
+    /// Queries under incremental maintenance on this graph.
+    pub registered_queries: usize,
+    pub compressed: bool,
+}
+
+/// Maintained-result size of one registered query before and after an
+/// update batch — the ΔM a serving client sees from `POST /updates`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisteredDelta {
+    pub query: String,
+    pub before_pairs: usize,
+    pub after_pairs: usize,
+}
+
+impl RegisteredDelta {
+    /// Signed match-pair delta (`after - before`).
+    pub fn delta(&self) -> i64 {
+        self.after_pairs as i64 - self.before_pairs as i64
+    }
+}
+
+/// Result of [`ExpFinder::apply_updates_traced`].
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// Updates that actually changed the graph (no-ops skipped).
+    pub applied: usize,
+    /// Updates submitted.
+    pub attempted: usize,
+    /// Graph version after the batch.
+    pub graph_version: u64,
+    /// Per-registered-query maintained sizes, sorted by query name.
+    pub registered: Vec<RegisteredDelta>,
 }
 
 /// A catalog slot: stable id plus the shared, lock-guarded graph state.
@@ -495,6 +563,29 @@ impl ExpFinder {
         names
     }
 
+    /// A summary of every managed graph (sorted by name) — the catalog
+    /// view the serving layer exposes on `GET /graphs` and `/metrics`.
+    /// Each slot's read lock is taken briefly, one graph at a time.
+    pub fn graph_infos(&self) -> Vec<GraphInfo> {
+        let catalog = self.catalog.read();
+        let mut infos: Vec<GraphInfo> = catalog
+            .iter()
+            .map(|(name, entry)| {
+                let stored = entry.slot.read();
+                GraphInfo {
+                    name: name.clone(),
+                    nodes: stored.graph.node_count(),
+                    edges: stored.graph.edge_count(),
+                    version: stored.graph.version(),
+                    registered_queries: stored.registered.len(),
+                    compressed: stored.compressed.is_some(),
+                }
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
     /// Run `f` with shared access to the graph. This is how callers read
     /// graph data without copying it out of the lock.
     pub fn read_graph<R>(
@@ -621,10 +712,47 @@ impl ExpFinder {
         handle: &GraphHandle,
         updates: &[EdgeUpdate],
     ) -> Result<usize, ExpFinderError> {
+        Ok(self.apply_updates_inner(handle, updates, false)?.applied)
+    }
+
+    /// Like [`ExpFinder::apply_updates`], but also reports the graph
+    /// version after the batch and the maintained-result size of every
+    /// registered query before and after, all measured under the same
+    /// write lock — the ΔM report `POST /graphs/{name}/updates` returns.
+    pub fn apply_updates_traced(
+        &self,
+        handle: &GraphHandle,
+        updates: &[EdgeUpdate],
+    ) -> Result<UpdateReport, ExpFinderError> {
+        self.apply_updates_inner(handle, updates, true)
+    }
+
+    /// Shared update path; `trace` additionally sizes every registered
+    /// query's maintained result before and after (a per-query relation
+    /// clone, so the hot non-traced path skips it).
+    fn apply_updates_inner(
+        &self,
+        handle: &GraphHandle,
+        updates: &[EdgeUpdate],
+        trace: bool,
+    ) -> Result<UpdateReport, ExpFinderError> {
         let drift = self.config.recompress_drift;
         let slot = self.slot(handle)?;
         let mut stored = slot.write();
         let stored = &mut *stored;
+        let mut registered: Vec<RegisteredDelta> = if trace {
+            stored
+                .registered
+                .iter()
+                .map(|(name, rq)| RegisteredDelta {
+                    query: name.clone(),
+                    before_pairs: rq.maintainer.current().total_pairs(),
+                    after_pairs: 0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut applied = 0usize;
         for &up in updates {
             if !stored.graph.apply(up) {
@@ -642,7 +770,19 @@ impl ExpFinder {
             mc.refresh(&stored.graph);
             mc.maybe_recompress(&stored.graph, drift)?;
         }
-        Ok(applied)
+        for d in &mut registered {
+            d.after_pairs = stored.registered[&d.query]
+                .maintainer
+                .current()
+                .total_pairs();
+        }
+        registered.sort_by(|a, b| a.query.cmp(&b.query));
+        Ok(UpdateReport {
+            applied,
+            attempted: updates.len(),
+            graph_version: stored.graph.version(),
+            registered,
+        })
     }
 
     // ----------------------------- evaluation ----------------------------
@@ -1431,6 +1571,89 @@ mod tests {
         let after = e.query(&h).pattern(q).prefer(Route::Direct).run().unwrap();
         assert_eq!(after.matches.total_pairs(), 8, "snapshot was refreshed");
         assert!(after.graph_version > before.graph_version);
+    }
+
+    #[test]
+    fn http_status_mapping_is_total_and_sane() {
+        let cases: Vec<(ExpFinderError, u16)> = vec![
+            (ExpFinderError::UnknownGraph("g".into()), 404),
+            (ExpFinderError::UnknownQuery("q".into()), 404),
+            (ExpFinderError::StaleHandle("g".into()), 404),
+            (ExpFinderError::DuplicateGraph("g".into()), 409),
+            (ExpFinderError::DuplicateQuery("q".into()), 409),
+            (ExpFinderError::InvalidGraphName("a/b".into()), 400),
+            (ExpFinderError::MissingPattern, 400),
+            (ExpFinderError::ForeignHandle("g".into()), 500),
+            (ExpFinderError::Storage("boom".into()), 500),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.http_status(), want, "{e}");
+        }
+        // #[from] variants keep their class
+        let parse = expfinder_pattern::parser::parse("node oops").unwrap_err();
+        assert_eq!(ExpFinderError::from(parse).http_status(), 400);
+        let io = std::io::Error::other("x");
+        assert_eq!(ExpFinderError::from(io).http_status(), 500);
+    }
+
+    #[test]
+    fn graph_infos_reflect_catalog_state() {
+        let e = ExpFinder::default();
+        assert!(e.graph_infos().is_empty());
+        let h = e.add_graph("fig1", collaboration_fig1().graph).unwrap();
+        e.add_graph("empty", DiGraph::new()).unwrap();
+        e.register_query(&h, "team", fig1_pattern()).unwrap();
+        e.compress(&h).unwrap();
+
+        let infos = e.graph_infos();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "empty", "sorted by name");
+        assert_eq!(infos[0].nodes, 0);
+        assert!(!infos[0].compressed);
+        let fig1 = &infos[1];
+        assert_eq!(fig1.name, "fig1");
+        assert_eq!(fig1.nodes, 9);
+        assert_eq!(fig1.registered_queries, 1);
+        assert!(fig1.compressed);
+        let v0 = fig1.version;
+
+        let f = collaboration_fig1();
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        assert!(e.graph_infos()[1].version > v0);
+    }
+
+    #[test]
+    fn traced_updates_report_registered_deltas() {
+        let (e, h, f) = engine_with_fig1();
+        e.register_query(&h, "team", fig1_pattern()).unwrap();
+        let report = e
+            .apply_updates_traced(
+                &h,
+                &[
+                    EdgeUpdate::Insert(f.e1.0, f.e1.1),
+                    // duplicate: a no-op that must not count as applied
+                    EdgeUpdate::Insert(f.e1.0, f.e1.1),
+                ],
+            )
+            .unwrap();
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.attempted, 2);
+        assert_eq!(report.registered.len(), 1);
+        let d = &report.registered[0];
+        assert_eq!(d.query, "team");
+        assert_eq!(d.before_pairs, 7);
+        assert_eq!(d.after_pairs, 8, "Fred joined the maintained result");
+        assert_eq!(d.delta(), 1);
+        assert_eq!(
+            report.graph_version,
+            e.read_graph(&h, |g| g.version()).unwrap()
+        );
+        // the untraced path agrees on applied counts
+        let n = e
+            .apply_updates(&h, &[EdgeUpdate::Delete(f.e1.0, f.e1.1)])
+            .unwrap();
+        assert_eq!(n, 1);
     }
 
     #[test]

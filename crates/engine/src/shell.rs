@@ -364,7 +364,10 @@ impl Shell {
                 }
                 Err(e) => {
                     failed += 1;
-                    let _ = writeln!(out, "line {lineno}: error: {e}");
+                    // same error→status mapping the HTTP server uses, so a
+                    // slot that fails here reads exactly like one that
+                    // fails over the wire
+                    let _ = writeln!(out, "line {lineno}: error {}: {e}", e.http_status());
                 }
             }
         }
@@ -773,7 +776,12 @@ mod tests {
         let out = sh.exec(&format!("batch {}", path.display())).unwrap();
         assert!(out.contains("line 2: 7 pairs"), "{out}");
         assert!(out.contains("line 3: 2 pairs"), "{out}");
-        assert!(out.contains("line 5: error"), "{out}");
+        // per-slot failures carry the shared error→status mapping and the
+        // full ExpFinderError display string, not a generic line
+        assert!(
+            out.contains("line 5: error 400: pattern parse error"),
+            "{out}"
+        );
         assert!(out.contains("3 queries (1 failed)"), "{out}");
         assert!(sh.exec("batch").is_err());
         assert!(sh.exec("batch /nonexistent/queries.txt").is_err());

@@ -1,0 +1,158 @@
+//! `serve` — the expfinder-server daemon.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--workers N] [--fixture fig1]
+//!       [--load <name> <path.efg>] [--log <path>] [--allow-shutdown]
+//! ```
+//!
+//! Prints exactly one `listening on <addr>` line on stdout once the
+//! socket is bound (the contract the smoke harness and scripts rely on
+//! to discover an ephemeral port), then serves until either
+//!
+//! * `POST /admin/shutdown` arrives (only with `--allow-shutdown`), or
+//! * stdin reaches EOF (the supervisor closed the pipe — the offline
+//!   stand-in for SIGTERM, which bare `std` cannot hook),
+//!
+//! and in both cases drains gracefully: in-flight requests finish and
+//! every worker is joined before the process exits 0.
+
+use expfinder_engine::ExpFinder;
+use expfinder_server::{Server, ServerConfig};
+use std::io::Write;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--fixture fig1] \
+         [--load NAME PATH] [--log PATH] [--allow-shutdown]"
+    );
+    std::process::exit(2);
+}
+
+struct Log(Option<std::fs::File>);
+
+impl Log {
+    fn line(&mut self, msg: &str) {
+        eprintln!("[serve] {msg}");
+        if let Some(f) = self.0.as_mut() {
+            let _ = writeln!(f, "{msg}");
+            let _ = f.flush();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut config = ServerConfig::default();
+    let mut fixtures: Vec<String> = Vec::new();
+    let mut loads: Vec<(String, String)> = Vec::new();
+    let mut log_path: Option<String> = None;
+
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take(&mut i),
+            "--workers" => config.workers = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fixture" => fixtures.push(take(&mut i)),
+            "--load" => {
+                let name = take(&mut i);
+                let path = take(&mut i);
+                loads.push((name, path));
+            }
+            "--log" => log_path = Some(take(&mut i)),
+            "--allow-shutdown" => config.allow_remote_shutdown = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut log = Log(log_path.as_deref().map(|p| {
+        std::fs::File::create(p).unwrap_or_else(|e| {
+            eprintln!("cannot open log {p}: {e}");
+            std::process::exit(1);
+        })
+    }));
+
+    let engine = Arc::new(ExpFinder::default());
+    for fixture in &fixtures {
+        match fixture.as_str() {
+            "fig1" => {
+                engine
+                    .add_graph(
+                        "fig1",
+                        expfinder_graph::fixtures::collaboration_fig1().graph,
+                    )
+                    .expect("fresh engine");
+                log.line("loaded fixture fig1 (paper Fig. 1 collaboration network)");
+            }
+            other => {
+                eprintln!("unknown fixture {other:?} (available: fig1)");
+                std::process::exit(2);
+            }
+        }
+    }
+    for (name, path) in &loads {
+        let g = expfinder_graph::io::load_text(path).unwrap_or_else(|e| {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        });
+        engine.add_graph(name, g).unwrap_or_else(|e| {
+            eprintln!("cannot add {name}: {e}");
+            std::process::exit(1);
+        });
+        log.line(&format!("loaded {name} from {path}"));
+    }
+
+    let workers = config.workers;
+    let server = Server::bind(engine, addr.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server.local_addr();
+    let handle = server.spawn();
+    log.line(&format!("listening on {bound} with {workers} workers"));
+    // the discovery contract: one line, stdout, flushed
+    println!("listening on {bound}");
+    let _ = std::io::stdout().flush();
+
+    // stdin EOF ⇒ drain (offline stand-in for SIGTERM)
+    let engine = Arc::clone(handle.engine());
+    let draining = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let draining = Arc::clone(&draining);
+        std::thread::Builder::new()
+            .name("stdin-watch".into())
+            .spawn(move || {
+                let mut sink = String::new();
+                loop {
+                    sink.clear();
+                    match std::io::stdin().read_line(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                draining.store(true, std::sync::atomic::Ordering::SeqCst);
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    // wait for either shutdown source, then drain
+    let served = loop {
+        if handle.is_draining() {
+            break handle.join();
+        }
+        if draining.load(std::sync::atomic::Ordering::SeqCst) {
+            break handle.shutdown();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    log.line(&format!(
+        "drained and stopped: {served} requests served, {} graphs managed",
+        engine.graph_names().len()
+    ));
+}

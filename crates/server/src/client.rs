@@ -1,0 +1,295 @@
+//! A tiny blocking HTTP/JSON client for the wire protocol.
+//!
+//! Used by the integration tests, the shell's `connect` command, the
+//! `serve_smoke` CI binary and the `bench_serve` load generator. One
+//! client holds one keep-alive connection and re-establishes it
+//! transparently when the server (or an idle timeout) closed it between
+//! requests. A transport failure on a *reused* connection (the normal
+//! keep-alive race: the server closed while the request was in flight)
+//! is retried once on a fresh connection — but only for requests whose
+//! replay is safe: reads, queries/batches, edge updates (insert/delete
+//! are idempotent) and shutdown. `POST /graphs` and `/register` are
+//! *not* replayed — a replay after a server-side success would turn into
+//! a spurious 409 — so those surface the transport error instead.
+
+use crate::http::{self, HttpError};
+use crate::wire;
+use expfinder_graph::json::Value;
+use expfinder_graph::{DiGraph, EdgeUpdate};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing problem.
+    Transport(String),
+    /// The server answered with an error status; the decoded
+    /// `error.message` is included when present.
+    Status { status: u16, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Status { status, message } => {
+                write!(f, "server returned {status}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One decoded response: status plus parsed JSON body.
+#[derive(Debug)]
+pub struct ApiResponse {
+    pub status: u16,
+    pub body: Value,
+}
+
+impl ApiResponse {
+    /// Treat non-2xx as [`ClientError::Status`], extracting the wire
+    /// error message.
+    pub fn into_ok(self) -> Result<Value, ClientError> {
+        if (200..300).contains(&self.status) {
+            Ok(self.body)
+        } else {
+            let message = self
+                .body
+                .field("error")
+                .and_then(|e| e.field("message"))
+                .and_then(|m| m.as_str())
+                .map(str::to_owned)
+                .unwrap_or_else(|_| "(no error body)".to_owned());
+            Err(ClientError::Status {
+                status: self.status,
+                message,
+            })
+        }
+    }
+}
+
+/// Blocking wire-protocol client with one keep-alive connection.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Create a client for `addr`; the connection is established lazily.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            stream: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Parse-and-connect convenience for shell-style `host:port` input.
+    pub fn for_addr(addr: &str) -> Result<Client, ClientError> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|e| ClientError::Transport(format!("bad address {addr:?}: {e}")))?;
+        Ok(Client::new(addr))
+    }
+
+    /// Per-request timeout (connect, send and full response read).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn connect(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+                .map_err(|e| ClientError::Transport(format!("connect {}: {e}", self.addr)))?;
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .map_err(|e| ClientError::Transport(e.to_string()))?;
+            stream
+                .set_write_timeout(Some(self.timeout))
+                .map_err(|e| ClientError::Transport(e.to_string()))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// Replay safety of one wire operation (see the module docs): the
+    /// keep-alive retry must not repeat a request whose second execution
+    /// can fail although the first succeeded.
+    fn replay_safe(method: &str, path: &str) -> bool {
+        method == "GET"
+            || path.ends_with("/query")
+            || path.ends_with("/batch")
+            || path.ends_with("/updates")
+            || path == "/admin/shutdown"
+    }
+
+    /// Issue one request. A transport failure on a *reused* connection
+    /// (the server may have dropped it while idle) is retried once on a
+    /// fresh connection when the operation is replay-safe; failures on a
+    /// fresh connection are final.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<ApiResponse, ClientError> {
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                self.stream = None;
+                match e {
+                    // only transport failures on replay-safe operations
+                    // are worth one reconnect
+                    ClientError::Transport(_) if Self::replay_safe(method, path) => {
+                        self.request_once(method, path, body)
+                    }
+                    other => Err(other),
+                }
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<ApiResponse, ClientError> {
+        let timeout = self.timeout;
+        let addr = self.addr;
+        let stream = self.connect()?;
+        let payload = body.map(|v| v.to_string_compact()).unwrap_or_default();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+        if body.is_some() {
+            head.push_str("Content-Type: application/json\r\n");
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            payload.len()
+        ));
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .and_then(|()| stream.flush())
+            .map_err(|e| ClientError::Transport(format!("send: {e}")))?;
+
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ClientError::Transport(e.to_string()))?,
+        );
+        let (status_line, headers) = match http::read_head(&mut reader, timeout) {
+            Ok(head) => head,
+            Err(HttpError::Closed | HttpError::Idle) => {
+                return Err(ClientError::Transport("connection closed by server".into()))
+            }
+            Err(e) => return Err(ClientError::Transport(e.to_string())),
+        };
+        // "HTTP/1.1 200 OK"
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Transport(format!("bad status line {status_line:?}")))?;
+        let body_bytes = http::read_body(&mut reader, &headers, usize::MAX, timeout)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        if http::header_of(&headers, "connection").is_some_and(|c| c.eq_ignore_ascii_case("close"))
+        {
+            self.stream = None;
+        }
+        let body = if body_bytes.is_empty() {
+            Value::Null
+        } else {
+            let text = std::str::from_utf8(&body_bytes)
+                .map_err(|_| ClientError::Transport("non-utf8 response body".into()))?;
+            expfinder_graph::json::parse(text)
+                .map_err(|e| ClientError::Transport(format!("bad response json: {e}")))?
+        };
+        Ok(ApiResponse { status, body })
+    }
+
+    // ------------------------- typed endpoints -------------------------
+
+    /// `GET /healthz`.
+    pub fn health(&mut self) -> Result<Value, ClientError> {
+        self.request("GET", "/healthz", None)?.into_ok()
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.request("GET", "/metrics", None)?.into_ok()
+    }
+
+    /// `GET /graphs`.
+    pub fn graphs(&mut self) -> Result<Value, ClientError> {
+        self.request("GET", "/graphs", None)?.into_ok()
+    }
+
+    /// `POST /graphs`: upload a graph under `name`.
+    pub fn add_graph(&mut self, name: &str, g: &DiGraph) -> Result<Value, ClientError> {
+        let body = wire::encode_add_graph(name, g);
+        self.request("POST", "/graphs", Some(&body))?.into_ok()
+    }
+
+    /// `POST /graphs/{graph}/query`.
+    pub fn query(&mut self, graph: &str, body: &Value) -> Result<Value, ClientError> {
+        self.request("POST", &format!("/graphs/{graph}/query"), Some(body))?
+            .into_ok()
+    }
+
+    /// `POST /graphs/{graph}/batch` with raw query bodies.
+    pub fn batch(&mut self, graph: &str, queries: Vec<Value>) -> Result<Value, ClientError> {
+        let body = crate::metrics::obj(vec![("queries", Value::Array(queries))]);
+        self.request("POST", &format!("/graphs/{graph}/batch"), Some(&body))?
+            .into_ok()
+    }
+
+    /// `POST /graphs/{graph}/updates`.
+    pub fn updates(&mut self, graph: &str, ups: &[EdgeUpdate]) -> Result<Value, ClientError> {
+        let body = crate::metrics::obj(vec![(
+            "updates",
+            Value::Array(ups.iter().map(|&u| wire::encode_update(u)).collect()),
+        )]);
+        self.request("POST", &format!("/graphs/{graph}/updates"), Some(&body))?
+            .into_ok()
+    }
+
+    /// `POST /graphs/{graph}/register`.
+    pub fn register(&mut self, graph: &str, qname: &str, dsl: &str) -> Result<Value, ClientError> {
+        let body = crate::metrics::obj(vec![
+            ("name", Value::Str(qname.to_owned())),
+            ("pattern", Value::Str(dsl.to_owned())),
+        ]);
+        self.request("POST", &format!("/graphs/{graph}/register"), Some(&body))?
+            .into_ok()
+    }
+
+    /// `POST /admin/shutdown` (requires the server to allow it).
+    pub fn shutdown_server(&mut self) -> Result<Value, ClientError> {
+        self.request("POST", "/admin/shutdown", None)?.into_ok()
+    }
+}
+
+/// Build a query body for [`Client::query`] / [`Client::batch`].
+pub fn query_body(dsl: &str, top_k: Option<usize>, route: &str, include_matches: bool) -> Value {
+    let mut fields = vec![
+        ("pattern", Value::Str(dsl.to_owned())),
+        ("route", Value::Str(route.to_owned())),
+        ("include_matches", Value::Bool(include_matches)),
+    ];
+    if let Some(k) = top_k {
+        fields.push(("top_k", Value::Int(k as i64)));
+    }
+    crate::metrics::obj(fields)
+}

@@ -1,0 +1,345 @@
+//! Lock-free serving metrics, exported as JSON on `GET /metrics`.
+//!
+//! Everything is plain atomics so the request hot path never takes a
+//! lock: per-route request counters and latency histograms (fixed
+//! log-spaced microsecond buckets), response counts by status class, an
+//! in-flight gauge (RAII guard) and connection open/close counters.
+//! Graph versions are read live from the engine at export time.
+
+use expfinder_engine::ExpFinder;
+use expfinder_graph::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket upper bounds, in microseconds (plus an implicit
+/// overflow bucket). Log-spaced to cover sub-ms cache hits through
+/// multi-second batch drains.
+pub const BUCKET_BOUNDS_US: [u64; 10] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 100_000, 500_000, 2_000_000,
+];
+
+/// The routes metrics are keyed by (one slot per endpoint family).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RouteKey {
+    Healthz,
+    Metrics,
+    GraphsList,
+    GraphAdd,
+    Query,
+    Batch,
+    Updates,
+    Register,
+    Shutdown,
+    /// Anything that did not resolve to a known route.
+    Other,
+}
+
+impl RouteKey {
+    pub const ALL: [RouteKey; 10] = [
+        RouteKey::Healthz,
+        RouteKey::Metrics,
+        RouteKey::GraphsList,
+        RouteKey::GraphAdd,
+        RouteKey::Query,
+        RouteKey::Batch,
+        RouteKey::Updates,
+        RouteKey::Register,
+        RouteKey::Shutdown,
+        RouteKey::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteKey::Healthz => "healthz",
+            RouteKey::Metrics => "metrics",
+            RouteKey::GraphsList => "graphs_list",
+            RouteKey::GraphAdd => "graph_add",
+            RouteKey::Query => "query",
+            RouteKey::Batch => "batch",
+            RouteKey::Updates => "updates",
+            RouteKey::Register => "register",
+            RouteKey::Shutdown => "shutdown",
+            RouteKey::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+}
+
+/// Counters for one route.
+#[derive(Default)]
+struct RouteStats {
+    count: AtomicU64,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+}
+
+impl RouteStats {
+    fn record(&self, status: u16, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        let slot = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Value {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<Value> = BUCKET_BOUNDS_US
+            .iter()
+            .map(|b| Value::Int(*b as i64))
+            .zip(self.buckets.iter())
+            .map(|(le, c)| {
+                obj(vec![
+                    ("le_us", le),
+                    ("count", Value::Int(c.load(Ordering::Relaxed) as i64)),
+                ])
+            })
+            .chain(std::iter::once(obj(vec![
+                ("le_us", Value::Str("inf".into())),
+                (
+                    "count",
+                    Value::Int(self.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed) as i64),
+                ),
+            ])))
+            .collect();
+        obj(vec![
+            ("count", Value::Int(count as i64)),
+            (
+                "status",
+                obj(vec![
+                    (
+                        "2xx",
+                        Value::Int(self.status_2xx.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "4xx",
+                        Value::Int(self.status_4xx.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "5xx",
+                        Value::Int(self.status_5xx.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "latency_us",
+                obj(vec![
+                    (
+                        "sum",
+                        Value::Int(self.latency_sum_us.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "max",
+                        Value::Int(self.latency_max_us.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "mean",
+                        Value::Float(if count == 0 {
+                            0.0
+                        } else {
+                            self.latency_sum_us.load(Ordering::Relaxed) as f64 / count as f64
+                        }),
+                    ),
+                    ("buckets", Value::Array(buckets)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The server-wide metrics registry.
+pub struct Metrics {
+    started: Instant,
+    routes: [RouteStats; RouteKey::ALL.len()],
+    in_flight: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            routes: Default::default(),
+            in_flight: AtomicU64::new(0),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// RAII in-flight marker: increments on creation, decrements on drop, so
+/// the gauge is correct on every exit path (including panics unwinding
+/// out of a handler).
+pub struct InFlight<'a>(&'a Metrics);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Metrics {
+    /// Mark a request in flight for the lifetime of the returned guard.
+    pub fn begin_request(&self) -> InFlight<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight(self)
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, route: RouteKey, status: u16, elapsed: Duration) {
+        self.routes[route.index()].record(status, elapsed);
+    }
+
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Total requests recorded across all routes.
+    pub fn total_requests(&self) -> u64 {
+        self.routes
+            .iter()
+            .map(|r| r.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The `GET /metrics` document. Graph versions come live from the
+    /// engine so the exporter doubles as a catalog freshness probe.
+    pub fn to_json(&self, engine: &ExpFinder) -> Value {
+        let requests = RouteKey::ALL
+            .iter()
+            .map(|k| (k.name(), self.routes[k.index()].to_json()))
+            .collect::<Vec<_>>();
+        let graphs: Vec<Value> = engine
+            .graph_infos()
+            .into_iter()
+            .map(|info| {
+                obj(vec![
+                    ("name", Value::Str(info.name)),
+                    ("version", Value::Int(info.version as i64)),
+                    ("nodes", Value::Int(info.nodes as i64)),
+                    ("edges", Value::Int(info.edges as i64)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            (
+                "uptime_ms",
+                Value::Int(self.started.elapsed().as_millis() as i64),
+            ),
+            ("in_flight", Value::Int(self.in_flight() as i64)),
+            (
+                "connections",
+                obj(vec![
+                    (
+                        "opened",
+                        Value::Int(self.connections_opened.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "closed",
+                        Value::Int(self.connections_closed.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            ("requests", obj(requests)),
+            ("graphs", Value::Array(graphs)),
+        ])
+    }
+}
+
+/// Build a JSON object from `(key, value)` pairs.
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_classes() {
+        let m = Metrics::default();
+        m.record(RouteKey::Query, 200, Duration::from_micros(100));
+        m.record(RouteKey::Query, 200, Duration::from_micros(900));
+        m.record(RouteKey::Query, 404, Duration::from_micros(6_000));
+        m.record(RouteKey::Query, 500, Duration::from_secs(10));
+        assert_eq!(m.total_requests(), 4);
+
+        let engine = ExpFinder::default();
+        let doc = m.to_json(&engine);
+        let q = doc.field("requests").unwrap().field("query").unwrap();
+        assert_eq!(q.field("count").unwrap().as_i64().unwrap(), 4);
+        let status = q.field("status").unwrap();
+        assert_eq!(status.field("2xx").unwrap().as_i64().unwrap(), 2);
+        assert_eq!(status.field("4xx").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(status.field("5xx").unwrap().as_i64().unwrap(), 1);
+        let lat = q.field("latency_us").unwrap();
+        assert_eq!(lat.field("max").unwrap().as_i64().unwrap(), 10_000_000);
+        let buckets = lat.field("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), BUCKET_BOUNDS_US.len() + 1);
+        // 100µs → ≤250 bucket; 900µs → ≤1000; 6ms → ≤10ms; 10s → overflow
+        assert_eq!(buckets[0].field("count").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(buckets[2].field("count").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(buckets[5].field("count").unwrap().as_i64().unwrap(), 1);
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.field("le_us").unwrap().as_str().unwrap(), "inf");
+        assert_eq!(inf.field("count").unwrap().as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn in_flight_gauge_is_raii() {
+        let m = Metrics::default();
+        assert_eq!(m.in_flight(), 0);
+        {
+            let _a = m.begin_request();
+            let _b = m.begin_request();
+            assert_eq!(m.in_flight(), 2);
+        }
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn graph_versions_exported_live() {
+        let engine = ExpFinder::default();
+        engine
+            .add_graph("g", expfinder_graph::fixtures::collaboration_fig1().graph)
+            .unwrap();
+        let m = Metrics::default();
+        let doc = m.to_json(&engine);
+        let graphs = doc.field("graphs").unwrap().as_array().unwrap();
+        assert_eq!(graphs.len(), 1);
+        assert_eq!(graphs[0].field("name").unwrap().as_str().unwrap(), "g");
+        assert_eq!(graphs[0].field("nodes").unwrap().as_i64().unwrap(), 9);
+    }
+}

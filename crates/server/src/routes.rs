@@ -1,0 +1,227 @@
+//! Endpoint routing and handlers.
+//!
+//! | Method | Path                      | Action                                  |
+//! |--------|---------------------------|-----------------------------------------|
+//! | GET    | `/healthz`                | liveness probe                          |
+//! | GET    | `/metrics`                | counters, latency histograms, versions  |
+//! | GET    | `/graphs`                 | catalog listing                         |
+//! | POST   | `/graphs`                 | add a graph (JSON graph document)       |
+//! | POST   | `/graphs/{name}/query`    | one fluent query                        |
+//! | POST   | `/graphs/{name}/batch`    | a batch through `ExpFinder::query_batch`|
+//! | POST   | `/graphs/{name}/updates`  | edge updates + ΔM report                |
+//! | POST   | `/graphs/{name}/register` | register a query for maintenance        |
+//! | POST   | `/admin/shutdown`         | graceful drain (when enabled)           |
+//!
+//! Engine failures map to statuses through
+//! [`ExpFinderError::http_status`] — the same mapping the shell's batch
+//! reporting uses — so there is exactly one place deciding what a
+//! `StaleHandle` costs on the wire.
+
+use crate::http::{Request, Response};
+use crate::metrics::{obj, RouteKey};
+use crate::server::Inner;
+use crate::wire::{self, WireError};
+use expfinder_engine::{ExpFinderError, QuerySpec};
+use expfinder_graph::json::Value;
+use expfinder_graph::{AttrValue, GraphView};
+
+/// Resolve and handle one request. Returns the metrics key alongside the
+/// response so the caller can record latency per route family.
+pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Response) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (key, result): (RouteKey, Result<Response, WireError>) =
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => (RouteKey::Healthz, healthz(inner)),
+            ("GET", ["metrics"]) => (
+                RouteKey::Metrics,
+                Ok(Response::json(200, &inner.metrics.to_json(&inner.engine))),
+            ),
+            ("GET", ["graphs"]) => (RouteKey::GraphsList, graphs_list(inner)),
+            ("POST", ["graphs"]) => (RouteKey::GraphAdd, graph_add(inner, req)),
+            ("POST", ["graphs", name, "query"]) => (RouteKey::Query, query(inner, name, req)),
+            ("POST", ["graphs", name, "batch"]) => (RouteKey::Batch, batch(inner, name, req)),
+            ("POST", ["graphs", name, "updates"]) => (RouteKey::Updates, updates(inner, name, req)),
+            ("POST", ["graphs", name, "register"]) => {
+                (RouteKey::Register, register(inner, name, req))
+            }
+            ("POST", ["admin", "shutdown"]) => (RouteKey::Shutdown, shutdown(inner)),
+            // known paths with the wrong method → 405, anything else → 404
+            (_, ["healthz" | "metrics" | "graphs"])
+            | (_, ["graphs", _, "query" | "batch" | "updates" | "register"])
+            | (_, ["admin", "shutdown"]) => (
+                RouteKey::Other,
+                Err(WireError {
+                    status: 405,
+                    message: format!("method {} not allowed on {}", req.method, req.path),
+                }),
+            ),
+            _ => (
+                RouteKey::Other,
+                Err(WireError {
+                    status: 404,
+                    message: format!("no route for {}", req.path),
+                }),
+            ),
+        };
+    let resp = result
+        .unwrap_or_else(|e| Response::json(e.status, &wire::error_body(e.status, &e.message)));
+    (key, resp)
+}
+
+fn healthz(inner: &Inner) -> Result<Response, WireError> {
+    let body = obj(vec![
+        ("status", Value::Str("ok".into())),
+        (
+            "graphs",
+            Value::Int(inner.engine.graph_names().len() as i64),
+        ),
+        ("in_flight", Value::Int(inner.metrics.in_flight() as i64)),
+        ("draining", Value::Bool(inner.draining())),
+    ]);
+    Ok(Response::json(200, &body))
+}
+
+fn graphs_list(inner: &Inner) -> Result<Response, WireError> {
+    let graphs: Vec<Value> = inner
+        .engine
+        .graph_infos()
+        .iter()
+        .map(wire::encode_graph_info)
+        .collect();
+    Ok(Response::json(
+        200,
+        &obj(vec![("graphs", Value::Array(graphs))]),
+    ))
+}
+
+fn graph_add(inner: &Inner, req: &Request) -> Result<Response, WireError> {
+    let body = wire::parse_body(&req.body)?;
+    let (name, graph) = wire::decode_add_graph(&body)?;
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    let handle = inner.engine.add_graph(&name, graph)?;
+    let version = inner.engine.read_graph(&handle, |g| g.version())?;
+    let body = obj(vec![
+        ("name", Value::Str(name)),
+        ("nodes", Value::Int(nodes as i64)),
+        ("edges", Value::Int(edges as i64)),
+        ("graph_version", Value::Int(version as i64)),
+    ]);
+    Ok(Response::json(201, &body))
+}
+
+fn query(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
+    let body = wire::parse_body(&req.body)?;
+    let q = wire::decode_query(&body)?;
+    let handle = inner.engine.handle(name)?;
+    let mut builder = inner
+        .engine
+        .query(&handle)
+        .pattern(q.pattern.clone())
+        .prefer(q.route);
+    if let Some(k) = q.top_k {
+        builder = builder.top_k(k);
+    }
+    let resp = builder.run()?;
+    // resolve expert display names under a fresh read lock; queries and
+    // updates may interleave, but expert node ids are stable
+    let encoded = inner.engine.read_graph(&handle, |g| {
+        wire::encode_query_response(&resp, &q.pattern, q.include_matches, |n| {
+            if (n.0 as usize) < g.node_count() {
+                g.attr_of(n, "name").and_then(|a| match a {
+                    AttrValue::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+            } else {
+                None
+            }
+        })
+    })?;
+    Ok(Response::json(200, &encoded))
+}
+
+fn batch(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
+    let body = wire::parse_body(&req.body)?;
+    let decoded = wire::decode_batch(&body)?;
+    let handle = inner.engine.handle(name)?;
+    // wire-level decode failures keep their slot, mirroring the engine's
+    // per-slot Results: build specs only for well-formed slots
+    let specs: Vec<QuerySpec> = decoded
+        .iter()
+        .filter_map(|d| d.as_ref().ok())
+        .map(|q| {
+            let mut spec = QuerySpec::pattern(q.pattern.clone()).prefer(q.route);
+            if let Some(k) = q.top_k {
+                spec = spec.top_k(k);
+            }
+            spec
+        })
+        .collect();
+    let mut engine_results = inner.engine.query_batch(&handle, specs).into_iter();
+    let results: Vec<Value> = decoded
+        .iter()
+        .map(|d| match d {
+            Err(e) => obj(vec![("error", wire::error_fields(e.status, &e.message))]),
+            Ok(q) => match engine_results.next().expect("one result per spec") {
+                Err(e) => {
+                    let we = WireError::from(e);
+                    obj(vec![("error", wire::error_fields(we.status, &we.message))])
+                }
+                Ok(resp) => obj(vec![(
+                    "ok",
+                    wire::encode_query_response(&resp, &q.pattern, q.include_matches, |_| None),
+                )]),
+            },
+        })
+        .collect();
+    Ok(Response::json(
+        200,
+        &obj(vec![("results", Value::Array(results))]),
+    ))
+}
+
+fn updates(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
+    let body = wire::parse_body(&req.body)?;
+    let ups = wire::decode_updates(&body)?;
+    let handle = inner.engine.handle(name)?;
+    let report = inner.engine.apply_updates_traced(&handle, &ups)?;
+    Ok(Response::json(200, &wire::encode_update_report(&report)))
+}
+
+fn register(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
+    let body = wire::parse_body(&req.body)?;
+    let qname = body
+        .field("name")
+        .and_then(|n| n.as_str())
+        .map_err(|e| WireError::bad_request(e.to_string()))?
+        .to_owned();
+    let dsl = body
+        .field("pattern")
+        .and_then(|p| p.as_str())
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    let pattern = expfinder_pattern::parser::parse(dsl)
+        .map_err(|e| WireError::from(ExpFinderError::from(e)))?;
+    let handle = inner.engine.handle(name)?;
+    inner.engine.register_query(&handle, &qname, pattern)?;
+    let pairs = inner
+        .engine
+        .registered_result(&handle, &qname)?
+        .total_pairs();
+    let body = obj(vec![
+        ("registered", Value::Str(qname)),
+        ("pairs", Value::Int(pairs as i64)),
+    ]);
+    Ok(Response::json(201, &body))
+}
+
+fn shutdown(inner: &Inner) -> Result<Response, WireError> {
+    if !inner.config.allow_remote_shutdown {
+        return Err(WireError {
+            status: 403,
+            message: "remote shutdown is disabled (start with --allow-shutdown)".into(),
+        });
+    }
+    inner.request_shutdown();
+    let mut resp = Response::json(202, &obj(vec![("draining", Value::Bool(true))]));
+    resp.close = true;
+    Ok(resp)
+}

@@ -1,0 +1,321 @@
+//! The multi-threaded serving core: listener, bounded worker pool,
+//! keep-alive connection loop and graceful shutdown.
+//!
+//! Architecture: one acceptor thread polls a non-blocking
+//! `TcpListener` and feeds accepted connections into a **bounded**
+//! channel; `workers` threads drain it, each running the keep-alive loop
+//! for one connection at a time. The bound gives natural backpressure —
+//! when every worker is busy and the queue is full, the acceptor blocks
+//! instead of buffering unbounded connections.
+//!
+//! Graceful shutdown is one `AtomicBool` ([`ServerHandle::shutdown`], or
+//! the `POST /admin/shutdown` endpoint when enabled): the acceptor stops
+//! accepting and closes the listener, workers finish their in-flight
+//! request (bounded by the request deadline), answer it with
+//! `Connection: close`, drain any already-accepted connections, and
+//! exit. `shutdown()`/`join()` then join every thread, so when they
+//! return no request is half-served — the SIGTERM-safe drain a process
+//! supervisor needs (the `serve` binary wires this to stdin EOF and the
+//! admin endpoint; bare `std` cannot install signal handlers).
+
+use crate::http::{self, HttpError, Response};
+use crate::metrics::Metrics;
+use crate::routes;
+use expfinder_engine::ExpFinder;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving knobs. `Default` is sized for tests and small deployments;
+/// the `serve` binary exposes each field as a flag.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (the pool bound).
+    pub workers: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection is held open.
+    pub keep_alive: Duration,
+    /// Deadline for reading one request once its first byte arrived, and
+    /// for finishing in-flight work during a drain.
+    pub request_deadline: Duration,
+    /// Honor `POST /admin/shutdown` (the smoke harness and the shell use
+    /// it; production deployments should leave it off and stop the
+    /// process instead).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 16)),
+            max_body_bytes: 16 * 1024 * 1024,
+            keep_alive: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(10),
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// Shared server state (everything a worker needs).
+pub(crate) struct Inner {
+    pub(crate) engine: Arc<ExpFinder>,
+    pub(crate) metrics: Metrics,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl Inner {
+    pub(crate) fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound-but-not-yet-serving server (so callers can learn the
+/// ephemeral port before any request is handled).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+}
+
+/// Granularity of the acceptor's shutdown poll and the workers' idle
+/// read timeout: the worst-case extra latency of noticing a drain.
+const POLL: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(
+        engine: Arc<ExpFinder>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            inner: Arc::new(Inner {
+                engine,
+                metrics: Metrics::default(),
+                config,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start the acceptor and worker threads; the returned handle owns
+    /// them.
+    pub fn spawn(self) -> ServerHandle {
+        let workers = self.inner.config.workers.max(1);
+        // bound = 2× workers: enough runway to keep workers fed, small
+        // enough that overload blocks the acceptor (backpressure) instead
+        // of queueing unboundedly
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let inner = Arc::clone(&self.inner);
+            let rx = Arc::clone(&rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("expfinder-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker"),
+            );
+        }
+        let inner = Arc::clone(&self.inner);
+        let listener = self.listener;
+        threads.push(
+            std::thread::Builder::new()
+                .name("expfinder-accept".into())
+                .spawn(move || accept_loop(&inner, listener, tx))
+                .expect("spawn acceptor"),
+        );
+        ServerHandle {
+            addr: self.addr,
+            inner: self.inner,
+            threads,
+        }
+    }
+}
+
+/// Handle to a running server: address, metrics access, shutdown/join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<ExpFinder> {
+        &self.inner.engine
+    }
+
+    /// Requests served so far (all routes).
+    pub fn requests_served(&self) -> u64 {
+        self.inner.metrics.total_requests()
+    }
+
+    /// True once a drain has been requested (locally or remotely).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining()
+    }
+
+    /// Request a graceful drain and wait for every thread to finish its
+    /// in-flight work and exit. Returns the total requests served.
+    pub fn shutdown(mut self) -> u64 {
+        self.inner.request_shutdown();
+        self.join_threads();
+        self.inner.metrics.total_requests()
+    }
+
+    /// Wait for the server to stop on its own (remote shutdown endpoint,
+    /// or an acceptor failure). Returns the total requests served.
+    pub fn join(mut self) -> u64 {
+        self.join_threads();
+        self.inner.metrics.total_requests()
+    }
+
+    fn join_threads(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // dropping the handle must not leak threads: drain and join
+        self.inner.request_shutdown();
+        self.join_threads();
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    while !inner.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.metrics.connection_opened();
+                // blocks when the queue is full: backpressure, see above
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // dropping `tx` (and the listener) lets workers drain the queue and
+    // exit, and refuses new connections at the OS level
+}
+
+fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // hold the lock only for the recv itself, never while serving
+        let next = {
+            let rx = rx.lock().expect("rx lock");
+            rx.recv_timeout(POLL)
+        };
+        match next {
+            Ok(stream) => {
+                serve_connection(inner, stream);
+                inner.metrics.connection_closed();
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// The keep-alive loop for one connection.
+fn serve_connection(inner: &Inner, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    // a client that stops reading must not pin this worker (or a later
+    // graceful drain) in write_all: bound every write by the request
+    // deadline — write_to fails and the connection is dropped instead
+    if stream
+        .set_write_timeout(Some(inner.config.request_deadline))
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut idle_since = Instant::now();
+    loop {
+        match http::read_request(
+            &mut reader,
+            inner.config.max_body_bytes,
+            inner.config.request_deadline,
+        ) {
+            Ok(req) => {
+                idle_since = Instant::now();
+                let keep_alive = req.wants_keep_alive() && !inner.draining();
+                let _guard = inner.metrics.begin_request();
+                let started = Instant::now();
+                let (key, mut resp) = routes::dispatch(inner, &req);
+                inner.metrics.record(key, resp.status, started.elapsed());
+                resp.close = resp.close || !keep_alive;
+                if resp.write_to(&mut writer, keep_alive).is_err() || resp.close {
+                    return;
+                }
+            }
+            Err(HttpError::Idle) => {
+                // between requests on a keep-alive connection: poll the
+                // shutdown flag and the idle budget
+                if inner.draining() || idle_since.elapsed() >= inner.config.keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(e) => {
+                // framing failure: answer with the mapped status (best
+                // effort) and close — the connection state is undefined
+                let (status, msg) = match &e {
+                    HttpError::Malformed(m) => (400, m.clone()),
+                    HttpError::TooLarge("body") => (413, "body too large".to_owned()),
+                    HttpError::TooLarge(_) => (431, "header section too large".to_owned()),
+                    HttpError::Unsupported(what) => (501, format!("unsupported: {what}")),
+                    HttpError::Io(_) => (408, "request read timed out".to_owned()),
+                    HttpError::Idle | HttpError::Closed => unreachable!("handled above"),
+                };
+                let body = crate::wire::error_body(status, &msg);
+                let mut resp = Response::json(status, &body);
+                resp.close = true;
+                inner
+                    .metrics
+                    .record(crate::metrics::RouteKey::Other, status, Duration::ZERO);
+                let _ = resp.write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The JSON wire protocol: request decoding and response encoding.
+//!
+//! All bodies are JSON through `expfinder_graph::json` — the same
+//! hand-rolled module the on-disk formats use, so the server adds no new
+//! serialization dependency. Decoders return [`WireError`] with the HTTP
+//! status the failure maps to; [`ExpFinderError`]s pass through
+//! [`ExpFinderError::http_status`], the engine's single error→status
+//! mapping.
+//!
+//! Request shapes (see README "Serving" for the full spec):
+//!
+//! * query:    `{"pattern": "<dsl>", "top_k": 5, "route": "auto",
+//!   "include_matches": false}`
+//! * batch:    `{"queries": [<query body>, ...]}`
+//! * updates:  `{"updates": [{"op": "insert", "from": 0, "to": 3}, ...]}`
+//! * register: `{"name": "team", "pattern": "<dsl>"}`
+//! * add graph: `{"name": "g", "graph": {"nodes": [...], "edges": [...]}}`
+
+use crate::metrics::obj;
+use expfinder_engine::{EvalRoute, ExpFinderError, GraphInfo, QueryResponse, Route, UpdateReport};
+use expfinder_graph::io::GraphDoc;
+use expfinder_graph::json::Value;
+use expfinder_graph::{DiGraph, EdgeUpdate, NodeId};
+use expfinder_pattern::Pattern;
+
+/// A decode failure plus the status it answers with.
+#[derive(Debug)]
+pub struct WireError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn bad_request(message: impl Into<String>) -> WireError {
+        WireError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<ExpFinderError> for WireError {
+    fn from(e: ExpFinderError) -> Self {
+        WireError {
+            status: e.http_status(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+/// The bare error object: `{"status":…,"message":…}` (batch slots embed
+/// it under their own `"error"` key).
+pub fn error_fields(status: u16, message: &str) -> Value {
+    obj(vec![
+        ("status", Value::Int(status as i64)),
+        ("message", Value::Str(message.to_owned())),
+    ])
+}
+
+/// The error body every endpoint uses: `{"error":{"status":…,"message":…}}`.
+pub fn error_body(status: u16, message: &str) -> Value {
+    obj(vec![("error", error_fields(status, message))])
+}
+
+/// Parse a request body as JSON (400 on syntax errors).
+pub fn parse_body(body: &[u8]) -> Result<Value, WireError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| WireError::bad_request("body is not valid utf-8"))?;
+    expfinder_graph::json::parse(text)
+        .map_err(|e| WireError::bad_request(format!("invalid json: {e}")))
+}
+
+/// One decoded query request.
+#[derive(Debug)]
+pub struct QueryRequest {
+    pub pattern: Pattern,
+    pub dsl: String,
+    pub top_k: Option<usize>,
+    pub route: Route,
+    pub include_matches: bool,
+}
+
+/// Decode `{"pattern": dsl, "top_k"?, "route"?, "include_matches"?}`.
+/// The DSL is parsed here so the route handler has the [`Pattern`] (its
+/// node names key the serialized match relation).
+pub fn decode_query(v: &Value) -> Result<QueryRequest, WireError> {
+    let o = v
+        .as_object()
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    for key in o.keys() {
+        if !matches!(
+            key.as_str(),
+            "pattern" | "top_k" | "route" | "include_matches"
+        ) {
+            return Err(WireError::bad_request(format!("unknown field {key:?}")));
+        }
+    }
+    let dsl = v
+        .field("pattern")
+        .and_then(|p| p.as_str())
+        .map_err(|e| WireError::bad_request(e.to_string()))?
+        .to_owned();
+    let pattern = expfinder_pattern::parser::parse(&dsl)
+        .map_err(|e| WireError::from(ExpFinderError::from(e)))?;
+    let top_k = match o.get("top_k") {
+        None | Some(Value::Null) => None,
+        Some(k) => Some(
+            k.as_usize()
+                .map_err(|e| WireError::bad_request(e.to_string()))?,
+        ),
+    };
+    let route = match o.get("route") {
+        None | Some(Value::Null) => Route::Auto,
+        Some(r) => decode_route(
+            r.as_str()
+                .map_err(|e| WireError::bad_request(e.to_string()))?,
+        )?,
+    };
+    let include_matches = match o.get("include_matches") {
+        None | Some(Value::Null) => false,
+        Some(b) => b
+            .as_bool()
+            .map_err(|e| WireError::bad_request(e.to_string()))?,
+    };
+    Ok(QueryRequest {
+        pattern,
+        dsl,
+        top_k,
+        route,
+        include_matches,
+    })
+}
+
+pub fn decode_route(s: &str) -> Result<Route, WireError> {
+    match s {
+        "auto" => Ok(Route::Auto),
+        "compressed" => Ok(Route::Compressed),
+        "direct" => Ok(Route::Direct),
+        other => Err(WireError::bad_request(format!(
+            "unknown route {other:?} (auto|compressed|direct)"
+        ))),
+    }
+}
+
+pub fn eval_route_str(r: EvalRoute) -> &'static str {
+    match r {
+        EvalRoute::Cache => "cache",
+        EvalRoute::Registered => "registered",
+        EvalRoute::Compressed => "compressed",
+        EvalRoute::DirectSimulation => "direct_simulation",
+        EvalRoute::DirectBounded => "direct_bounded",
+    }
+}
+
+/// Decode `{"queries": [<query body>, ...]}`; per-slot decode errors are
+/// returned in-slot so one bad query cannot sink the batch (mirroring
+/// `ExpFinder::query_batch`).
+pub fn decode_batch(v: &Value) -> Result<Vec<Result<QueryRequest, WireError>>, WireError> {
+    let queries = v
+        .field("queries")
+        .and_then(|q| q.as_array())
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    Ok(queries.iter().map(decode_query).collect())
+}
+
+/// Decode `{"updates": [{"op","from","to"}, ...]}`.
+pub fn decode_updates(v: &Value) -> Result<Vec<EdgeUpdate>, WireError> {
+    let items = v
+        .field("updates")
+        .and_then(|u| u.as_array())
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let bad = |e: expfinder_graph::json::JsonError| {
+                WireError::bad_request(format!("update {i}: {e}"))
+            };
+            let from = NodeId(item.field("from").and_then(|x| x.as_u32()).map_err(bad)?);
+            let to = NodeId(item.field("to").and_then(|x| x.as_u32()).map_err(bad)?);
+            match item.field("op").and_then(|x| x.as_str()).map_err(bad)? {
+                "insert" => Ok(EdgeUpdate::Insert(from, to)),
+                "delete" => Ok(EdgeUpdate::Delete(from, to)),
+                other => Err(WireError::bad_request(format!(
+                    "update {i}: unknown op {other:?} (insert|delete)"
+                ))),
+            }
+        })
+        .collect()
+}
+
+/// Encode one [`EdgeUpdate`] (used by the client).
+pub fn encode_update(up: EdgeUpdate) -> Value {
+    let (op, from, to) = match up {
+        EdgeUpdate::Insert(a, b) => ("insert", a, b),
+        EdgeUpdate::Delete(a, b) => ("delete", a, b),
+    };
+    obj(vec![
+        ("op", Value::Str(op.to_owned())),
+        ("from", Value::Int(from.0 as i64)),
+        ("to", Value::Int(to.0 as i64)),
+    ])
+}
+
+/// Decode `{"name": g, "graph": GraphDoc}`.
+pub fn decode_add_graph(v: &Value) -> Result<(String, DiGraph), WireError> {
+    let name = v
+        .field("name")
+        .and_then(|n| n.as_str())
+        .map_err(|e| WireError::bad_request(e.to_string()))?
+        .to_owned();
+    let doc = v
+        .field("graph")
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    let graph = GraphDoc::from_json_value(doc)
+        .map_err(|e| WireError::bad_request(format!("graph document: {e}")))?
+        .into_graph();
+    Ok((name, graph))
+}
+
+/// Encode a [`QueryResponse`]. The full match relation is included only
+/// on request (`include_matches`) — it can dwarf the rest of the
+/// response on large graphs. `resolve_name` maps a node id to its `name`
+/// attribute for human-readable expert rows.
+pub fn encode_query_response(
+    resp: &QueryResponse,
+    pattern: &Pattern,
+    include_matches: bool,
+    resolve_name: impl Fn(NodeId) -> Option<String>,
+) -> Value {
+    let experts: Vec<Value> = resp
+        .experts
+        .iter()
+        .map(|x| {
+            let mut fields = vec![
+                ("node", Value::Int(x.node.0 as i64)),
+                (
+                    "rank",
+                    if x.rank.is_finite() {
+                        Value::Float(x.rank)
+                    } else {
+                        Value::Str("inf".into())
+                    },
+                ),
+            ];
+            if let Some(name) = resolve_name(x.node) {
+                fields.push(("name", Value::Str(name)));
+            }
+            obj(fields)
+        })
+        .collect();
+    let mut fields = vec![
+        ("pairs", Value::Int(resp.matches.total_pairs() as i64)),
+        ("route", Value::Str(eval_route_str(resp.route).to_owned())),
+        ("graph_version", Value::Int(resp.graph_version as i64)),
+        ("experts", Value::Array(experts)),
+        (
+            "timings",
+            obj(vec![
+                (
+                    "evaluate_ms",
+                    Value::Float(resp.timings.evaluate.as_secs_f64() * 1e3),
+                ),
+                (
+                    "rank_ms",
+                    Value::Float(resp.timings.rank.as_secs_f64() * 1e3),
+                ),
+                (
+                    "total_ms",
+                    Value::Float(resp.timings.total.as_secs_f64() * 1e3),
+                ),
+            ]),
+        ),
+    ];
+    if include_matches {
+        let matches: Vec<(&str, Value)> = pattern
+            .ids()
+            .map(|u| {
+                let ids: Vec<Value> = resp
+                    .matches
+                    .matches_vec(u)
+                    .into_iter()
+                    .map(|v| Value::Int(v.0 as i64))
+                    .collect();
+                (pattern.node(u).name.as_str(), Value::Array(ids))
+            })
+            .collect();
+        fields.push(("matches", obj(matches)));
+    }
+    obj(fields)
+}
+
+/// Encode an [`UpdateReport`] (the `POST /updates` response).
+pub fn encode_update_report(report: &UpdateReport) -> Value {
+    let registered: Vec<(&str, Value)> = report
+        .registered
+        .iter()
+        .map(|d| {
+            (
+                d.query.as_str(),
+                obj(vec![
+                    ("before_pairs", Value::Int(d.before_pairs as i64)),
+                    ("after_pairs", Value::Int(d.after_pairs as i64)),
+                    ("delta", Value::Int(d.delta())),
+                ]),
+            )
+        })
+        .collect();
+    obj(vec![
+        ("applied", Value::Int(report.applied as i64)),
+        ("attempted", Value::Int(report.attempted as i64)),
+        ("graph_version", Value::Int(report.graph_version as i64)),
+        ("registered_delta", obj(registered)),
+    ])
+}
+
+/// Encode one [`GraphInfo`] catalog row.
+pub fn encode_graph_info(info: &GraphInfo) -> Value {
+    obj(vec![
+        ("name", Value::Str(info.name.clone())),
+        ("nodes", Value::Int(info.nodes as i64)),
+        ("edges", Value::Int(info.edges as i64)),
+        ("version", Value::Int(info.version as i64)),
+        (
+            "registered_queries",
+            Value::Int(info.registered_queries as i64),
+        ),
+        ("compressed", Value::Bool(info.compressed)),
+    ])
+}
+
+/// Encode a graph as the wire's `{"name", "graph"}` add-graph body (the
+/// client-side counterpart of [`decode_add_graph`]).
+pub fn encode_add_graph(name: &str, g: &DiGraph) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_owned())),
+        ("graph", GraphDoc::from_graph(g).to_json_value()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_graph::fixtures::collaboration_fig1;
+    use expfinder_graph::json::parse;
+    use expfinder_graph::GraphView;
+
+    #[test]
+    fn query_request_decoding() {
+        let v = parse(
+            r#"{"pattern": "node a where label = \"SA\";", "top_k": 3,
+                "route": "direct", "include_matches": true}"#,
+        )
+        .unwrap();
+        let q = decode_query(&v).unwrap();
+        assert_eq!(q.top_k, Some(3));
+        assert_eq!(q.route, Route::Direct);
+        assert!(q.include_matches);
+        assert_eq!(q.pattern.node_count(), 1);
+
+        // defaults
+        let v = parse(r#"{"pattern": "node a where label = \"SA\";"}"#).unwrap();
+        let q = decode_query(&v).unwrap();
+        assert_eq!(q.top_k, None);
+        assert_eq!(q.route, Route::Auto);
+        assert!(!q.include_matches);
+
+        // failures carry 400 statuses
+        for bad in [
+            r#"{"top_k": 3}"#,
+            r#"{"pattern": 7}"#,
+            r#"{"pattern": "node a;", "route": "warp"}"#,
+            r#"{"pattern": "node a;", "top_k": -1}"#,
+            r#"{"pattern": "node a;", "typo_field": 1}"#,
+        ] {
+            let e = decode_query(&parse(bad).unwrap()).unwrap_err();
+            assert_eq!(e.status, 400, "{bad}");
+        }
+        // a DSL parse error maps through the engine's shared mapping
+        let e = decode_query(&parse(r#"{"pattern": "node oops"}"#).unwrap()).unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.contains("parse"), "{}", e.message);
+    }
+
+    #[test]
+    fn updates_roundtrip() {
+        let ups = vec![
+            EdgeUpdate::Insert(NodeId(8), NodeId(3)),
+            EdgeUpdate::Delete(NodeId(1), NodeId(2)),
+        ];
+        let body = obj(vec![(
+            "updates",
+            Value::Array(ups.iter().map(|&u| encode_update(u)).collect()),
+        )]);
+        let decoded = decode_updates(&body).unwrap();
+        assert_eq!(decoded, ups);
+
+        let e = decode_updates(&parse(r#"{"updates":[{"op":"upsert","from":1,"to":2}]}"#).unwrap())
+            .unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.contains("update 0"), "{}", e.message);
+    }
+
+    #[test]
+    fn add_graph_roundtrip() {
+        let g = collaboration_fig1().graph;
+        let body = encode_add_graph("fig1", &g);
+        let (name, decoded) = decode_add_graph(&body).unwrap();
+        assert_eq!(name, "fig1");
+        assert_eq!(decoded.node_count(), g.node_count());
+        assert_eq!(decoded.edge_count(), g.edge_count());
+
+        assert_eq!(
+            decode_add_graph(&parse(r#"{"name":"x","graph":{"nodes":0}}"#).unwrap())
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn query_response_encoding() {
+        use expfinder_engine::ExpFinder;
+        use expfinder_pattern::fixtures::fig1_pattern;
+        let engine = ExpFinder::default();
+        let f = collaboration_fig1();
+        let h = engine.add_graph("fig1", f.graph.clone()).unwrap();
+        let q = fig1_pattern();
+        let resp = engine.query(&h).pattern(q.clone()).top_k(2).run().unwrap();
+        let v = encode_query_response(&resp, &q, true, |n| {
+            f.graph.attr_of(n, "name").and_then(|a| match a {
+                expfinder_graph::AttrValue::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+        });
+        assert_eq!(v.field("pairs").unwrap().as_i64().unwrap(), 7);
+        assert_eq!(
+            v.field("route").unwrap().as_str().unwrap(),
+            "direct_bounded"
+        );
+        let experts = v.field("experts").unwrap().as_array().unwrap();
+        assert_eq!(experts.len(), 2);
+        assert_eq!(
+            experts[0].field("name").unwrap().as_str().unwrap(),
+            "Bob",
+            "{v:?}"
+        );
+        let matches = v.field("matches").unwrap().as_object().unwrap();
+        assert_eq!(matches.len(), q.node_count());
+        assert!(matches.contains_key("sa"), "{matches:?}");
+        assert_eq!(matches["sa"].as_array().unwrap().len(), 2, "Bob and Walt");
+        // round-trips through the parser (wire-safe)
+        assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
+
+        // without include_matches the field is absent
+        let v = encode_query_response(&resp, &q, false, |_| None);
+        assert!(v.field("matches").is_err());
+    }
+
+    #[test]
+    fn update_report_encoding() {
+        use expfinder_engine::{RegisteredDelta, UpdateReport};
+        let v = encode_update_report(&UpdateReport {
+            applied: 1,
+            attempted: 2,
+            graph_version: 5,
+            registered: vec![RegisteredDelta {
+                query: "team".into(),
+                before_pairs: 7,
+                after_pairs: 8,
+            }],
+        });
+        assert_eq!(v.field("applied").unwrap().as_i64().unwrap(), 1);
+        let team = v.field("registered_delta").unwrap().field("team").unwrap();
+        assert_eq!(team.field("delta").unwrap().as_i64().unwrap(), 1);
+    }
+}

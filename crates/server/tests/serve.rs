@@ -1,0 +1,453 @@
+//! Integration tests for the serving layer, over real TCP sockets.
+//!
+//! The centerpiece mirrors PR 1's concurrency oracle at the HTTP level:
+//! M client threads race queries against a writer posting `/updates`,
+//! and every response must carry matches consistent with a fresh
+//! single-threaded evaluation of the graph at the `graph_version` the
+//! response reports. The rest covers the endpoint surface end-to-end,
+//! malformed-request robustness (4xx, never a worker panic) and the
+//! graceful drain.
+
+use expfinder_core::bounded_simulation;
+use expfinder_engine::ExpFinder;
+use expfinder_graph::generate::{collaboration, random_updates, CollabConfig};
+use expfinder_graph::json::Value;
+use expfinder_graph::{DiGraph, EdgeUpdate};
+use expfinder_pattern::Pattern;
+use expfinder_server::client::{query_body, Client};
+use expfinder_server::{ClientError, Server, ServerConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FIG1_DSL: &str = "node sa* where label = \"SA\" and experience >= 5; \
+    node sd where label = \"SD\" and experience >= 2; \
+    node ba where label = \"BA\" and experience >= 3; \
+    node st where label = \"ST\" and experience >= 2; \
+    edge sa -> sd within 2; edge sa -> ba within 3; \
+    edge sd -> st within 2; edge ba -> st within 1;";
+
+fn serve(graphs: Vec<(&str, DiGraph)>, config: ServerConfig) -> ServerHandle {
+    let engine = Arc::new(ExpFinder::default());
+    for (name, g) in graphs {
+        engine.add_graph(name, g).unwrap();
+    }
+    Server::bind(engine, "127.0.0.1:0", config).unwrap().spawn()
+}
+
+fn fig1_server() -> ServerHandle {
+    serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig::default(),
+    )
+}
+
+/// The wire's `matches` object for a relation: node name → sorted ids.
+fn relation_as_wire(
+    pattern: &Pattern,
+    m: &expfinder_core::MatchRelation,
+) -> BTreeMap<String, Vec<i64>> {
+    pattern
+        .ids()
+        .map(|u| {
+            (
+                pattern.node(u).name.clone(),
+                m.matches_vec(u).into_iter().map(|v| v.0 as i64).collect(),
+            )
+        })
+        .collect()
+}
+
+fn wire_matches(v: &Value) -> BTreeMap<String, Vec<i64>> {
+    v.field("matches")
+        .unwrap()
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, ids)| {
+            (
+                k.clone(),
+                ids.as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|i| i.as_i64().unwrap())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn end_to_end_over_tcp() {
+    let handle = fig1_server();
+    let mut client = Client::new(handle.addr());
+
+    let health = client.health().unwrap();
+    assert_eq!(health.field("status").unwrap().as_str().unwrap(), "ok");
+    assert_eq!(health.field("graphs").unwrap().as_i64().unwrap(), 1);
+
+    // upload a second graph and see it in the catalog
+    let mut g2 = DiGraph::new();
+    let a = g2.add_node("SA", [("experience", expfinder_graph::AttrValue::Int(9))]);
+    let b = g2.add_node("SD", []);
+    g2.add_edge(a, b);
+    let added = client.add_graph("tiny", &g2).unwrap();
+    assert_eq!(added.field("nodes").unwrap().as_i64().unwrap(), 2);
+    let catalog = client.graphs().unwrap();
+    let rows = catalog.field("graphs").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].field("name").unwrap().as_str().unwrap(), "fig1");
+    assert_eq!(rows[1].field("name").unwrap().as_str().unwrap(), "tiny");
+
+    // duplicate upload → 409 through the shared mapping
+    match client.add_graph("tiny", &g2) {
+        Err(ClientError::Status { status: 409, .. }) => {}
+        other => panic!("expected 409, got {other:?}"),
+    }
+
+    // register, query (registered route), ranked experts
+    let reg = client.register("fig1", "team", FIG1_DSL).unwrap();
+    assert_eq!(reg.field("pairs").unwrap().as_i64().unwrap(), 7);
+    let resp = client
+        .query("fig1", &query_body(FIG1_DSL, Some(2), "auto", true))
+        .unwrap();
+    assert_eq!(resp.field("pairs").unwrap().as_i64().unwrap(), 7);
+    assert_eq!(resp.field("route").unwrap().as_str().unwrap(), "registered");
+    let experts = resp.field("experts").unwrap().as_array().unwrap();
+    assert_eq!(experts.len(), 2);
+    assert_eq!(
+        experts[0].field("name").unwrap().as_str().unwrap(),
+        "Bob",
+        "paper Example 2: Bob outranks Walt"
+    );
+    assert!(resp.field("timings").unwrap().field("total_ms").is_ok());
+
+    // batch with a broken middle slot
+    let batch = client
+        .batch(
+            "fig1",
+            vec![
+                query_body(FIG1_DSL, Some(1), "auto", false),
+                query_body("node oops", None, "auto", false),
+                query_body("node sa* where label = \"SA\";", None, "direct", false),
+            ],
+        )
+        .unwrap();
+    let results = batch.field("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(
+        results[0]
+            .field("ok")
+            .unwrap()
+            .field("pairs")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
+        7
+    );
+    let err = results[1].field("error").unwrap();
+    assert_eq!(err.field("status").unwrap().as_i64().unwrap(), 400);
+    assert_eq!(
+        results[2]
+            .field("ok")
+            .unwrap()
+            .field("pairs")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
+        2
+    );
+
+    // updates: paper Example 3 (Fred → Dan), with the ΔM report
+    let f = expfinder_graph::fixtures::collaboration_fig1();
+    let report = client
+        .updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+        .unwrap();
+    assert_eq!(report.field("applied").unwrap().as_i64().unwrap(), 1);
+    let team = report
+        .field("registered_delta")
+        .unwrap()
+        .field("team")
+        .unwrap();
+    assert_eq!(team.field("before_pairs").unwrap().as_i64().unwrap(), 7);
+    assert_eq!(team.field("after_pairs").unwrap().as_i64().unwrap(), 8);
+    assert_eq!(team.field("delta").unwrap().as_i64().unwrap(), 1);
+
+    // unknown graph / unknown route statuses
+    match client.query("ghost", &query_body(FIG1_DSL, None, "auto", false)) {
+        Err(ClientError::Status { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+
+    // metrics saw all of it
+    let metrics = client.metrics().unwrap();
+    let reqs = metrics.field("requests").unwrap();
+    assert!(
+        reqs.field("query")
+            .unwrap()
+            .field("count")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            >= 2
+    );
+    assert!(
+        reqs.field("batch")
+            .unwrap()
+            .field("count")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        reqs.field("updates")
+            .unwrap()
+            .field("count")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            >= 1
+    );
+    let graphs = metrics.field("graphs").unwrap().as_array().unwrap();
+    assert!(graphs
+        .iter()
+        .any(|g| g.field("name").unwrap().as_str().unwrap() == "fig1"
+            && g.field("version").unwrap().as_i64().unwrap() >= 1));
+
+    let served = handle.shutdown();
+    assert!(served >= 10, "served {served}");
+}
+
+/// The HTTP-level concurrency oracle (PR 1 approach, now over sockets):
+/// every response a racing client observes must equal a fresh
+/// single-threaded evaluation at the version the response reports.
+#[test]
+fn concurrent_clients_consistent_with_writer() {
+    const READERS: usize = 4;
+    const REQUESTS: usize = 30;
+    const UPDATES: usize = 40;
+
+    let base = collaboration(
+        &mut StdRng::seed_from_u64(99),
+        &CollabConfig {
+            teams: 20,
+            team_size: 6,
+            ..CollabConfig::default()
+        },
+    );
+    let pattern = expfinder_pattern::parser::parse(FIG1_DSL).unwrap();
+    let updates = random_updates(&mut StdRng::seed_from_u64(41), &base, UPDATES, 0.5);
+
+    // ground truth for every version the graph will pass through
+    let mut expected: HashMap<i64, BTreeMap<String, Vec<i64>>> = HashMap::new();
+    {
+        let mut g = base.clone();
+        expected.insert(
+            g.version() as i64,
+            relation_as_wire(&pattern, &bounded_simulation(&g, &pattern).unwrap()),
+        );
+        for &up in &updates {
+            if g.apply(up) {
+                expected.insert(
+                    g.version() as i64,
+                    relation_as_wire(&pattern, &bounded_simulation(&g, &pattern).unwrap()),
+                );
+            }
+        }
+    }
+
+    let handle = serve(vec![("live", base)], ServerConfig::default());
+    let addr = handle.addr();
+
+    std::thread::scope(|s| {
+        // writer: one HTTP update at a time
+        {
+            let updates = &updates;
+            s.spawn(move || {
+                let mut client = Client::new(addr);
+                for &up in updates {
+                    client.updates("live", &[up]).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // readers: every observation checked against the precomputed truth
+        for r in 0..READERS {
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = Client::new(addr);
+                for i in 0..REQUESTS {
+                    let resp = client
+                        .query("live", &query_body(FIG1_DSL, None, "auto", true))
+                        .unwrap();
+                    let version = resp.field("graph_version").unwrap().as_i64().unwrap();
+                    let truth = expected.get(&version).unwrap_or_else(|| {
+                        panic!(
+                            "reader {r} request {i}: version {version} was never a \
+                             real graph state"
+                        )
+                    });
+                    assert_eq!(
+                        &wire_matches(&resp),
+                        truth,
+                        "reader {r} request {i}: response diverges from a fresh \
+                         evaluation at version {version}"
+                    );
+                }
+            });
+        }
+    });
+
+    // after the race the server agrees with the final ground truth
+    let mut client = Client::new(addr);
+    let resp = client
+        .query("live", &query_body(FIG1_DSL, None, "direct", true))
+        .unwrap();
+    let version = resp.field("graph_version").unwrap().as_i64().unwrap();
+    assert_eq!(&wire_matches(&resp), expected.get(&version).unwrap());
+    handle.shutdown();
+}
+
+/// Raw socket abuse: every malformed input maps to a 4xx/5xx response
+/// (or a clean close), never a worker panic — and the server keeps
+/// serving afterwards.
+#[test]
+fn malformed_requests_answer_4xx_and_server_survives() {
+    let handle = fig1_server();
+    let addr = handle.addr();
+
+    let raw = |bytes: &[u8]| -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(bytes).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    };
+
+    // (routed responses honor Connection: close; framing failures close
+    // unconditionally — either way raw() returns promptly)
+    // garbage request line
+    let resp = raw(b"EHLO hi\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    // unknown route
+    let resp = raw(b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+    // wrong method on a known route
+    let resp = raw(b"DELETE /graphs/fig1/query HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    // body that is not JSON
+    let resp = raw(
+        b"POST /graphs/fig1/query HTTP/1.1\r\nConnection: close\r\nContent-Length: 9\r\n\r\nnot json!",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    assert!(resp.contains("invalid json"), "{resp}");
+    // JSON of the wrong shape
+    let resp = raw(
+        b"POST /graphs/fig1/query HTTP/1.1\r\nConnection: close\r\nContent-Length: 13\r\n\r\n{\"top_k\": 99}",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    // oversized declared body → 413 before any allocation
+    let resp = raw(b"POST /graphs/fig1/query HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+    // chunked transfer encoding is not implemented → 501
+    let resp =
+        raw(b"POST /graphs/fig1/query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 501"), "{resp}");
+    // header section over the cap → 431
+    let mut big = b"GET /healthz HTTP/1.1\r\nX-Junk: ".to_vec();
+    big.extend(std::iter::repeat_n(b'a', 20 * 1024));
+    big.extend_from_slice(b"\r\n\r\n");
+    let resp = raw(&big);
+    assert!(resp.starts_with("HTTP/1.1 431"), "{resp}");
+    // remote shutdown is disabled by default → 403
+    let resp = raw(b"POST /admin/shutdown HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 403"), "{resp}");
+
+    // after all that abuse, normal service continues
+    let mut client = Client::new(addr);
+    let health = client.health().unwrap();
+    assert_eq!(health.field("status").unwrap().as_str().unwrap(), "ok");
+    let resp = client
+        .query("fig1", &query_body(FIG1_DSL, Some(1), "auto", false))
+        .unwrap();
+    assert_eq!(resp.field("pairs").unwrap().as_i64().unwrap(), 7);
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let handle = fig1_server();
+    let mut client = Client::new(handle.addr());
+    for _ in 0..5 {
+        client.health().unwrap();
+    }
+    let metrics = client.metrics().unwrap();
+    // all six requests (5 health + this metrics) rode one connection
+    assert_eq!(
+        metrics
+            .field("connections")
+            .unwrap()
+            .field("opened")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
+        1
+    );
+    assert_eq!(
+        metrics
+            .field("requests")
+            .unwrap()
+            .field("healthz")
+            .unwrap()
+            .field("count")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
+        5
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_closes_the_port() {
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            allow_remote_shutdown: true,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let mut client = Client::new(addr);
+    for _ in 0..3 {
+        client
+            .query("fig1", &query_body(FIG1_DSL, None, "auto", false))
+            .unwrap();
+    }
+    // remote drain: the response itself closes the connection
+    let resp = client.shutdown_server().unwrap();
+    assert!(resp.field("draining").unwrap().as_bool().unwrap());
+
+    // all threads join; served count covers the traffic above
+    let served = handle.join();
+    assert!(served >= 4, "served {served}");
+
+    // the port no longer accepts (give the OS a moment to tear down)
+    let refused = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+    });
+    assert!(refused, "listener should be closed after drain");
+}

@@ -15,19 +15,23 @@
 //! help
 //! ```
 //!
-//! The shell starts with the paper's Fig. 1 network preloaded as `fig1`.
+//! The shell starts with the paper's Fig. 1 network preloaded as `fig1`,
+//! and carries the serving commands (`serve`, `connect`, `remote`) of
+//! `expfinder_server::ServedShell` — `serve` puts this very session's
+//! engine on the network.
 
-use expfinder::engine::shell::Shell;
 use expfinder::graph::fixtures::collaboration_fig1;
+use expfinder::server::ServedShell;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let mut shell = Shell::default();
+    let mut shell = ServedShell::default();
     shell
+        .shell()
         .engine()
         .add_graph("fig1", collaboration_fig1().graph)
         .expect("fresh engine");
-    let _ = shell.select("fig1");
+    let _ = shell.shell().select("fig1");
 
     println!("ExpFinder — finding experts by graph pattern matching (ICDE 2013)");
     println!("Fig. 1 graph preloaded as `fig1`. Type `help` for commands, Ctrl-D to exit.");

@@ -40,3 +40,18 @@ bench-batch:
 # batch throughput is >= 3x the sequential baseline (ISSUE 2 criterion)
 bench-gate:
     cargo run --release -p expfinder-bench --bin bench_batch -- --threads 8 --min-batch-speedup 3.0 --out BENCH_gate.json
+
+# run the HTTP server on the paper's Fig. 1 fixture (Ctrl-D or
+# `POST /admin/shutdown` drains gracefully)
+serve:
+    cargo run --release -p expfinder-server --bin serve -- --addr 127.0.0.1:7878 --fixture fig1 --allow-shutdown
+
+# the CI `serve-smoke` job: build release, boot the real `serve` binary
+# on an ephemeral port, drive every endpoint over TCP, drain, check the log
+serve-smoke:
+    cargo build --release
+    cargo run --release -p expfinder-server --bin serve_smoke -- --log target/serve-smoke.log
+
+# full server throughput benchmark (writes BENCH_3.json)
+bench-serve:
+    cargo run --release -p expfinder-bench --bin bench_serve

@@ -62,6 +62,7 @@ pub use expfinder_engine as engine;
 pub use expfinder_graph as graph;
 pub use expfinder_incremental as incremental;
 pub use expfinder_pattern as pattern;
+pub use expfinder_server as server;
 
 #[doc(inline)]
 pub use expfinder_engine::{ExpFinder, ExpFinderError, GraphHandle};
@@ -80,4 +81,5 @@ pub mod prelude {
     pub use expfinder_graph::{AttrValue, CsrGraph, DiGraph, EdgeUpdate, GraphView, NodeId};
     pub use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim};
     pub use expfinder_pattern::{Bound, Pattern, PatternBuilder, Predicate};
+    pub use expfinder_server::{Client, ServedShell, Server, ServerConfig, ServerHandle};
 }
