@@ -13,25 +13,11 @@ fn bench_plan_modes(c: &mut Criterion) {
     let g = collab_graph(8_000, SEED);
     let q = collab_pattern();
     group.bench_function("selective", |b| {
-        b.iter(|| {
-            bounded_simulation_with(
-                &g,
-                &q,
-                EvalOptions {
-                    plan: PlanMode::Selective,
-                },
-            )
-        })
+        b.iter(|| bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::Selective)))
     });
     group.bench_function("declaration_order", |b| {
         b.iter(|| {
-            bounded_simulation_with(
-                &g,
-                &q,
-                EvalOptions {
-                    plan: PlanMode::DeclarationOrder,
-                },
-            )
+            bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::DeclarationOrder))
         })
     });
     group.finish();

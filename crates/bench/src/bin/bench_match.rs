@@ -1,0 +1,67 @@
+//! Standalone matching-engine benchmark (old queue path vs new frontier
+//! path).
+//!
+//! Usage:
+//!   cargo run --release -p expfinder-bench --bin bench_match
+//!   cargo run --release -p expfinder-bench --bin bench_match -- --quick
+//!   cargo run --release -p expfinder-bench --bin bench_match -- \
+//!       --out BENCH_4.json --min-speedup 1.5
+//!
+//! Runs the sequential old-vs-new measurement of
+//! [`expfinder_bench::matchbench`] and writes the machine-readable
+//! document (default `BENCH_4.json`). With `--min-speedup X` the process
+//! exits non-zero when any workload's single-query speedup falls below
+//! `X` — the advisory perf gate the `bench-smoke` CI job attaches to.
+
+use expfinder_bench::batchbench::write_bench_json;
+use expfinder_bench::matchbench::{run_match_bench, MatchBenchOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_4.json".to_owned();
+    let mut min_speedup: Option<f64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => out = take(&mut i),
+            "--min-speedup" => min_speedup = Some(take(&mut i).parse().expect("bad --min-speedup")),
+            other => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let doc = run_match_bench(&MatchBenchOptions { quick });
+    write_bench_json(&out, &doc).expect("writing bench json");
+
+    if let Some(min) = min_speedup {
+        let workloads = doc.field("workloads").unwrap().as_array().unwrap();
+        let mut ok = true;
+        for w in workloads {
+            let name = w.field("name").unwrap().as_str().unwrap();
+            let sp = w.field("speedup").unwrap().as_f64().unwrap();
+            if sp < min {
+                eprintln!("GATE FAIL: {name} single-query speedup {sp:.2}x < required {min:.2}x");
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("gate passed: all single-query speedups >= {min:.2}x");
+    }
+}

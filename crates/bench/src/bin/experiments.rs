@@ -751,37 +751,14 @@ fn e12_ablations(opts: &Opts) {
 
     // (a) plan ordering
     let t_sel = median_of(reps, || {
-        bounded_simulation_with(
-            &g,
-            &q,
-            EvalOptions {
-                plan: PlanMode::Selective,
-            },
-        )
+        bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::Selective))
     });
-    let (r, _stats) = bounded_simulation_with(
-        &g,
-        &q,
-        EvalOptions {
-            plan: PlanMode::Selective,
-        },
-    );
+    let (r, _stats) = bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::Selective));
     let t_dec = median_of(reps, || {
-        bounded_simulation_with(
-            &g,
-            &q,
-            EvalOptions {
-                plan: PlanMode::DeclarationOrder,
-            },
-        )
+        bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::DeclarationOrder))
     });
-    let (r2, _stats2) = bounded_simulation_with(
-        &g,
-        &q,
-        EvalOptions {
-            plan: PlanMode::DeclarationOrder,
-        },
-    );
+    let (r2, _stats2) =
+        bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::DeclarationOrder));
     println!(
         "plan ordering:   selective {} vs declaration {}",
         fmt_dur(t_sel),

@@ -5,6 +5,7 @@
 //! experiments in EXPERIMENTS.md are reproducible bit-for-bit.
 
 pub mod batchbench;
+pub mod matchbench;
 pub mod servebench;
 
 use expfinder_graph::generate::{

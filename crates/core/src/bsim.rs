@@ -23,8 +23,18 @@
 //! practice a handful of refreshes per edge. The refresh *order* is the
 //! "query plan": [`PlanMode::Selective`] starts from the most selective
 //! target sets, which empirically halves refresh counts (ablation E12).
+//!
+//! Two interchangeable engines compute the fixpoint
+//! ([`EvalOptions::engine`]): the default [`FixpointEngine::Frontier`]
+//! runs the delta-aware loop of [`crate::fixpoint`] (word-parallel BFS,
+//! refresh memoization, dirty-counter skipping, reusable
+//! [`EvalScratch`]); [`FixpointEngine::Queue`] is the original
+//! queue-based loop, kept verbatim as the correctness oracle and the
+//! benchmark baseline. Both compute the same greatest fixpoint
+//! bit-for-bit (property-tested).
 
 use crate::candidate_sets;
+use crate::fixpoint::{refine_constraints, Constraint, EvalScratch};
 use crate::matchrel::MatchRelation;
 use expfinder_graph::bfs::{BfsScratch, Direction};
 use expfinder_graph::{BitSet, GraphView};
@@ -40,19 +50,57 @@ pub enum PlanMode {
     DeclarationOrder,
 }
 
+/// Which fixpoint loop evaluates the refinement.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum FixpointEngine {
+    /// Delta-aware frontier engine: direction-optimizing bitset BFS,
+    /// per-edge reach memoization, dirty-counter refresh skipping.
+    #[default]
+    Frontier,
+    /// The original queue-based multi-source BFS loop — the oracle the
+    /// frontier engine is property-tested against, and the "old path" of
+    /// the `bench_match` comparison.
+    Queue,
+}
+
 /// Evaluation options.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct EvalOptions {
     pub plan: PlanMode,
+    pub engine: FixpointEngine,
+}
+
+impl EvalOptions {
+    /// Default engine with an explicit plan mode.
+    pub fn with_plan(plan: PlanMode) -> EvalOptions {
+        EvalOptions {
+            plan,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// The queue-based oracle engine with the default plan.
+    pub fn queue() -> EvalOptions {
+        EvalOptions {
+            engine: FixpointEngine::Queue,
+            ..EvalOptions::default()
+        }
+    }
 }
 
 /// Counters describing how much work one evaluation did.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Number of per-edge refreshes (reverse BFS runs).
+    /// Number of per-edge refreshes (reach-set computations).
     pub refreshes: usize,
     /// Total candidate removals across all pattern nodes.
     pub removals: usize,
+    /// Queued refreshes skipped because the seed set had not shrunk since
+    /// the constraint's last refresh (frontier engine only).
+    pub refreshes_skipped: usize,
+    /// Nodes marked visited across all reach traversals — the traversal
+    /// work the refresh memoization exists to cut.
+    pub bfs_nodes_visited: usize,
 }
 
 /// Compute the maximum bounded simulation `M(Q,G)` with default options.
@@ -71,6 +119,21 @@ pub fn bounded_simulation_with<G: GraphView>(
 ) -> (MatchRelation, EvalStats) {
     let sim = candidate_sets(g, q);
     bounded_fixpoint(g, q, sim, opts)
+}
+
+/// Compute `M(Q,G)` against a caller-owned [`EvalScratch`] — the
+/// allocation-free path serving workers use: the scratch's BFS frontiers,
+/// reach caches and queues are reused across calls.
+pub fn bounded_simulation_scratch<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+    scratch: &mut EvalScratch,
+) -> (MatchRelation, EvalStats) {
+    let n = g.node_count();
+    let sim = candidate_sets(g, q);
+    let (sets, stats) = bounded_fixpoint_scratch(g, q, sim, opts, true, scratch);
+    (MatchRelation::from_sets(sets, n), stats)
 }
 
 /// The refinement fixpoint with paper semantics (early exit when a pattern
@@ -92,6 +155,63 @@ pub fn bounded_fixpoint<G: GraphView>(
 /// for the other nodes); without it, the exact raw GFP is computed — the
 /// incremental module persists that as its state.
 pub fn bounded_fixpoint_raw<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    sim: Vec<BitSet>,
+    opts: EvalOptions,
+    early_exit: bool,
+) -> (Vec<BitSet>, EvalStats) {
+    match opts.engine {
+        FixpointEngine::Queue => bounded_fixpoint_queue(g, q, sim, opts, early_exit),
+        FixpointEngine::Frontier => {
+            let mut scratch = EvalScratch::new();
+            bounded_fixpoint_scratch(g, q, sim, opts, early_exit, &mut scratch)
+        }
+    }
+}
+
+/// [`bounded_fixpoint_raw`] on the frontier engine with caller-owned
+/// scratch (the `opts.engine` field is ignored — this *is* the frontier
+/// path).
+pub fn bounded_fixpoint_scratch<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    mut sim: Vec<BitSet>,
+    opts: EvalOptions,
+    early_exit: bool,
+    scratch: &mut EvalScratch,
+) -> (Vec<BitSet>, EvalStats) {
+    let constraints: Vec<Constraint> = q
+        .edges()
+        .iter()
+        .map(|e| Constraint {
+            constrained: e.from,
+            seeds: e.to,
+            depth: e.bound.depth(),
+            dir: Direction::Backward,
+        })
+        .collect();
+    let (died, stats) = refine_constraints(
+        g,
+        q.node_count(),
+        &constraints,
+        &mut sim,
+        opts.plan,
+        early_exit,
+        scratch,
+    );
+    if died {
+        // some pattern node became unmatchable: M(Q,G) = ∅
+        for s in &mut sim {
+            s.clear();
+        }
+    }
+    (sim, stats)
+}
+
+/// The original queue-based fixpoint — the [`FixpointEngine::Queue`]
+/// oracle.
+fn bounded_fixpoint_queue<G: GraphView>(
     g: &G,
     q: &Pattern,
     mut sim: Vec<BitSet>,
@@ -124,7 +244,8 @@ pub fn bounded_fixpoint_raw<G: GraphView>(
         let (u, t, depth) = (e.from, e.to, e.bound.depth());
 
         stats.refreshes += 1;
-        scratch.multi_source_within(g, &sim[t.index()], depth, Direction::Backward, &mut reach);
+        stats.bfs_nodes_visited +=
+            scratch.multi_source_within(g, &sim[t.index()], depth, Direction::Backward, &mut reach);
 
         let before = sim[u.index()].count();
         sim[u.index()].intersect_with(&reach);
@@ -327,20 +448,10 @@ mod tests {
             let g = erdos_renyi(&mut rng, 60, 300, &spec);
             let cfg = PatternConfig::new(PatternShape::Dag, 5, spec.labels.clone());
             let q = random_pattern(&mut rng, &cfg);
-            let (m1, _) = bounded_simulation_with(
-                &g,
-                &q,
-                EvalOptions {
-                    plan: PlanMode::Selective,
-                },
-            );
-            let (m2, _) = bounded_simulation_with(
-                &g,
-                &q,
-                EvalOptions {
-                    plan: PlanMode::DeclarationOrder,
-                },
-            );
+            let (m1, _) =
+                bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::Selective));
+            let (m2, _) =
+                bounded_simulation_with(&g, &q, EvalOptions::with_plan(PlanMode::DeclarationOrder));
             assert_eq!(m1, m2, "trial {trial}: plans change cost, never results");
         }
     }
@@ -351,6 +462,33 @@ mod tests {
         let q = fig1_pattern();
         let (_, stats) = bounded_simulation_with(&f.graph, &q, EvalOptions::default());
         assert!(stats.refreshes >= q.edge_count());
+        assert!(stats.bfs_nodes_visited > 0);
+        let (_, old) = bounded_simulation_with(&f.graph, &q, EvalOptions::queue());
+        assert!(old.refreshes >= q.edge_count());
+        assert!(old.bfs_nodes_visited >= stats.bfs_nodes_visited);
+    }
+
+    #[test]
+    fn engines_agree_and_scratch_is_reusable() {
+        use crate::fixpoint::EvalScratch;
+        use expfinder_graph::generate::{erdos_renyi, NodeSpec};
+        use expfinder_pattern::generate::{random_pattern, PatternConfig, PatternShape};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(29);
+        let spec = NodeSpec::uniform(3, 4);
+        let mut scratch = EvalScratch::new();
+        for trial in 0..20 {
+            // varying graph sizes exercise cache resets between queries
+            let g = erdos_renyi(&mut rng, 20 + trial * 3, 100 + trial * 10, &spec);
+            let mut cfg = PatternConfig::new(PatternShape::Dag, 4, spec.labels.clone());
+            cfg.bound_range = (1, 3);
+            cfg.extra_edges = 2;
+            let q = random_pattern(&mut rng, &cfg);
+            let (old, _) = bounded_simulation_with(&g, &q, EvalOptions::queue());
+            let (new, _) = bounded_simulation_scratch(&g, &q, EvalOptions::default(), &mut scratch);
+            assert_eq!(old, new, "trial {trial}: engines diverged");
+        }
     }
 
     #[test]

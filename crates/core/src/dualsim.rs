@@ -17,7 +17,9 @@
 //! bounded-simulation result, and on the paper's Fig. 1 both coincide —
 //! the hiring team is "dual-clean".
 
+use crate::bsim::{EvalOptions, EvalStats, FixpointEngine};
 use crate::candidate_sets;
+use crate::fixpoint::{refine_constraints, Constraint, EvalScratch};
 use crate::matchrel::MatchRelation;
 use expfinder_graph::bfs::{BfsScratch, Direction};
 use expfinder_graph::{BitSet, GraphView};
@@ -25,11 +27,81 @@ use expfinder_pattern::Pattern;
 
 /// Compute the maximum bounded **dual** simulation relation.
 pub fn dual_simulation<G: GraphView>(g: &G, q: &Pattern) -> MatchRelation {
+    dual_simulation_with(g, q, EvalOptions::default()).0
+}
+
+/// [`dual_simulation`] with explicit options (plan + fixpoint engine);
+/// also returns work counters.
+pub fn dual_simulation_with<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+) -> (MatchRelation, EvalStats) {
+    match opts.engine {
+        FixpointEngine::Queue => dual_fixpoint_queue(g, q),
+        FixpointEngine::Frontier => {
+            let mut scratch = EvalScratch::new();
+            dual_simulation_scratch(g, q, opts, &mut scratch)
+        }
+    }
+}
+
+/// [`dual_simulation`] on the frontier engine against a caller-owned
+/// [`EvalScratch`] — the allocation-free serving path. Every pattern edge
+/// contributes two constraints (forward child-support, backward
+/// parent-support); both flow through the same delta-aware refinement as
+/// bounded simulation.
+pub fn dual_simulation_scratch<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+    scratch: &mut EvalScratch,
+) -> (MatchRelation, EvalStats) {
     let n = g.node_count();
     let ne = q.edge_count();
     let mut sim = candidate_sets(g, q);
     if ne == 0 {
-        return MatchRelation::from_sets(sim, n);
+        return (MatchRelation::from_sets(sim, n), EvalStats::default());
+    }
+    let mut constraints = Vec::with_capacity(ne * 2);
+    for e in q.edges() {
+        constraints.push(Constraint {
+            constrained: e.from,
+            seeds: e.to,
+            depth: e.bound.depth(),
+            dir: Direction::Backward,
+        });
+        constraints.push(Constraint {
+            constrained: e.to,
+            seeds: e.from,
+            depth: e.bound.depth(),
+            dir: Direction::Forward,
+        });
+    }
+    let (died, stats) = refine_constraints(
+        g,
+        q.node_count(),
+        &constraints,
+        &mut sim,
+        opts.plan,
+        true,
+        scratch,
+    );
+    if died {
+        return (MatchRelation::empty(q, n), stats);
+    }
+    (MatchRelation::from_sets(sim, n), stats)
+}
+
+/// The original queue-based bidirectional fixpoint — the
+/// [`FixpointEngine::Queue`] oracle.
+fn dual_fixpoint_queue<G: GraphView>(g: &G, q: &Pattern) -> (MatchRelation, EvalStats) {
+    let n = g.node_count();
+    let ne = q.edge_count();
+    let mut sim = candidate_sets(g, q);
+    let mut stats = EvalStats::default();
+    if ne == 0 {
+        return (MatchRelation::from_sets(sim, n), stats);
     }
 
     // constraint ids: 2*e = forward side of edge e, 2*e+1 = backward side
@@ -53,14 +125,18 @@ pub fn dual_simulation<G: GraphView>(g: &G, q: &Pattern) -> MatchRelation {
             (e.to, e.from, Direction::Forward)
         };
 
-        scratch.multi_source_within(g, &sim[seeds.index()], depth, dir, &mut reach);
+        stats.refreshes += 1;
+        stats.bfs_nodes_visited +=
+            scratch.multi_source_within(g, &sim[seeds.index()], depth, dir, &mut reach);
         let before = sim[constrained.index()].count();
         sim[constrained.index()].intersect_with(&reach);
-        if sim[constrained.index()].count() == before {
+        let after = sim[constrained.index()].count();
+        if after == before {
             continue;
         }
+        stats.removals += before - after;
         if sim[constrained.index()].is_empty() {
-            return MatchRelation::empty(q, n);
+            return (MatchRelation::empty(q, n), stats);
         }
         // sim(constrained) shrank: every constraint that *reads* it must
         // re-check — forward constraints of edges entering it, backward
@@ -81,7 +157,7 @@ pub fn dual_simulation<G: GraphView>(g: &G, q: &Pattern) -> MatchRelation {
         }
     }
 
-    MatchRelation::from_sets(sim, n)
+    (MatchRelation::from_sets(sim, n), stats)
 }
 
 #[cfg(test)]
@@ -121,6 +197,28 @@ mod tests {
             "dual prunes orphan"
         );
         assert_eq!(dual.total_pairs(), 2);
+    }
+
+    #[test]
+    fn engines_agree_with_reused_scratch() {
+        use crate::fixpoint::EvalScratch;
+        use expfinder_graph::generate::{erdos_renyi, NodeSpec};
+        use expfinder_pattern::generate::{random_pattern, PatternConfig, PatternShape};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1105);
+        let spec = NodeSpec::uniform(3, 4);
+        let mut scratch = EvalScratch::new();
+        for trial in 0..15 {
+            let g = erdos_renyi(&mut rng, 35, 150, &spec);
+            let mut cfg = PatternConfig::new(PatternShape::Dag, 4, spec.labels.clone());
+            cfg.bound_range = (1, 3);
+            cfg.extra_edges = 1;
+            let q = random_pattern(&mut rng, &cfg);
+            let (old, _) = dual_simulation_with(&g, &q, EvalOptions::queue());
+            let (new, _) = dual_simulation_scratch(&g, &q, EvalOptions::default(), &mut scratch);
+            assert_eq!(old, new, "trial {trial}: dual engines diverged");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod bsim;
 pub mod dualsim;
+pub mod fixpoint;
 pub mod iso;
 pub mod matchrel;
 pub mod naive;
@@ -30,17 +31,22 @@ pub mod rank;
 pub mod result_graph;
 pub mod sim;
 
-pub use bsim::{bounded_simulation, bounded_simulation_with, EvalOptions, EvalStats, PlanMode};
-pub use dualsim::dual_simulation;
+pub use bsim::{
+    bounded_simulation, bounded_simulation_scratch, bounded_simulation_with, EvalOptions,
+    EvalStats, FixpointEngine, PlanMode,
+};
+pub use dualsim::{dual_simulation, dual_simulation_scratch, dual_simulation_with};
+pub use fixpoint::{EvalScratch, PooledScratch, ScratchPool};
 pub use iso::{subgraph_isomorphism, IsoOptions};
 pub use matchrel::MatchRelation;
 pub use parallel::{
-    parallel_bounded_simulation, parallel_candidate_sets, parallel_dual_simulation,
-    parallel_simulation,
+    parallel_bounded_simulation, parallel_bounded_simulation_stats, parallel_candidate_sets,
+    parallel_dual_simulation, parallel_dual_simulation_stats, parallel_simulation,
+    parallel_simulation_stats,
 };
-pub use rank::{rank_matches, rank_value, top_k, RankedMatch};
+pub use rank::{rank_matches, rank_matches_top_k, rank_value, top_k, RankedMatch};
 pub use result_graph::{BuildOptions, ResultGraph};
-pub use sim::graph_simulation;
+pub use sim::{graph_simulation, graph_simulation_scratch};
 
 use std::fmt;
 
@@ -78,7 +84,10 @@ pub(crate) fn candidate_sets<G: expfinder_graph::GraphView>(
 
 /// The candidate set of one pattern node. When the view maintains a label
 /// index (`CsrGraph` does) and the predicate implies a label, only that
-/// label class is scanned; otherwise every node is tested.
+/// label class is scanned — and only against the *residual* predicate
+/// (the label conjunct is already proven by class membership), so a
+/// pure-label node costs one bitset clone instead of a graph scan.
+/// Without an index every node is tested against the full predicate.
 pub(crate) fn candidate_set<G: expfinder_graph::GraphView>(
     g: &G,
     q: &expfinder_pattern::Pattern,
@@ -86,28 +95,35 @@ pub(crate) fn candidate_set<G: expfinder_graph::GraphView>(
 ) -> expfinder_graph::BitSet {
     let n = g.node_count();
     let pn = &q.nodes()[u.index()];
-    let compiled = pn.predicate.compile(g);
-    let mut set = expfinder_graph::BitSet::new(n);
-    let indexed = pn
-        .predicate
-        .required_label()
-        .and_then(|l| g.interner().get(l))
-        .and_then(|sym| g.nodes_with_label(sym));
+    let indexed = pn.predicate.required_label().and_then(|l| {
+        let class = g.interner().get(l).and_then(|sym| g.nodes_with_label(sym));
+        class.map(|c| (c, pn.predicate.residual_after_label(l)))
+    });
     match indexed {
-        Some(class) => {
+        Some((class, None)) => {
+            // membership is the whole condition
+            debug_assert_eq!(class.capacity(), n);
+            class.clone()
+        }
+        Some((class, Some(residual))) => {
+            let compiled = residual.compile(g);
+            let mut set = expfinder_graph::BitSet::new(n);
             for v in class.iter() {
                 if compiled.eval(g.vertex(v)) {
                     set.insert(v);
                 }
             }
+            set
         }
         None => {
+            let compiled = pn.predicate.compile(g);
+            let mut set = expfinder_graph::BitSet::new(n);
             for v in g.ids() {
                 if compiled.eval(g.vertex(v)) {
                     set.insert(v);
                 }
             }
+            set
         }
     }
-    set
 }

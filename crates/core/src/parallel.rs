@@ -28,24 +28,23 @@
 //! in `tests/batch.rs`). Candidate-set construction parallelises the same
 //! way, one pattern node per work item, seeded from the label index when
 //! the view provides one ([`GraphView::nodes_with_label`]).
+//!
+//! Workers run the direction-optimizing frontier BFS of
+//! [`expfinder_graph::bfs_frontier`], and each constraint's reach set is
+//! cached across rounds: sim sets only shrink during refinement, so a
+//! re-computation may be restricted to the previous round's result — the
+//! same refresh memoization the sequential frontier engine uses
+//! ([`crate::fixpoint`]).
 
+use crate::bsim::EvalStats;
+use crate::fixpoint::Constraint;
 use crate::matchrel::MatchRelation;
 use crate::{candidate_set, MatchError};
-use expfinder_graph::bfs::{BfsScratch, Direction};
+use expfinder_graph::bfs::Direction;
+use expfinder_graph::bfs_frontier::FrontierScratch;
 use expfinder_graph::{BitSet, GraphView};
 use expfinder_pattern::{PNodeId, Pattern};
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// One refinement constraint: `sim(constrained) ∩= reach(sim(seeds))`,
-/// where the reach-set is a bounded multi-source BFS from the seed set in
-/// direction `dir`.
-#[derive(Copy, Clone, Debug)]
-struct Constraint {
-    constrained: PNodeId,
-    seeds: PNodeId,
-    depth: u32,
-    dir: Direction,
-}
 
 /// Which constraint system to solve.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -63,6 +62,15 @@ pub fn parallel_simulation<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> Result<MatchRelation, MatchError> {
+    parallel_simulation_stats(g, q, threads).map(|(m, _)| m)
+}
+
+/// [`parallel_simulation`] with work counters.
+pub fn parallel_simulation_stats<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> Result<(MatchRelation, EvalStats), MatchError> {
     if !q.is_simulation() {
         return Err(MatchError::NotASimulationPattern);
     }
@@ -76,6 +84,15 @@ pub fn parallel_bounded_simulation<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> Result<MatchRelation, MatchError> {
+    parallel_bounded_simulation_stats(g, q, threads).map(|(m, _)| m)
+}
+
+/// [`parallel_bounded_simulation`] with work counters.
+pub fn parallel_bounded_simulation_stats<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> Result<(MatchRelation, EvalStats), MatchError> {
     Ok(refine(g, q, Semantics::Forward, threads))
 }
 
@@ -86,6 +103,15 @@ pub fn parallel_dual_simulation<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> MatchRelation {
+    refine(g, q, Semantics::Dual, threads).0
+}
+
+/// [`parallel_dual_simulation`] with work counters.
+pub fn parallel_dual_simulation_stats<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> (MatchRelation, EvalStats) {
     refine(g, q, Semantics::Dual, threads)
 }
 
@@ -111,9 +137,10 @@ fn refine<G: GraphView + Sync>(
     q: &Pattern,
     semantics: Semantics,
     threads: usize,
-) -> MatchRelation {
+) -> (MatchRelation, EvalStats) {
     let n = g.node_count();
     let mut sim = parallel_candidate_sets(g, q, threads);
+    let mut stats = EvalStats::default();
 
     let mut constraints: Vec<Constraint> = Vec::new();
     for e in q.edges() {
@@ -133,25 +160,36 @@ fn refine<G: GraphView + Sync>(
         }
     }
     if constraints.is_empty() {
-        return MatchRelation::from_sets(sim, n);
+        return (MatchRelation::from_sets(sim, n), stats);
     }
+
+    // per-constraint reach cache: sim sets only shrink, so a later round
+    // may restrict the BFS to the previous round's reach set
+    let mut reach_cache: Vec<Option<BitSet>> = vec![None; constraints.len()];
 
     let mut frontier: Vec<usize> = (0..constraints.len()).collect();
     while !frontier.is_empty() {
         // phase 1: reach-sets of the frontier, computed in parallel from
         // an immutable snapshot of the current sets (each worker reuses
         // one BFS scratch across its items)
-        let reach_for = |scratch: &mut BfsScratch, cid: usize| {
+        let reach_for = |scratch: &mut FrontierScratch, cid: usize| {
             let c = constraints[cid];
             let mut reach = BitSet::new(n);
-            scratch.multi_source_within(g, &sim[c.seeds.index()], c.depth, c.dir, &mut reach);
-            (cid, reach)
+            let visited = scratch.multi_source_within(
+                g,
+                &sim[c.seeds.index()],
+                c.depth,
+                c.dir,
+                reach_cache[cid].as_ref(),
+                &mut reach,
+            );
+            (cid, reach, visited)
         };
-        let reaches = run_items(threads, &frontier, BfsScratch::new, |scratch, &cid| {
+        let reaches = run_items(threads, &frontier, FrontierScratch::new, |scratch, &cid| {
             reach_for(scratch, cid)
         })
         .unwrap_or_else(|| {
-            let mut scratch = BfsScratch::new();
+            let mut scratch = FrontierScratch::new();
             frontier
                 .iter()
                 .map(|&cid| reach_for(&mut scratch, cid))
@@ -160,18 +198,23 @@ fn refine<G: GraphView + Sync>(
 
         // phase 2: apply intersections; note which pattern nodes shrank
         let mut shrunk = vec![false; q.node_count()];
-        for (cid, reach) in reaches {
+        for (cid, reach, visited) in reaches {
+            stats.refreshes += 1;
+            stats.bfs_nodes_visited += visited;
             let u = constraints[cid].constrained;
             let set = &mut sim[u.index()];
             let before = set.count();
             set.intersect_with(&reach);
-            if set.count() < before {
+            let after = set.count();
+            if after < before {
+                stats.removals += before - after;
                 if set.is_empty() {
                     // some pattern node became unmatchable: M(Q,G) = ∅
-                    return MatchRelation::empty(q, n);
+                    return (MatchRelation::empty(q, n), stats);
                 }
                 shrunk[u.index()] = true;
             }
+            reach_cache[cid] = Some(reach);
         }
 
         // phase 3: next frontier = constraints whose seed set shrank
@@ -180,7 +223,7 @@ fn refine<G: GraphView + Sync>(
             .collect();
     }
 
-    MatchRelation::from_sets(sim, n)
+    (MatchRelation::from_sets(sim, n), stats)
 }
 
 /// Map `f` over `items` with up to `threads` scoped workers pulling from a

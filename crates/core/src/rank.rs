@@ -63,6 +63,17 @@ pub fn rank_value(rg: &ResultGraph, v: NodeId) -> f64 {
     sum as f64 / connected as f64
 }
 
+/// The total order experts are ranked by: ascending `(rank, node id)`.
+/// Ranks are never NaN (`rank_value` yields finite sums or `+∞`), so the
+/// `partial_cmp` fallback is unreachable and the order is total — which is
+/// what makes the selection-based top-K below exact.
+fn rank_order(a: &RankedMatch, b: &RankedMatch) -> std::cmp::Ordering {
+    a.rank
+        .partial_cmp(&b.rank)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.node.cmp(&b.node))
+}
+
 /// Rank every match of the output node; sorted ascending by
 /// `(rank, node id)`.
 pub fn rank_matches(
@@ -70,22 +81,50 @@ pub fn rank_matches(
     q: &Pattern,
     m: &MatchRelation,
 ) -> Result<Vec<RankedMatch>, MatchError> {
+    let mut out = rank_matches_unsorted(rg, q, m)?;
+    out.sort_by(rank_order);
+    Ok(out)
+}
+
+/// The best `k` matches of the output node, ascending by `(rank, node
+/// id)` — identical to `rank_matches(..)` truncated to `k`, but computed
+/// with an `O(n)` partition ([`select_nth_unstable_by`][sel]) plus an
+/// `O(k log k)` sort of the prefix instead of sorting all `n` matches.
+///
+/// [sel]: slice::select_nth_unstable_by
+pub fn rank_matches_top_k(
+    rg: &ResultGraph,
+    q: &Pattern,
+    m: &MatchRelation,
+    k: usize,
+) -> Result<Vec<RankedMatch>, MatchError> {
+    let mut out = rank_matches_unsorted(rg, q, m)?;
+    if k == 0 {
+        out.clear();
+        return Ok(out);
+    }
+    if out.len() > k {
+        out.select_nth_unstable_by(k - 1, rank_order);
+        out.truncate(k);
+    }
+    out.sort_by(rank_order);
+    Ok(out)
+}
+
+/// All ranked matches of the output node, in match-set order.
+fn rank_matches_unsorted(
+    rg: &ResultGraph,
+    q: &Pattern,
+    m: &MatchRelation,
+) -> Result<Vec<RankedMatch>, MatchError> {
     let uo = q.require_output().map_err(|_| MatchError::NoOutputNode)?;
-    let mut out: Vec<RankedMatch> = m
-        .matches(uo)
+    Ok(m.matches(uo)
         .iter()
         .map(|v| RankedMatch {
             node: v,
             rank: rank_value(rg, v),
         })
-        .collect();
-    out.sort_by(|a, b| {
-        a.rank
-            .partial_cmp(&b.rank)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.node.cmp(&b.node))
-    });
-    Ok(out)
+        .collect())
 }
 
 /// The paper's top-K selection: evaluate, build the result graph, rank,
@@ -97,9 +136,7 @@ pub fn top_k<G: GraphView + Sync>(
     k: usize,
 ) -> Result<Vec<RankedMatch>, MatchError> {
     let rg = ResultGraph::build(g, q, m);
-    let mut ranked = rank_matches(&rg, q, m)?;
-    ranked.truncate(k);
-    Ok(ranked)
+    rank_matches_top_k(&rg, q, m, k)
 }
 
 #[cfg(test)]
@@ -208,6 +245,39 @@ mod tests {
         let rg = ResultGraph::build(&g, &q, &m);
         let f = rank_value(&rg, a);
         assert!((f - 2.0).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn selection_top_k_matches_full_sort_exactly() {
+        // ordering and tie-breaking of the selection-based top-K must be
+        // byte-identical to sorting everything and truncating — including
+        // +∞ ties broken by node id
+        use expfinder_graph::generate::{erdos_renyi, NodeSpec};
+        use expfinder_pattern::generate::{random_pattern, PatternConfig, PatternShape};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(208);
+        let spec = NodeSpec::uniform(2, 3);
+        for trial in 0..15 {
+            let g = erdos_renyi(&mut rng, 50, 220, &spec);
+            let mut cfg = PatternConfig::new(PatternShape::Tree, 3, spec.labels.clone());
+            cfg.bound_range = (1, 2);
+            let q = random_pattern(&mut rng, &cfg);
+            let m = bounded_simulation(&g, &q).unwrap();
+            let rg = ResultGraph::build(&g, &q, &m);
+            let full = rank_matches(&rg, &q, &m).unwrap();
+            for k in [0usize, 1, 2, 5, full.len(), full.len() + 3] {
+                let mut expect = full.clone();
+                expect.truncate(k);
+                let got = rank_matches_top_k(&rg, &q, &m, k).unwrap();
+                let eq = got.len() == expect.len()
+                    && got.iter().zip(&expect).all(|(a, b)| {
+                        a.node == b.node
+                            && (a.rank == b.rank || (a.rank.is_infinite() && b.rank.is_infinite()))
+                    });
+                assert!(eq, "trial {trial} k {k}: {got:?} != {expect:?}");
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! The result is the greatest fixpoint, i.e. the maximum simulation
 //! relation, in `O(|Q| · |G|)` time and space.
 
+use crate::bsim::EvalStats;
+use crate::fixpoint::EvalScratch;
 use crate::matchrel::MatchRelation;
 use crate::{candidate_sets, MatchError};
 use expfinder_graph::{BitSet, GraphView, NodeId};
@@ -31,6 +33,29 @@ pub fn graph_simulation<G: GraphView>(g: &G, q: &Pattern) -> Result<MatchRelatio
     Ok(MatchRelation::from_sets(sets, g.node_count()))
 }
 
+/// [`graph_simulation`] against a caller-owned [`EvalScratch`]: the
+/// per-edge counter arrays and the removal queue come from the scratch
+/// instead of fresh allocations — the allocation-free serving path for
+/// 1-bounded queries. Also reports removal counters.
+pub fn graph_simulation_scratch<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    scratch: &mut EvalScratch,
+) -> Result<(MatchRelation, EvalStats), MatchError> {
+    if !q.is_simulation() {
+        return Err(MatchError::NotASimulationPattern);
+    }
+    let n = g.node_count();
+    let mut sim = candidate_sets(g, q);
+    let (cnt, queue) = scratch.sim_buffers(q.edge_count(), n);
+    let removals = simulation_fixpoint_into(g, q, &mut sim, cnt, queue);
+    let stats = EvalStats {
+        removals,
+        ..EvalStats::default()
+    };
+    Ok((MatchRelation::from_sets(sim, n), stats))
+}
+
 /// The refinement fixpoint, exposed for the incremental module which needs
 /// the *raw* (uncollapsed) greatest-fixpoint sets and the final counters as
 /// its persistent state. Returns the per-pattern-node match sets plus
@@ -42,12 +67,24 @@ pub fn simulation_fixpoint<G: GraphView>(
     mut sim: Vec<BitSet>,
 ) -> (Vec<BitSet>, Vec<Vec<u32>>) {
     let n = g.node_count();
-    let ne = q.edge_count();
+    let mut cnt: Vec<Vec<u32>> = vec![vec![0; n]; q.edge_count()];
+    let mut queue: Vec<(PNodeId, NodeId)> = Vec::new();
+    simulation_fixpoint_into(g, q, &mut sim, &mut cnt, &mut queue);
+    (sim, cnt)
+}
 
+/// The counter-based refinement over caller-provided (zeroed) buffers;
+/// returns the number of pairs removed from the candidate sets.
+fn simulation_fixpoint_into<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    sim: &mut [BitSet],
+    cnt: &mut [Vec<u32>],
+    queue: &mut Vec<(PNodeId, NodeId)>,
+) -> usize {
     // cnt[e][v] = |succ(v) ∩ sim(target(e))| for ALL data nodes v (not just
     // candidates): the incremental module needs counters of non-members to
     // detect re-additions cheaply.
-    let mut cnt: Vec<Vec<u32>> = vec![vec![0; n]; ne];
     for (ei, e) in q.edges().iter().enumerate() {
         let target = &sim[e.to.index()];
         let c = &mut cnt[ei];
@@ -63,7 +100,7 @@ pub fn simulation_fixpoint<G: GraphView>(
     }
 
     // initial violations
-    let mut queue: Vec<(PNodeId, NodeId)> = Vec::new();
+    let mut removals = 0usize;
     for (ei, e) in q.edges().iter().enumerate() {
         let u = e.from;
         let mut doomed: Vec<NodeId> = Vec::new();
@@ -81,6 +118,7 @@ pub fn simulation_fixpoint<G: GraphView>(
 
     // cascade
     while let Some((u, v)) = queue.pop() {
+        removals += 1;
         // v left sim(u): decrement counters of every edge targeting u
         for &ei in q.in_edge_indices(u) {
             let e = &q.edges()[ei as usize];
@@ -95,8 +133,7 @@ pub fn simulation_fixpoint<G: GraphView>(
             }
         }
     }
-
-    (sim, cnt)
+    removals
 }
 
 #[cfg(test)]
@@ -253,6 +290,26 @@ mod tests {
             let fast = graph_simulation(&g, &q).unwrap();
             let slow = crate::naive::naive_simulation(&g, &q);
             assert_eq!(fast, slow, "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_path() {
+        use expfinder_graph::generate::{erdos_renyi, NodeSpec};
+        use expfinder_pattern::generate::{random_pattern, PatternConfig, PatternShape};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(91);
+        let spec = NodeSpec::uniform(3, 4);
+        let mut scratch = EvalScratch::new();
+        for trial in 0..12 {
+            let g = erdos_renyi(&mut rng, 25 + trial * 4, 120, &spec);
+            let mut cfg = PatternConfig::new(PatternShape::Dag, 4, spec.labels.clone());
+            cfg.bound_range = (1, 1);
+            let q = random_pattern(&mut rng, &cfg);
+            let plain = graph_simulation(&g, &q).unwrap();
+            let (with_scratch, _) = graph_simulation_scratch(&g, &q, &mut scratch).unwrap();
+            assert_eq!(plain, with_scratch, "trial {trial} diverged");
         }
     }
 }

@@ -1,0 +1,196 @@
+//! The frontier engine must be *invisible* except in speed.
+//!
+//! Property tests pinning the PR-4 tentpole: the delta-aware frontier
+//! fixpoint (word-parallel BFS + refresh memoization + dirty-counter
+//! skipping, `expfinder_core::fixpoint`) produces bit-identical match
+//! relations to the original queue-based loops for all three matching
+//! semantics, on arbitrary generated graphs and patterns, on both the
+//! live `DiGraph` and its `CsrGraph` snapshot, and with one `EvalScratch`
+//! reused across every query (stale caches between evaluations would be
+//! caught here).
+
+use expfinder_core::{
+    bounded_simulation_scratch, bounded_simulation_with, dual_simulation_scratch,
+    dual_simulation_with, graph_simulation, graph_simulation_scratch,
+    parallel_bounded_simulation_stats, parallel_dual_simulation_stats, EvalOptions, EvalScratch,
+    PlanMode,
+};
+use expfinder_graph::{AttrValue, CsrGraph, DiGraph, NodeId};
+use expfinder_pattern::{Bound, PNodeId, Pattern, PatternEdge, PatternNode, Predicate};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// generators (same compact raw encodings as the workspace-level tests)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RawGraph {
+    labels: Vec<u8>,
+    exps: Vec<u8>,
+    edges: Vec<(u8, u8)>,
+}
+
+fn raw_graph(max_nodes: usize) -> impl Strategy<Value = RawGraph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0u8..3, n);
+        let exps = proptest::collection::vec(0u8..3, n);
+        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..n * 3);
+        (labels, exps, edges).prop_map(|(labels, exps, edges)| RawGraph {
+            labels,
+            exps,
+            edges,
+        })
+    })
+}
+
+fn build_graph(raw: &RawGraph) -> DiGraph {
+    let mut g = DiGraph::new();
+    for (l, e) in raw.labels.iter().zip(&raw.exps) {
+        g.add_node(
+            &format!("L{l}"),
+            [("experience", AttrValue::Int(*e as i64))],
+        );
+    }
+    for &(a, b) in &raw.edges {
+        g.add_edge(NodeId(a as u32), NodeId(b as u32));
+    }
+    g
+}
+
+#[derive(Clone, Debug)]
+struct RawPattern {
+    labels: Vec<u8>,
+    thresholds: Vec<u8>,
+    edges: Vec<(u8, u8, u8)>, // from, to, bound (0 ⇒ unbounded)
+}
+
+fn raw_pattern() -> impl Strategy<Value = RawPattern> {
+    (2usize..=4).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..3, n);
+        let thresholds = proptest::collection::vec(0u8..3, n);
+        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8, 0u8..4), 1..n * 2);
+        (labels, thresholds, edges).prop_map(|(labels, thresholds, edges)| RawPattern {
+            labels,
+            thresholds,
+            edges,
+        })
+    })
+}
+
+fn build_pattern(raw: &RawPattern, force_bound_one: bool) -> Pattern {
+    let nodes: Vec<PatternNode> = raw
+        .labels
+        .iter()
+        .zip(&raw.thresholds)
+        .enumerate()
+        .map(|(i, (l, t))| PatternNode {
+            name: format!("v{i}"),
+            predicate: Predicate::label(format!("L{l}"))
+                .and(Predicate::attr_ge("experience", *t as i64)),
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for &(f, t, b) in &raw.edges {
+        if f == t || !seen.insert((f, t)) {
+            continue;
+        }
+        let bound = if force_bound_one {
+            Bound::ONE
+        } else if b == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::hops(b as u32)
+        };
+        edges.push(PatternEdge {
+            from: PNodeId(f as u32),
+            to: PNodeId(t as u32),
+            bound,
+        });
+    }
+    Pattern::from_parts(nodes, edges, Some(PNodeId(0))).expect("valid pattern")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Frontier bounded simulation ≡ queue bounded simulation, on the
+    /// live adjacency and the CSR snapshot, both plan modes, with one
+    /// scratch reused across all of it.
+    #[test]
+    fn frontier_bsim_equals_queue(rg in raw_graph(14), rp in raw_pattern()) {
+        let g = build_graph(&rg);
+        let q = build_pattern(&rp, false);
+        let csr = CsrGraph::snapshot(&g);
+        let mut scratch = EvalScratch::new();
+        let (oracle, _) = bounded_simulation_with(&g, &q, EvalOptions::queue());
+        for plan in [PlanMode::Selective, PlanMode::DeclarationOrder] {
+            let opts = EvalOptions::with_plan(plan);
+            let (m, stats) = bounded_simulation_scratch(&g, &q, opts, &mut scratch);
+            prop_assert_eq!(&m, &oracle, "DiGraph, {:?}", plan);
+            prop_assert!(
+                q.edge_count() == 0 || stats.refreshes >= 1,
+                "constrained patterns must refresh"
+            );
+            let (mc, _) = bounded_simulation_scratch(&csr, &q, opts, &mut scratch);
+            prop_assert_eq!(&mc, &oracle, "CsrGraph, {:?}", plan);
+        }
+    }
+
+    /// Frontier dual simulation ≡ queue dual simulation, with scratch
+    /// reuse, and the parallel paths agree too.
+    #[test]
+    fn frontier_dual_equals_queue(rg in raw_graph(14), rp in raw_pattern()) {
+        let g = build_graph(&rg);
+        let q = build_pattern(&rp, false);
+        let csr = CsrGraph::snapshot(&g);
+        let mut scratch = EvalScratch::new();
+        let (oracle, _) = dual_simulation_with(&g, &q, EvalOptions::queue());
+        let (m, _) = dual_simulation_scratch(&g, &q, EvalOptions::default(), &mut scratch);
+        prop_assert_eq!(&m, &oracle, "DiGraph");
+        let (mc, _) = dual_simulation_scratch(&csr, &q, EvalOptions::default(), &mut scratch);
+        prop_assert_eq!(&mc, &oracle, "CsrGraph");
+        let (mp, _) = parallel_dual_simulation_stats(&csr, &q, 2);
+        prop_assert_eq!(&mp, &oracle, "parallel");
+    }
+
+    /// The scratch-backed plain simulation ≡ the allocating one, and the
+    /// delta-aware raw fixpoint (no early exit) ≡ the queue raw fixpoint
+    /// — the exact-GFP contract the incremental module persists.
+    #[test]
+    fn scratch_sim_and_raw_fixpoint_agree(rg in raw_graph(14), rp in raw_pattern()) {
+        let g = build_graph(&rg);
+        let q1 = build_pattern(&rp, true);
+        let mut scratch = EvalScratch::new();
+        let plain = graph_simulation(&g, &q1).unwrap();
+        let (m, _) = graph_simulation_scratch(&g, &q1, &mut scratch).unwrap();
+        prop_assert_eq!(&m, &plain, "plain simulation");
+
+        use expfinder_core::bsim::{bounded_fixpoint_raw, bounded_fixpoint_scratch};
+        let q = build_pattern(&rp, false);
+        let cand: Vec<expfinder_graph::BitSet> =
+            expfinder_core::parallel_candidate_sets(&g, &q, 1);
+        let (raw_queue, _) =
+            bounded_fixpoint_raw(&g, &q, cand.clone(), EvalOptions::queue(), false);
+        let (raw_frontier, _) =
+            bounded_fixpoint_scratch(&g, &q, cand, EvalOptions::default(), false, &mut scratch);
+        prop_assert_eq!(&raw_frontier, &raw_queue, "raw GFP (early_exit = false)");
+    }
+
+    /// Parallel bounded simulation (now frontier-BFS workers with
+    /// cross-round reach memoization) still equals the sequential oracle.
+    #[test]
+    fn parallel_bsim_with_memoization_equals_queue(rg in raw_graph(14), rp in raw_pattern()) {
+        let g = build_graph(&rg);
+        let q = build_pattern(&rp, false);
+        let (oracle, _) = bounded_simulation_with(&g, &q, EvalOptions::queue());
+        let csr = CsrGraph::snapshot(&g);
+        for threads in [1usize, 3] {
+            let (m, stats) = parallel_bounded_simulation_stats(&csr, &q, threads).unwrap();
+            prop_assert_eq!(&m, &oracle, "{} threads", threads);
+            // raw self-loop edges are dropped by the builder, so a
+            // pattern can end up edgeless — then zero refreshes is right
+            prop_assert!(q.edge_count() == 0 || stats.refreshes >= 1);
+        }
+    }
+}

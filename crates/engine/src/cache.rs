@@ -2,18 +2,27 @@
 //!
 //! Paper §II: "the query engine directly returns M(Q,G) if it is already
 //! cached". Keys combine the graph's catalog id, its version counter and
-//! the pattern fingerprint, so updates invalidate implicitly — stale
-//! entries simply stop being requested and age out of the LRU. Keying by
-//! id (not name) means a graph removed and re-added under the same name
-//! can never be served stale results.
+//! a `u64` digest of the pattern fingerprint
+//! ([`Pattern::fingerprint_hash`]), so updates invalidate implicitly —
+//! stale entries simply stop being requested and age out of the LRU.
+//! Keying by id (not name) means a graph removed and re-added under the
+//! same name can never be served stale results.
+//!
+//! Recency is tracked with a **generation counter** instead of an ordered
+//! key list: every touch stamps the entry with a fresh generation and
+//! appends `(generation, key)` to a queue. Eviction pops the queue front,
+//! skipping stale entries whose recorded generation no longer matches the
+//! map — amortized O(1) `get`/`put`/evict, versus the former O(n) vector
+//! scans per touch. The queue is compacted once it outgrows the live
+//! entries by a constant factor, keeping memory proportional to capacity.
 
 use expfinder_core::MatchRelation;
 use expfinder_pattern::Pattern;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Cache key: graph catalog id, graph version, pattern fingerprint.
-pub type CacheKey = (u64, u64, String);
+/// Cache key: graph catalog id, graph version, pattern fingerprint hash.
+pub type CacheKey = (u64, u64, u64);
 
 /// Hit/miss counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -23,12 +32,27 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// A cached relation stamped with its most recent touch generation and
+/// the full fingerprint its key hash was derived from. The hash is only
+/// an index: FNV-1a collisions are constructible by anyone who can
+/// submit patterns, so every hit re-verifies the exact fingerprint —
+/// a collision is a miss (and an overwriting `put` wins), never a
+/// cross-pattern answer.
+struct Slot {
+    value: Arc<MatchRelation>,
+    gen: u64,
+    fingerprint: String,
+}
+
 /// A bounded LRU cache of match relations.
 pub struct QueryCache {
     capacity: usize,
-    map: HashMap<CacheKey, Arc<MatchRelation>>,
-    /// Keys in recency order (front = oldest).
-    order: Vec<CacheKey>,
+    map: HashMap<CacheKey, Slot>,
+    /// Touch log: `(generation, key)` in ascending generation order. An
+    /// entry is live iff the map still records that generation for the
+    /// key; everything else is a stale leftover of an earlier touch.
+    recency: VecDeque<(u64, CacheKey)>,
+    next_gen: u64,
     stats: CacheStats,
 }
 
@@ -37,26 +61,43 @@ impl QueryCache {
         QueryCache {
             capacity: capacity.max(1),
             map: HashMap::new(),
-            order: Vec::new(),
+            recency: VecDeque::new(),
+            next_gen: 0,
             stats: CacheStats::default(),
         }
     }
 
-    /// Build the canonical key for a query.
+    /// Build the canonical key for a query. When the fingerprint string
+    /// is already at hand, prefer [`QueryCache::key_for`].
     pub fn key(graph_id: u64, version: u64, pattern: &Pattern) -> CacheKey {
-        (graph_id, version, pattern.fingerprint())
+        Self::key_for(graph_id, version, &pattern.fingerprint())
     }
 
-    /// Look up; refreshes recency on hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<MatchRelation>> {
-        match self.map.get(key) {
-            Some(v) => {
+    /// Build the canonical key from an already-computed fingerprint.
+    pub fn key_for(graph_id: u64, version: u64, fingerprint: &str) -> CacheKey {
+        (
+            graph_id,
+            version,
+            expfinder_pattern::hash_fingerprint(fingerprint),
+        )
+    }
+
+    /// Look up; refreshes recency on a (fingerprint-verified) hit. A key
+    /// whose slot holds a different fingerprint — a hash collision — is
+    /// a miss.
+    pub fn get(&mut self, key: &CacheKey, fingerprint: &str) -> Option<Arc<MatchRelation>> {
+        let gen = self.next_gen;
+        match self.map.get_mut(key) {
+            Some(slot) if slot.fingerprint == fingerprint => {
                 self.stats.hits += 1;
-                let v = Arc::clone(v);
-                self.touch(key);
+                self.next_gen += 1;
+                slot.gen = gen;
+                let v = Arc::clone(&slot.value);
+                self.recency.push_back((gen, *key));
+                self.maybe_compact();
                 Some(v)
             }
-            None => {
+            _ => {
                 self.stats.misses += 1;
                 None
             }
@@ -65,23 +106,39 @@ impl QueryCache {
 
     /// Insert (or refresh) an entry, evicting the least recently used
     /// entry if over capacity.
-    pub fn put(&mut self, key: CacheKey, value: Arc<MatchRelation>) {
-        if self.map.insert(key.clone(), value).is_none() {
-            self.order.push(key);
-        } else {
-            self.touch(&key);
-        }
+    pub fn put(&mut self, key: CacheKey, fingerprint: &str, value: Arc<MatchRelation>) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                gen,
+                fingerprint: fingerprint.to_owned(),
+            },
+        );
+        self.recency.push_back((gen, key));
         while self.map.len() > self.capacity {
-            let oldest = self.order.remove(0);
-            self.map.remove(&oldest);
-            self.stats.evictions += 1;
+            let (g, k) = self
+                .recency
+                .pop_front()
+                .expect("over-capacity map has touches");
+            // stale touch: the key was touched again later (or evicted)
+            if self.map.get(&k).is_some_and(|s| s.gen == g) {
+                self.map.remove(&k);
+                self.stats.evictions += 1;
+            }
         }
+        self.maybe_compact();
     }
 
-    fn touch(&mut self, key: &CacheKey) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos);
-            self.order.push(k);
+    /// Drop stale touch-log entries once they outnumber live ones 4:1, so
+    /// the log stays O(capacity) without per-operation scans.
+    fn maybe_compact(&mut self) {
+        if self.recency.len() > self.map.len() * 4 + 16 {
+            let map = &self.map;
+            self.recency
+                .retain(|(g, k)| map.get(k).is_some_and(|s| s.gen == *g));
         }
     }
 
@@ -102,7 +159,7 @@ impl QueryCache {
     /// Drop everything.
     pub fn clear(&mut self) {
         self.map.clear();
-        self.order.clear();
+        self.recency.clear();
     }
 }
 
@@ -116,17 +173,17 @@ mod tests {
     }
 
     fn k(id: u64, v: u64) -> CacheKey {
-        (id, v, "fp".to_owned())
+        (id, v, 0xfeed)
     }
 
     #[test]
     fn hit_and_miss() {
         let mut c = QueryCache::new(4);
-        assert!(c.get(&k(1, 1)).is_none());
-        c.put(k(1, 1), rel(3));
-        assert!(c.get(&k(1, 1)).is_some());
-        assert!(c.get(&k(1, 2)).is_none(), "different version misses");
-        assert!(c.get(&k(2, 1)).is_none(), "different graph id misses");
+        assert!(c.get(&k(1, 1), "fp").is_none());
+        c.put(k(1, 1), "fp", rel(3));
+        assert!(c.get(&k(1, 1), "fp").is_some());
+        assert!(c.get(&k(1, 2), "fp").is_none(), "different version misses");
+        assert!(c.get(&k(2, 1), "fp").is_none(), "different graph id misses");
         let s = c.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 3);
@@ -135,32 +192,53 @@ mod tests {
     #[test]
     fn lru_eviction_order() {
         let mut c = QueryCache::new(2);
-        c.put(k(1, 1), rel(1));
-        c.put(k(2, 1), rel(1));
+        c.put(k(1, 1), "fp", rel(1));
+        c.put(k(2, 1), "fp", rel(1));
         // touch graph 1 so graph 2 becomes the oldest
-        assert!(c.get(&k(1, 1)).is_some());
-        c.put(k(3, 1), rel(1));
+        assert!(c.get(&k(1, 1), "fp").is_some());
+        c.put(k(3, 1), "fp", rel(1));
         assert_eq!(c.len(), 2);
-        assert!(c.get(&k(2, 1)).is_none(), "2 evicted");
-        assert!(c.get(&k(1, 1)).is_some(), "1 survived");
+        assert!(c.get(&k(2, 1), "fp").is_none(), "2 evicted");
+        assert!(c.get(&k(1, 1), "fp").is_some(), "1 survived");
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_always_drops_the_oldest() {
+        // churn well past capacity with interleaved touches: the survivor
+        // set must always be the most recently touched `capacity` keys
+        let mut c = QueryCache::new(3);
+        for i in 0..50u64 {
+            c.put(k(i, 1), "fp", rel(1));
+            // keep key 0 hot for the first half
+            if i < 25 {
+                assert!(c.get(&k(0, 1), "fp").is_some(), "key 0 touched at {i}");
+            }
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.get(&k(49, 1), "fp").is_some());
+        assert!(c.get(&k(48, 1), "fp").is_some());
+        assert!(c.get(&k(47, 1), "fp").is_some());
+        assert!(c.get(&k(0, 1), "fp").is_none(), "went cold, evicted");
+        // recency log stays bounded relative to capacity
+        assert!(c.recency.len() <= c.map.len() * 4 + 16);
     }
 
     #[test]
     fn put_refreshes_existing() {
         let mut c = QueryCache::new(2);
-        c.put(k(1, 1), rel(1));
-        c.put(k(2, 1), rel(1));
-        c.put(k(1, 1), rel(2)); // refresh 1
-        c.put(k(3, 1), rel(1)); // evicts 2, not 1
-        assert!(c.get(&k(1, 1)).is_some());
-        assert!(c.get(&k(2, 1)).is_none());
+        c.put(k(1, 1), "fp", rel(1));
+        c.put(k(2, 1), "fp", rel(1));
+        c.put(k(1, 1), "fp", rel(2)); // refresh 1
+        c.put(k(3, 1), "fp", rel(1)); // evicts 2, not 1
+        assert!(c.get(&k(1, 1), "fp").is_some());
+        assert!(c.get(&k(2, 1), "fp").is_none());
     }
 
     #[test]
     fn clear_empties() {
         let mut c = QueryCache::new(2);
-        c.put(k(1, 1), rel(1));
+        c.put(k(1, 1), "fp", rel(1));
         c.clear();
         assert!(c.is_empty());
     }
@@ -168,7 +246,39 @@ mod tests {
     #[test]
     fn zero_capacity_clamped_to_one() {
         let mut c = QueryCache::new(0);
-        c.put(k(1, 1), rel(1));
+        c.put(k(1, 1), "fp", rel(1));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hash_collision_is_a_miss_not_a_wrong_answer() {
+        // same key hash, different fingerprints (the adversarial FNV
+        // collision shape): the verified get never serves the other
+        // pattern's relation
+        let mut c = QueryCache::new(4);
+        c.put(k(1, 1), "pattern-a", rel(1));
+        assert!(
+            c.get(&k(1, 1), "pattern-b").is_none(),
+            "collision must miss"
+        );
+        assert_eq!(c.stats().misses, 1);
+        // the colliding pattern may overwrite the slot; verification
+        // then protects the original
+        c.put(k(1, 1), "pattern-b", rel(2));
+        assert!(c.get(&k(1, 1), "pattern-b").is_some());
+        assert!(c.get(&k(1, 1), "pattern-a").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn keys_come_from_fingerprint_hashes() {
+        use expfinder_pattern::fixtures::fig1_pattern;
+        let q = fig1_pattern();
+        let a = QueryCache::key(1, 7, &q);
+        let b = QueryCache::key(1, 7, &q);
+        assert_eq!(a, b);
+        assert_eq!(a.2, q.fingerprint_hash());
+        let sim = q.as_simulation();
+        assert_ne!(QueryCache::key(1, 7, &sim), a, "bounds change the key");
     }
 }

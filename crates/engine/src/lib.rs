@@ -62,8 +62,9 @@ use cache::QueryCache;
 use expfinder_compress::maintain::MaintainedCompression;
 use expfinder_compress::{CompressError, CompressStats, CompressionMethod};
 use expfinder_core::{
-    bounded_simulation, graph_simulation, parallel_bounded_simulation, parallel_simulation,
-    rank_matches, MatchError, MatchRelation, RankedMatch, ResultGraph,
+    bounded_simulation_scratch, graph_simulation_scratch, parallel_bounded_simulation_stats,
+    parallel_simulation_stats, rank_matches_top_k, EvalOptions, EvalScratch, EvalStats, MatchError,
+    MatchRelation, RankedMatch, ResultGraph, ScratchPool,
 };
 use expfinder_graph::io::GraphIoError;
 use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate, GraphView};
@@ -114,9 +115,10 @@ impl Default for EngineConfig {
 pub struct ExecConfig {
     /// Worker threads *inside* one query: parallel sim/dualsim/bsim
     /// refinement over the CSR snapshot, and result-graph construction.
-    /// `1` disables the parallel path (and the CSR snapshot with it);
-    /// graphs too small to amortize a snapshot stay sequential whatever
-    /// the budget.
+    /// `1` disables the parallel path; large graphs still evaluate over
+    /// the CSR snapshot (sequential frontier engine, label-indexed
+    /// seeding), while graphs too small to amortize a snapshot stay on
+    /// the live adjacency whatever the budget.
     pub threads: usize,
     /// Queries evaluated concurrently by [`ExpFinder::query_batch`].
     pub batch_parallelism: usize,
@@ -299,13 +301,16 @@ struct StoredGraph {
     /// query at that version. Lives behind its own `Mutex` so it can be
     /// (re)built under the graph's *read* lock.
     csr: Mutex<Option<Arc<CsrGraph>>>,
+    /// Version of the last *sequential* direct read — the
+    /// build-on-second-read marker of [`StoredGraph::csr_for_sequential`].
+    seq_read_version: AtomicU64,
 }
 
-/// Graphs smaller than this (|V| + |E|) never take the CSR/parallel
-/// path: below it a sequential evaluation finishes in roughly the time a
-/// snapshot build (or a thread spawn) costs, so the fast path would be a
-/// slow path — in particular on update-heavy workloads, where every
-/// version bump would trigger a rebuild.
+/// Graphs smaller than this (|V| + |E|) never take the CSR path: below
+/// it a sequential evaluation finishes in roughly the time a snapshot
+/// build (or a thread spawn) costs, so the fast path would be a slow
+/// path — in particular on update-heavy workloads, where every version
+/// bump would trigger a rebuild.
 const PARALLEL_MIN_GRAPH_SIZE: usize = 4096;
 
 impl StoredGraph {
@@ -315,13 +320,19 @@ impl StoredGraph {
             compressed: None,
             registered: HashMap::new(),
             csr: Mutex::new(None),
+            seq_read_version: AtomicU64::new(u64::MAX),
         }
     }
 
-    /// Should evaluation take the CSR/parallel path at this thread
-    /// budget? Only when there is real work to amortize the snapshot.
+    /// Should evaluation take the CSR + *parallel-refinement* path at
+    /// this thread budget? Only when there is real work to parallelize.
     fn parallel_eligible(&self, threads: usize) -> bool {
-        threads > 1 && self.graph.size() >= PARALLEL_MIN_GRAPH_SIZE
+        threads > 1 && self.csr_eligible()
+    }
+
+    /// Is the graph large enough for a CSR snapshot to ever pay off?
+    fn csr_eligible(&self) -> bool {
+        self.graph.size() >= PARALLEL_MIN_GRAPH_SIZE
     }
 
     /// The CSR snapshot for the current graph version, building (and
@@ -335,6 +346,39 @@ impl StoredGraph {
                 *slot = Some(Arc::clone(&c));
                 c
             }
+        }
+    }
+
+    /// The CSR snapshot if it is already fresh for the current version —
+    /// never triggers a build.
+    fn csr_if_fresh(&self) -> Option<Arc<CsrGraph>> {
+        let slot = self.csr.lock();
+        slot.as_ref()
+            .filter(|c| c.version() == self.graph.version())
+            .map(Arc::clone)
+    }
+
+    /// The snapshot a *sequential* direct evaluation should use, if any.
+    /// Sequential queries also win from label-indexed candidate seeding
+    /// and contiguous adjacency — on a 1-core host this is the serving
+    /// fast path — but the per-version build must not be paid by
+    /// update-heavy traffic that reads each version once. So: use a fresh
+    /// snapshot whenever one exists, and otherwise build only on the
+    /// *second* sequential read of a version (read-heavy traffic
+    /// amortizes the build from query two on; alternating update/query
+    /// streams stay on the live adjacency and never pay it).
+    fn csr_for_sequential(&self) -> Option<Arc<CsrGraph>> {
+        if !self.csr_eligible() {
+            return None;
+        }
+        if let Some(c) = self.csr_if_fresh() {
+            return Some(c);
+        }
+        let v = self.graph.version();
+        if self.seq_read_version.swap(v, Ordering::Relaxed) == v {
+            Some(self.csr())
+        } else {
+            None
         }
     }
 }
@@ -463,7 +507,46 @@ pub struct ExpFinder {
     engine_id: u64,
     catalog: RwLock<HashMap<String, CatalogEntry>>,
     cache: Mutex<QueryCache>,
+    /// Pooled [`EvalScratch`]es: every evaluation path (fluent queries,
+    /// batch workers, HTTP workers) checks one out, so steady-state
+    /// serving reuses BFS frontiers, reach caches and counter buffers
+    /// instead of allocating per request.
+    scratch_pool: ScratchPool,
+    /// Cumulative [`EvalStats`] across every direct/compressed
+    /// evaluation, exported on `GET /metrics`.
+    eval_totals: EvalTotals,
     next_id: AtomicU64,
+}
+
+/// Lock-free accumulator behind [`ExpFinder::eval_totals`].
+#[derive(Default)]
+struct EvalTotals {
+    refreshes: AtomicU64,
+    removals: AtomicU64,
+    refreshes_skipped: AtomicU64,
+    bfs_nodes_visited: AtomicU64,
+}
+
+impl EvalTotals {
+    fn add(&self, s: EvalStats) {
+        self.refreshes
+            .fetch_add(s.refreshes as u64, Ordering::Relaxed);
+        self.removals
+            .fetch_add(s.removals as u64, Ordering::Relaxed);
+        self.refreshes_skipped
+            .fetch_add(s.refreshes_skipped as u64, Ordering::Relaxed);
+        self.bfs_nodes_visited
+            .fetch_add(s.bfs_nodes_visited as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            refreshes: self.refreshes.load(Ordering::Relaxed) as usize,
+            removals: self.removals.load(Ordering::Relaxed) as usize,
+            refreshes_skipped: self.refreshes_skipped.load(Ordering::Relaxed) as usize,
+            bfs_nodes_visited: self.bfs_nodes_visited.load(Ordering::Relaxed) as usize,
+        }
+    }
 }
 
 /// Source of process-unique engine ids.
@@ -490,6 +573,8 @@ impl ExpFinder {
             engine_id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
             catalog: RwLock::new(HashMap::new()),
             cache,
+            scratch_pool: ScratchPool::new(),
+            eval_totals: EvalTotals::default(),
             next_id: AtomicU64::new(1),
         }
     }
@@ -810,13 +895,16 @@ impl ExpFinder {
     ) -> Result<QueryOutcome, ExpFinderError> {
         let slot = self.slot(handle)?;
         let stored = slot.read();
-        let (matches, route) = self.route_and_eval(
-            handle,
-            &stored,
-            pattern,
-            Route::Auto,
-            self.config.exec.threads.max(1),
-        )?;
+        let (matches, route) = self.scratch_pool.with(|scratch| {
+            self.route_and_eval(
+                handle,
+                &stored,
+                pattern,
+                Route::Auto,
+                self.config.exec.threads.max(1),
+                scratch,
+            )
+        })?;
         Ok(QueryOutcome {
             matches,
             route,
@@ -856,6 +944,19 @@ impl ExpFinder {
     /// Cache hit/miss counters.
     pub fn cache_stats(&self) -> cache::CacheStats {
         self.cache.lock().stats()
+    }
+
+    /// Entries currently held by the query cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Cumulative evaluation-work counters (refreshes, skipped refreshes,
+    /// BFS nodes visited, candidate removals) across every direct and
+    /// compressed evaluation this engine has run — the serving-path
+    /// observability hook behind `GET /metrics`.
+    pub fn eval_totals(&self) -> EvalStats {
+        self.eval_totals.snapshot()
     }
 
     /// Execute a whole batch of queries against one graph, draining them
@@ -903,11 +1004,12 @@ impl ExpFinder {
         let workers = self.config.exec.batch_parallelism.clamp(1, specs.len());
         let inner_threads = (self.config.exec.threads / workers).max(1);
         let indices: Vec<usize> = (0..specs.len()).collect();
+        // one pooled EvalScratch per batch worker, reused across its slots
         let pairs = expfinder_core::parallel::run_items(
             workers,
             &indices,
-            || (),
-            |_, &i| (i, self.run_spec(handle, &specs[i], inner_threads)),
+            || self.scratch_pool.take(),
+            |scratch, &i| (i, self.run_spec(handle, &specs[i], inner_threads, scratch)),
         );
         match pairs {
             Some(mut pairs) => {
@@ -916,9 +1018,10 @@ impl ExpFinder {
             }
             None => {
                 let threads = self.config.exec.threads.max(1);
+                let mut scratch = self.scratch_pool.take();
                 specs
                     .iter()
-                    .map(|sp| self.run_spec(handle, sp, threads))
+                    .map(|sp| self.run_spec(handle, sp, threads, &mut scratch))
                     .collect()
             }
         }
@@ -931,18 +1034,20 @@ impl ExpFinder {
         handle: &GraphHandle,
         spec: &QuerySpec,
         threads: usize,
+        scratch: &mut EvalScratch,
     ) -> Result<QueryResponse, ExpFinderError> {
         let pattern = match &spec.source {
             SpecSource::Pattern(p) => p.clone(),
             SpecSource::Dsl(s) => expfinder_pattern::parser::parse(s)?,
         };
-        self.execute(handle, &pattern, spec.top_k, spec.prefer, threads)
+        self.execute(handle, &pattern, spec.top_k, spec.prefer, threads, scratch)
     }
 
     /// The single-query execution path shared by [`QueryBuilder::run`] and
     /// [`ExpFinder::query_batch`]: routing, evaluation, result-graph
     /// construction and ranking under one read lock of the target graph,
-    /// with `threads` workers for the parallel stages.
+    /// with `threads` workers for the parallel stages and `scratch` for
+    /// the sequential ones.
     fn execute(
         &self,
         handle: &GraphHandle,
@@ -950,12 +1055,14 @@ impl ExpFinder {
         top_k: Option<usize>,
         prefer: Route,
         threads: usize,
+        scratch: &mut EvalScratch,
     ) -> Result<QueryResponse, ExpFinderError> {
         let threads = threads.max(1);
         let started = Instant::now();
         let slot = self.slot(handle)?;
         let stored = slot.read();
-        let (matches, route) = self.route_and_eval(handle, &stored, pattern, prefer, threads)?;
+        let (matches, route) =
+            self.route_and_eval(handle, &stored, pattern, prefer, threads, scratch)?;
         let evaluate_time = started.elapsed();
 
         let rank_started = Instant::now();
@@ -971,16 +1078,14 @@ impl ExpFinder {
                     route,
                     EvalRoute::DirectSimulation | EvalRoute::DirectBounded
                 );
-                let mut experts = if direct && stored.parallel_eligible(threads) {
-                    let csr = stored.csr();
+                let csr = if direct { stored.csr_if_fresh() } else { None };
+                if let Some(csr) = csr {
                     let rg = ResultGraph::build_with(&*csr, pattern, &matches, opts);
-                    rank_matches(&rg, pattern, &matches)?
+                    rank_matches_top_k(&rg, pattern, &matches, k)?
                 } else {
                     let rg = ResultGraph::build_with(&stored.graph, pattern, &matches, opts);
-                    rank_matches(&rg, pattern, &matches)?
-                };
-                experts.truncate(k);
-                experts
+                    rank_matches_top_k(&rg, pattern, &matches, k)?
+                }
             }
         };
         let rank_time = rank_started.elapsed();
@@ -1000,7 +1105,8 @@ impl ExpFinder {
 
     /// Route and evaluate under an already-held read guard, so a whole
     /// query (evaluate + rank) sees one consistent graph state. `threads`
-    /// is the budget for direct evaluation's parallel refinement.
+    /// is the budget for direct evaluation's parallel refinement;
+    /// `scratch` carries the reusable buffers of the sequential paths.
     fn route_and_eval(
         &self,
         handle: &GraphHandle,
@@ -1008,20 +1114,24 @@ impl ExpFinder {
         pattern: &Pattern,
         prefer: Route,
         threads: usize,
+        scratch: &mut EvalScratch,
     ) -> Result<(Arc<MatchRelation>, EvalRoute), ExpFinderError> {
-        let key = QueryCache::key(handle.id, stored.graph.version(), pattern);
+        let fingerprint = pattern.fingerprint();
+        let key = QueryCache::key_for(handle.id, stored.graph.version(), &fingerprint);
 
         if prefer == Route::Auto {
-            // 1. cache
-            if let Some(hit) = self.cache.lock().get(&key) {
+            // 1. cache (the fingerprint guards against key-hash collisions)
+            if let Some(hit) = self.cache.lock().get(&key, &fingerprint) {
                 return Ok((hit, EvalRoute::Cache));
             }
 
             // 2. registered incremental state
             for rq in stored.registered.values() {
-                if rq.pattern.fingerprint() == pattern.fingerprint() {
+                if rq.pattern.fingerprint() == fingerprint {
                     let matches = Arc::new(rq.maintainer.current());
-                    self.cache.lock().put(key, Arc::clone(&matches));
+                    self.cache
+                        .lock()
+                        .put(key, &fingerprint, Arc::clone(&matches));
                     return Ok((matches, EvalRoute::Registered));
                 }
             }
@@ -1038,12 +1148,23 @@ impl ExpFinder {
                 let gc = mc.compressed();
                 if gc.validate_pattern(pattern).is_ok() {
                     let on_c = if pattern.is_simulation() {
-                        graph_simulation(gc, pattern)?
+                        let (m, stats) = graph_simulation_scratch(gc, pattern, scratch)?;
+                        self.eval_totals.add(stats);
+                        m
                     } else {
-                        bounded_simulation(gc, pattern)?
+                        let (m, stats) = bounded_simulation_scratch(
+                            gc,
+                            pattern,
+                            EvalOptions::default(),
+                            scratch,
+                        );
+                        self.eval_totals.add(stats);
+                        m
                     };
                     let matches = Arc::new(gc.expand(&on_c));
-                    self.cache.lock().put(key, Arc::clone(&matches));
+                    self.cache
+                        .lock()
+                        .put(key, &fingerprint, Arc::clone(&matches));
                     return Ok((matches, EvalRoute::Compressed));
                 }
             }
@@ -1051,34 +1172,41 @@ impl ExpFinder {
 
         // 4. direct evaluation — through the CSR snapshot with parallel
         // refinement when the thread budget and graph size warrant it,
-        // sequentially on the live adjacency otherwise. Both compute the
-        // same greatest fixpoint.
-        let (m, route) = if stored.parallel_eligible(threads) {
+        // through the same snapshot with the sequential frontier engine
+        // when read-heavy sequential traffic amortizes it (see
+        // `csr_for_sequential`), and on the live adjacency otherwise.
+        // All paths compute the same greatest fixpoint.
+        let (m, stats, route) = if stored.parallel_eligible(threads) {
             let csr = stored.csr();
             if pattern.is_simulation() {
-                (
-                    parallel_simulation(&*csr, pattern, threads)?,
-                    EvalRoute::DirectSimulation,
-                )
+                let (m, stats) = parallel_simulation_stats(&*csr, pattern, threads)?;
+                (m, stats, EvalRoute::DirectSimulation)
             } else {
-                (
-                    parallel_bounded_simulation(&*csr, pattern, threads)?,
-                    EvalRoute::DirectBounded,
-                )
+                let (m, stats) = parallel_bounded_simulation_stats(&*csr, pattern, threads)?;
+                (m, stats, EvalRoute::DirectBounded)
+            }
+        } else if let Some(csr) = stored.csr_for_sequential() {
+            if pattern.is_simulation() {
+                let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
+                (m, stats, EvalRoute::DirectSimulation)
+            } else {
+                let (m, stats) =
+                    bounded_simulation_scratch(&*csr, pattern, EvalOptions::default(), scratch);
+                (m, stats, EvalRoute::DirectBounded)
             }
         } else if pattern.is_simulation() {
-            (
-                graph_simulation(&stored.graph, pattern)?,
-                EvalRoute::DirectSimulation,
-            )
+            let (m, stats) = graph_simulation_scratch(&stored.graph, pattern, scratch)?;
+            (m, stats, EvalRoute::DirectSimulation)
         } else {
-            (
-                bounded_simulation(&stored.graph, pattern)?,
-                EvalRoute::DirectBounded,
-            )
+            let (m, stats) =
+                bounded_simulation_scratch(&stored.graph, pattern, EvalOptions::default(), scratch);
+            (m, stats, EvalRoute::DirectBounded)
         };
+        self.eval_totals.add(stats);
         let matches = Arc::new(m);
-        self.cache.lock().put(key, Arc::clone(&matches));
+        self.cache
+            .lock()
+            .put(key, &fingerprint, Arc::clone(&matches));
         Ok((matches, route))
     }
 }
@@ -1149,8 +1277,16 @@ impl QueryBuilder<'_> {
             Some(Ok(p)) => p,
         };
         let threads = self.engine.config.exec.threads.max(1);
-        self.engine
-            .execute(&self.handle, &pattern, self.top_k, self.prefer, threads)
+        self.engine.scratch_pool.with(|scratch| {
+            self.engine.execute(
+                &self.handle,
+                &pattern,
+                self.top_k,
+                self.prefer,
+                threads,
+                scratch,
+            )
+        })
     }
 }
 
@@ -1476,7 +1612,10 @@ mod tests {
         let batch = e.query_batch(&h, specs.clone());
         assert_eq!(batch.len(), 3);
         for (i, spec) in specs.into_iter().enumerate() {
-            let single = e.run_spec(&h, &spec, 1).unwrap();
+            let single = e
+                .scratch_pool
+                .with(|s| e.run_spec(&h, &spec, 1, s))
+                .unwrap();
             let b = batch[i].as_ref().unwrap();
             assert_eq!(*b.matches, *single.matches, "slot {i}");
             assert_eq!(
@@ -1571,6 +1710,49 @@ mod tests {
         let after = e.query(&h).pattern(q).prefer(Route::Direct).run().unwrap();
         assert_eq!(after.matches.total_pairs(), 8, "snapshot was refreshed");
         assert!(after.graph_version > before.graph_version);
+    }
+
+    #[test]
+    fn sequential_csr_path_correct_across_updates() {
+        // big graph + fully sequential engine: the first read at a
+        // version stays on the live adjacency, the second builds and
+        // uses the snapshot (build-on-second-read) — answers must be
+        // exact on every step of an alternating update/query stream
+        let f = collaboration_fig1();
+        let mut g = f.graph.clone();
+        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+            g.add_node("pad", []);
+        }
+        let e = ExpFinder::new(EngineConfig {
+            exec: ExecConfig::sequential(),
+            ..EngineConfig::default()
+        });
+        let h = e.add_graph("fig1", g).unwrap();
+        let q = fig1_pattern();
+        let run = || {
+            e.query(&h)
+                .pattern(q.clone())
+                .prefer(Route::Direct)
+                .top_k(2)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(run().matches.total_pairs(), 7, "first read (live)");
+        assert_eq!(run().matches.total_pairs(), 7, "second read (snapshot)");
+        assert_eq!(run().matches.total_pairs(), 7, "third read (snapshot)");
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        assert_eq!(run().matches.total_pairs(), 8, "post-update read (live)");
+        assert_eq!(
+            run().matches.total_pairs(),
+            8,
+            "post-update read (snapshot)"
+        );
+        e.apply_updates(&h, &[EdgeUpdate::Delete(f.e1.0, f.e1.1)])
+            .unwrap();
+        let resp = run();
+        assert_eq!(resp.matches.total_pairs(), 7);
+        assert_eq!(resp.experts[0].node, f.bob, "ranking agrees on every path");
     }
 
     #[test]

@@ -19,11 +19,22 @@ pub enum Direction {
 }
 
 impl Direction {
+    /// The adjacency this direction traverses: out-edges for `Forward`,
+    /// in-edges for `Backward`.
     #[inline]
-    fn neighbors<G: GraphView>(self, g: &G, v: NodeId) -> &[NodeId] {
+    pub fn neighbors<G: GraphView>(self, g: &G, v: NodeId) -> &[NodeId] {
         match self {
             Direction::Forward => g.out_neighbors(v),
             Direction::Backward => g.in_neighbors(v),
+        }
+    }
+
+    /// The opposite direction (used to test edges "into" a frontier).
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
         }
     }
 }
@@ -122,6 +133,9 @@ impl BfsScratch {
     /// `out`; a seed appears only if it has a genuine ≥1-length path to a
     /// seed (e.g. around a cycle), exactly matching the paper's "nonempty
     /// path ρ" requirement.
+    ///
+    /// Returns the number of nodes marked visited (seeds included) — the
+    /// traversal-work measure `EvalStats::bfs_nodes_visited` aggregates.
     pub fn multi_source_within<G: GraphView>(
         &mut self,
         g: &G,
@@ -129,10 +143,10 @@ impl BfsScratch {
         depth: u32,
         dir: Direction,
         out: &mut BitSet,
-    ) {
+    ) -> usize {
         out.clear();
         if depth == 0 {
-            return;
+            return 0;
         }
         self.begin(g.node_count());
         for s in seeds.iter() {
@@ -158,6 +172,7 @@ impl BfsScratch {
                 }
             }
         }
+        self.touched.len()
     }
 }
 

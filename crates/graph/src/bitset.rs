@@ -152,6 +152,13 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// The backing 64-bit words (bit `i % 64` of word `i / 64` ⟺ member
+    /// `i`). Exposed for word-at-a-time sweeps such as the
+    /// direction-optimizing BFS; bits at or beyond `capacity()` are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterate members in ascending id order.
     pub fn iter(&self) -> BitSetIter<'_> {
         BitSetIter {

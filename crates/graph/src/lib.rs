@@ -12,8 +12,9 @@
 //!   and a label → bitset candidate index; the engine's read-optimized
 //!   fast path for (parallel) query execution.
 //! * Traversals: bounded (multi-source) BFS with reusable scratch space
-//!   ([`bfs`]), Dijkstra over weighted adjacency ([`dijkstra`]), Tarjan SCC
-//!   ([`scc`]).
+//!   ([`bfs`]), its level-synchronous direction-optimizing counterpart over
+//!   bitset frontiers ([`bfs_frontier`]), Dijkstra over weighted adjacency
+//!   ([`dijkstra`]), Tarjan SCC ([`scc`]).
 //! * [`bitset::BitSet`] — the dense set representation used by every
 //!   fixpoint computation in the workspace.
 //! * Synthetic workload generators ([`generate`]) including the
@@ -27,6 +28,7 @@
 
 pub mod attrs;
 pub mod bfs;
+pub mod bfs_frontier;
 pub mod bitset;
 pub mod csr;
 pub mod digraph;
@@ -39,6 +41,7 @@ pub mod scc;
 pub mod view;
 
 pub use attrs::{AttrValue, Interner, Sym};
+pub use bfs_frontier::FrontierScratch;
 pub use bitset::BitSet;
 pub use csr::CsrGraph;
 pub use digraph::{DiGraph, EdgeUpdate, VertexData};

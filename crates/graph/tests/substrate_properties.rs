@@ -2,9 +2,26 @@
 //! above silently depends on.
 
 use expfinder_graph::bfs::{BfsScratch, Direction};
+use expfinder_graph::bfs_frontier::FrontierScratch;
 use expfinder_graph::dijkstra::{dijkstra, UNREACHABLE};
 use expfinder_graph::{BitSet, DiGraph, GraphView, NodeId};
 use proptest::prelude::*;
+
+/// Build a graph with `n` nodes from raw edge pairs (self-loops allowed —
+/// the reach semantics treat cycles specially, so they must be covered).
+fn graph_from_edges(n: usize, edges: &[(u8, u8)]) -> DiGraph {
+    let mut g = DiGraph::new();
+    for _ in 0..n {
+        g.add_node("x", []);
+    }
+    for &(a, b) in edges {
+        g.add_edge(
+            NodeId((a as usize % n) as u32),
+            NodeId((b as usize % n) as u32),
+        );
+    }
+    g
+}
 
 /// Apply a random op sequence to both a BitSet and a reference HashSet.
 #[derive(Clone, Debug)]
@@ -147,6 +164,71 @@ proptest! {
             let out = g.out_neighbors(v);
             prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    /// Frontier BFS ≡ queue BFS: same reach sets and the same
+    /// visited-work measure, for both directions and all depths
+    /// (including unbounded), on arbitrary graphs and seed sets.
+    #[test]
+    fn frontier_bfs_equals_queue_bfs(
+        n in 2usize..16,
+        edges in proptest::collection::vec((0u8..16, 0u8..16), 0..70),
+        seeds in proptest::collection::vec(0u8..16, 1..8),
+        depth_raw in 0u32..6,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        // depth 5 stands in for unbounded: deterministically remap
+        let depth = if depth_raw == 5 { u32::MAX } else { depth_raw };
+        let mut seed_set = BitSet::new(n);
+        for s in seeds {
+            seed_set.insert(NodeId((s as usize % n) as u32));
+        }
+        let mut queue = BfsScratch::new();
+        let mut frontier = FrontierScratch::new();
+        let mut a = BitSet::new(n);
+        let mut b = BitSet::new(n);
+        for dir in [Direction::Forward, Direction::Backward] {
+            let va = queue.multi_source_within(&g, &seed_set, depth, dir, &mut a);
+            let vb = frontier.multi_source_within(&g, &seed_set, depth, dir, None, &mut b);
+            prop_assert_eq!(&a, &b, "reach diverged ({:?}, depth {})", dir, depth);
+            prop_assert_eq!(va, vb, "work measure diverged ({:?}, depth {})", dir, depth);
+        }
+    }
+
+    /// Restricting the frontier BFS to a superset of the answer (the
+    /// refresh-memoization invariant: reach sets from shrunken seeds) is
+    /// exact, and visits no more nodes than the unrestricted run.
+    #[test]
+    fn restricted_frontier_bfs_is_exact(
+        n in 2usize..16,
+        edges in proptest::collection::vec((0u8..16, 0u8..16), 0..70),
+        seeds in proptest::collection::vec(0u8..16, 2..8),
+        keep in proptest::collection::vec(proptest::bool::ANY, 8),
+        depth in 1u32..5,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let mut s1 = BitSet::new(n);
+        for s in &seeds {
+            s1.insert(NodeId((*s as usize % n) as u32));
+        }
+        // S2 ⊆ S1 by dropping members (sim sets only ever shrink)
+        let mut s2 = BitSet::new(n);
+        for (i, s) in s1.iter().enumerate() {
+            if keep[i % keep.len()] {
+                s2.insert(s);
+            }
+        }
+        let mut scratch = FrontierScratch::new();
+        let mut r1 = BitSet::new(n);
+        scratch.multi_source_within(&g, &s1, depth, Direction::Backward, None, &mut r1);
+        let mut unrestricted = BitSet::new(n);
+        let vu = scratch.multi_source_within(
+            &g, &s2, depth, Direction::Backward, None, &mut unrestricted);
+        let mut restricted = BitSet::new(n);
+        let vr = scratch.multi_source_within(
+            &g, &s2, depth, Direction::Backward, Some(&r1), &mut restricted);
+        prop_assert_eq!(&restricted, &unrestricted, "restriction changed the answer");
+        prop_assert!(vr <= vu, "restriction increased work: {} > {}", vr, vu);
     }
 
     /// `multi_source_within` equals the brute-force definition.

@@ -309,6 +309,15 @@ impl Pattern {
         s
     }
 
+    /// A compact `u64` digest of [`fingerprint`](Self::fingerprint):
+    /// equal patterns hash equal, and the engine's query cache keys on
+    /// this instead of owning strings. FNV-1a is not collision-resistant,
+    /// so the cache verifies the full fingerprint on every hit — the
+    /// digest is an index, never an identity.
+    pub fn fingerprint_hash(&self) -> u64 {
+        hash_fingerprint(&self.fingerprint())
+    }
+
     /// A copy of this pattern with every bound replaced by 1 hop — the
     /// plain-simulation version of the query.
     pub fn as_simulation(&self) -> Pattern {
@@ -341,6 +350,18 @@ impl fmt::Display for Pattern {
         }
         Ok(())
     }
+}
+
+/// FNV-1a over a canonical fingerprint string — the digest behind
+/// [`Pattern::fingerprint_hash`], exposed so callers that already hold
+/// the string (the engine's cache path) need not recompute it.
+pub fn hash_fingerprint(fingerprint: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in fingerprint.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -404,6 +425,9 @@ mod tests {
             .build()
             .unwrap();
         assert_ne!(a.fingerprint(), c.fingerprint());
+        // the u64 digest follows the string fingerprint
+        assert_eq!(a.fingerprint_hash(), b.fingerprint_hash());
+        assert_ne!(a.fingerprint_hash(), c.fingerprint_hash());
     }
 
     #[test]

@@ -192,6 +192,32 @@ impl Predicate {
         }
     }
 
+    /// The residual condition once `label` is already known to hold —
+    /// what a label-indexed candidate scan still has to test per class
+    /// member. `None` means the residual is vacuous: the class *is* the
+    /// candidate set and no per-node evaluation is needed at all.
+    ///
+    /// Only top-level `label = L` conjuncts are stripped; a label buried
+    /// deeper is merely re-tested (redundant, never wrong).
+    pub fn residual_after_label(&self, label: &str) -> Option<Predicate> {
+        match self {
+            Predicate::Label(l) if l == label => None,
+            Predicate::And(ps) => {
+                let rest: Vec<Predicate> = ps
+                    .iter()
+                    .filter(|p| !matches!(p, Predicate::Label(l) if l == label))
+                    .cloned()
+                    .collect();
+                match rest.len() {
+                    0 => None,
+                    1 => Some(rest.into_iter().next().expect("len checked")),
+                    _ => Some(Predicate::And(rest)),
+                }
+            }
+            other => Some(other.clone()),
+        }
+    }
+
     /// Collect every attribute key this predicate mentions.
     pub fn collect_attrs(&self, out: &mut BTreeSet<String>) {
         match self {

@@ -265,11 +265,35 @@ fn main() {
     );
 
     // ---- metrics ----
+    // drive one bounded query through the direct route first, so the
+    // cumulative EvalStats counters provably moved on the serving path
+    let direct = client
+        .query("fig1", &query_body(FIG1_DSL, None, "direct", false))
+        .expect("direct query");
+    h.check(
+        "direct-route query evaluates",
+        i64_at(&direct, &["pairs"]) == 8,
+        || direct.to_string_compact(),
+    );
     let metrics = client.metrics().expect("metrics");
     h.check(
         "metrics counted the query traffic",
         i64_at(&metrics, &["requests", "query", "count"]) >= 3
             && i64_at(&metrics, &["requests", "batch", "count"]) >= 1,
+        || metrics.to_string_compact(),
+    );
+    h.check(
+        "metrics export engine cache counters",
+        i64_at(&metrics, &["engine", "cache", "misses"]) >= 1
+            && i64_at(&metrics, &["engine", "cache", "entries"]) >= 1,
+        || metrics.to_string_compact(),
+    );
+    h.check(
+        "metrics export cumulative EvalStats from the matching path",
+        i64_at(&metrics, &["engine", "eval", "refreshes"]) >= 4
+            && i64_at(&metrics, &["engine", "eval", "bfs_nodes_visited"]) >= 1
+            && i64_at(&metrics, &["engine", "eval", "refreshes_skipped"]) >= 0
+            && i64_at(&metrics, &["engine", "eval", "removals"]) >= 0,
         || metrics.to_string_compact(),
     );
     h.check(

@@ -229,13 +229,44 @@ impl Metrics {
             .sum()
     }
 
-    /// The `GET /metrics` document. Graph versions come live from the
-    /// engine so the exporter doubles as a catalog freshness probe.
+    /// The `GET /metrics` document. Graph versions, cache counters and
+    /// cumulative evaluation-work counters come live from the engine so
+    /// the exporter doubles as a serving-path profiler: cache hit rates
+    /// and `EvalStats` wins (refresh skipping, BFS-node reduction) are
+    /// visible without attaching a profiler.
     pub fn to_json(&self, engine: &ExpFinder) -> Value {
         let requests = RouteKey::ALL
             .iter()
             .map(|k| (k.name(), self.routes[k.index()].to_json()))
             .collect::<Vec<_>>();
+        let cache = engine.cache_stats();
+        let eval = engine.eval_totals();
+        let engine_doc = obj(vec![
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Value::Int(cache.hits as i64)),
+                    ("misses", Value::Int(cache.misses as i64)),
+                    ("evictions", Value::Int(cache.evictions as i64)),
+                    ("entries", Value::Int(engine.cache_len() as i64)),
+                ]),
+            ),
+            (
+                "eval",
+                obj(vec![
+                    ("refreshes", Value::Int(eval.refreshes as i64)),
+                    (
+                        "refreshes_skipped",
+                        Value::Int(eval.refreshes_skipped as i64),
+                    ),
+                    (
+                        "bfs_nodes_visited",
+                        Value::Int(eval.bfs_nodes_visited as i64),
+                    ),
+                    ("removals", Value::Int(eval.removals as i64)),
+                ]),
+            ),
+        ]);
         let graphs: Vec<Value> = engine
             .graph_infos()
             .into_iter()
@@ -268,6 +299,7 @@ impl Metrics {
                 ]),
             ),
             ("requests", obj(requests)),
+            ("engine", engine_doc),
             ("graphs", Value::Array(graphs)),
         ])
     }
@@ -341,5 +373,27 @@ mod tests {
         assert_eq!(graphs.len(), 1);
         assert_eq!(graphs[0].field("name").unwrap().as_str().unwrap(), "g");
         assert_eq!(graphs[0].field("nodes").unwrap().as_i64().unwrap(), 9);
+    }
+
+    #[test]
+    fn engine_cache_and_eval_counters_exported() {
+        let engine = ExpFinder::default();
+        let h = engine
+            .add_graph("g", expfinder_graph::fixtures::collaboration_fig1().graph)
+            .unwrap();
+        let q = expfinder_pattern::fixtures::fig1_pattern();
+        // miss + direct eval, then a hit
+        engine.evaluate(&h, &q).unwrap();
+        engine.evaluate(&h, &q).unwrap();
+        let doc = Metrics::default().to_json(&engine);
+        let cache = doc.field("engine").unwrap().field("cache").unwrap();
+        assert_eq!(cache.field("hits").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(cache.field("misses").unwrap().as_i64().unwrap(), 1);
+        assert_eq!(cache.field("entries").unwrap().as_i64().unwrap(), 1);
+        let eval = doc.field("engine").unwrap().field("eval").unwrap();
+        assert!(eval.field("refreshes").unwrap().as_i64().unwrap() >= 4);
+        assert!(eval.field("bfs_nodes_visited").unwrap().as_i64().unwrap() > 0);
+        assert!(eval.field("refreshes_skipped").unwrap().as_i64().unwrap() >= 0);
+        assert!(eval.field("removals").unwrap().as_i64().unwrap() >= 0);
     }
 }

@@ -36,6 +36,12 @@ experiments:
 bench-batch:
     cargo run --release -p expfinder-bench --bin bench_batch
 
+# matching-engine benchmark: queue fixpoint (pre-PR-4) vs delta-aware
+# frontier fixpoint over the CSR snapshot (writes BENCH_4.json); the
+# >= 1.5x bar is the ISSUE 4 acceptance gate
+bench-match:
+    cargo run --release -p expfinder-bench --bin bench_match -- --min-speedup 1.5
+
 # hard perf gate for multi-core hosts: fail unless every workload's
 # batch throughput is >= 3x the sequential baseline (ISSUE 2 criterion)
 bench-gate:
