@@ -1,26 +1,35 @@
-//! Standalone matching-engine benchmark (old queue path vs new frontier
-//! path).
+//! Standalone matching-engine benchmark: the queue-vs-frontier engine
+//! comparison of PR 4 plus the cold-vs-warm reach-index comparison of
+//! PR 5.
 //!
 //! Usage:
 //!   cargo run --release -p expfinder-bench --bin bench_match
 //!   cargo run --release -p expfinder-bench --bin bench_match -- --quick
 //!   cargo run --release -p expfinder-bench --bin bench_match -- \
-//!       --out BENCH_4.json --min-speedup 1.5
+//!       --out BENCH_4.json --min-speedup 1.5 \
+//!       --warm-out BENCH_5.json --min-warm-speedup 1.3
 //!
-//! Runs the sequential old-vs-new measurement of
-//! [`expfinder_bench::matchbench`] and writes the machine-readable
-//! document (default `BENCH_4.json`). With `--min-speedup X` the process
-//! exits non-zero when any workload's single-query speedup falls below
-//! `X` — the advisory perf gate the `bench-smoke` CI job attaches to.
+//! Two documents are written: the sequential old-vs-new measurement of
+//! [`expfinder_bench::matchbench::run_match_bench`] (default
+//! `BENCH_4.json`) and the cold-vs-warm multi-query measurement of
+//! [`expfinder_bench::matchbench::run_warm_bench`] (default
+//! `BENCH_5.json`). With `--min-speedup X` the process exits non-zero
+//! when any PR-4 workload's single-query speedup falls below `X`; with
+//! `--min-warm-speedup Y` it exits non-zero when any *gated* warm
+//! workload's second-query-on-version speedup over the PR-4 frontier
+//! path falls below `Y` — the perf gates the `bench-smoke` CI job
+//! attaches to.
 
 use expfinder_bench::batchbench::write_bench_json;
-use expfinder_bench::matchbench::{run_match_bench, MatchBenchOptions};
+use expfinder_bench::matchbench::{run_match_bench, run_warm_bench, MatchBenchOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out = "BENCH_4.json".to_owned();
+    let mut warm_out = "BENCH_5.json".to_owned();
     let mut min_speedup: Option<f64> = None;
+    let mut min_warm_speedup: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -36,7 +45,11 @@ fn main() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--out" => out = take(&mut i),
+            "--warm-out" => warm_out = take(&mut i),
             "--min-speedup" => min_speedup = Some(take(&mut i).parse().expect("bad --min-speedup")),
+            "--min-warm-speedup" => {
+                min_warm_speedup = Some(take(&mut i).parse().expect("bad --min-warm-speedup"))
+            }
             other => {
                 eprintln!("unknown option {other:?}");
                 std::process::exit(2);
@@ -45,12 +58,15 @@ fn main() {
         i += 1;
     }
 
-    let doc = run_match_bench(&MatchBenchOptions { quick });
+    let opts = MatchBenchOptions { quick };
+    let doc = run_match_bench(&opts);
     write_bench_json(&out, &doc).expect("writing bench json");
+    let warm_doc = run_warm_bench(&opts);
+    write_bench_json(&warm_out, &warm_doc).expect("writing warm bench json");
 
+    let mut ok = true;
     if let Some(min) = min_speedup {
         let workloads = doc.field("workloads").unwrap().as_array().unwrap();
-        let mut ok = true;
         for w in workloads {
             let name = w.field("name").unwrap().as_str().unwrap();
             let sp = w.field("speedup").unwrap().as_f64().unwrap();
@@ -59,9 +75,33 @@ fn main() {
                 ok = false;
             }
         }
-        if !ok {
-            std::process::exit(1);
+        if ok {
+            println!("gate passed: all single-query speedups >= {min:.2}x");
         }
-        println!("gate passed: all single-query speedups >= {min:.2}x");
+    }
+    if let Some(min) = min_warm_speedup {
+        let workloads = warm_doc.field("workloads").unwrap().as_array().unwrap();
+        let mut warm_ok = true;
+        for w in workloads {
+            if !w.field("gated").unwrap().as_bool().unwrap() {
+                continue;
+            }
+            let name = w.field("name").unwrap().as_str().unwrap();
+            let pat = w.field("pattern").unwrap().as_str().unwrap();
+            let sp = w.field("warm_speedup").unwrap().as_f64().unwrap();
+            if sp < min {
+                eprintln!(
+                    "GATE FAIL: {name}/{pat} warm-query speedup {sp:.2}x < required {min:.2}x"
+                );
+                warm_ok = false;
+            }
+        }
+        if warm_ok {
+            println!("warm gate passed: all gated warm speedups >= {min:.2}x");
+        }
+        ok &= warm_ok;
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

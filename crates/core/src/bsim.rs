@@ -33,11 +33,11 @@
 //! benchmark baseline. Both compute the same greatest fixpoint
 //! bit-for-bit (property-tested).
 
-use crate::candidate_sets;
-use crate::fixpoint::{refine_constraints, Constraint, EvalScratch};
+use crate::fixpoint::{refine_constraints, Constraint, EvalScratch, IndexCtx};
 use crate::matchrel::MatchRelation;
+use crate::{candidate_sets, candidate_sets_classed};
 use expfinder_graph::bfs::{BfsScratch, Direction};
-use expfinder_graph::{BitSet, GraphView};
+use expfinder_graph::{BitSet, GraphView, ReachProvider};
 use expfinder_pattern::Pattern;
 
 /// Refresh-order heuristic ("query plan").
@@ -101,6 +101,14 @@ pub struct EvalStats {
     /// Nodes marked visited across all reach traversals — the traversal
     /// work the refresh memoization exists to cut.
     pub bfs_nodes_visited: usize,
+    /// First refreshes served from a per-snapshot
+    /// [`ReachIndex`](expfinder_graph::ReachIndex) entry instead of a BFS
+    /// (indexed evaluations only — zero without a provider).
+    pub index_hits: usize,
+    /// First refreshes that consulted the provider but fell back to the
+    /// BFS (the seed set was not a full label class, or the view has no
+    /// class for the label). Zero without a provider.
+    pub index_misses: usize,
 }
 
 /// Compute the maximum bounded simulation `M(Q,G)` with default options.
@@ -130,9 +138,26 @@ pub fn bounded_simulation_scratch<G: GraphView>(
     opts: EvalOptions,
     scratch: &mut EvalScratch,
 ) -> (MatchRelation, EvalStats) {
+    bounded_simulation_indexed(g, q, opts, scratch, None)
+}
+
+/// [`bounded_simulation_scratch`] consulting a per-snapshot
+/// [`ReachProvider`] before class-seeded first refreshes fall back to
+/// BFS — the engine's warm serving path. With `index = None` this *is*
+/// [`bounded_simulation_scratch`]. The provider must be bound to the same
+/// snapshot as `g`; results are bit-identical either way (the entry is
+/// exactly the BFS answer), only `EvalStats::index_hits` and the
+/// traversal work change.
+pub fn bounded_simulation_indexed<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+    scratch: &mut EvalScratch,
+    index: Option<&dyn ReachProvider>,
+) -> (MatchRelation, EvalStats) {
     let n = g.node_count();
-    let sim = candidate_sets(g, q);
-    let (sets, stats) = bounded_fixpoint_scratch(g, q, sim, opts, true, scratch);
+    let (sim, classes) = candidate_sets_classed(g, q);
+    let (sets, stats) = bounded_fixpoint_classed(g, q, sim, opts, true, scratch, &classes, index);
     (MatchRelation::from_sets(sets, n), stats)
 }
 
@@ -176,10 +201,27 @@ pub fn bounded_fixpoint_raw<G: GraphView>(
 pub fn bounded_fixpoint_scratch<G: GraphView>(
     g: &G,
     q: &Pattern,
+    sim: Vec<BitSet>,
+    opts: EvalOptions,
+    early_exit: bool,
+    scratch: &mut EvalScratch,
+) -> (Vec<BitSet>, EvalStats) {
+    bounded_fixpoint_classed(g, q, sim, opts, early_exit, scratch, &[], None)
+}
+
+/// The frontier fixpoint with the reach-index hook: `classes` marks which
+/// candidate sets were seeded as full label classes (empty slice = no
+/// markers), `index` is the per-snapshot provider (None = plain BFS).
+#[allow(clippy::too_many_arguments)]
+fn bounded_fixpoint_classed<G: GraphView>(
+    g: &G,
+    q: &Pattern,
     mut sim: Vec<BitSet>,
     opts: EvalOptions,
     early_exit: bool,
     scratch: &mut EvalScratch,
+    classes: &[Option<expfinder_graph::Sym>],
+    index: Option<&dyn ReachProvider>,
 ) -> (Vec<BitSet>, EvalStats) {
     let constraints: Vec<Constraint> = q
         .edges()
@@ -191,6 +233,10 @@ pub fn bounded_fixpoint_scratch<G: GraphView>(
             dir: Direction::Backward,
         })
         .collect();
+    let ictx = index.map(|provider| IndexCtx {
+        provider,
+        class_of: classes,
+    });
     let (died, stats) = refine_constraints(
         g,
         q.node_count(),
@@ -199,6 +245,7 @@ pub fn bounded_fixpoint_scratch<G: GraphView>(
         opts.plan,
         early_exit,
         scratch,
+        ictx,
     );
     if died {
         // some pattern node became unmatchable: M(Q,G) = ∅
@@ -489,6 +536,81 @@ mod tests {
             let (new, _) = bounded_simulation_scratch(&g, &q, EvalOptions::default(), &mut scratch);
             assert_eq!(old, new, "trial {trial}: engines diverged");
         }
+    }
+
+    #[test]
+    fn indexed_evaluation_hits_on_class_seeded_constraints() {
+        use expfinder_graph::{CsrGraph, ReachIndex};
+        let f = collaboration_fig1();
+        let csr = CsrGraph::snapshot(&f.graph);
+        // pure-label star: both constraints shrink `sa` and are seeded
+        // from untouched leaf classes, so both first refreshes are
+        // class-seeded (a *chain* would shrink the interior seed set
+        // before its upstream edge refreshes — that one must miss)
+        let q = PatternBuilder::new()
+            .node("sa", Predicate::label("SA"))
+            .node("sd", Predicate::label("SD"))
+            .node("st", Predicate::label("ST"))
+            .edge("sa", "sd", Bound::hops(2))
+            .edge("sa", "st", Bound::hops(2))
+            .build()
+            .unwrap();
+        let mut scratch = EvalScratch::new();
+        let (plain, base) =
+            bounded_simulation_scratch(&csr, &q, EvalOptions::default(), &mut scratch);
+        assert_eq!(base.index_hits, 0, "no provider, no hits");
+
+        let idx = ReachIndex::new(csr.version());
+        let bound = idx.bind(&csr);
+        let (cold, s1) = bounded_simulation_indexed(
+            &csr,
+            &q,
+            EvalOptions::default(),
+            &mut scratch,
+            Some(&bound),
+        );
+        assert_eq!(cold, plain, "index never changes results");
+        assert_eq!(s1.index_hits, 2, "both first refreshes are class-seeded");
+        assert_eq!(s1.index_misses, 0);
+        assert!(idx.len() >= 2, "entries memoized for the next query");
+
+        // warm query: entries are reused, and the class-seeded traversal
+        // work disappears entirely
+        let (warm, s2) = bounded_simulation_indexed(
+            &csr,
+            &q,
+            EvalOptions::default(),
+            &mut scratch,
+            Some(&bound),
+        );
+        assert_eq!(warm, plain);
+        assert_eq!(s2.index_hits, 2);
+        assert!(s2.bfs_nodes_visited < base.bfs_nodes_visited);
+
+        // a residual-predicate seed is a miss, never a wrong answer
+        let q2 = PatternBuilder::new()
+            .node("sa", Predicate::label("SA"))
+            .node(
+                "sd",
+                Predicate::label("SD").and(Predicate::attr_ge("experience", 0)),
+            )
+            .edge("sa", "sd", Bound::hops(2))
+            .build()
+            .unwrap();
+        let (with_idx, s3) = bounded_simulation_indexed(
+            &csr,
+            &q2,
+            EvalOptions::default(),
+            &mut scratch,
+            Some(&bound),
+        );
+        let (without, _) =
+            bounded_simulation_scratch(&csr, &q2, EvalOptions::default(), &mut scratch);
+        assert_eq!(with_idx, without);
+        assert_eq!(
+            s3.index_misses, 1,
+            "attr residual disqualifies the seed class"
+        );
     }
 
     #[test]

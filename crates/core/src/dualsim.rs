@@ -18,11 +18,11 @@
 //! the hiring team is "dual-clean".
 
 use crate::bsim::{EvalOptions, EvalStats, FixpointEngine};
-use crate::candidate_sets;
-use crate::fixpoint::{refine_constraints, Constraint, EvalScratch};
+use crate::fixpoint::{refine_constraints, Constraint, EvalScratch, IndexCtx};
 use crate::matchrel::MatchRelation;
+use crate::{candidate_sets, candidate_sets_classed};
 use expfinder_graph::bfs::{BfsScratch, Direction};
-use expfinder_graph::{BitSet, GraphView};
+use expfinder_graph::{BitSet, GraphView, ReachProvider};
 use expfinder_pattern::Pattern;
 
 /// Compute the maximum bounded **dual** simulation relation.
@@ -57,9 +57,24 @@ pub fn dual_simulation_scratch<G: GraphView>(
     opts: EvalOptions,
     scratch: &mut EvalScratch,
 ) -> (MatchRelation, EvalStats) {
+    dual_simulation_indexed(g, q, opts, scratch, None)
+}
+
+/// [`dual_simulation_scratch`] consulting a per-snapshot
+/// [`ReachProvider`] before class-seeded first refreshes fall back to
+/// BFS. Both constraint directions of every pattern edge are eligible —
+/// the index is keyed by direction. With `index = None` this *is*
+/// [`dual_simulation_scratch`]; results are bit-identical either way.
+pub fn dual_simulation_indexed<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+    scratch: &mut EvalScratch,
+    index: Option<&dyn ReachProvider>,
+) -> (MatchRelation, EvalStats) {
     let n = g.node_count();
     let ne = q.edge_count();
-    let mut sim = candidate_sets(g, q);
+    let (mut sim, classes) = candidate_sets_classed(g, q);
     if ne == 0 {
         return (MatchRelation::from_sets(sim, n), EvalStats::default());
     }
@@ -78,6 +93,10 @@ pub fn dual_simulation_scratch<G: GraphView>(
             dir: Direction::Forward,
         });
     }
+    let ictx = index.map(|provider| IndexCtx {
+        provider,
+        class_of: &classes,
+    });
     let (died, stats) = refine_constraints(
         g,
         q.node_count(),
@@ -86,6 +105,7 @@ pub fn dual_simulation_scratch<G: GraphView>(
         opts.plan,
         true,
         scratch,
+        ictx,
     );
     if died {
         return (MatchRelation::empty(q, n), stats);

@@ -35,7 +35,7 @@
 use crate::bsim::{EvalStats, PlanMode};
 use expfinder_graph::bfs::Direction;
 use expfinder_graph::bfs_frontier::FrontierScratch;
-use expfinder_graph::{BitSet, GraphView, NodeId};
+use expfinder_graph::{BitSet, GraphView, NodeId, ReachProvider, Sym};
 use expfinder_pattern::PNodeId;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -52,6 +52,25 @@ pub(crate) struct Constraint {
     pub seeds: PNodeId,
     pub depth: u32,
     pub dir: Direction,
+}
+
+/// The per-snapshot reach-index context an indexed evaluation threads
+/// into [`refine_constraints`]: the provider serving class-reach entries,
+/// plus the per-pattern-node class markers of
+/// [`crate::candidate_sets_classed`] (`Some(sym)` ⟺ that node's candidate
+/// set was seeded as exactly the graph's label class for `sym`).
+///
+/// The hook fires on a constraint's **first** refresh while its seed set
+/// has not shrunk since seeding — then `sim(seeds)` still *is* the full
+/// label class, so the reach set depends only on `(label, bound,
+/// direction)` and the snapshot, and the memoized entry is bit-exact. A
+/// hit replaces the dominant class-seeded BFS with one bitset copy
+/// (`EvalStats::index_hits`); every other first refresh under a provider
+/// counts as `EvalStats::index_misses` and falls back to the BFS.
+#[derive(Copy, Clone)]
+pub(crate) struct IndexCtx<'a> {
+    pub provider: &'a dyn ReachProvider,
+    pub class_of: &'a [Option<Sym>],
 }
 
 /// Reusable evaluation state: BFS frontiers, per-constraint reach caches
@@ -148,6 +167,7 @@ impl EvalScratch {
 /// The shared delta-aware refinement loop. Refines `sim` in place until
 /// every constraint holds; returns `(died, stats)` where `died` reports
 /// that some constrained set emptied and `early_exit` stopped the run.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_constraints<G: GraphView>(
     g: &G,
     nq: usize,
@@ -156,6 +176,7 @@ pub(crate) fn refine_constraints<G: GraphView>(
     plan: PlanMode,
     early_exit: bool,
     scratch: &mut EvalScratch,
+    index: Option<IndexCtx<'_>>,
 ) -> (bool, EvalStats) {
     let n = g.node_count();
     let nc = constraints.len();
@@ -206,7 +227,29 @@ pub(crate) fn refine_constraints<G: GraphView>(
             continue;
         }
         stats.refreshes += 1;
-        {
+        // reach-index hook: a first refresh whose seed set is still the
+        // full label class it was seeded as (never shrunk ⟹ unchanged) is
+        // a pure function of (label, bound, direction) — serve it from
+        // the per-snapshot index as one bitset copy instead of a BFS
+        let mut served = false;
+        if stamp[ci] == NEVER {
+            if let Some(ictx) = index {
+                let hit = (seed_ver == 0)
+                    .then(|| ictx.class_of.get(c.seeds.index()).copied().flatten())
+                    .flatten()
+                    .and_then(|sym| ictx.provider.class_reach(sym, c.depth, c.dir));
+                match hit {
+                    Some(entry) => {
+                        tmp.clear();
+                        tmp.union_with(&entry);
+                        stats.index_hits += 1;
+                        served = true;
+                    }
+                    None => stats.index_misses += 1,
+                }
+            }
+        }
+        if !served {
             let seeds = &sim[c.seeds.index()];
             if c.depth == 1 {
                 // bound-1: direct adjacency intersection instead of BFS,

@@ -32,17 +32,21 @@ pub mod result_graph;
 pub mod sim;
 
 pub use bsim::{
-    bounded_simulation, bounded_simulation_scratch, bounded_simulation_with, EvalOptions,
-    EvalStats, FixpointEngine, PlanMode,
+    bounded_simulation, bounded_simulation_indexed, bounded_simulation_scratch,
+    bounded_simulation_with, EvalOptions, EvalStats, FixpointEngine, PlanMode,
 };
-pub use dualsim::{dual_simulation, dual_simulation_scratch, dual_simulation_with};
+pub use dualsim::{
+    dual_simulation, dual_simulation_indexed, dual_simulation_scratch, dual_simulation_with,
+};
+pub use expfinder_graph::{ReachIndex, ReachProvider};
 pub use fixpoint::{EvalScratch, PooledScratch, ScratchPool};
 pub use iso::{subgraph_isomorphism, IsoOptions};
 pub use matchrel::MatchRelation;
 pub use parallel::{
-    parallel_bounded_simulation, parallel_bounded_simulation_stats, parallel_candidate_sets,
-    parallel_dual_simulation, parallel_dual_simulation_stats, parallel_simulation,
-    parallel_simulation_stats,
+    parallel_bounded_simulation, parallel_bounded_simulation_indexed,
+    parallel_bounded_simulation_stats, parallel_candidate_sets, parallel_dual_simulation,
+    parallel_dual_simulation_indexed, parallel_dual_simulation_stats, parallel_simulation,
+    parallel_simulation_indexed, parallel_simulation_stats,
 };
 pub use rank::{rank_matches, rank_matches_top_k, rank_value, top_k, RankedMatch};
 pub use result_graph::{BuildOptions, ResultGraph};
@@ -82,6 +86,30 @@ pub(crate) fn candidate_sets<G: expfinder_graph::GraphView>(
     q.ids().map(|u| candidate_set(g, q, u)).collect()
 }
 
+/// [`candidate_sets`] plus, per pattern node, the label symbol whose
+/// class the set *is* — `Some(sym)` exactly when the indexed pure-label
+/// path was taken, i.e. the candidate set equals `g`'s full class for
+/// `sym`. That is the eligibility marker of the reach-index hook: a
+/// constraint whose seed set is still such a class can have its first
+/// refresh served from a per-snapshot
+/// [`ReachIndex`](expfinder_graph::ReachIndex) entry instead of a BFS.
+pub(crate) fn candidate_sets_classed<G: expfinder_graph::GraphView>(
+    g: &G,
+    q: &expfinder_pattern::Pattern,
+) -> (
+    Vec<expfinder_graph::BitSet>,
+    Vec<Option<expfinder_graph::Sym>>,
+) {
+    let mut sets = Vec::with_capacity(q.node_count());
+    let mut classes = Vec::with_capacity(q.node_count());
+    for u in q.ids() {
+        let (set, class) = candidate_set_classed(g, q, u);
+        sets.push(set);
+        classes.push(class);
+    }
+    (sets, classes)
+}
+
 /// The candidate set of one pattern node. When the view maintains a label
 /// index (`CsrGraph` does) and the predicate implies a label, only that
 /// label class is scanned — and only against the *residual* predicate
@@ -93,19 +121,31 @@ pub(crate) fn candidate_set<G: expfinder_graph::GraphView>(
     q: &expfinder_pattern::Pattern,
     u: expfinder_pattern::PNodeId,
 ) -> expfinder_graph::BitSet {
+    candidate_set_classed(g, q, u).0
+}
+
+/// [`candidate_set`] plus the class marker of [`candidate_sets_classed`].
+pub(crate) fn candidate_set_classed<G: expfinder_graph::GraphView>(
+    g: &G,
+    q: &expfinder_pattern::Pattern,
+    u: expfinder_pattern::PNodeId,
+) -> (expfinder_graph::BitSet, Option<expfinder_graph::Sym>) {
     let n = g.node_count();
     let pn = &q.nodes()[u.index()];
     let indexed = pn.predicate.required_label().and_then(|l| {
-        let class = g.interner().get(l).and_then(|sym| g.nodes_with_label(sym));
-        class.map(|c| (c, pn.predicate.residual_after_label(l)))
+        let class = g
+            .interner()
+            .get(l)
+            .and_then(|sym| g.nodes_with_label(sym).map(|c| (sym, c)));
+        class.map(|(sym, c)| (sym, c, pn.predicate.residual_after_label(l)))
     });
     match indexed {
-        Some((class, None)) => {
+        Some((sym, class, None)) => {
             // membership is the whole condition
             debug_assert_eq!(class.capacity(), n);
-            class.clone()
+            (class.clone(), Some(sym))
         }
-        Some((class, Some(residual))) => {
+        Some((_, class, Some(residual))) => {
             let compiled = residual.compile(g);
             let mut set = expfinder_graph::BitSet::new(n);
             for v in class.iter() {
@@ -113,7 +153,7 @@ pub(crate) fn candidate_set<G: expfinder_graph::GraphView>(
                     set.insert(v);
                 }
             }
-            set
+            (set, None)
         }
         None => {
             let compiled = pn.predicate.compile(g);
@@ -123,7 +163,7 @@ pub(crate) fn candidate_set<G: expfinder_graph::GraphView>(
                     set.insert(v);
                 }
             }
-            set
+            (set, None)
         }
     }
 }

@@ -39,10 +39,10 @@
 use crate::bsim::EvalStats;
 use crate::fixpoint::Constraint;
 use crate::matchrel::MatchRelation;
-use crate::{candidate_set, MatchError};
+use crate::{candidate_set, candidate_set_classed, MatchError};
 use expfinder_graph::bfs::Direction;
 use expfinder_graph::bfs_frontier::FrontierScratch;
-use expfinder_graph::{BitSet, GraphView};
+use expfinder_graph::{BitSet, GraphView, ReachProvider, Sym};
 use expfinder_pattern::{PNodeId, Pattern};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -71,10 +71,23 @@ pub fn parallel_simulation_stats<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> Result<(MatchRelation, EvalStats), MatchError> {
+    parallel_simulation_indexed(g, q, threads, None)
+}
+
+/// [`parallel_simulation_stats`] consulting a per-snapshot
+/// [`ReachProvider`] during the first refinement round (when every seed
+/// set is still its freshly seeded candidate set). Bit-identical results
+/// with or without a provider.
+pub fn parallel_simulation_indexed<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+    index: Option<&dyn ReachProvider>,
+) -> Result<(MatchRelation, EvalStats), MatchError> {
     if !q.is_simulation() {
         return Err(MatchError::NotASimulationPattern);
     }
-    Ok(refine(g, q, Semantics::Forward, threads))
+    Ok(refine(g, q, Semantics::Forward, threads, index))
 }
 
 /// Parallel bounded simulation: identical results to
@@ -93,7 +106,19 @@ pub fn parallel_bounded_simulation_stats<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> Result<(MatchRelation, EvalStats), MatchError> {
-    Ok(refine(g, q, Semantics::Forward, threads))
+    parallel_bounded_simulation_indexed(g, q, threads, None)
+}
+
+/// [`parallel_bounded_simulation_stats`] consulting a per-snapshot
+/// [`ReachProvider`] during the first refinement round. Bit-identical
+/// results with or without a provider.
+pub fn parallel_bounded_simulation_indexed<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+    index: Option<&dyn ReachProvider>,
+) -> Result<(MatchRelation, EvalStats), MatchError> {
+    Ok(refine(g, q, Semantics::Forward, threads, index))
 }
 
 /// Parallel bounded dual simulation: identical results to
@@ -103,7 +128,7 @@ pub fn parallel_dual_simulation<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> MatchRelation {
-    refine(g, q, Semantics::Dual, threads).0
+    refine(g, q, Semantics::Dual, threads, None).0
 }
 
 /// [`parallel_dual_simulation`] with work counters.
@@ -112,7 +137,19 @@ pub fn parallel_dual_simulation_stats<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> (MatchRelation, EvalStats) {
-    refine(g, q, Semantics::Dual, threads)
+    refine(g, q, Semantics::Dual, threads, None)
+}
+
+/// [`parallel_dual_simulation_stats`] consulting a per-snapshot
+/// [`ReachProvider`] during the first refinement round. Bit-identical
+/// results with or without a provider.
+pub fn parallel_dual_simulation_indexed<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+    index: Option<&dyn ReachProvider>,
+) -> (MatchRelation, EvalStats) {
+    refine(g, q, Semantics::Dual, threads, index)
 }
 
 /// Candidate sets computed with `threads` workers, one pattern node per
@@ -131,15 +168,38 @@ pub fn parallel_candidate_sets<G: GraphView + Sync>(
         .unwrap_or_else(|| crate::candidate_sets(g, q))
 }
 
+/// [`parallel_candidate_sets`] plus the per-pattern-node class markers of
+/// [`crate::candidate_sets_classed`] (`Some(sym)` ⟺ that node's set is
+/// exactly `g`'s label class for `sym`).
+fn parallel_candidate_sets_classed<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+) -> (Vec<BitSet>, Vec<Option<Sym>>) {
+    let ids: Vec<PNodeId> = q.ids().collect();
+    run_items(
+        threads,
+        &ids,
+        || (),
+        |_, &u| (u, candidate_set_classed(g, q, u)),
+    )
+    .map(|mut sets| {
+        sets.sort_by_key(|(u, _)| u.index());
+        sets.into_iter().map(|(_, (s, c))| (s, c)).unzip()
+    })
+    .unwrap_or_else(|| crate::candidate_sets_classed(g, q))
+}
+
 /// The shared fixpoint driver.
 fn refine<G: GraphView + Sync>(
     g: &G,
     q: &Pattern,
     semantics: Semantics,
     threads: usize,
+    index: Option<&dyn ReachProvider>,
 ) -> (MatchRelation, EvalStats) {
     let n = g.node_count();
-    let mut sim = parallel_candidate_sets(g, q, threads);
+    let (mut sim, classes) = parallel_candidate_sets_classed(g, q, threads);
     let mut stats = EvalStats::default();
 
     let mut constraints: Vec<Constraint> = Vec::new();
@@ -168,12 +228,17 @@ fn refine<G: GraphView + Sync>(
     let mut reach_cache: Vec<Option<BitSet>> = vec![None; constraints.len()];
 
     let mut frontier: Vec<usize> = (0..constraints.len()).collect();
+    let mut first_round = true;
     while !frontier.is_empty() {
         // phase 1: reach-sets of the frontier, computed in parallel from
         // an immutable snapshot of the current sets (each worker reuses
-        // one BFS scratch across its items)
-        let reach_for = |scratch: &mut FrontierScratch, cid: usize| {
-            let c = constraints[cid];
+        // one BFS scratch across its items). In the first round every
+        // seed set is still its freshly seeded candidate set, so a
+        // constraint seeded from a full label class can be served from
+        // the per-snapshot reach index as one bitset copy (hit = true);
+        // later rounds restrict the BFS to the cached reach set instead.
+        let use_index = first_round;
+        let reach_bfs = |scratch: &mut FrontierScratch, cid: usize, c: &Constraint| {
             let mut reach = BitSet::new(n);
             let visited = scratch.multi_source_within(
                 g,
@@ -183,7 +248,28 @@ fn refine<G: GraphView + Sync>(
                 reach_cache[cid].as_ref(),
                 &mut reach,
             );
-            (cid, reach, visited)
+            (reach, visited)
+        };
+        let reach_for = |scratch: &mut FrontierScratch, cid: usize| {
+            let c = constraints[cid];
+            if use_index {
+                if let Some(provider) = index {
+                    let hit = classes
+                        .get(c.seeds.index())
+                        .copied()
+                        .flatten()
+                        .and_then(|sym| provider.class_reach(sym, c.depth, c.dir));
+                    return match hit {
+                        Some(entry) => (cid, (*entry).clone(), 0, Some(true)),
+                        None => {
+                            let (reach, visited) = reach_bfs(scratch, cid, &c);
+                            (cid, reach, visited, Some(false))
+                        }
+                    };
+                }
+            }
+            let (reach, visited) = reach_bfs(scratch, cid, &c);
+            (cid, reach, visited, None)
         };
         let reaches = run_items(threads, &frontier, FrontierScratch::new, |scratch, &cid| {
             reach_for(scratch, cid)
@@ -195,12 +281,18 @@ fn refine<G: GraphView + Sync>(
                 .map(|&cid| reach_for(&mut scratch, cid))
                 .collect()
         });
+        first_round = false;
 
         // phase 2: apply intersections; note which pattern nodes shrank
         let mut shrunk = vec![false; q.node_count()];
-        for (cid, reach, visited) in reaches {
+        for (cid, reach, visited, hit) in reaches {
             stats.refreshes += 1;
             stats.bfs_nodes_visited += visited;
+            match hit {
+                Some(true) => stats.index_hits += 1,
+                Some(false) => stats.index_misses += 1,
+                None => {}
+            }
             let u = constraints[cid].constrained;
             let set = &mut sim[u.index()];
             let before = set.count();

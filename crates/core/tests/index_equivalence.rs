@@ -1,0 +1,233 @@
+//! The reach index must be *invisible* except in work counters.
+//!
+//! Property tests pinning the PR-5 tentpole: evaluation backed by a
+//! per-snapshot [`ReachIndex`] produces bit-identical match relations to
+//! both the plain frontier engine and the queue oracle, for all three
+//! matching semantics (plain simulation via its bound-1 bounded-sim
+//! equivalent, bounded simulation, bounded dual simulation), on the live
+//! `DiGraph` (where the provider is inert — no label classes) and on the
+//! `CsrGraph` snapshot (where class-seeded first refreshes are served
+//! from memoized entries), sequentially and in parallel — and across a
+//! sequence of graph updates that forces the per-version index to be
+//! invalidated and rebuilt between queries, exactly the engine's
+//! invalidation rule.
+//!
+//! Pattern nodes alternate between *pure-label* predicates (index
+//! eligible: the candidate set is the label class itself) and
+//! label+attribute predicates (ineligible: the hook must fall back to
+//! BFS), so both sides of the eligibility check are exercised.
+
+use expfinder_core::{
+    bounded_simulation_indexed, bounded_simulation_scratch, bounded_simulation_with,
+    dual_simulation_indexed, dual_simulation_with, graph_simulation,
+    parallel_bounded_simulation_indexed, parallel_dual_simulation_indexed, EvalOptions,
+    EvalScratch, ReachIndex,
+};
+use expfinder_graph::{AttrValue, CsrGraph, DiGraph, EdgeUpdate, GraphView, NodeId};
+use expfinder_pattern::{Bound, PNodeId, Pattern, PatternEdge, PatternNode, Predicate};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// generators (same compact raw encodings as the workspace-level tests)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RawGraph {
+    labels: Vec<u8>,
+    exps: Vec<u8>,
+    edges: Vec<(u8, u8)>,
+}
+
+fn raw_graph(max_nodes: usize) -> impl Strategy<Value = RawGraph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0u8..3, n);
+        let exps = proptest::collection::vec(0u8..3, n);
+        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..n * 3);
+        (labels, exps, edges).prop_map(|(labels, exps, edges)| RawGraph {
+            labels,
+            exps,
+            edges,
+        })
+    })
+}
+
+fn build_graph(raw: &RawGraph) -> DiGraph {
+    let mut g = DiGraph::new();
+    for (l, e) in raw.labels.iter().zip(&raw.exps) {
+        g.add_node(
+            &format!("L{l}"),
+            [("experience", AttrValue::Int(*e as i64))],
+        );
+    }
+    for &(a, b) in &raw.edges {
+        g.add_edge(NodeId(a as u32), NodeId(b as u32));
+    }
+    g
+}
+
+#[derive(Clone, Debug)]
+struct RawPattern {
+    labels: Vec<u8>,
+    /// Threshold 0 ⇒ a pure-label predicate (index-eligible seed class);
+    /// otherwise label ∧ experience ≥ t (ineligible).
+    thresholds: Vec<u8>,
+    edges: Vec<(u8, u8, u8)>, // from, to, bound (0 ⇒ unbounded)
+}
+
+fn raw_pattern() -> impl Strategy<Value = RawPattern> {
+    (2usize..=4).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..3, n);
+        let thresholds = proptest::collection::vec(0u8..3, n);
+        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8, 0u8..4), 1..n * 2);
+        (labels, thresholds, edges).prop_map(|(labels, thresholds, edges)| RawPattern {
+            labels,
+            thresholds,
+            edges,
+        })
+    })
+}
+
+fn build_pattern(raw: &RawPattern, force_bound_one: bool) -> Pattern {
+    let nodes: Vec<PatternNode> = raw
+        .labels
+        .iter()
+        .zip(&raw.thresholds)
+        .enumerate()
+        .map(|(i, (l, t))| PatternNode {
+            name: format!("v{i}"),
+            predicate: if *t == 0 {
+                Predicate::label(format!("L{l}"))
+            } else {
+                Predicate::label(format!("L{l}")).and(Predicate::attr_ge("experience", *t as i64))
+            },
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for &(f, t, b) in &raw.edges {
+        if f == t || !seen.insert((f, t)) {
+            continue;
+        }
+        let bound = if force_bound_one {
+            Bound::ONE
+        } else if b == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::hops(b as u32)
+        };
+        edges.push(PatternEdge {
+            from: PNodeId(f as u32),
+            to: PNodeId(t as u32),
+            bound,
+        });
+    }
+    Pattern::from_parts(nodes, edges, Some(PNodeId(0))).expect("valid pattern")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Index-backed bounded simulation ≡ frontier ≡ queue, sequential and
+    /// parallel, DiGraph (inert provider) and CSR (live provider), with
+    /// one scratch and one index shared across repeated queries.
+    #[test]
+    fn indexed_bsim_equals_both_engines(rg in raw_graph(14), rp in raw_pattern()) {
+        let g = build_graph(&rg);
+        let q = build_pattern(&rp, false);
+        let csr = CsrGraph::snapshot(&g);
+        let mut scratch = EvalScratch::new();
+        let (queue_m, _) = bounded_simulation_with(&g, &q, EvalOptions::queue());
+        let (frontier_m, _) =
+            bounded_simulation_scratch(&csr, &q, EvalOptions::default(), &mut scratch);
+        prop_assert_eq!(&frontier_m, &queue_m, "frontier vs queue");
+
+        let idx = ReachIndex::new(csr.version());
+        let bound = idx.bind(&csr);
+        // twice: cold (entries built) then warm (entries reused)
+        for round in 0..2 {
+            let (m, stats) = bounded_simulation_indexed(
+                &csr, &q, EvalOptions::default(), &mut scratch, Some(&bound));
+            prop_assert_eq!(&m, &queue_m, "indexed CSR, round {}", round);
+            prop_assert_eq!(stats.index_hits + stats.index_misses > 0, q.edge_count() > 0,
+                "provider consulted iff constrained");
+        }
+        let (mp, _) = parallel_bounded_simulation_indexed(&csr, &q, 3, Some(&bound)).unwrap();
+        prop_assert_eq!(&mp, &queue_m, "indexed parallel CSR");
+
+        // on the live DiGraph the provider finds no classes: pure misses,
+        // identical results
+        let live_idx = ReachIndex::new(g.version());
+        let live = live_idx.bind(&g);
+        let (ml, stats) = bounded_simulation_indexed(
+            &g, &q, EvalOptions::default(), &mut scratch, Some(&live));
+        prop_assert_eq!(&ml, &queue_m, "indexed DiGraph");
+        prop_assert_eq!(stats.index_hits, 0, "no label classes on DiGraph");
+        prop_assert_eq!(live_idx.len(), 0);
+    }
+
+    /// Same for dual simulation (both constraint directions) and for the
+    /// bound-1 case, whose bounded-sim evaluation coincides with plain
+    /// graph simulation — covering the third semantics.
+    #[test]
+    fn indexed_dual_and_sim_equal_both_engines(rg in raw_graph(14), rp in raw_pattern()) {
+        let g = build_graph(&rg);
+        let csr = CsrGraph::snapshot(&g);
+        let mut scratch = EvalScratch::new();
+        let idx = ReachIndex::new(csr.version());
+        let bound = idx.bind(&csr);
+
+        let q = build_pattern(&rp, false);
+        let (dual_oracle, _) = dual_simulation_with(&g, &q, EvalOptions::queue());
+        let (md, _) = dual_simulation_indexed(
+            &csr, &q, EvalOptions::default(), &mut scratch, Some(&bound));
+        prop_assert_eq!(&md, &dual_oracle, "indexed dual CSR");
+        let (mdp, _) = parallel_dual_simulation_indexed(&csr, &q, 2, Some(&bound));
+        prop_assert_eq!(&mdp, &dual_oracle, "indexed parallel dual CSR");
+
+        let q1 = build_pattern(&rp, true);
+        let sim_oracle = graph_simulation(&g, &q1).unwrap();
+        let (ms, _) = bounded_simulation_indexed(
+            &csr, &q1, EvalOptions::default(), &mut scratch, Some(&bound));
+        prop_assert_eq!(&ms, &sim_oracle, "bound-1 indexed ≡ plain simulation");
+    }
+
+    /// A stream of interleaved updates and queries, with the per-version
+    /// index dropped and rebuilt whenever the version moves — the
+    /// engine's invalidation rule. Every query must equal a fresh queue
+    /// evaluation of the *current* graph.
+    #[test]
+    fn update_sequence_forces_index_invalidation(
+        rg in raw_graph(12),
+        rp in raw_pattern(),
+        updates in proptest::collection::vec((0u8..12, 0u8..12, 0u8..2), 1..10),
+    ) {
+        let mut g = build_graph(&rg);
+        let q = build_pattern(&rp, false);
+        let n = g.node_count() as u8;
+        let mut scratch = EvalScratch::new();
+
+        let mut csr = CsrGraph::snapshot(&g);
+        let mut idx = ReachIndex::new(csr.version());
+        for (a, b, insert) in updates {
+            let (x, y) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+            let up = if insert == 1 { EdgeUpdate::Insert(x, y) } else { EdgeUpdate::Delete(x, y) };
+            g.apply(up);
+            if csr.version() != g.version() {
+                // version moved: rebuild snapshot + index (stale entries
+                // must never be consulted — this is what the engine's
+                // version-keyed cache slot enforces)
+                csr = CsrGraph::snapshot(&g);
+                idx = ReachIndex::new(csr.version());
+            }
+            let bound = idx.bind(&csr);
+            let (m, _) = bounded_simulation_indexed(
+                &csr, &q, EvalOptions::default(), &mut scratch, Some(&bound));
+            let (oracle, _) = bounded_simulation_with(&g, &q, EvalOptions::queue());
+            prop_assert_eq!(&m, &oracle, "post-update query at version {}", g.version());
+            // warm second query on the same version
+            let (m2, _) = bounded_simulation_indexed(
+                &csr, &q, EvalOptions::default(), &mut scratch, Some(&bound));
+            prop_assert_eq!(&m2, &oracle, "warm query at version {}", g.version());
+        }
+    }
+}

@@ -62,12 +62,13 @@ use cache::QueryCache;
 use expfinder_compress::maintain::MaintainedCompression;
 use expfinder_compress::{CompressError, CompressStats, CompressionMethod};
 use expfinder_core::{
-    bounded_simulation_scratch, graph_simulation_scratch, parallel_bounded_simulation_stats,
-    parallel_simulation_stats, rank_matches_top_k, EvalOptions, EvalScratch, EvalStats, MatchError,
-    MatchRelation, RankedMatch, ResultGraph, ScratchPool,
+    bounded_simulation_indexed, bounded_simulation_scratch, graph_simulation_scratch,
+    parallel_bounded_simulation_indexed, parallel_simulation_indexed, rank_matches_top_k,
+    EvalOptions, EvalScratch, EvalStats, MatchError, MatchRelation, RankedMatch, ResultGraph,
+    ScratchPool,
 };
 use expfinder_graph::io::GraphIoError;
-use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate, GraphView};
+use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate, GraphView, ReachIndex};
 use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
 use expfinder_pattern::parser::ParseError;
 use expfinder_pattern::{Pattern, PatternError};
@@ -301,6 +302,18 @@ struct StoredGraph {
     /// query at that version. Lives behind its own `Mutex` so it can be
     /// (re)built under the graph's *read* lock.
     csr: Mutex<Option<Arc<CsrGraph>>>,
+    /// Per-version label-reachability index over the CSR snapshot
+    /// ([`ReachIndex`]), shared via `Arc` by fluent queries, batch
+    /// workers and HTTP workers at that version. Keyed by
+    /// [`ReachIndex::version`], so an update invalidates it the same way
+    /// it invalidates the snapshot: the next read allocates a fresh
+    /// (empty, lazily filled) index.
+    reach: Mutex<Option<Arc<ReachIndex>>>,
+    /// The same per-version index for the *compressed* counterpart.
+    /// Additionally cleared whenever the compression is (re)built at an
+    /// unchanged graph version ([`ExpFinder::compress`]), since the
+    /// quotient graph can change without a version bump.
+    reach_c: Mutex<Option<Arc<ReachIndex>>>,
     /// Version of the last *sequential* direct read — the
     /// build-on-second-read marker of [`StoredGraph::csr_for_sequential`].
     seq_read_version: AtomicU64,
@@ -320,7 +333,25 @@ impl StoredGraph {
             compressed: None,
             registered: HashMap::new(),
             csr: Mutex::new(None),
+            reach: Mutex::new(None),
+            reach_c: Mutex::new(None),
             seq_read_version: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// The reach index in `slot` for `version`, allocating a fresh one
+    /// when the cached index belongs to an older version (the
+    /// invalidation rule: one index per graph version, dropped when the
+    /// version moves on). Entries fill lazily on first use.
+    fn reach_index(slot: &Mutex<Option<Arc<ReachIndex>>>, version: u64) -> Arc<ReachIndex> {
+        let mut s = slot.lock();
+        match &*s {
+            Some(r) if r.version() == version => Arc::clone(r),
+            _ => {
+                let r = Arc::new(ReachIndex::new(version));
+                *s = Some(Arc::clone(&r));
+                r
+            }
         }
     }
 
@@ -525,6 +556,8 @@ struct EvalTotals {
     removals: AtomicU64,
     refreshes_skipped: AtomicU64,
     bfs_nodes_visited: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
 }
 
 impl EvalTotals {
@@ -537,6 +570,10 @@ impl EvalTotals {
             .fetch_add(s.refreshes_skipped as u64, Ordering::Relaxed);
         self.bfs_nodes_visited
             .fetch_add(s.bfs_nodes_visited as u64, Ordering::Relaxed);
+        self.index_hits
+            .fetch_add(s.index_hits as u64, Ordering::Relaxed);
+        self.index_misses
+            .fetch_add(s.index_misses as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> EvalStats {
@@ -545,8 +582,27 @@ impl EvalTotals {
             removals: self.removals.load(Ordering::Relaxed) as usize,
             refreshes_skipped: self.refreshes_skipped.load(Ordering::Relaxed) as usize,
             bfs_nodes_visited: self.bfs_nodes_visited.load(Ordering::Relaxed) as usize,
+            index_hits: self.index_hits.load(Ordering::Relaxed) as usize,
+            index_misses: self.index_misses.load(Ordering::Relaxed) as usize,
         }
     }
+}
+
+/// Point-in-time reach-index totals across every managed graph, from
+/// [`ExpFinder::index_totals`] — the `engine.index` block of
+/// `GET /metrics`. `hits`/`misses` are cumulative across the engine's
+/// lifetime (they survive per-version invalidation); `entries`/`bytes`
+/// are live gauges over the currently held indexes.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexTotals {
+    /// Class-seeded first refreshes served from an index entry.
+    pub hits: u64,
+    /// First refreshes that consulted a provider but ran the BFS.
+    pub misses: u64,
+    /// Memoized entries currently held across all graphs.
+    pub entries: usize,
+    /// Bytes retained by those entries.
+    pub bytes: usize,
 }
 
 /// Source of process-unique engine ids.
@@ -698,12 +754,18 @@ impl ExpFinder {
         let mc = MaintainedCompression::new(&stored.graph, method)?;
         let stats = mc.compressed().stats();
         stored.compressed = Some(mc);
+        // the quotient changed without a graph-version bump, so the
+        // version-keyed invalidation cannot catch this — clear explicitly
+        *stored.reach_c.lock() = None;
         Ok(stats)
     }
 
     /// Drop the compressed counterpart.
     pub fn drop_compression(&self, handle: &GraphHandle) -> Result<(), ExpFinderError> {
-        self.slot(handle)?.write().compressed = None;
+        let slot = self.slot(handle)?;
+        let mut stored = slot.write();
+        stored.compressed = None;
+        *stored.reach_c.lock() = None;
         Ok(())
     }
 
@@ -952,11 +1014,36 @@ impl ExpFinder {
     }
 
     /// Cumulative evaluation-work counters (refreshes, skipped refreshes,
-    /// BFS nodes visited, candidate removals) across every direct and
-    /// compressed evaluation this engine has run — the serving-path
-    /// observability hook behind `GET /metrics`.
+    /// BFS nodes visited, candidate removals, reach-index hits/misses)
+    /// across every direct and compressed evaluation this engine has run
+    /// — the serving-path observability hook behind `GET /metrics`.
     pub fn eval_totals(&self) -> EvalStats {
         self.eval_totals.snapshot()
+    }
+
+    /// Reach-index totals: cumulative hits/misses plus live entry/byte
+    /// gauges summed over every managed graph's per-version indexes
+    /// (direct and compressed) — the `engine.index` block of
+    /// `GET /metrics`. Each slot's read lock is taken briefly, one graph
+    /// at a time.
+    pub fn index_totals(&self) -> IndexTotals {
+        let mut totals = IndexTotals {
+            hits: self.eval_totals.index_hits.load(Ordering::Relaxed),
+            misses: self.eval_totals.index_misses.load(Ordering::Relaxed),
+            entries: 0,
+            bytes: 0,
+        };
+        let catalog = self.catalog.read();
+        for entry in catalog.values() {
+            let stored = entry.slot.read();
+            for slot in [&stored.reach, &stored.reach_c] {
+                if let Some(ri) = &*slot.lock() {
+                    totals.entries += ri.len();
+                    totals.bytes += ri.bytes();
+                }
+            }
+        }
+        totals
     }
 
     /// Execute a whole batch of queries against one graph, draining them
@@ -1151,6 +1238,24 @@ impl ExpFinder {
                         let (m, stats) = graph_simulation_scratch(gc, pattern, scratch)?;
                         self.eval_totals.add(stats);
                         m
+                    } else if gc.has_label_index() {
+                        // the reach index is wired here, but only bound
+                        // when the quotient can actually answer class
+                        // lookups — an always-miss provider would pay the
+                        // cache lock per query and poison the hit/miss
+                        // ratio (today `CompressedGraph` has no label
+                        // index; see ROADMAP)
+                        let ri = StoredGraph::reach_index(&stored.reach_c, stored.graph.version());
+                        let bound = ri.bind(gc);
+                        let (m, stats) = bounded_simulation_indexed(
+                            gc,
+                            pattern,
+                            EvalOptions::default(),
+                            scratch,
+                            Some(&bound),
+                        );
+                        self.eval_totals.add(stats);
+                        m
                     } else {
                         let (m, stats) = bounded_simulation_scratch(
                             gc,
@@ -1175,14 +1280,20 @@ impl ExpFinder {
         // through the same snapshot with the sequential frontier engine
         // when read-heavy sequential traffic amortizes it (see
         // `csr_for_sequential`), and on the live adjacency otherwise.
-        // All paths compute the same greatest fixpoint.
+        // Both snapshot paths consult the per-version [`ReachIndex`], so
+        // on a warm version every class-seeded first refresh is one
+        // bitset copy. All paths compute the same greatest fixpoint.
         let (m, stats, route) = if stored.parallel_eligible(threads) {
             let csr = stored.csr();
+            let ri = StoredGraph::reach_index(&stored.reach, csr.version());
+            let bound = ri.bind(&*csr);
             if pattern.is_simulation() {
-                let (m, stats) = parallel_simulation_stats(&*csr, pattern, threads)?;
+                let (m, stats) =
+                    parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
                 (m, stats, EvalRoute::DirectSimulation)
             } else {
-                let (m, stats) = parallel_bounded_simulation_stats(&*csr, pattern, threads)?;
+                let (m, stats) =
+                    parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
                 (m, stats, EvalRoute::DirectBounded)
             }
         } else if let Some(csr) = stored.csr_for_sequential() {
@@ -1190,8 +1301,15 @@ impl ExpFinder {
                 let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
                 (m, stats, EvalRoute::DirectSimulation)
             } else {
-                let (m, stats) =
-                    bounded_simulation_scratch(&*csr, pattern, EvalOptions::default(), scratch);
+                let ri = StoredGraph::reach_index(&stored.reach, csr.version());
+                let bound = ri.bind(&*csr);
+                let (m, stats) = bounded_simulation_indexed(
+                    &*csr,
+                    pattern,
+                    EvalOptions::default(),
+                    scratch,
+                    Some(&bound),
+                );
                 (m, stats, EvalRoute::DirectBounded)
             }
         } else if pattern.is_simulation() {
@@ -1753,6 +1871,115 @@ mod tests {
         let resp = run();
         assert_eq!(resp.matches.total_pairs(), 7);
         assert_eq!(resp.experts[0].node, f.bob, "ranking agrees on every path");
+    }
+
+    #[test]
+    fn reach_index_warms_and_invalidates_across_versions() {
+        use expfinder_pattern::{Bound, PatternBuilder, Predicate};
+        // fig1 plus inert padding so the CSR (and hence the index) path
+        // engages on the sequential engine
+        let f = collaboration_fig1();
+        let mut g = f.graph.clone();
+        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+            g.add_node("pad", []);
+        }
+        let e = ExpFinder::new(EngineConfig {
+            exec: ExecConfig::sequential(),
+            ..EngineConfig::default()
+        });
+        let h = e.add_graph("fig1", g).unwrap();
+        // pure-label star: both constraints are class-seeded
+        let q = PatternBuilder::new()
+            .node("sa", Predicate::label("SA"))
+            .node("sd", Predicate::label("SD"))
+            .node("st", Predicate::label("ST"))
+            .edge("sa", "sd", Bound::hops(2))
+            .edge("sa", "st", Bound::hops(3))
+            .build()
+            .unwrap();
+        let run = || {
+            e.query(&h)
+                .pattern(q.clone())
+                .prefer(Route::Direct)
+                .run()
+                .unwrap()
+        };
+
+        let first = run(); // live adjacency: no snapshot, no index
+        assert_eq!(e.index_totals().hits, 0, "live route never consults it");
+        let second = run(); // second sequential read builds CSR + index
+        assert_eq!(*second.matches, *first.matches);
+        let t1 = e.index_totals();
+        assert!(t1.hits >= 2, "class-seeded refreshes hit ({t1:?})");
+        assert!(t1.entries >= 2 && t1.bytes > 0, "entries memoized ({t1:?})");
+
+        let third = run(); // warm: same entries, more hits
+        assert_eq!(*third.matches, *first.matches);
+        let t2 = e.index_totals();
+        assert!(t2.hits > t1.hits);
+        assert_eq!(t2.entries, t1.entries, "no duplicate entries on reuse");
+
+        // an update moves the version: the stale index must never serve
+        // the new graph — answers match a from-scratch engine
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        let after_live = run(); // first read of the new version (live)
+        let after_warm = run(); // second read: fresh CSR + fresh index
+        assert_eq!(*after_warm.matches, *after_live.matches);
+        let fresh = ExpFinder::new(EngineConfig {
+            exec: ExecConfig::sequential(),
+            ..EngineConfig::default()
+        });
+        let hf = fresh.add_graph("fig1", e.snapshot(&h).unwrap()).unwrap();
+        let expect = fresh
+            .query(&hf)
+            .pattern(q.clone())
+            .prefer(Route::Direct)
+            .run()
+            .unwrap();
+        assert_eq!(*after_warm.matches, *expect.matches, "index invalidated");
+        let t3 = e.index_totals();
+        assert!(t3.hits > t2.hits);
+        assert_eq!(
+            t3.entries, t1.entries,
+            "old version's entries were dropped, not accumulated"
+        );
+    }
+
+    #[test]
+    fn parallel_route_consults_the_index_with_identical_results() {
+        let f = collaboration_fig1();
+        let mut g = f.graph.clone();
+        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+            g.add_node("pad", []);
+        }
+        let e = ExpFinder::new(EngineConfig {
+            exec: ExecConfig {
+                threads: 3,
+                batch_parallelism: 1,
+            },
+            ..EngineConfig::default()
+        });
+        let h = e.add_graph("fig1", g.clone()).unwrap();
+        let q = fig1_pattern();
+        let r1 = e
+            .query(&h)
+            .pattern(q.clone())
+            .prefer(Route::Direct)
+            .run()
+            .unwrap();
+        let r2 = e
+            .query(&h)
+            .pattern(q.clone())
+            .prefer(Route::Direct)
+            .run()
+            .unwrap();
+        assert_eq!(*r1.matches, *r2.matches);
+        assert_eq!(r1.matches.total_pairs(), 7);
+        let t = e.index_totals();
+        // fig1_pattern seeds carry attr predicates, but at least the
+        // provider was consulted on the parallel route
+        assert!(t.hits + t.misses > 0, "parallel route is wired ({t:?})");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::view::GraphView;
 use crate::NodeId;
 
 /// Traversal direction: `Forward` follows out-edges, `Backward` in-edges.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     Forward,
     Backward,

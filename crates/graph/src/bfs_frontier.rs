@@ -48,6 +48,9 @@ pub struct FrontierScratch {
     frontier_vec: Vec<NodeId>,
     next: BitSet,
     next_vec: Vec<NodeId>,
+    /// Every node the last traversal marked in `visited` (seeds
+    /// included), in visit order — enables the sparse reset below.
+    touched: Vec<NodeId>,
 }
 
 impl FrontierScratch {
@@ -56,11 +59,29 @@ impl FrontierScratch {
     }
 
     /// Make the scratch usable for graphs with `n` nodes.
+    ///
+    /// When the previous traversal touched only a small fraction of the
+    /// graph, its marks are removed member-by-member via `touched` in
+    /// `O(|touched|)` instead of zeroing whole bitsets in `O(|V|/64)` —
+    /// so a scratch reused for many *small* traversals over a big graph
+    /// (the incremental module's support sweeps, memoized re-refreshes)
+    /// pays for what it visited, not for the graph.
     fn ensure(&mut self, n: usize) {
         if self.visited.capacity() != n {
             self.visited = BitSet::new(n);
             self.frontier = BitSet::new(n);
             self.next = BitSet::new(n);
+        } else if self.touched.len() < self.visited.words().len() {
+            // sparse reset: the previous run marked exactly `touched` in
+            // `visited`, the final frontier is a subset of it, and `next`
+            // was emptied level-by-level during the traversal
+            for &v in &self.touched {
+                self.visited.remove(v);
+                self.frontier.remove(v);
+            }
+            debug_assert!(self.visited.is_empty());
+            debug_assert!(self.frontier.is_empty());
+            debug_assert!(self.next.is_empty());
         } else {
             self.visited.clear();
             self.frontier.clear();
@@ -68,6 +89,7 @@ impl FrontierScratch {
         }
         self.frontier_vec.clear();
         self.next_vec.clear();
+        self.touched.clear();
     }
 
     /// Multi-source bounded reach with the *non-empty path* semantics of
@@ -104,6 +126,7 @@ impl FrontierScratch {
         self.visited.union_with(seeds);
         self.frontier.union_with(seeds);
         self.frontier_vec.extend(seeds.iter());
+        self.touched.extend_from_slice(&self.frontier_vec);
         let mut visited_count = seeds.count();
 
         let avg_deg = (g.edge_count() / n.max(1)).max(1);
@@ -128,6 +151,7 @@ impl FrontierScratch {
                             visited_count += 1;
                             self.next.insert(w);
                             self.next_vec.push(w);
+                            self.touched.push(w);
                         }
                     }
                 }
@@ -169,6 +193,7 @@ impl FrontierScratch {
                 visited_count += self.next.count();
                 self.visited.union_with(&self.next);
                 self.next_vec.extend(self.next.iter());
+                self.touched.extend_from_slice(&self.next_vec);
             }
             // advance: the hybrid swap, then empty the new `next` (= the
             // just-expanded frontier) bit-by-bit via its member vector —
@@ -309,6 +334,30 @@ mod tests {
             "no cycle back to seed"
         );
         assert_eq!(visited, n as usize);
+    }
+
+    #[test]
+    fn sparse_reset_leaves_no_stale_marks() {
+        // big graph, tiny traversals: reuse takes the sparse-reset path
+        // (touched ≪ words), and every run must still start clean
+        let n = 10_000u32;
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node("x", [])).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let mut s = FrontierScratch::new();
+        let mut queue = BfsScratch::new();
+        let mut out = BitSet::new(n as usize);
+        let mut want = BitSet::new(n as usize);
+        for &(seed, depth) in &[(5000u32, 3u32), (100, 2), (5001, 4), (9999, 1), (0, 5)] {
+            let mut seeds = BitSet::new(n as usize);
+            seeds.insert(ids[seed as usize]);
+            let va = s.multi_source_within(&g, &seeds, depth, Direction::Backward, None, &mut out);
+            let vb = queue.multi_source_within(&g, &seeds, depth, Direction::Backward, &mut want);
+            assert_eq!(out, want, "seed {seed} depth {depth}");
+            assert_eq!(va, vb, "work measure, seed {seed}");
+        }
     }
 
     #[test]

@@ -145,6 +145,10 @@ impl GraphView for CsrGraph {
     fn nodes_with_label(&self, label: Sym) -> Option<&BitSet> {
         self.label_set(label)
     }
+
+    fn has_label_index(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

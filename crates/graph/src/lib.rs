@@ -11,6 +11,10 @@
 //! * [`CsrGraph`] — an immutable CSR snapshot with contiguous adjacency
 //!   and a label → bitset candidate index; the engine's read-optimized
 //!   fast path for (parallel) query execution.
+//! * [`ReachIndex`] — a per-snapshot label-reachability memo (entries
+//!   keyed by `(label, bound, direction)`, built by pure bitset sweeps)
+//!   that lets the matching fixpoints skip class-seeded first-refresh
+//!   BFS runs entirely on warm graph versions.
 //! * Traversals: bounded (multi-source) BFS with reusable scratch space
 //!   ([`bfs`]), its level-synchronous direction-optimizing counterpart over
 //!   bitset frontiers ([`bfs_frontier`]), Dijkstra over weighted adjacency
@@ -37,6 +41,7 @@ pub mod fixtures;
 pub mod generate;
 pub mod io;
 pub mod json;
+pub mod reach_index;
 pub mod scc;
 pub mod view;
 
@@ -45,6 +50,7 @@ pub use bfs_frontier::FrontierScratch;
 pub use bitset::BitSet;
 pub use csr::CsrGraph;
 pub use digraph::{DiGraph, EdgeUpdate, VertexData};
+pub use reach_index::{ReachIndex, ReachProvider};
 pub use view::GraphView;
 
 use std::fmt;

@@ -39,6 +39,7 @@ use crate::{IncStats, Maintainer, MatchDelta};
 use expfinder_core::bsim::{bounded_fixpoint_raw, EvalOptions};
 use expfinder_core::matchrel::MatchRelation;
 use expfinder_graph::bfs::{BfsScratch, Direction};
+use expfinder_graph::bfs_frontier::FrontierScratch;
 use expfinder_graph::{BitSet, DiGraph, EdgeUpdate, GraphView, NodeId};
 use expfinder_pattern::{PNodeId, Pattern};
 
@@ -53,66 +54,64 @@ pub struct IncrementalBoundedSim {
     /// `max_bound - 1`, or `u32::MAX` for patterns with unbounded edges.
     ball_radius: u32,
     data_nodes: usize,
+    /// Distance-reporting BFS state for the affected-ball computations
+    /// (the frontier BFS answers set questions only).
     scratch: BfsScratch,
+    /// Single-source reach state shared by every support computation.
+    reach: ReachScratch,
+    /// Persistent output buffer of [`IncrementalBoundedSim::affected`].
+    affected_buf: Vec<(NodeId, u32)>,
     stats: IncStats,
 }
 
-/// `v`'s support count for targets within `depth`: members of `targets`
-/// reachable from `v` by a non-empty path of length ≤ `depth`, including
-/// `v` itself when it lies on a short enough cycle.
-fn count_support<G: GraphView>(
-    g: &G,
-    scratch: &mut BfsScratch,
-    v: NodeId,
-    targets: &BitSet,
-    depth: u32,
-) -> u32 {
-    let ball = scratch.ball(g, v, depth, Direction::Forward);
-    let mut count = 0u32;
-    for (w, d) in ball.iter() {
-        if d >= 1 && targets.contains(w) {
-            count += 1;
-        }
-    }
-    if targets.contains(v) {
-        // self support needs a non-empty cycle v → ... → v of length ≤ depth
-        let cyc = g
-            .in_neighbors(v)
-            .iter()
-            .filter_map(|&p| ball.dist_of(p))
-            .min()
-            .map(|d| d.saturating_add(1));
-        if cyc.is_some_and(|c| c <= depth) {
-            count += 1;
-        }
-    }
-    count
+/// Persistent single-source reach scratch: the word-parallel frontier BFS
+/// of `expfinder_graph::bfs_frontier` plus reusable seed/reach bitsets,
+/// so maintenance steps share one set of traversal buffers across every
+/// update instead of allocating fresh queue state per call. The seed set
+/// always holds exactly the last source, so switching sources is O(1)
+/// (remove + insert), and the frontier scratch resets sparsely between
+/// small traversals — per-call cost tracks the reach set, with only the
+/// output buffer's clear left at `O(|V|/64)` (callers iterate that
+/// buffer anyway, which costs the same).
+///
+/// `multi_source_within` has exactly the *non-empty path* semantics the
+/// support counters need — a node (the seed included) qualifies only via
+/// a genuine ≥1-length path, so cycles need no special-casing here.
+#[derive(Default)]
+struct ReachScratch {
+    frontier: FrontierScratch,
+    seed: BitSet,
+    last_seed: Option<NodeId>,
+    reach: BitSet,
 }
 
-/// Call `f(w)` for every node `w` that counts `v'` as a supporter within
-/// `depth` — i.e. every `w` with a non-empty ≤`depth` path to `v'`,
-/// including `v'` itself around a cycle. Exactly dual to [`count_support`].
-fn for_each_supported_by<G: GraphView>(
-    g: &G,
-    scratch: &mut BfsScratch,
-    vprime: NodeId,
-    depth: u32,
-    mut f: impl FnMut(NodeId),
-) {
-    let ball = scratch.ball(g, vprime, depth, Direction::Backward);
-    for (w, d) in ball.iter() {
-        if d >= 1 {
-            f(w);
+impl ReachScratch {
+    /// The set of nodes connected to `v` by a non-empty path of length
+    /// ≤ `depth` in direction `dir` (seen from `v`): with
+    /// [`Direction::Forward`] the nodes `v` supports itself *on* — i.e.
+    /// reachable from `v`; with [`Direction::Backward`] the nodes that
+    /// count `v` as a supporter — i.e. that reach `v`. Borrows the
+    /// internal reach buffer until the next call.
+    fn reach_of<'a, G: GraphView>(
+        &'a mut self,
+        g: &G,
+        v: NodeId,
+        depth: u32,
+        dir: Direction,
+    ) -> &'a BitSet {
+        let n = g.node_count();
+        if self.seed.capacity() != n {
+            self.seed = BitSet::new(n);
+            self.reach = BitSet::new(n);
+            self.last_seed = None;
         }
-    }
-    let cyc = g
-        .out_neighbors(vprime)
-        .iter()
-        .filter_map(|&s| ball.dist_of(s))
-        .min()
-        .map(|d| d.saturating_add(1));
-    if cyc.is_some_and(|c| c <= depth) {
-        f(vprime);
+        if let Some(prev) = self.last_seed.replace(v) {
+            self.seed.remove(prev);
+        }
+        self.seed.insert(v);
+        self.frontier
+            .multi_source_within(g, &self.seed, depth, dir, None, &mut self.reach);
+        &self.reach
     }
 }
 
@@ -123,22 +122,22 @@ impl IncrementalBoundedSim {
         let cand0 = candidate_sets(g, q);
         let (sim, _) = bounded_fixpoint_raw(g, q, cand0.clone(), EvalOptions::default(), false);
         let n = g.node_count();
-        let mut scratch = BfsScratch::new();
+        let mut reach = ReachScratch::default();
         let mut scnt: Vec<Vec<u32>> = vec![vec![0; n]; q.edge_count()];
         for (ei, e) in q.edges().iter().enumerate() {
             let depth = e.bound.depth();
             // accumulate supporter counts by sweeping each member's
-            // reverse ball once; counters are only ever read for
+            // reverse reach set once; counters are only ever read for
             // predicate candidates of the edge source, so only those are
             // maintained (a large constant-factor saving on updates)
             let src_cand = &cand0[e.from.index()];
             let members: Vec<NodeId> = sim[e.to.index()].to_vec();
             for vp in members {
-                for_each_supported_by(g, &mut scratch, vp, depth, |w| {
+                for w in reach.reach_of(g, vp, depth, Direction::Backward).iter() {
                     if src_cand.contains(w) {
                         scnt[ei][w.index()] += 1;
                     }
-                });
+                }
             }
         }
         let ball_radius = match q.max_bound() {
@@ -152,7 +151,9 @@ impl IncrementalBoundedSim {
             scnt,
             ball_radius,
             data_nodes: n,
-            scratch,
+            scratch: BfsScratch::new(),
+            reach,
+            affected_buf: Vec::new(),
             stats: IncStats::default(),
         }
     }
@@ -170,12 +171,17 @@ impl IncrementalBoundedSim {
     }
 
     /// The affected sources of a change to edge `(x, _)`, with their
-    /// distance to `x` (the source `x` itself appears at distance 0).
+    /// distance to `x` (the source `x` itself appears at distance 0),
+    /// collected into the persistent `affected_buf` — callers take the
+    /// buffer with [`std::mem::take`] and put it back when done, so
+    /// steady-state update streams reuse its capacity.
     fn affected(&mut self, g: &DiGraph, x: NodeId) -> Vec<(NodeId, u32)> {
+        let mut out = std::mem::take(&mut self.affected_buf);
+        out.clear();
         let ball = self
             .scratch
             .ball(g, x, self.ball_radius, Direction::Backward);
-        let out: Vec<(NodeId, u32)> = ball.iter().collect();
+        out.extend(ball.iter());
         debug_assert_eq!(out.first(), Some(&(x, 0)));
         self.stats.affected_nodes += out.len();
         out
@@ -185,7 +191,10 @@ impl IncrementalBoundedSim {
     /// restrictions keep this cheap: (a) a pair can only change for edge
     /// `e` if `dist(v, x) ≤ b_e − 1` (a path through the changed edge
     /// needs a prefix to `x` that fits the bound), and (b) counters are
-    /// only ever read for predicate candidates of the edge source.
+    /// only ever read for predicate candidates of the edge source. The
+    /// support count itself is one frontier reach sweep from `v`
+    /// intersected with the member set — no per-node queue, no fresh
+    /// allocations.
     fn recompute_counters(&mut self, g: &DiGraph, affected: &[(NodeId, u32)]) {
         for ei in 0..self.pattern.edge_count() {
             let e = &self.pattern.edges()[ei];
@@ -196,7 +205,8 @@ impl IncrementalBoundedSim {
                 if dvx > radius || !self.cand0[from.index()].contains(v) {
                     continue;
                 }
-                let c = count_support(g, &mut self.scratch, v, &self.sim[to.index()], depth);
+                let reach = self.reach.reach_of(g, v, depth, Direction::Forward);
+                let c = reach.intersection_count(&self.sim[to.index()]) as u32;
                 self.scnt[ei][v.index()] = c;
             }
         }
@@ -220,17 +230,13 @@ impl IncrementalBoundedSim {
                 let e = &self.pattern.edges()[ei as usize];
                 let depth = e.bound.depth();
                 let from = e.from;
-                // collect first: the closure cannot borrow self mutably twice
-                let mut supported: Vec<NodeId> = Vec::new();
-                {
-                    let src_cand = &self.cand0[from.index()];
-                    for_each_supported_by(g, &mut self.scratch, v, depth, |w| {
-                        if src_cand.contains(w) {
-                            supported.push(w);
-                        }
-                    });
-                }
-                for w in supported {
+                // one reverse reach sweep from v = everyone who counted v
+                let supported = self.reach.reach_of(g, v, depth, Direction::Backward);
+                let src_cand = &self.cand0[from.index()];
+                for w in supported.iter() {
+                    if !src_cand.contains(w) {
+                        continue;
+                    }
                     let c = &mut self.scnt[ei as usize][w.index()];
                     debug_assert!(*c > 0, "support counter underflow");
                     *c -= 1;
@@ -275,6 +281,7 @@ impl IncrementalBoundedSim {
         let mut removed = Vec::new();
         self.removal_cascade(g, queue, None, &mut removed);
         self.stats.removed += removed.len();
+        self.affected_buf = affected;
         removed
             .into_iter()
             .map(|(u, v)| MatchDelta {
@@ -343,14 +350,15 @@ impl IncrementalBoundedSim {
             }
             self.stats.tentative_pairs += 1;
             tentative[u.index()].insert(v);
-            // upstream propagation through reverse balls
+            // upstream propagation through reverse reach sweeps
             let in_edges: Vec<u32> = self.pattern.in_edge_indices(u).to_vec();
             for ei in in_edges {
                 let e = &self.pattern.edges()[ei as usize];
                 let from = e.from;
-                let mut ups: Vec<NodeId> = Vec::new();
-                for_each_supported_by(g, &mut self.scratch, v, e.bound.depth(), |w| ups.push(w));
-                for p in ups {
+                let ups = self
+                    .reach
+                    .reach_of(g, v, e.bound.depth(), Direction::Backward);
+                for p in ups.iter() {
                     if self.cand0[from.index()].contains(p)
                         && !self.sim[from.index()].contains(p)
                         && !tentative[from.index()].contains(p)
@@ -373,17 +381,14 @@ impl IncrementalBoundedSim {
             let in_edges: Vec<u32> = self.pattern.in_edge_indices(u).to_vec();
             for ei in in_edges {
                 let e = &self.pattern.edges()[ei as usize];
-                let mut supported: Vec<NodeId> = Vec::new();
-                {
-                    let src_cand = &self.cand0[e.from.index()];
-                    for_each_supported_by(g, &mut self.scratch, v, e.bound.depth(), |w| {
-                        if src_cand.contains(w) {
-                            supported.push(w);
-                        }
-                    });
-                }
-                for w in supported {
-                    self.scnt[ei as usize][w.index()] += 1;
+                let src_cand = &self.cand0[e.from.index()];
+                let supported = self
+                    .reach
+                    .reach_of(g, v, e.bound.depth(), Direction::Backward);
+                for w in supported.iter() {
+                    if src_cand.contains(w) {
+                        self.scnt[ei as usize][w.index()] += 1;
+                    }
                 }
             }
         }
@@ -403,6 +408,7 @@ impl IncrementalBoundedSim {
         }
         let mut removed = Vec::new();
         self.removal_cascade(g, queue, Some(&tentative), &mut removed);
+        self.affected_buf = affected;
 
         let removed_set: std::collections::HashSet<(u32, u32)> =
             removed.iter().map(|&(u, v)| (u.0, v.0)).collect();

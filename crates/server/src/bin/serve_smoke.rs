@@ -297,6 +297,16 @@ fn main() {
         || metrics.to_string_compact(),
     );
     h.check(
+        "metrics export reach-index counters",
+        // i64_at answers i64::MIN for a missing field, so >= 0 asserts
+        // presence; fig1 is below the snapshot threshold, hence zeroes
+        i64_at(&metrics, &["engine", "index", "hits"]) >= 0
+            && i64_at(&metrics, &["engine", "index", "misses"]) >= 0
+            && i64_at(&metrics, &["engine", "index", "entries"]) >= 0
+            && i64_at(&metrics, &["engine", "index", "bytes"]) >= 0,
+        || metrics.to_string_compact(),
+    );
+    h.check(
         "metrics export live graph versions",
         metrics
             .field("graphs")

@@ -241,6 +241,7 @@ impl Metrics {
             .collect::<Vec<_>>();
         let cache = engine.cache_stats();
         let eval = engine.eval_totals();
+        let index = engine.index_totals();
         let engine_doc = obj(vec![
             (
                 "cache",
@@ -264,6 +265,15 @@ impl Metrics {
                         Value::Int(eval.bfs_nodes_visited as i64),
                     ),
                     ("removals", Value::Int(eval.removals as i64)),
+                ]),
+            ),
+            (
+                "index",
+                obj(vec![
+                    ("hits", Value::Int(index.hits as i64)),
+                    ("misses", Value::Int(index.misses as i64)),
+                    ("entries", Value::Int(index.entries as i64)),
+                    ("bytes", Value::Int(index.bytes as i64)),
                 ]),
             ),
         ]);
@@ -395,5 +405,11 @@ mod tests {
         assert!(eval.field("bfs_nodes_visited").unwrap().as_i64().unwrap() > 0);
         assert!(eval.field("refreshes_skipped").unwrap().as_i64().unwrap() >= 0);
         assert!(eval.field("removals").unwrap().as_i64().unwrap() >= 0);
+        // the reach-index block is always present (zeroes on a graph too
+        // small for the snapshot fast path)
+        let index = doc.field("engine").unwrap().field("index").unwrap();
+        for key in ["hits", "misses", "entries", "bytes"] {
+            assert!(index.field(key).unwrap().as_i64().unwrap() >= 0, "{key}");
+        }
     }
 }

@@ -37,10 +37,16 @@ bench-batch:
     cargo run --release -p expfinder-bench --bin bench_batch
 
 # matching-engine benchmark: queue fixpoint (pre-PR-4) vs delta-aware
-# frontier fixpoint over the CSR snapshot (writes BENCH_4.json); the
-# >= 1.5x bar is the ISSUE 4 acceptance gate
+# frontier fixpoint over the CSR snapshot (writes BENCH_4.json), plus the
+# cold-vs-warm reach-index comparison (writes BENCH_5.json); the >= 1.5x
+# single-query bar is the ISSUE 4 acceptance gate and the >= 1.3x warm
+# bar is the ISSUE 5 one
 bench-match:
-    cargo run --release -p expfinder-bench --bin bench_match -- --min-speedup 1.5
+    cargo run --release -p expfinder-bench --bin bench_match -- --min-speedup 1.5 --min-warm-speedup 1.3
+
+# every bench_* bin in sequence, full profiles — refreshes all the
+# checked-in BENCH_*.json baselines in one go
+bench-all: bench-batch bench-match bench-serve
 
 # hard perf gate for multi-core hosts: fail unless every workload's
 # batch throughput is >= 3x the sequential baseline (ISSUE 2 criterion)
