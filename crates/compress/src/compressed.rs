@@ -3,8 +3,9 @@
 use crate::partition::{Partition, SignaturePolicy};
 use crate::{CompressError, CompressionMethod};
 use expfinder_core::MatchRelation;
-use expfinder_graph::{BitSet, DiGraph, GraphView, Interner, NodeId, VertexData};
+use expfinder_graph::{BitSet, DiGraph, GraphView, Interner, NodeId, Sym, VertexData};
 use expfinder_pattern::Pattern;
+use std::collections::HashMap;
 
 /// Reduction statistics, matching the paper's reporting style ("graphs
 /// reduced by 57% in average").
@@ -56,6 +57,11 @@ pub struct CompressedGraph {
     policy: SignaturePolicy,
     original_nodes: usize,
     original_edges: usize,
+    /// Label → block-bitset class index over the quotient, so the
+    /// compressed route gets the same indexed candidate seeding (and
+    /// reach-index eligibility) the CSR snapshot gives the direct route.
+    /// Rebuilt whenever the quotient is (cheap: one pass over blocks).
+    labels: HashMap<Sym, BitSet>,
 }
 
 impl CompressedGraph {
@@ -68,6 +74,7 @@ impl CompressedGraph {
         policy: SignaturePolicy,
     ) -> CompressedGraph {
         let quotient = build_quotient(g, &partition, &policy);
+        let labels = build_label_index(&quotient);
         CompressedGraph {
             quotient,
             partition,
@@ -75,6 +82,7 @@ impl CompressedGraph {
             policy,
             original_nodes: g.node_count(),
             original_edges: g.edge_count(),
+            labels,
         }
     }
 
@@ -144,6 +152,7 @@ impl CompressedGraph {
     /// partition changed (used by incremental maintenance).
     pub(crate) fn rebuild_from(&mut self, g: &DiGraph, partition: Partition) {
         self.quotient = build_quotient(g, &partition, &self.policy);
+        self.labels = build_label_index(&self.quotient);
         self.partition = partition;
         self.original_nodes = g.node_count();
         self.original_edges = g.edge_count();
@@ -174,6 +183,20 @@ fn build_quotient(g: &DiGraph, partition: &Partition, policy: &SignaturePolicy) 
     q
 }
 
+/// The label→bitset class index over a quotient graph (same shape as the
+/// one `CsrGraph` maintains over a snapshot).
+fn build_label_index(q: &DiGraph) -> HashMap<Sym, BitSet> {
+    let n = q.node_count();
+    let mut labels: HashMap<Sym, BitSet> = HashMap::new();
+    for v in q.ids() {
+        labels
+            .entry(q.vertex(v).label())
+            .or_insert_with(|| BitSet::new(n))
+            .insert(v);
+    }
+    labels
+}
+
 impl GraphView for CompressedGraph {
     fn node_count(&self) -> usize {
         self.quotient.node_count()
@@ -197,6 +220,14 @@ impl GraphView for CompressedGraph {
 
     fn interner(&self) -> &Interner {
         self.quotient.interner()
+    }
+
+    fn nodes_with_label(&self, label: Sym) -> Option<&BitSet> {
+        self.labels.get(&label)
+    }
+
+    fn has_label_index(&self) -> bool {
+        true
     }
 }
 
@@ -387,6 +418,74 @@ mod tests {
         let bi = compress_graph(&g, CompressionMethod::Bisimulation).unwrap();
         let se = compress_graph(&g, CompressionMethod::SimulationEquivalence).unwrap();
         assert!(se.stats().compressed_nodes <= bi.stats().compressed_nodes);
+    }
+
+    #[test]
+    fn quotient_label_index_matches_scan() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = twitter_like(
+            &mut rng,
+            &TwitterConfig {
+                n: 600,
+                avg_out: 4,
+                hub_fraction: 0.02,
+                buckets: 3,
+            },
+        );
+        let c = compress_graph(&g, CompressionMethod::Bisimulation).unwrap();
+        assert!(c.has_label_index());
+        // for every label present in the quotient, the index equals a scan
+        for label in ["celebrity", "media", "user"] {
+            let sym = match c.interner().get(label) {
+                Some(s) => s,
+                None => continue,
+            };
+            let indexed = c.nodes_with_label(sym).expect("label present");
+            let mut scanned = BitSet::new(c.node_count());
+            for v in c.ids() {
+                if c.vertex(v).label() == sym {
+                    scanned.insert(v);
+                }
+            }
+            assert_eq!(indexed, &scanned, "label {label}");
+            assert!(indexed.count() > 0, "label {label} has blocks");
+        }
+        // a label the quotient never saw has no class
+        assert!(c
+            .interner()
+            .get("no-such-label")
+            .and_then(|s| c.nodes_with_label(s))
+            .is_none());
+    }
+
+    #[test]
+    fn label_index_survives_incremental_rebuild() {
+        // maintained compression rebuilds the quotient via rebuild_from;
+        // the class index must follow
+        use crate::maintain::MaintainedCompression;
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut g = collaboration(
+            &mut rng,
+            &CollabConfig {
+                teams: 6,
+                team_size: 5,
+                ..CollabConfig::default()
+            },
+        );
+        let mut mc = MaintainedCompression::new(&g, CompressionMethod::Bisimulation).unwrap();
+        let ups = expfinder_graph::generate::random_updates(&mut rng, &g, 25, 0.5);
+        for up in ups {
+            if g.apply(up) {
+                mc.on_update(&g, up);
+            }
+        }
+        mc.refresh(&g);
+        let c = mc.compressed();
+        for v in c.ids() {
+            let sym = c.vertex(v).label();
+            let class = c.nodes_with_label(sym).expect("every node's label indexed");
+            assert!(class.contains(v), "block {v} in its own class");
+        }
     }
 
     #[test]

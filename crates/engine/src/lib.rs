@@ -1329,9 +1329,11 @@ impl ExpFinder {
     }
 }
 
-/// Graph names double as catalog file stems (`<name>.efg`), so names
-/// that could escape the catalog directory are rejected up front.
-pub(crate) fn validate_graph_name(name: &str) -> Result<(), ExpFinderError> {
+/// Graph names double as catalog file stems (`<name>.efg`, and the
+/// runtime's `<name>.wal`), so names that could escape the catalog
+/// directory are rejected up front. Exported for the shard runtime,
+/// which reuses the same name-as-file-stem convention.
+pub fn validate_graph_name(name: &str) -> Result<(), ExpFinderError> {
     let bad = name.is_empty()
         || name.contains(['/', '\\', '\0'])
         || name == "."
@@ -1455,6 +1457,18 @@ impl QuerySpec {
     pub fn prefer(mut self, route: Route) -> QuerySpec {
         self.prefer = route;
         self
+    }
+
+    /// Resolve to the executable parts — the pattern (parsing DSL text
+    /// here, so parse errors surface per slot), `top_k` and the routing
+    /// preference. For executors outside this crate that share
+    /// `QuerySpec` as the batch currency (the shard runtime).
+    pub fn resolve(&self) -> Result<(Pattern, Option<usize>, Route), ExpFinderError> {
+        let pattern = match &self.source {
+            SpecSource::Pattern(p) => p.clone(),
+            SpecSource::Dsl(s) => expfinder_pattern::parser::parse(s)?,
+        };
+        Ok((pattern, self.top_k, self.prefer))
     }
 }
 

@@ -20,17 +20,33 @@ fn storage_err(e: impl std::fmt::Display) -> ExpFinderError {
 }
 
 /// Persist every graph of the engine into `dir` (created if missing).
+///
+/// Incremental: the manifest records each graph's version at save time,
+/// and a later save skips rewriting any `.efg` whose version is
+/// unchanged and whose file still exists — so periodic snapshotting
+/// (e.g. under the shard runtime) does not rewrite cold graphs.
+/// Versions only compare within one process lifetime (a reloaded graph
+/// restarts its version counter), which errs on the safe side: a
+/// mismatch just rewrites.
 pub fn save_catalog(engine: &ExpFinder, dir: impl AsRef<Path>) -> Result<(), ExpFinderError> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
+    let prior = saved_versions(dir);
     let names = engine.graph_names();
+    let mut versions: Vec<(String, Value)> = Vec::with_capacity(names.len());
     for name in &names {
         let handle = engine.handle(name)?;
-        engine
-            .read_graph(&handle, |g| {
-                gio::save_text(g, dir.join(format!("{name}.efg")))
-            })?
-            .map_err(storage_err)?;
+        let version = engine.read_graph(&handle, |g| g.version())?;
+        let unchanged =
+            prior.get(name.as_str()) == Some(&version) && dir.join(format!("{name}.efg")).is_file();
+        if !unchanged {
+            engine
+                .read_graph(&handle, |g| {
+                    gio::save_text(g, dir.join(format!("{name}.efg")))
+                })?
+                .map_err(storage_err)?;
+        }
+        versions.push((name.clone(), Value::Int(version as i64)));
     }
     let manifest = Value::Object(
         [
@@ -39,12 +55,40 @@ pub fn save_catalog(engine: &ExpFinder, dir: impl AsRef<Path>) -> Result<(), Exp
                 "graphs".to_owned(),
                 Value::Array(names.into_iter().map(Value::Str).collect()),
             ),
+            (
+                "versions".to_owned(),
+                Value::Object(versions.into_iter().collect()),
+            ),
         ]
         .into_iter()
         .collect(),
     );
     fs::write(dir.join("manifest.json"), manifest.to_string_pretty())?;
     Ok(())
+}
+
+/// The per-graph versions recorded by the last [`save_catalog`] into
+/// `dir`, if a manifest with a `versions` map is present (older
+/// manifests simply yield an empty map, so every graph rewrites once).
+fn saved_versions(dir: &Path) -> std::collections::HashMap<String, u64> {
+    let mut out = std::collections::HashMap::new();
+    let Ok(text) = fs::read_to_string(dir.join("manifest.json")) else {
+        return out;
+    };
+    let Ok(manifest) = json::parse(&text) else {
+        return out;
+    };
+    if manifest.field("format").and_then(|f| f.as_str()).ok() != Some(FORMAT) {
+        return out;
+    }
+    if let Ok(versions) = manifest.field("versions").and_then(|v| v.as_object()) {
+        for (name, v) in versions {
+            if let Ok(version) = v.as_i64() {
+                out.insert(name.clone(), version as u64);
+            }
+        }
+    }
+    out
 }
 
 /// Load a catalog directory into a fresh engine (default configuration).
@@ -205,6 +249,67 @@ mod tests {
         // loaded graph answers the paper query identically
         let m = loaded.evaluate(&h, &fig1_pattern()).unwrap();
         assert_eq!(m.matches.total_pairs(), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unchanged_graphs_skip_rewrite() {
+        let dir = tmpdir("skip");
+        let e = ExpFinder::default();
+        e.add_graph("fig1", collaboration_fig1().graph).unwrap();
+        e.add_graph("other", collaboration_fig1().graph).unwrap();
+        save_catalog(&e, &dir).unwrap();
+
+        // plant a sentinel comment: the text format ignores it on load,
+        // and it only survives a re-save if the file was NOT rewritten
+        let fig1_path = dir.join("fig1.efg");
+        let mut text = fs::read_to_string(&fig1_path).unwrap();
+        text.push_str("# sentinel\n");
+        fs::write(&fig1_path, &text).unwrap();
+
+        // nothing changed ⇒ second save keeps the sentinel
+        save_catalog(&e, &dir).unwrap();
+        assert!(
+            fs::read_to_string(&fig1_path)
+                .unwrap()
+                .contains("# sentinel"),
+            "unchanged graph was rewritten"
+        );
+
+        // bump one graph's version ⇒ only that file rewrites
+        let other_path = dir.join("other.efg");
+        let mut other_text = fs::read_to_string(&other_path).unwrap();
+        other_text.push_str("# sentinel\n");
+        fs::write(&other_path, &other_text).unwrap();
+        let h = e.handle("fig1").unwrap();
+        let f = collaboration_fig1();
+        e.apply_updates(&h, &[expfinder_graph::EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        save_catalog(&e, &dir).unwrap();
+        assert!(
+            !fs::read_to_string(&fig1_path)
+                .unwrap()
+                .contains("# sentinel"),
+            "updated graph must be rewritten"
+        );
+        assert!(
+            fs::read_to_string(&other_path)
+                .unwrap()
+                .contains("# sentinel"),
+            "untouched graph must not be rewritten"
+        );
+
+        // a deleted .efg is restored even at an unchanged version
+        fs::remove_file(&other_path).unwrap();
+        save_catalog(&e, &dir).unwrap();
+        assert!(other_path.is_file(), "missing file must be rewritten");
+
+        // and the catalog still loads with the updated edge present
+        let loaded = load_catalog(&dir).unwrap();
+        let h = loaded.handle("fig1").unwrap();
+        loaded
+            .read_graph(&h, |g| assert_eq!(g.edge_count(), 12))
+            .unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -12,7 +12,7 @@
 //! attributes and edges.
 
 use crate::attrs::AttrValue;
-use crate::digraph::DiGraph;
+use crate::digraph::{DiGraph, EdgeUpdate};
 use crate::json::{self, JsonError, Value};
 use crate::view::GraphView;
 use crate::NodeId;
@@ -205,6 +205,40 @@ pub fn read_text<R: BufRead>(r: &mut R) -> Result<DiGraph, GraphIoError> {
         }
     }
     Ok(g)
+}
+
+/// Encode one [`EdgeUpdate`] as its canonical JSON object
+/// `{"op": "insert"|"delete", "from": a, "to": b}` — the shape the HTTP
+/// wire protocol and the runtime's write-ahead log both store, defined
+/// once here so the two layers can never drift apart.
+pub fn update_to_json(up: EdgeUpdate) -> Value {
+    let (op, from, to) = match up {
+        EdgeUpdate::Insert(a, b) => ("insert", a, b),
+        EdgeUpdate::Delete(a, b) => ("delete", a, b),
+    };
+    Value::Object(
+        [
+            ("op".to_owned(), Value::Str(op.to_owned())),
+            ("from".to_owned(), Value::Int(from.0 as i64)),
+            ("to".to_owned(), Value::Int(to.0 as i64)),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+/// Decode the canonical update object written by [`update_to_json`].
+pub fn update_from_json(v: &Value) -> Result<EdgeUpdate, JsonError> {
+    let from = NodeId(v.field("from")?.as_u32()?);
+    let to = NodeId(v.field("to")?.as_u32()?);
+    match v.field("op")?.as_str()? {
+        "insert" => Ok(EdgeUpdate::Insert(from, to)),
+        "delete" => Ok(EdgeUpdate::Delete(from, to)),
+        other => Err(JsonError {
+            msg: format!("unknown op {other:?} (insert|delete)"),
+            offset: None,
+        }),
+    }
 }
 
 /// Save in text format to `path`.
@@ -515,6 +549,24 @@ mod tests {
         for s in ["plain", "with space", "a=b", "100%", "tab\there", ""] {
             assert_eq!(decode(&encode(s)).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn update_json_roundtrip() {
+        for up in [
+            EdgeUpdate::Insert(NodeId(0), NodeId(7)),
+            EdgeUpdate::Delete(NodeId(3), NodeId(3)),
+        ] {
+            let v = update_to_json(up);
+            assert_eq!(update_from_json(&v).unwrap(), up);
+            // wire-safe: survives a print/parse cycle
+            let reparsed = json::parse(&v.to_string_compact()).unwrap();
+            assert_eq!(update_from_json(&reparsed).unwrap(), up);
+        }
+        let bad = json::parse(r#"{"op":"upsert","from":1,"to":2}"#).unwrap();
+        assert!(update_from_json(&bad).is_err());
+        let missing = json::parse(r#"{"op":"insert","from":1}"#).unwrap();
+        assert!(update_from_json(&missing).is_err());
     }
 
     #[test]

@@ -1,0 +1,1133 @@
+//! Actor-per-shard runtime with an event-sourced write-ahead log.
+//!
+//! [`DurableExpFinder`] is the durable sibling of
+//! [`expfinder_engine::ExpFinder`]: the same catalog-of-graphs surface
+//! (add, query, update, register, batch), re-founded on two ideas the
+//! in-memory engine does not have —
+//!
+//! 1. **Actor-owned writes.** Graph names are consistently hashed onto
+//!    `N` shard workers (the `shard` module); each worker owns the
+//!    authoritative
+//!    [`DiGraph`] of its graphs and drains a *bounded* mailbox of
+//!    commands, so an update batch has exclusive access by construction
+//!    and backpressure is a full mailbox, not an unbounded queue.
+//! 2. **Event-sourced durability.** Every accepted update batch is
+//!    appended to a per-graph WAL ([`wal`]) *before* it is applied.
+//!    Cold start replays `<name>.wal` onto the last `<name>.efg`
+//!    snapshot; compaction rewrites the snapshot and truncates the log.
+//!
+//! Reads never enter a mailbox: each actor *publishes* an immutable
+//! [`Arc`] snapshot of its graph after every change (with the CSR
+//! snapshot and the per-version reach index travelling along, built
+//! lazily), and queries evaluate against whichever snapshot they
+//! grabbed. A reader holds a lock only long enough to clone an `Arc`,
+//! so readers never block on writers and a query's `graph_version` is
+//! exact for the state it saw.
+//!
+//! What the runtime deliberately does **not** replicate from the
+//! engine: maintained compression. `Route::Compressed` falls back to
+//! direct evaluation here (the cache and registered-query routes are
+//! intact). Registered queries are in-memory state — re-register after
+//! a restart; the WAL records the graph's history, not the query set.
+
+pub mod wal;
+
+pub(crate) mod shard;
+
+pub use shard::{CompactReport, ShardStats};
+pub use wal::FsyncPolicy;
+
+use crate::shard::{write_efg_atomic, Cmd, GraphActor, Reply, Ring, ShardHandle};
+use crate::wal::{ReplaySummary, Wal};
+use expfinder_core::{
+    bounded_simulation_indexed, bounded_simulation_scratch, graph_simulation_scratch,
+    parallel_bounded_simulation_indexed, parallel_simulation_indexed, rank_matches_top_k,
+    BuildOptions, EvalOptions, EvalScratch, EvalStats, MatchRelation, ResultGraph, ScratchPool,
+};
+use expfinder_engine::cache::{CacheStats, QueryCache};
+use expfinder_engine::{
+    validate_graph_name, EvalRoute, ExecConfig, ExpFinderError, GraphInfo, IndexTotals,
+    QueryResponse, QuerySpec, QueryTimings, Route, UpdateReport,
+};
+use expfinder_graph::{io as gio, CsrGraph, DiGraph, EdgeUpdate, GraphView, ReachIndex};
+use expfinder_pattern::Pattern;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Same floor as the engine: below this `|V| + |E|`, a CSR snapshot or
+/// parallel refinement costs more than it saves.
+const PARALLEL_MIN_GRAPH_SIZE: usize = 4096;
+
+// ---------------------------------------------------------------------
+// published snapshots (the read side)
+// ---------------------------------------------------------------------
+
+/// A registered query as the read path sees it: name, route fingerprint
+/// and the maintained relation at this snapshot's version.
+pub(crate) struct RegisteredView {
+    pub name: String,
+    pub fingerprint: String,
+    pub matches: Arc<MatchRelation>,
+}
+
+/// One immutable published state of a graph. Everything a query needs
+/// travels together: the graph, its version, the lazily-built CSR
+/// snapshot, the per-version reach index and the registered-query
+/// relations — a reader that grabbed the `Arc` can keep evaluating on
+/// it even while the actor publishes ten newer versions.
+pub(crate) struct Snapshot {
+    pub graph: Arc<DiGraph>,
+    pub version: u64,
+    /// CSR built on first eligible use, then shared by every reader of
+    /// this snapshot (`OnceLock`: concurrent first readers race to
+    /// build, one result wins).
+    pub csr: OnceLock<Arc<CsrGraph>>,
+    /// Class-reach memo for this exact version (interior mutability;
+    /// entries fill lazily).
+    pub reach: Arc<ReachIndex>,
+    pub registered: Vec<RegisteredView>,
+}
+
+impl Snapshot {
+    pub fn new(graph: &DiGraph, registered: Vec<RegisteredView>) -> Snapshot {
+        let version = graph.version();
+        Snapshot {
+            graph: Arc::new(graph.clone()),
+            version,
+            csr: OnceLock::new(),
+            reach: Arc::new(ReachIndex::new(version)),
+            registered,
+        }
+    }
+
+    fn csr(&self) -> Arc<CsrGraph> {
+        Arc::clone(
+            self.csr
+                .get_or_init(|| Arc::new(CsrGraph::snapshot(&self.graph))),
+        )
+    }
+
+    /// The CSR only if some earlier query already paid for it — the
+    /// sequential path never builds one (mirrors the engine's rule that
+    /// write-heavy, read-once versions stay on the live adjacency).
+    fn csr_if_built(&self) -> Option<Arc<CsrGraph>> {
+        self.csr.get().map(Arc::clone)
+    }
+
+    fn parallel_eligible(&self, threads: usize) -> bool {
+        threads > 1 && self.graph.size() >= PARALLEL_MIN_GRAPH_SIZE
+    }
+}
+
+/// The stable identity of one graph in the runtime: its cache-key id,
+/// owning shard, and the slot the actor publishes snapshots into. The
+/// `state` lock is held for one `Arc` clone (readers) or one `Arc`
+/// store (the actor) — never across evaluation.
+pub(crate) struct PublishedGraph {
+    pub id: u64,
+    pub shard: usize,
+    pub state: RwLock<Arc<Snapshot>>,
+}
+
+impl PublishedGraph {
+    pub fn new(id: u64, shard: usize, graph: &DiGraph) -> PublishedGraph {
+        PublishedGraph {
+            id,
+            shard,
+            state: RwLock::new(Arc::new(Snapshot::new(graph, Vec::new()))),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.state.read())
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAL metrics
+// ---------------------------------------------------------------------
+
+/// Shared WAL counters, bumped by shard workers on append and by
+/// [`DurableExpFinder::open`] during replay.
+#[derive(Debug, Default)]
+pub(crate) struct WalCounters {
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    bytes: AtomicU64,
+    replayed_frames: AtomicU64,
+    replayed_updates: AtomicU64,
+    truncated_tails: AtomicU64,
+}
+
+impl WalCounters {
+    pub fn on_append(&self, frame_bytes: u64, fsyncs: u64) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+        self.bytes.fetch_add(frame_bytes, Ordering::Relaxed);
+    }
+
+    fn on_replay(&self, s: &ReplaySummary) {
+        self.replayed_frames
+            .fetch_add(s.frames as u64, Ordering::Relaxed);
+        self.replayed_updates
+            .fetch_add(s.updates as u64, Ordering::Relaxed);
+        if s.truncated_tail {
+            self.truncated_tails.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn totals(&self) -> WalTotals {
+        WalTotals {
+            appends: self.appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            replayed_updates: self.replayed_updates.load(Ordering::Relaxed),
+            truncated_tails: self.truncated_tails.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cumulative WAL activity since this runtime started — the
+/// `engine.wal` block of `GET /metrics`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalTotals {
+    /// Frames appended (one per accepted update batch).
+    pub appends: u64,
+    /// `fsync` calls issued by appends.
+    pub fsyncs: u64,
+    /// Frame bytes appended.
+    pub bytes: u64,
+    /// Frames replayed during cold start.
+    pub replayed_frames: u64,
+    /// Updates inside those frames.
+    pub replayed_updates: u64,
+    /// Logs whose torn tail was detected and truncated at replay.
+    pub truncated_tails: u64,
+}
+
+// ---------------------------------------------------------------------
+// eval totals (runtime copy of the engine's atomics)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct EvalTotals {
+    refreshes: AtomicU64,
+    removals: AtomicU64,
+    refreshes_skipped: AtomicU64,
+    bfs_nodes_visited: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+}
+
+impl EvalTotals {
+    fn add(&self, s: EvalStats) {
+        self.refreshes
+            .fetch_add(s.refreshes as u64, Ordering::Relaxed);
+        self.removals
+            .fetch_add(s.removals as u64, Ordering::Relaxed);
+        self.refreshes_skipped
+            .fetch_add(s.refreshes_skipped as u64, Ordering::Relaxed);
+        self.bfs_nodes_visited
+            .fetch_add(s.bfs_nodes_visited as u64, Ordering::Relaxed);
+        self.index_hits
+            .fetch_add(s.index_hits as u64, Ordering::Relaxed);
+        self.index_misses
+            .fetch_add(s.index_misses as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            refreshes: self.refreshes.load(Ordering::Relaxed) as usize,
+            removals: self.removals.load(Ordering::Relaxed) as usize,
+            refreshes_skipped: self.refreshes_skipped.load(Ordering::Relaxed) as usize,
+            bfs_nodes_visited: self.bfs_nodes_visited.load(Ordering::Relaxed) as usize,
+            index_hits: self.index_hits.load(Ordering::Relaxed) as usize,
+            index_misses: self.index_misses.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// configuration
+// ---------------------------------------------------------------------
+
+/// Knobs of one [`DurableExpFinder`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Shard worker threads (graphs are consistently hashed across
+    /// them). More shards = more independent write pipelines.
+    pub shards: usize,
+    /// Mailbox slots per shard; a full mailbox blocks senders (the
+    /// backpressure point).
+    pub mailbox_capacity: usize,
+    /// When WAL appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Cached query results (LRU), shared across graphs.
+    pub cache_capacity: usize,
+    /// Per-query / batch thread budget (same semantics as the engine).
+    pub exec: ExecConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        RuntimeConfig {
+            // write pipelines, not compute: a handful is plenty, and
+            // each idle shard is a parked thread
+            shards: cores.clamp(1, 4),
+            mailbox_capacity: 64,
+            fsync: FsyncPolicy::Always,
+            cache_capacity: 64,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the facade
+// ---------------------------------------------------------------------
+
+/// The durable, sharded ExpFinder: same query surface as the in-memory
+/// engine, with every graph owned by a shard actor and every update
+/// batch WAL-logged before it is applied. See the crate docs for the
+/// architecture.
+pub struct DurableExpFinder {
+    dir: PathBuf,
+    config: RuntimeConfig,
+    graphs: RwLock<HashMap<String, Arc<PublishedGraph>>>,
+    shards: Vec<ShardHandle>,
+    ring: Ring,
+    cache: Mutex<QueryCache>,
+    scratch: ScratchPool,
+    eval_totals: EvalTotals,
+    wal_counters: Arc<WalCounters>,
+    next_id: AtomicU64,
+}
+
+// one runtime, many threads — same contract as the engine
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DurableExpFinder>();
+};
+
+impl DurableExpFinder {
+    /// Open (creating if needed) the catalog at `dir` and recover every
+    /// graph: load `<name>.efg`, replay `<name>.wal` onto it (torn
+    /// tails truncated), and hand the result to its owning shard. A
+    /// `.wal` with no matching `.efg` is ignored — `add_graph` writes
+    /// the snapshot before the log ever accepts a frame, so an orphan
+    /// log belongs to a removed graph.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: RuntimeConfig,
+    ) -> Result<DurableExpFinder, ExpFinderError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let wal_counters = Arc::new(WalCounters::default());
+        let shards: Vec<ShardHandle> = (0..config.shards.max(1))
+            .map(|i| ShardHandle::spawn(i, config.mailbox_capacity, Arc::clone(&wal_counters)))
+            .collect();
+        let ring = Ring::new(config.shards.max(1));
+        let cache = Mutex::new(QueryCache::new(config.cache_capacity));
+        let rt = DurableExpFinder {
+            dir,
+            config,
+            graphs: RwLock::new(HashMap::new()),
+            shards,
+            ring,
+            cache,
+            scratch: ScratchPool::new(),
+            eval_totals: EvalTotals::default(),
+            wal_counters,
+            next_id: AtomicU64::new(1),
+        };
+
+        let mut names: Vec<String> = Vec::new();
+        for entry in rt.dir.read_dir()? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "efg") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_owned());
+                }
+            }
+        }
+        names.sort();
+        for name in names {
+            rt.recover_graph(&name)?;
+        }
+        Ok(rt)
+    }
+
+    /// Cold-start one graph: snapshot + WAL replay + shard adoption.
+    fn recover_graph(&self, name: &str) -> Result<(), ExpFinderError> {
+        let mut graph = gio::load_text(self.dir.join(format!("{name}.efg")))?;
+        let wal_path = self.wal_path(name);
+        let (records, summary) = Wal::replay(&wal_path)
+            .map_err(|e| ExpFinderError::Storage(format!("wal replay for {name:?}: {e}")))?;
+        let mut last_seq = 0;
+        for rec in &records {
+            for &up in &rec.updates {
+                graph.apply(up);
+            }
+            last_seq = rec.seq;
+        }
+        self.wal_counters.on_replay(&summary);
+        let wal = Wal::open(&wal_path, self.config.fsync, last_seq)
+            .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
+        let shard = self.ring.shard_for(name);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let published = Arc::new(PublishedGraph::new(id, shard, &graph));
+        self.graphs
+            .write()
+            .insert(name.to_owned(), Arc::clone(&published));
+        let actor = GraphActor::new(name.to_owned(), self.dir.clone(), graph, wal, published);
+        self.request(shard, |reply| Cmd::Adopt { actor, reply })?;
+        Ok(())
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    fn wal_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.wal"))
+    }
+
+    /// Send one command to a shard and wait for its reply; a dead
+    /// worker surfaces as a storage error, never a hang.
+    fn request<T>(
+        &self,
+        shard: usize,
+        mk: impl FnOnce(Reply<T>) -> Cmd,
+    ) -> Result<T, ExpFinderError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.shards[shard].send(mk(tx))?;
+        rx.recv()
+            .map_err(|_| ExpFinderError::Storage("shard worker terminated".to_owned()))?
+    }
+
+    fn published(&self, name: &str) -> Result<Arc<PublishedGraph>, ExpFinderError> {
+        self.graphs
+            .read()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| ExpFinderError::UnknownGraph(name.to_owned()))
+    }
+
+    // --------------------------- catalog ---------------------------
+
+    /// Add a graph: write its `.efg` snapshot, create its WAL, and hand
+    /// ownership to the shard the name hashes to. Durable when this
+    /// returns. The graph becomes queryable a moment before the shard's
+    /// ack; if the durable IO fails it is unpublished again and the
+    /// error surfaces here.
+    pub fn add_graph(&self, name: &str, graph: DiGraph) -> Result<u64, ExpFinderError> {
+        validate_graph_name(name)?;
+        let shard = self.ring.shard_for(name);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let published = Arc::new(PublishedGraph::new(id, shard, &graph));
+        {
+            let mut graphs = self.graphs.write();
+            if graphs.contains_key(name) {
+                return Err(ExpFinderError::DuplicateGraph(name.to_owned()));
+            }
+            graphs.insert(name.to_owned(), Arc::clone(&published));
+        }
+        // durable IO happens outside the registry lock so concurrent
+        // readers of other graphs never wait on this graph's disk
+        let result = (|| {
+            let wal_path = self.wal_path(name);
+            // a stale log from a removed former life must not replay
+            // onto the new graph
+            let _ = std::fs::remove_file(&wal_path);
+            write_efg_atomic(&graph, &self.dir.join(format!("{name}.efg")))?;
+            let wal = Wal::open(&wal_path, self.config.fsync, 0)
+                .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
+            let actor = GraphActor::new(name.to_owned(), self.dir.clone(), graph, wal, published);
+            self.request(shard, |reply| Cmd::Adopt { actor, reply })
+        })();
+        match result {
+            Ok(version) => Ok(version),
+            Err(e) => {
+                self.graphs.write().remove(name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Remove a graph and delete its files (snapshot first, then log,
+    /// so a crash in between leaves only an orphan `.wal`, which `open`
+    /// ignores).
+    pub fn remove_graph(&self, name: &str) -> Result<(), ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Remove {
+            name: name.to_owned(),
+            reply,
+        })?;
+        self.graphs.write().remove(name);
+        Ok(())
+    }
+
+    /// Managed graph names, sorted.
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.graphs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Point-in-time summaries of every graph, sorted by name.
+    pub fn graph_infos(&self) -> Vec<GraphInfo> {
+        let graphs: Vec<(String, Arc<PublishedGraph>)> = self
+            .graphs
+            .read()
+            .iter()
+            .map(|(n, pg)| (n.clone(), Arc::clone(pg)))
+            .collect();
+        let mut infos: Vec<GraphInfo> = graphs
+            .into_iter()
+            .map(|(name, pg)| {
+                let snap = pg.snapshot();
+                GraphInfo {
+                    name,
+                    nodes: snap.graph.node_count(),
+                    edges: snap.graph.edge_count(),
+                    version: snap.version,
+                    registered_queries: snap.registered.len(),
+                    compressed: false,
+                }
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Run `f` against the published snapshot's graph (no lock held
+    /// while `f` runs — it borrows the snapshot `Arc`).
+    pub fn read_graph<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&DiGraph) -> R,
+    ) -> Result<R, ExpFinderError> {
+        let snap = self.published(name)?.snapshot();
+        Ok(f(&snap.graph))
+    }
+
+    /// The published version of a graph.
+    pub fn graph_version(&self, name: &str) -> Result<u64, ExpFinderError> {
+        Ok(self.published(name)?.snapshot().version)
+    }
+
+    // --------------------------- queries ---------------------------
+
+    /// Evaluate one pattern, optionally ranking the best `top_k`
+    /// experts. Runs entirely on the calling thread against the latest
+    /// published snapshot.
+    pub fn query(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let threads = self.config.exec.threads.max(1);
+        let mut scratch = self.scratch.take();
+        self.execute(name, pattern, top_k, prefer, threads, &mut scratch)
+    }
+
+    /// Evaluate one [`QuerySpec`] (parsing DSL text if needed).
+    pub fn query_spec(
+        &self,
+        name: &str,
+        spec: &QuerySpec,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let threads = self.config.exec.threads.max(1);
+        let mut scratch = self.scratch.take();
+        self.run_spec(name, spec, threads, &mut scratch)
+    }
+
+    /// Evaluate a batch of specs against one graph, fanning out across
+    /// `exec.batch_parallelism` workers with the engine's split-budget
+    /// rule (`threads / workers` inner threads each). All slots see the
+    /// same published snapshot era (each grabs the latest at its start).
+    pub fn query_batch(
+        &self,
+        name: &str,
+        specs: Vec<QuerySpec>,
+    ) -> Vec<Result<QueryResponse, ExpFinderError>> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.exec.batch_parallelism.clamp(1, specs.len());
+        let inner_threads = (self.config.exec.threads / workers).max(1);
+        let indices: Vec<usize> = (0..specs.len()).collect();
+        let pairs = expfinder_core::parallel::run_items(
+            workers,
+            &indices,
+            || self.scratch.take(),
+            |scratch, &i| (i, self.run_spec(name, &specs[i], inner_threads, scratch)),
+        );
+        match pairs {
+            Some(mut pairs) => {
+                pairs.sort_by_key(|(i, _)| *i);
+                pairs.into_iter().map(|(_, r)| r).collect()
+            }
+            None => {
+                let threads = self.config.exec.threads.max(1);
+                let mut scratch = self.scratch.take();
+                specs
+                    .iter()
+                    .map(|sp| self.run_spec(name, sp, threads, &mut scratch))
+                    .collect()
+            }
+        }
+    }
+
+    fn run_spec(
+        &self,
+        name: &str,
+        spec: &QuerySpec,
+        threads: usize,
+        scratch: &mut EvalScratch,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let (pattern, top_k, prefer) = spec.resolve()?;
+        self.execute(name, &pattern, top_k, prefer, threads, scratch)
+    }
+
+    /// Snapshot-grab, evaluate, rank: the whole read path. No lock is
+    /// held past the snapshot `Arc` clone.
+    fn execute(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+        threads: usize,
+        scratch: &mut EvalScratch,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let started = Instant::now();
+        let pg = self.published(name)?;
+        let snap = pg.snapshot();
+        let (matches, route) =
+            self.eval_snapshot(pg.id, &snap, pattern, prefer, threads, scratch)?;
+        let evaluate_time = started.elapsed();
+
+        let rank_started = Instant::now();
+        let experts = match top_k {
+            None => Vec::new(),
+            Some(k) => {
+                let opts = BuildOptions { threads };
+                let direct = matches!(
+                    route,
+                    EvalRoute::DirectSimulation | EvalRoute::DirectBounded
+                );
+                let csr = if direct { snap.csr_if_built() } else { None };
+                if let Some(csr) = csr {
+                    let rg = ResultGraph::build_with(&*csr, pattern, &matches, opts);
+                    rank_matches_top_k(&rg, pattern, &matches, k)?
+                } else {
+                    let rg = ResultGraph::build_with(&*snap.graph, pattern, &matches, opts);
+                    rank_matches_top_k(&rg, pattern, &matches, k)?
+                }
+            }
+        };
+        let rank_time = rank_started.elapsed();
+
+        Ok(QueryResponse {
+            experts,
+            matches,
+            route,
+            graph_version: snap.version,
+            timings: QueryTimings {
+                evaluate: evaluate_time,
+                rank: rank_time,
+                total: started.elapsed(),
+            },
+        })
+    }
+
+    /// The engine's routing order minus compression: cache → registered
+    /// → direct (parallel over CSR when eligible, sequential-indexed
+    /// when a CSR already exists, live adjacency otherwise).
+    /// `Route::Compressed` deliberately falls through to direct — the
+    /// runtime keeps no maintained quotient.
+    fn eval_snapshot(
+        &self,
+        graph_id: u64,
+        snap: &Snapshot,
+        pattern: &Pattern,
+        prefer: Route,
+        threads: usize,
+        scratch: &mut EvalScratch,
+    ) -> Result<(Arc<MatchRelation>, EvalRoute), ExpFinderError> {
+        let fingerprint = pattern.fingerprint();
+        let key = QueryCache::key_for(graph_id, snap.version, &fingerprint);
+
+        if prefer == Route::Auto {
+            if let Some(hit) = self.cache.lock().get(&key, &fingerprint) {
+                return Ok((hit, EvalRoute::Cache));
+            }
+            for rv in &snap.registered {
+                if rv.fingerprint == fingerprint {
+                    let matches = Arc::clone(&rv.matches);
+                    self.cache
+                        .lock()
+                        .put(key, &fingerprint, Arc::clone(&matches));
+                    return Ok((matches, EvalRoute::Registered));
+                }
+            }
+        }
+
+        let (m, stats, route) = if snap.parallel_eligible(threads) {
+            let csr = snap.csr();
+            let bound = snap.reach.bind(&*csr);
+            if pattern.is_simulation() {
+                let (m, stats) =
+                    parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
+                (m, stats, EvalRoute::DirectSimulation)
+            } else {
+                let (m, stats) =
+                    parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
+                (m, stats, EvalRoute::DirectBounded)
+            }
+        } else if let Some(csr) = snap.csr_if_built() {
+            if pattern.is_simulation() {
+                let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
+                (m, stats, EvalRoute::DirectSimulation)
+            } else {
+                let bound = snap.reach.bind(&*csr);
+                let (m, stats) = bounded_simulation_indexed(
+                    &*csr,
+                    pattern,
+                    EvalOptions::default(),
+                    scratch,
+                    Some(&bound),
+                );
+                (m, stats, EvalRoute::DirectBounded)
+            }
+        } else if pattern.is_simulation() {
+            let (m, stats) = graph_simulation_scratch(&*snap.graph, pattern, scratch)?;
+            (m, stats, EvalRoute::DirectSimulation)
+        } else {
+            let (m, stats) =
+                bounded_simulation_scratch(&*snap.graph, pattern, EvalOptions::default(), scratch);
+            (m, stats, EvalRoute::DirectBounded)
+        };
+        self.eval_totals.add(stats);
+        let matches = Arc::new(m);
+        self.cache
+            .lock()
+            .put(key, &fingerprint, Arc::clone(&matches));
+        Ok((matches, route))
+    }
+
+    // --------------------------- updates ---------------------------
+
+    /// Apply edge updates through the owning shard: WAL-append (fsynced
+    /// per policy), apply, maintain registered queries, republish.
+    /// Returns how many updates changed the graph.
+    pub fn apply_updates(
+        &self,
+        name: &str,
+        updates: &[EdgeUpdate],
+    ) -> Result<usize, ExpFinderError> {
+        Ok(self.apply_updates_inner(name, updates, false)?.applied)
+    }
+
+    /// Like [`DurableExpFinder::apply_updates`] with the full ΔM report.
+    pub fn apply_updates_traced(
+        &self,
+        name: &str,
+        updates: &[EdgeUpdate],
+    ) -> Result<UpdateReport, ExpFinderError> {
+        self.apply_updates_inner(name, updates, true)
+    }
+
+    fn apply_updates_inner(
+        &self,
+        name: &str,
+        updates: &[EdgeUpdate],
+        trace: bool,
+    ) -> Result<UpdateReport, ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Apply {
+            name: name.to_owned(),
+            updates: updates.to_vec(),
+            trace,
+            reply,
+        })
+    }
+
+    // ---------------------- registered queries ---------------------
+
+    /// Register a query for incremental maintenance on its shard. The
+    /// registration is in-memory: re-register after a restart.
+    pub fn register_query(
+        &self,
+        name: &str,
+        query_name: &str,
+        pattern: Pattern,
+    ) -> Result<(), ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Register {
+            name: name.to_owned(),
+            query_name: query_name.to_owned(),
+            pattern,
+            reply,
+        })
+    }
+
+    pub fn unregister_query(&self, name: &str, query_name: &str) -> Result<(), ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Unregister {
+            name: name.to_owned(),
+            query_name: query_name.to_owned(),
+            reply,
+        })
+    }
+
+    /// Names of queries registered on a graph, sorted.
+    pub fn registered_queries(&self, name: &str) -> Result<Vec<String>, ExpFinderError> {
+        let snap = self.published(name)?.snapshot();
+        let mut names: Vec<String> = snap.registered.iter().map(|rv| rv.name.clone()).collect();
+        names.sort();
+        Ok(names)
+    }
+
+    /// The maintained result of a registered query, as published.
+    pub fn registered_result(
+        &self,
+        name: &str,
+        query_name: &str,
+    ) -> Result<MatchRelation, ExpFinderError> {
+        let snap = self.published(name)?.snapshot();
+        snap.registered
+            .iter()
+            .find(|rv| rv.name == query_name)
+            .map(|rv| (*rv.matches).clone())
+            .ok_or_else(|| ExpFinderError::UnknownQuery(query_name.to_owned()))
+    }
+
+    // ---------------------- snapshot / compact ---------------------
+
+    /// Rewrite `<name>.efg` from the current graph (WAL untouched).
+    pub fn snapshot(&self, name: &str) -> Result<PathBuf, ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Snapshot {
+            name: name.to_owned(),
+            reply,
+        })
+    }
+
+    /// Rewrite `<name>.efg`, then truncate the WAL — the log's frames
+    /// are folded into the snapshot.
+    pub fn compact(&self, name: &str) -> Result<CompactReport, ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Compact {
+            name: name.to_owned(),
+            reply,
+        })
+    }
+
+    // --------------------------- metrics ---------------------------
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Cumulative evaluation-work counters across every query served.
+    pub fn eval_totals(&self) -> EvalStats {
+        self.eval_totals.snapshot()
+    }
+
+    /// Reach-index totals: cumulative hits/misses plus live entry/byte
+    /// gauges over the currently published snapshots.
+    pub fn index_totals(&self) -> IndexTotals {
+        let stats = self.eval_totals.snapshot();
+        let graphs: Vec<Arc<PublishedGraph>> =
+            self.graphs.read().values().map(Arc::clone).collect();
+        let mut entries = 0usize;
+        let mut bytes = 0usize;
+        for pg in graphs {
+            let snap = pg.snapshot();
+            entries += snap.reach.len();
+            bytes += snap.reach.bytes();
+        }
+        IndexTotals {
+            hits: stats.index_hits as u64,
+            misses: stats.index_misses as u64,
+            entries,
+            bytes,
+        }
+    }
+
+    /// Cumulative WAL activity.
+    pub fn wal_totals(&self) -> WalTotals {
+        self.wal_counters.totals()
+    }
+
+    /// Per-shard load: mailbox depth, owned graphs, processed commands.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let mut per_shard_graphs = vec![0usize; self.shards.len()];
+        for pg in self.graphs.read().values() {
+            if pg.shard < per_shard_graphs.len() {
+                per_shard_graphs[pg.shard] += 1;
+            }
+        }
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, h)| ShardStats {
+                shard: i,
+                depth: h.depth(),
+                graphs: per_shard_graphs[i],
+                commands: h.commands(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_graph::fixtures::collaboration_fig1;
+    use expfinder_pattern::fixtures::{fig1_pattern, fig1_pattern_simulation};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("expfinder_rt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sequential_config() -> RuntimeConfig {
+        RuntimeConfig {
+            shards: 2,
+            fsync: FsyncPolicy::Never,
+            exec: ExecConfig::sequential(),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn add_query_matches_engine() {
+        let dir = tmpdir("add_query");
+        let f = collaboration_fig1();
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+
+        let engine = expfinder_engine::ExpFinder::default();
+        let h = engine.add_graph("fig1", f.graph.clone()).unwrap();
+        let want = engine
+            .query(&h)
+            .pattern(fig1_pattern())
+            .prefer(Route::Direct)
+            .run()
+            .unwrap();
+
+        let got = rt
+            .query("fig1", &fig1_pattern(), None, Route::Auto)
+            .unwrap();
+        assert_eq!(*got.matches, *want.matches);
+        // second identical query is a cache hit
+        let again = rt
+            .query("fig1", &fig1_pattern(), None, Route::Auto)
+            .unwrap();
+        assert_eq!(again.route, EvalRoute::Cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn updates_survive_reopen() {
+        let dir = tmpdir("reopen");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        {
+            let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+            rt.add_graph("fig1", f.graph.clone()).unwrap();
+            let applied = rt
+                .apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+                .unwrap();
+            assert_eq!(applied, 1);
+        } // clean-ish shutdown: no snapshot write, recovery must replay
+
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        assert_eq!(rt.graph_names(), vec!["fig1".to_owned()]);
+        assert_eq!(rt.wal_totals().replayed_frames, 1);
+        assert_eq!(rt.wal_totals().replayed_updates, 1);
+        let mut oracle = f.graph.clone();
+        oracle.apply(EdgeUpdate::Insert(x, y));
+        let edges = rt.read_graph("fig1", |g| g.edge_count()).unwrap();
+        assert_eq!(edges, oracle.edge_count());
+        let got = rt
+            .query("fig1", &fig1_pattern(), None, Route::Auto)
+            .unwrap();
+        let engine = expfinder_engine::ExpFinder::default();
+        let h = engine.add_graph("fig1", oracle).unwrap();
+        let want = engine.query(&h).pattern(fig1_pattern()).run().unwrap();
+        assert_eq!(*got.matches, *want.matches);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_folds_wal_into_snapshot() {
+        let dir = tmpdir("compact");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        {
+            let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+            rt.add_graph("fig1", f.graph.clone()).unwrap();
+            rt.apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+                .unwrap();
+            let report = rt.compact("fig1").unwrap();
+            assert!(report.wal_bytes_dropped > 0);
+            // post-compaction updates land in the truncated log
+            rt.apply_updates("fig1", &[EdgeUpdate::Delete(x, y)])
+                .unwrap();
+        }
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        assert_eq!(
+            rt.wal_totals().replayed_frames,
+            1,
+            "only the post-compaction frame"
+        );
+        let edges = rt.read_graph("fig1", |g| g.edge_count()).unwrap();
+        assert_eq!(edges, f.graph.edge_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registered_query_is_served_and_maintained() {
+        let dir = tmpdir("registered");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        let q = fig1_pattern_simulation();
+        rt.register_query("fig1", "team", q.clone()).unwrap();
+        assert_eq!(
+            rt.registered_queries("fig1").unwrap(),
+            vec!["team".to_owned()]
+        );
+        assert!(matches!(
+            rt.register_query("fig1", "team", q.clone()),
+            Err(ExpFinderError::DuplicateQuery(_))
+        ));
+
+        let r = rt.query("fig1", &q, None, Route::Auto).unwrap();
+        assert_eq!(r.route, EvalRoute::Registered);
+
+        let before = rt.registered_result("fig1", "team").unwrap().total_pairs();
+        let report = rt
+            .apply_updates_traced("fig1", &[EdgeUpdate::Insert(x, y)])
+            .unwrap();
+        assert_eq!(report.registered.len(), 1);
+        assert_eq!(report.registered[0].before_pairs, before);
+        let after = rt.registered_result("fig1", "team").unwrap().total_pairs();
+        assert_eq!(report.registered[0].after_pairs, after);
+
+        // maintained result equals a fresh evaluation
+        let fresh = rt.query("fig1", &q, None, Route::Direct).unwrap();
+        let maintained = rt.registered_result("fig1", "team").unwrap();
+        assert_eq!(*fresh.matches, maintained);
+
+        rt.unregister_query("fig1", "team").unwrap();
+        assert!(rt.registered_queries("fig1").unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_graphs_error() {
+        let dir = tmpdir("errors");
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        assert!(matches!(
+            rt.query("nope", &fig1_pattern(), None, Route::Auto),
+            Err(ExpFinderError::UnknownGraph(_))
+        ));
+        let f = collaboration_fig1();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        assert!(matches!(
+            rt.add_graph("fig1", f.graph.clone()),
+            Err(ExpFinderError::DuplicateGraph(_))
+        ));
+        assert!(matches!(
+            rt.add_graph("../escape", f.graph.clone()),
+            Err(ExpFinderError::InvalidGraphName(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_graph_deletes_files_and_frees_name() {
+        let dir = tmpdir("remove");
+        let f = collaboration_fig1();
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        rt.apply_updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        rt.remove_graph("fig1").unwrap();
+        assert!(!dir.join("fig1.efg").exists());
+        assert!(!dir.join("fig1.wal").exists());
+        assert!(rt.graph_names().is_empty());
+        // the name is reusable, and the fresh graph has no replayed tail
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        let edges = rt.read_graph("fig1", |g| g.edge_count()).unwrap();
+        assert_eq!(edges, f.graph.edge_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_resolves_specs_in_order() {
+        let dir = tmpdir("batch");
+        let f = collaboration_fig1();
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph).unwrap();
+        let specs = vec![
+            QuerySpec::pattern(fig1_pattern()).top_k(2),
+            QuerySpec::dsl("definitely not a pattern"),
+            QuerySpec::pattern(fig1_pattern_simulation()),
+        ];
+        let out = rt.query_batch("fig1", specs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_ref().unwrap().experts.len(), 2);
+        assert!(out[1].is_err());
+        let direct = rt
+            .query("fig1", &fig1_pattern_simulation(), None, Route::Direct)
+            .unwrap();
+        assert_eq!(*out[2].as_ref().unwrap().matches, *direct.matches);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_and_wal_metrics_accumulate() {
+        let dir = tmpdir("metrics");
+        let f = collaboration_fig1();
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        rt.apply_updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        let wal = rt.wal_totals();
+        assert_eq!(wal.appends, 1);
+        assert!(wal.bytes > 0);
+        assert_eq!(wal.fsyncs, 0, "FsyncPolicy::Never");
+        let stats = rt.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|s| s.graphs).sum::<usize>(), 1);
+        assert!(stats.iter().map(|s| s.commands).sum::<u64>() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,516 @@
+//! Shard workers: the mutation half of the runtime.
+//!
+//! Graph names are consistently hashed onto `N` shard workers. Each
+//! worker is an actor — a plain thread draining a **bounded** mailbox of
+//! commands — that *owns* the authoritative [`DiGraph`], the WAL handle
+//! and the registered-query maintainers of every graph on its shard.
+//! Ownership is the whole concurrency story on the write side: a batch
+//! has exclusive access to its graph for free (nobody else can touch
+//! actor state), and no lock is ever held across evaluation because
+//! readers run on *published* immutable snapshots instead (see
+//! [`crate::Snapshot`]).
+//!
+//! Backpressure is the mailbox bound: when a shard falls behind,
+//! senders block in [`ShardHandle::send`] rather than queueing
+//! unboundedly. The current depth of every mailbox is exported through
+//! `/metrics` (`engine.shard`), so a hot shard is visible before it is
+//! a problem.
+
+use crate::wal::Wal;
+use crate::{PublishedGraph, RegisteredView, Snapshot, WalCounters};
+use expfinder_engine::{ExpFinderError, RegisteredDelta, UpdateReport};
+use expfinder_graph::{io as gio, DiGraph, EdgeUpdate, ReachIndex};
+use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
+use expfinder_pattern::Pattern;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Point-in-time load summary of one shard worker (`engine.shard` in
+/// `/metrics`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Commands currently waiting in the mailbox.
+    pub depth: usize,
+    /// Graphs owned by this shard.
+    pub graphs: usize,
+    /// Commands processed since startup.
+    pub commands: u64,
+}
+
+/// Reply channel of one command. Rendezvous-sized: the worker's send
+/// never blocks because every request holds a receiver slot.
+pub(crate) type Reply<T> = SyncSender<Result<T, ExpFinderError>>;
+
+/// The command alphabet of a shard mailbox. Reads are *not* here — they
+/// run on published snapshots without involving the actor.
+pub(crate) enum Cmd {
+    /// Take ownership of a fully-constructed graph actor (initial add
+    /// and cold-start adoption; the facade did the durable IO already).
+    Adopt {
+        actor: GraphActor,
+        reply: Reply<u64>,
+    },
+    /// WAL-append, then apply an update batch and republish.
+    Apply {
+        name: String,
+        updates: Vec<EdgeUpdate>,
+        trace: bool,
+        reply: Reply<UpdateReport>,
+    },
+    /// Register a query for incremental maintenance.
+    Register {
+        name: String,
+        query_name: String,
+        pattern: Pattern,
+        reply: Reply<()>,
+    },
+    /// Drop a registered query.
+    Unregister {
+        name: String,
+        query_name: String,
+        reply: Reply<()>,
+    },
+    /// Rewrite `<name>.efg` from the current in-memory graph, leaving
+    /// the WAL alone (replay onto the newer snapshot converges — edge
+    /// updates are last-writer-wins per edge).
+    Snapshot { name: String, reply: Reply<PathBuf> },
+    /// Snapshot, then truncate the WAL back to an empty header.
+    Compact {
+        name: String,
+        reply: Reply<CompactReport>,
+    },
+    /// Drop the graph and delete its `.efg` and `.wal` files.
+    Remove { name: String, reply: Reply<()> },
+}
+
+/// What `Cmd::Compact` reports back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// The rewritten snapshot file.
+    pub snapshot: PathBuf,
+    /// WAL bytes dropped by the truncation (frames only, header stays).
+    pub wal_bytes_dropped: u64,
+}
+
+/// A registered query riding on an actor: the pattern and its
+/// incremental maintainer (mirrors the engine's routing contract).
+struct RegisteredQuery {
+    pattern: Pattern,
+    maintainer: Box<dyn Maintainer + Send + Sync>,
+}
+
+/// One graph's actor state: the authoritative mutable graph, its WAL
+/// and its registered queries. Constructed by the facade (which does
+/// the durable add/recover IO) and handed to the owning shard via
+/// [`Cmd::Adopt`].
+pub(crate) struct GraphActor {
+    pub name: String,
+    /// Catalog directory holding `<name>.efg` / `<name>.wal`.
+    pub dir: PathBuf,
+    pub graph: DiGraph,
+    pub wal: Wal,
+    pub published: Arc<PublishedGraph>,
+    registered: HashMap<String, RegisteredQuery>,
+}
+
+impl GraphActor {
+    pub fn new(
+        name: String,
+        dir: PathBuf,
+        graph: DiGraph,
+        wal: Wal,
+        published: Arc<PublishedGraph>,
+    ) -> GraphActor {
+        GraphActor {
+            name,
+            dir,
+            graph,
+            wal,
+            published,
+            registered: HashMap::new(),
+        }
+    }
+
+    fn efg_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.efg", self.name))
+    }
+
+    /// Swap a fresh immutable snapshot into the published slot. The
+    /// write lock covers one `Arc` store, so a racing reader is delayed
+    /// by a pointer swap, never by evaluation or IO (copy-on-publish:
+    /// the actor pays a graph clone here so readers pay nothing).
+    fn publish(&self) {
+        let version = self.graph.version();
+        let registered = self
+            .registered
+            .iter()
+            .map(|(n, rq)| RegisteredView {
+                name: n.clone(),
+                fingerprint: rq.pattern.fingerprint(),
+                matches: Arc::new(rq.maintainer.current()),
+            })
+            .collect();
+        let snap = Arc::new(Snapshot {
+            graph: Arc::new(self.graph.clone()),
+            version,
+            csr: OnceLock::new(),
+            reach: Arc::new(ReachIndex::new(version)),
+            registered,
+        });
+        *self.published.state.write() = snap;
+    }
+
+    /// The write path: append the batch to the WAL (fsync per policy)
+    /// *before* touching the graph, then apply, maintain registered
+    /// queries, and republish.
+    fn apply(
+        &mut self,
+        updates: &[EdgeUpdate],
+        trace: bool,
+        wal_counters: &WalCounters,
+    ) -> Result<UpdateReport, ExpFinderError> {
+        let (_, frame_bytes) = self
+            .wal
+            .append(updates)
+            .map_err(|e| ExpFinderError::Storage(format!("wal append: {e}")))?;
+        wal_counters.on_append(frame_bytes as u64, self.wal.fsyncs_per_append());
+
+        let mut registered: Vec<RegisteredDelta> = if trace {
+            self.registered
+                .iter()
+                .map(|(name, rq)| RegisteredDelta {
+                    query: name.clone(),
+                    before_pairs: rq.maintainer.current().total_pairs(),
+                    after_pairs: 0,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut applied = 0usize;
+        for &up in updates {
+            if !self.graph.apply(up) {
+                continue;
+            }
+            applied += 1;
+            for rq in self.registered.values_mut() {
+                rq.maintainer.on_update(&self.graph, up);
+            }
+        }
+        for d in &mut registered {
+            d.after_pairs = self.registered[&d.query].maintainer.current().total_pairs();
+        }
+        registered.sort_by(|a, b| a.query.cmp(&b.query));
+        self.publish();
+        Ok(UpdateReport {
+            applied,
+            attempted: updates.len(),
+            graph_version: self.graph.version(),
+            registered,
+        })
+    }
+
+    fn register(&mut self, query_name: &str, pattern: Pattern) -> Result<(), ExpFinderError> {
+        if self.registered.contains_key(query_name) {
+            return Err(ExpFinderError::DuplicateQuery(query_name.to_owned()));
+        }
+        let maintainer: Box<dyn Maintainer + Send + Sync> = if pattern.is_simulation() {
+            Box::new(IncrementalSim::new(&self.graph, &pattern)?)
+        } else {
+            Box::new(IncrementalBoundedSim::new(&self.graph, &pattern))
+        };
+        self.registered.insert(
+            query_name.to_owned(),
+            RegisteredQuery {
+                pattern,
+                maintainer,
+            },
+        );
+        self.publish();
+        Ok(())
+    }
+
+    fn unregister(&mut self, query_name: &str) -> Result<(), ExpFinderError> {
+        self.registered
+            .remove(query_name)
+            .ok_or_else(|| ExpFinderError::UnknownQuery(query_name.to_owned()))?;
+        self.publish();
+        Ok(())
+    }
+
+    /// Write `<name>.efg` atomically (tmp + rename), so a crash mid-write
+    /// leaves the previous snapshot intact and the WAL still replayable.
+    fn save_snapshot(&self) -> Result<PathBuf, ExpFinderError> {
+        let path = self.efg_path();
+        write_efg_atomic(&self.graph, &path)?;
+        Ok(path)
+    }
+
+    fn compact(&mut self) -> Result<CompactReport, ExpFinderError> {
+        let snapshot = self.save_snapshot()?;
+        // snapshot is durable; now the log frames are redundant. Crash
+        // between the rename and this truncation replays the full WAL
+        // onto the new snapshot, which converges to the same graph.
+        let wal_bytes_dropped = self
+            .wal
+            .frame_bytes()
+            .map_err(|e| ExpFinderError::Storage(format!("wal size: {e}")))?;
+        self.wal
+            .reset()
+            .map_err(|e| ExpFinderError::Storage(format!("wal reset: {e}")))?;
+        Ok(CompactReport {
+            snapshot,
+            wal_bytes_dropped,
+        })
+    }
+}
+
+/// Save a graph to `path` via a sibling `.tmp` file and an atomic
+/// rename. Shared by the actor's snapshot/compact path and the facade's
+/// initial `add_graph` write.
+pub(crate) fn write_efg_atomic(g: &DiGraph, path: &Path) -> Result<(), ExpFinderError> {
+    let tmp = path.with_extension("efg.tmp");
+    gio::save_text(g, &tmp)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Sender side of one shard: the bounded mailbox plus its gauges. The
+/// facade holds one per shard; dropping the last handle closes the
+/// mailbox and the worker thread exits after draining it.
+pub(crate) struct ShardHandle {
+    tx: SyncSender<Cmd>,
+    depth: Arc<AtomicUsize>,
+    commands: Arc<AtomicU64>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Spawn shard worker `index` with a mailbox of `capacity` slots.
+    pub fn spawn(index: usize, capacity: usize, wal_counters: Arc<WalCounters>) -> ShardHandle {
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let commands = Arc::new(AtomicU64::new(0));
+        let worker_depth = Arc::clone(&depth);
+        let worker_commands = Arc::clone(&commands);
+        let join = std::thread::Builder::new()
+            .name(format!("efshard-{index}"))
+            .spawn(move || run_worker(rx, worker_depth, worker_commands, wal_counters))
+            .expect("spawn shard worker");
+        ShardHandle {
+            tx,
+            depth,
+            commands,
+            join: Some(join),
+        }
+    }
+
+    /// Enqueue a command, blocking while the mailbox is full (the
+    /// backpressure point of the write path).
+    pub fn send(&self, cmd: Cmd) -> Result<(), ExpFinderError> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(cmd).map_err(|_| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            ExpFinderError::Storage("shard worker terminated".to_owned())
+        })
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    pub fn commands(&self) -> u64 {
+        self.commands.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        // close the mailbox, then wait for the worker to drain it — a
+        // clean shutdown finishes in-flight WAL appends before exit
+        drop(std::mem::replace(&mut self.tx, mpsc::sync_channel(1).0));
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The actor loop: pop one command, dispatch against owned state, reply.
+fn run_worker(
+    rx: Receiver<Cmd>,
+    depth: Arc<AtomicUsize>,
+    commands: Arc<AtomicU64>,
+    wal_counters: Arc<WalCounters>,
+) {
+    let mut graphs: HashMap<String, GraphActor> = HashMap::new();
+    while let Ok(cmd) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        commands.fetch_add(1, Ordering::Relaxed);
+        // replies are best-effort: a caller that gave up (dropped its
+        // receiver) does not take the worker down with it
+        match cmd {
+            Cmd::Adopt { actor, reply } => {
+                // the facade published the initial snapshot when it
+                // built the PublishedGraph — nothing to publish here
+                let version = actor.graph.version();
+                graphs.insert(actor.name.clone(), actor);
+                let _ = reply.send(Ok(version));
+            }
+            Cmd::Apply {
+                name,
+                updates,
+                trace,
+                reply,
+            } => {
+                let result = match graphs.get_mut(&name) {
+                    Some(actor) => actor.apply(&updates, trace, &wal_counters),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Register {
+                name,
+                query_name,
+                pattern,
+                reply,
+            } => {
+                let result = match graphs.get_mut(&name) {
+                    Some(actor) => actor.register(&query_name, pattern),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Unregister {
+                name,
+                query_name,
+                reply,
+            } => {
+                let result = match graphs.get_mut(&name) {
+                    Some(actor) => actor.unregister(&query_name),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Snapshot { name, reply } => {
+                let result = match graphs.get(&name) {
+                    Some(actor) => actor.save_snapshot(),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Compact { name, reply } => {
+                let result = match graphs.get_mut(&name) {
+                    Some(actor) => actor.compact(),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Remove { name, reply } => {
+                let result = match graphs.remove(&name) {
+                    Some(actor) => {
+                        let wal_path = actor.wal.path().to_path_buf();
+                        let efg = actor.efg_path();
+                        drop(actor); // close the WAL file first
+                                     // snapshot before log: a crash in between
+                                     // leaves an orphan .wal, which open() ignores —
+                                     // the reverse order would resurrect the graph
+                        let _ = std::fs::remove_file(efg);
+                        let _ = std::fs::remove_file(wal_path);
+                        Ok(())
+                    }
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+/// The consistent-hash ring mapping graph names onto shards. Each shard
+/// contributes [`RING_POINTS_PER_SHARD`] virtual points so load spreads
+/// even with few shards, and growing the shard count moves only the
+/// names whose arc changed hands (the property that makes future
+/// rebalancing cheap; today the count is fixed at startup).
+pub(crate) struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+const RING_POINTS_PER_SHARD: usize = 64;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer: FNV alone clusters similar short keys on
+    // nearby ring points, starving whole shards
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl Ring {
+    pub fn new(shards: usize) -> Ring {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * RING_POINTS_PER_SHARD);
+        for s in 0..shards {
+            for r in 0..RING_POINTS_PER_SHARD {
+                points.push((fnv64(format!("shard-{s}:{r}").as_bytes()), s));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|(p, _)| *p);
+        Ring { points }
+    }
+
+    /// The shard owning `name`: the first ring point at or after the
+    /// name's hash, wrapping at the top.
+    pub fn shard_for(&self, name: &str) -> usize {
+        let h = fnv64(name.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[i % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_total() {
+        let ring = Ring::new(4);
+        for name in ["alpha", "beta", "collab", "fig1", "x"] {
+            let s = ring.shard_for(name);
+            assert!(s < 4);
+            assert_eq!(s, ring.shard_for(name), "stable per name");
+        }
+    }
+
+    #[test]
+    fn ring_spreads_names() {
+        let ring = Ring::new(4);
+        let mut seen = [0usize; 4];
+        for i in 0..256 {
+            seen[ring.shard_for(&format!("graph-{i}"))] += 1;
+        }
+        // consistent hashing is not perfectly uniform, but with 64
+        // virtual points per shard every shard must own something
+        assert!(seen.iter().all(|&c| c > 0), "distribution: {seen:?}");
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = Ring::new(1);
+        assert_eq!(ring.shard_for("anything"), 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! The per-graph write-ahead log.
+//!
+//! One `<name>.wal` file per graph, append-only, replayed onto the last
+//! `<name>.efg` snapshot on cold start. The file is a fixed header
+//! followed by length-prefixed, checksummed frames:
+//!
+//! ```text
+//! "EFWAL1\n"                                  file header (7 bytes)
+//! [len: u32 LE][crc: u32 LE][payload: len]    frame, repeated
+//! ```
+//!
+//! `crc` is FNV-1a over the payload bytes; `payload` is the compact JSON
+//! document `{"seq": N, "updates": [{"op","from","to"}, ...]}` using the
+//! canonical update codec of `expfinder_graph::io` — the same encoding
+//! the HTTP wire protocol speaks, so a WAL frame is a replayable
+//! `/updates` request body plus a sequence number.
+//!
+//! **Durability contract.** A batch is appended (and, under
+//! [`FsyncPolicy::Always`], fsynced) *before* it is applied to the owning
+//! actor's graph — write-ahead in the literal sense. Replay therefore
+//! sees every acknowledged batch; an unacknowledged batch can at worst
+//! leave a *torn tail* (partial final frame from a crash mid-write),
+//! which [`Wal::replay`] detects via the length/checksum envelope and
+//! truncates away rather than propagating.
+
+use expfinder_graph::json::{self, Value};
+use expfinder_graph::{io as gio, EdgeUpdate};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic; the trailing newline keeps `head -c7` output readable.
+pub const WAL_MAGIC: &[u8; 7] = b"EFWAL1\n";
+
+/// Largest accepted frame payload. A length field beyond this is treated
+/// as tail corruption (truncate), never as an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// When `append` flushes to stable storage.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended frame (default): an acknowledged
+    /// batch survives power loss, at one disk flush per batch.
+    #[default]
+    Always,
+    /// Never fsync; rely on the OS writeback cache. Survives process
+    /// crashes (the write hit the kernel) but not power loss. For tests
+    /// and bulk loads.
+    Never,
+}
+
+/// Errors from the WAL layer.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    /// The file does not start with [`WAL_MAGIC`].
+    BadHeader,
+    /// A fully-framed payload failed to decode — unlike a torn tail this
+    /// is mid-file corruption and refuses to load (frame index, reason).
+    BadFrame(usize, String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::BadHeader => write!(f, "wal header is not {WAL_MAGIC:?}"),
+            WalError::BadFrame(i, msg) => write!(f, "wal frame {i} is corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice — the frame checksum. Not cryptographic;
+/// it guards against torn writes and bit rot, not adversaries (the WAL
+/// directory is trusted local state).
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// One decoded WAL record: a sequence number and its update batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    pub seq: u64,
+    pub updates: Vec<EdgeUpdate>,
+}
+
+impl WalRecord {
+    fn to_payload(&self) -> Vec<u8> {
+        let updates = Value::Array(
+            self.updates
+                .iter()
+                .map(|&u| gio::update_to_json(u))
+                .collect(),
+        );
+        let doc = Value::Object(
+            [
+                ("seq".to_owned(), Value::Int(self.seq as i64)),
+                ("updates".to_owned(), updates),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        doc.to_string_compact().into_bytes()
+    }
+
+    fn from_payload(bytes: &[u8]) -> Result<WalRecord, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "payload is not utf-8".to_owned())?;
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let seq = doc
+            .field("seq")
+            .and_then(|s| s.as_i64())
+            .map_err(|e| e.to_string())? as u64;
+        let updates = doc
+            .field("updates")
+            .and_then(|u| u.as_array())
+            .map_err(|e| e.to_string())?
+            .iter()
+            .map(gio::update_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        Ok(WalRecord { seq, updates })
+    }
+}
+
+/// What [`Wal::replay`] found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Whole frames decoded and returned.
+    pub frames: usize,
+    /// Updates across those frames.
+    pub updates: usize,
+    /// True when a torn tail (partial or checksum-failing final frame)
+    /// was detected and truncated away.
+    pub truncated_tail: bool,
+    /// Bytes of log read (after any truncation).
+    pub bytes: u64,
+}
+
+/// An open per-graph write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    fsync: FsyncPolicy,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Open (creating if missing) the log at `path` for appending.
+    /// Replays nothing — call [`Wal::replay`] first on cold start; a
+    /// fresh `Wal` starts its sequence after `last_seq`.
+    pub fn open(
+        path: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        last_seq: u64,
+    ) -> Result<Wal, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        if file.metadata()?.len() == 0 {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+        }
+        Ok(Wal {
+            path,
+            file,
+            fsync,
+            next_seq: last_seq + 1,
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// How many fsyncs one append performs under the current policy.
+    pub fn fsyncs_per_append(&self) -> u64 {
+        match self.fsync {
+            FsyncPolicy::Always => 1,
+            FsyncPolicy::Never => 0,
+        }
+    }
+
+    /// Bytes of frames currently in the log (file length minus header).
+    pub fn frame_bytes(&self) -> Result<u64, WalError> {
+        Ok(self
+            .file
+            .metadata()?
+            .len()
+            .saturating_sub(WAL_MAGIC.len() as u64))
+    }
+
+    /// Append one update batch as a frame; returns `(seq, frame_bytes)`.
+    /// Under [`FsyncPolicy::Always`] the frame is on stable storage when
+    /// this returns — the caller may then apply the batch and ack it.
+    pub fn append(&mut self, updates: &[EdgeUpdate]) -> Result<(u64, usize), WalError> {
+        let seq = self.next_seq;
+        let payload = WalRecord {
+            seq,
+            updates: updates.to_vec(),
+        }
+        .to_payload();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&checksum(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        self.next_seq += 1;
+        Ok((seq, frame.len()))
+    }
+
+    /// Truncate the log back to an empty header (after a compaction
+    /// rewrote the snapshot) and reset the sequence counter.
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_all()?;
+        self.next_seq = 1;
+        Ok(())
+    }
+
+    /// Read every whole frame of the log at `path`, truncating a torn
+    /// tail in place (partial final frame, bad length, or checksum
+    /// mismatch on the *last* frame). A checksum/decode failure on a
+    /// non-final frame is mid-file corruption and errors instead. A
+    /// missing file replays as empty.
+    pub fn replay(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, ReplaySummary), WalError> {
+        let path = path.as_ref();
+        let mut summary = ReplaySummary::default();
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), summary)),
+            Err(e) => return Err(e.into()),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        drop(file);
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(WalError::BadHeader);
+        }
+
+        let mut records = Vec::new();
+        let mut off = WAL_MAGIC.len();
+        let mut good_end = off; // offset just past the last valid frame
+        loop {
+            if off == bytes.len() {
+                break; // clean end
+            }
+            if off + 8 > bytes.len() {
+                summary.truncated_tail = true; // partial frame header
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+            let start = off + 8;
+            let end = match (len <= MAX_FRAME_BYTES).then(|| start.checked_add(len as usize)) {
+                Some(Some(end)) if end <= bytes.len() => end,
+                // oversized length or payload runs past EOF: torn tail
+                _ => {
+                    summary.truncated_tail = true;
+                    break;
+                }
+            };
+            let payload = &bytes[start..end];
+            if checksum(payload) != crc {
+                if end == bytes.len() {
+                    summary.truncated_tail = true; // bit-rotted final frame
+                    break;
+                }
+                return Err(WalError::BadFrame(
+                    records.len(),
+                    "checksum mismatch".into(),
+                ));
+            }
+            match WalRecord::from_payload(payload) {
+                Ok(rec) => {
+                    summary.updates += rec.updates.len();
+                    records.push(rec);
+                }
+                Err(msg) => {
+                    if end == bytes.len() {
+                        summary.truncated_tail = true;
+                        break;
+                    }
+                    return Err(WalError::BadFrame(records.len(), msg));
+                }
+            }
+            off = end;
+            good_end = end;
+        }
+        summary.frames = records.len();
+        summary.bytes = good_end as u64;
+        if summary.truncated_tail {
+            // drop the torn tail so the next append starts on a frame
+            // boundary
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(good_end as u64)?;
+            f.sync_all()?;
+        }
+        Ok((records, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expfinder_graph::NodeId;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("expfinder_wal_{tag}_{}.wal", std::process::id()))
+    }
+
+    fn ins(a: u32, b: u32) -> EdgeUpdate {
+        EdgeUpdate::Insert(NodeId(a), NodeId(b))
+    }
+
+    fn del(a: u32, b: u32) -> EdgeUpdate {
+        EdgeUpdate::Delete(NodeId(a), NodeId(b))
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let p = tmp("roundtrip");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Never, 0).unwrap();
+        wal.append(&[ins(0, 1), del(2, 3)]).unwrap();
+        wal.append(&[]).unwrap();
+        wal.append(&[ins(5, 5)]).unwrap();
+        drop(wal);
+
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[0].updates, vec![ins(0, 1), del(2, 3)]);
+        assert_eq!(records[1].updates, Vec::<EdgeUpdate>::new());
+        assert_eq!(records[2].seq, 3);
+        assert!(!summary.truncated_tail);
+        assert_eq!(summary.frames, 3);
+        assert_eq!(summary.updates, 3);
+
+        // reopening continues the sequence
+        let wal = Wal::open(&p, FsyncPolicy::Never, records.last().unwrap().seq).unwrap();
+        assert_eq!(wal.next_seq(), 4);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let p = tmp("torn");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Never, 0).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        wal.append(&[ins(1, 2)]).unwrap();
+        drop(wal);
+        let full = std::fs::read(&p).unwrap();
+
+        // chop the file at every byte inside the final frame: replay
+        // must keep frame 1 and truncate the tail
+        let (records, _) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 2);
+        let frame1_end = {
+            // header + frame1: recompute from the payload length field
+            let len = u32::from_le_bytes(full[7..11].try_into().unwrap()) as usize;
+            7 + 8 + len
+        };
+        for cut in frame1_end + 1..full.len() {
+            std::fs::write(&p, &full[..cut]).unwrap();
+            let (records, summary) = Wal::replay(&p).unwrap();
+            assert_eq!(records.len(), 1, "cut at {cut}");
+            assert!(summary.truncated_tail, "cut at {cut}");
+            // the truncation is persistent: a second replay is clean
+            let (again, summary2) = Wal::replay(&p).unwrap();
+            assert_eq!(again.len(), 1);
+            assert!(!summary2.truncated_tail, "cut at {cut} left a dirty tail");
+        }
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn corrupt_final_frame_checksum_truncates() {
+        let p = tmp("crc");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Never, 0).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        wal.append(&[ins(1, 2)]).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(summary.truncated_tail);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal() {
+        let p = tmp("midfile");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Never, 0).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        wal.append(&[ins(1, 2)]).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&p).unwrap();
+        // flip a byte inside frame 1's payload (not the last frame)
+        bytes[16] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            Wal::replay(&p),
+            Err(WalError::BadFrame(0, _)) | Err(WalError::BadHeader)
+        ));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn reset_truncates_to_header_and_restarts_seq() {
+        let p = tmp("reset");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Always, 0).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.next_seq(), 1);
+        wal.append(&[ins(2, 3)]).unwrap();
+        drop(wal);
+        let (records, _) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[0].updates, vec![ins(2, 3)]);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let p = tmp("missing");
+        let _ = std::fs::remove_file(&p);
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(summary, ReplaySummary::default());
+    }
+
+    #[test]
+    fn oversized_length_field_is_a_torn_tail() {
+        let p = tmp("oversize");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Never, 0).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(b"garbage");
+        std::fs::write(&p, &bytes).unwrap();
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(summary.truncated_tail);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the WAL frame format and the replay semantics the
+//! runtime's durability story rests on:
+//!
+//! * append → replay is the identity on any batch sequence;
+//! * an arbitrary byte-level cut of the file tail (a crash mid-write)
+//!   replays to a *prefix* of the batches, repairs the file in place,
+//!   and is clean on the second replay;
+//! * replaying the full update history onto a snapshot taken at *any*
+//!   intermediate point converges to the final graph — the invariant
+//!   that lets `snapshot` rewrite `.efg` without truncating the log.
+
+use expfinder_graph::{DiGraph, EdgeUpdate, NodeId};
+use expfinder_runtime::wal::{FsyncPolicy, Wal, WAL_MAGIC};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique temp path per proptest case (cases run concurrently).
+fn tmp_wal(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "expfinder_walprop_{tag}_{}_{n}.wal",
+        std::process::id()
+    ))
+}
+
+const NODES: u32 = 12;
+
+fn update_strategy() -> impl Strategy<Value = EdgeUpdate> {
+    (proptest::bool::ANY, 0..NODES, 0..NODES).prop_map(|(ins, a, b)| {
+        if ins {
+            EdgeUpdate::Insert(NodeId(a), NodeId(b))
+        } else {
+            EdgeUpdate::Delete(NodeId(a), NodeId(b))
+        }
+    })
+}
+
+fn batches_strategy(max_batches: usize) -> impl Strategy<Value = Vec<Vec<EdgeUpdate>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(update_strategy(), 0..8),
+        1..max_batches,
+    )
+}
+
+/// A graph with `NODES` nodes, labels cycling over three classes, and
+/// the given initial edges (modulo the node count).
+fn graph_with_edges(edges: &[(u32, u32)]) -> DiGraph {
+    let mut g = DiGraph::new();
+    for i in 0..NODES {
+        g.add_node(["A", "B", "C"][i as usize % 3], []);
+    }
+    for &(a, b) in edges {
+        g.add_edge(NodeId(a % NODES), NodeId(b % NODES));
+    }
+    g
+}
+
+fn sorted_edges(g: &DiGraph) -> Vec<(u32, u32)> {
+    let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+    edges.sort_unstable();
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn append_replay_is_identity(batches in batches_strategy(12)) {
+        let path = tmp_wal("roundtrip");
+        {
+            let mut wal = Wal::open(&path, FsyncPolicy::Never, 0).unwrap();
+            for batch in &batches {
+                wal.append(batch).unwrap();
+            }
+        }
+        let (records, summary) = Wal::replay(&path).unwrap();
+        prop_assert!(!summary.truncated_tail);
+        prop_assert_eq!(records.len(), batches.len());
+        for (i, (rec, batch)) in records.iter().zip(&batches).enumerate() {
+            prop_assert_eq!(rec.seq, i as u64 + 1);
+            prop_assert_eq!(&rec.updates, batch);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn arbitrary_tail_cut_recovers_a_prefix(
+        batches in batches_strategy(8),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let path = tmp_wal("cut");
+        {
+            let mut wal = Wal::open(&path, FsyncPolicy::Never, 0).unwrap();
+            for batch in &batches {
+                wal.append(batch).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        let header = WAL_MAGIC.len();
+        // cut anywhere from "frames all gone" to "one byte missing"
+        let cut = header + (full.len() - header) * cut_ppm as usize / 1_000_000;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let (records, _) = Wal::replay(&path).unwrap();
+        // whatever survived is a strict prefix of what was written
+        prop_assert!(records.len() <= batches.len());
+        for (i, (rec, batch)) in records.iter().zip(&batches).enumerate() {
+            prop_assert_eq!(rec.seq, i as u64 + 1);
+            prop_assert_eq!(&rec.updates, batch);
+        }
+        // the repair is persistent: a second replay is clean and equal
+        let (again, summary2) = Wal::replay(&path).unwrap();
+        prop_assert!(!summary2.truncated_tail);
+        prop_assert_eq!(again.len(), records.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn final_frame_corruption_drops_only_that_frame(
+        batches in batches_strategy(6),
+        flip in 0u8..=255,
+    ) {
+        let path = tmp_wal("corrupt");
+        {
+            let mut wal = Wal::open(&path, FsyncPolicy::Never, 0).unwrap();
+            for batch in &batches {
+                wal.append(batch).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        if bytes.len() > WAL_MAGIC.len() {
+            let last = bytes.len() - 1;
+            bytes[last] ^= flip | 1; // guaranteed to change the byte
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let (records, summary) = Wal::replay(&path).unwrap();
+        prop_assert_eq!(records.len(), batches.len() - 1);
+        prop_assert!(summary.truncated_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Replaying the *full* history onto the state at any intermediate
+    /// batch boundary yields the final graph: edge updates are
+    /// last-writer-wins per edge, so re-applied old updates are either
+    /// no-ops or are overridden by the later ones also being replayed.
+    #[test]
+    fn replay_onto_any_compaction_point_converges(
+        initial in proptest::collection::vec((0..NODES, 0..NODES), 0..20),
+        batches in batches_strategy(10),
+    ) {
+        let base = graph_with_edges(&initial);
+        // states[k] = graph after the first k batches
+        let mut states = vec![base.clone()];
+        for batch in &batches {
+            let mut g = states.last().unwrap().clone();
+            for &up in batch {
+                g.apply(up);
+            }
+            states.push(g);
+        }
+        let final_edges = sorted_edges(states.last().unwrap());
+        for (k, state) in states.iter().enumerate() {
+            let mut g = state.clone();
+            for batch in &batches {
+                for &up in batch {
+                    g.apply(up);
+                }
+            }
+            prop_assert_eq!(
+                sorted_edges(&g),
+                final_edges.clone(),
+                "snapshot at batch boundary {} diverged after full replay",
+                k
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The engine the server fronts: in-memory or durable.
+//!
+//! Every route handler talks to a [`Backend`] instead of a concrete
+//! engine, so the same wire protocol serves two deployment shapes:
+//!
+//! * [`Backend::Local`] — the classic shareable [`ExpFinder`]: graphs
+//!   live in memory and vanish with the process. This is what
+//!   `Server::bind` builds and what the shell's `serve` command uses.
+//! * [`Backend::Durable`] — a [`DurableExpFinder`] shard runtime: every
+//!   accepted update batch is WAL-logged before it is applied, queries
+//!   run on published immutable snapshots, and a restart replays the
+//!   log (`serve --data-dir`).
+//!
+//! The enum is deliberately not a trait: the method surface is the
+//! exact set of operations the routes need, both variants are known at
+//! compile time, and `match` keeps the delegation visible in one file.
+
+use expfinder_core::{EvalStats, MatchRelation};
+use expfinder_engine::{
+    ExpFinder, ExpFinderError, GraphInfo, IndexTotals, QueryResponse, QuerySpec, Route,
+    UpdateReport,
+};
+use expfinder_graph::{DiGraph, EdgeUpdate};
+use expfinder_pattern::Pattern;
+use expfinder_runtime::{DurableExpFinder, ShardStats, WalTotals};
+use std::sync::Arc;
+
+/// Cache statistics re-exported so `metrics` has one source type.
+pub use expfinder_engine::cache::CacheStats;
+
+/// The serving backend — see the module docs. Cloning is cheap (both
+/// variants are an `Arc`) and shares the underlying engine.
+#[derive(Clone)]
+pub enum Backend {
+    /// In-memory engine (no durability; the seed deployment shape).
+    Local(Arc<ExpFinder>),
+    /// Durable shard runtime (WAL + snapshot per graph).
+    Durable(Arc<DurableExpFinder>),
+}
+
+impl Backend {
+    /// Names of every managed graph, sorted.
+    pub fn graph_names(&self) -> Vec<String> {
+        match self {
+            Backend::Local(e) => e.graph_names(),
+            Backend::Durable(rt) => rt.graph_names(),
+        }
+    }
+
+    /// Point-in-time summaries of every graph, sorted by name.
+    pub fn graph_infos(&self) -> Vec<GraphInfo> {
+        match self {
+            Backend::Local(e) => e.graph_infos(),
+            Backend::Durable(rt) => rt.graph_infos(),
+        }
+    }
+
+    /// Add a graph; returns its initial published version.
+    pub fn add_graph(&self, name: &str, graph: DiGraph) -> Result<u64, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.add_graph(name, graph)?;
+                e.read_graph(&handle, |g| g.version())
+            }
+            Backend::Durable(rt) => rt.add_graph(name, graph),
+        }
+    }
+
+    /// Run `f` against the named graph (engine: under its read lock;
+    /// runtime: against the latest published snapshot).
+    pub fn read_graph<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&DiGraph) -> R,
+    ) -> Result<R, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                e.read_graph(&handle, f)
+            }
+            Backend::Durable(rt) => rt.read_graph(name, f),
+        }
+    }
+
+    /// Evaluate one pattern.
+    pub fn query(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                let mut builder = e.query(&handle).pattern(pattern.clone()).prefer(prefer);
+                if let Some(k) = top_k {
+                    builder = builder.top_k(k);
+                }
+                builder.run()
+            }
+            Backend::Durable(rt) => rt.query(name, pattern, top_k, prefer),
+        }
+    }
+
+    /// Evaluate a batch of specs against one graph. The graph is
+    /// resolved up front so an unknown name fails the whole request
+    /// (404) rather than every slot.
+    pub fn query_batch(
+        &self,
+        name: &str,
+        specs: Vec<QuerySpec>,
+    ) -> Result<Vec<Result<QueryResponse, ExpFinderError>>, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                Ok(e.query_batch(&handle, specs))
+            }
+            Backend::Durable(rt) => {
+                rt.graph_version(name)?;
+                Ok(rt.query_batch(name, specs))
+            }
+        }
+    }
+
+    /// Apply edge updates with the full ΔM report. On the durable
+    /// backend the batch is WAL-appended (and fsynced, by policy)
+    /// before it is applied — when this returns `Ok` the updates
+    /// survive a crash.
+    pub fn apply_updates_traced(
+        &self,
+        name: &str,
+        updates: &[EdgeUpdate],
+    ) -> Result<UpdateReport, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                e.apply_updates_traced(&handle, updates)
+            }
+            Backend::Durable(rt) => rt.apply_updates_traced(name, updates),
+        }
+    }
+
+    /// Register a query for incremental maintenance.
+    pub fn register_query(
+        &self,
+        name: &str,
+        query_name: &str,
+        pattern: Pattern,
+    ) -> Result<(), ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                e.register_query(&handle, query_name, pattern)
+            }
+            Backend::Durable(rt) => rt.register_query(name, query_name, pattern),
+        }
+    }
+
+    /// The maintained result of a registered query.
+    pub fn registered_result(
+        &self,
+        name: &str,
+        query_name: &str,
+    ) -> Result<MatchRelation, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                e.registered_result(&handle, query_name)
+            }
+            Backend::Durable(rt) => rt.registered_result(name, query_name),
+        }
+    }
+
+    // ------------------------- metrics feeds ------------------------
+
+    pub fn cache_stats(&self) -> CacheStats {
+        match self {
+            Backend::Local(e) => e.cache_stats(),
+            Backend::Durable(rt) => rt.cache_stats(),
+        }
+    }
+
+    pub fn cache_len(&self) -> usize {
+        match self {
+            Backend::Local(e) => e.cache_len(),
+            Backend::Durable(rt) => rt.cache_len(),
+        }
+    }
+
+    pub fn eval_totals(&self) -> EvalStats {
+        match self {
+            Backend::Local(e) => e.eval_totals(),
+            Backend::Durable(rt) => rt.eval_totals(),
+        }
+    }
+
+    pub fn index_totals(&self) -> IndexTotals {
+        match self {
+            Backend::Local(e) => e.index_totals(),
+            Backend::Durable(rt) => rt.index_totals(),
+        }
+    }
+
+    /// Cumulative WAL counters — all zero on a [`Backend::Local`], so
+    /// the `/metrics` document has the same shape in both deployments.
+    pub fn wal_totals(&self) -> WalTotals {
+        match self {
+            Backend::Local(_) => WalTotals::default(),
+            Backend::Durable(rt) => rt.wal_totals(),
+        }
+    }
+
+    /// Per-shard mailbox/ownership gauges — empty on a
+    /// [`Backend::Local`].
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        match self {
+            Backend::Local(_) => Vec::new(),
+            Backend::Durable(rt) => rt.shard_stats(),
+        }
+    }
+}

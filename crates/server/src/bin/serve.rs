@@ -3,7 +3,17 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--fixture fig1]
 //!       [--load <name> <path.efg>] [--log <path>] [--allow-shutdown]
+//!       [--data-dir <dir>] [--shards N] [--no-fsync]
 //! ```
+//!
+//! Without `--data-dir` the daemon serves an in-memory engine (graphs
+//! vanish with the process). With it, the daemon boots a durable shard
+//! runtime rooted at the directory: graphs persist as `.efg` snapshots,
+//! every accepted update batch is WAL-logged before it is applied, and
+//! a restart replays the logs — `kill -9` loses at most the batch whose
+//! append was torn mid-write. `--shards` sizes the actor pool,
+//! `--no-fsync` trades crash-durability of the tail for update latency
+//! (replay correctness is unaffected).
 //!
 //! Prints exactly one `listening on <addr>` line on stdout once the
 //! socket is bound (the contract the smoke harness and scripts rely on
@@ -16,15 +26,17 @@
 //! and in both cases drains gracefully: in-flight requests finish and
 //! every worker is joined before the process exits 0.
 
-use expfinder_engine::ExpFinder;
-use expfinder_server::{Server, ServerConfig};
+use expfinder_engine::{ExpFinder, ExpFinderError};
+use expfinder_runtime::{DurableExpFinder, FsyncPolicy, RuntimeConfig};
+use expfinder_server::{Backend, Server, ServerConfig};
 use std::io::Write;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--fixture fig1] \
-         [--load NAME PATH] [--log PATH] [--allow-shutdown]"
+         [--load NAME PATH] [--log PATH] [--allow-shutdown] \
+         [--data-dir DIR] [--shards N] [--no-fsync]"
     );
     std::process::exit(2);
 }
@@ -41,6 +53,21 @@ impl Log {
     }
 }
 
+/// Seed a graph into the backend, tolerating one that a durable restart
+/// already recovered from disk.
+fn seed(backend: &Backend, log: &mut Log, name: &str, graph: expfinder_graph::DiGraph) {
+    match backend.add_graph(name, graph) {
+        Ok(_) => {}
+        Err(ExpFinderError::DuplicateGraph(_)) if matches!(backend, Backend::Durable(_)) => {
+            log.line(&format!("{name} already recovered from the data dir"));
+        }
+        Err(e) => {
+            eprintln!("cannot add {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7878".to_owned();
@@ -48,6 +75,9 @@ fn main() {
     let mut fixtures: Vec<String> = Vec::new();
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut log_path: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut fsync = FsyncPolicy::Always;
 
     let take = |i: &mut usize| -> String {
         *i += 1;
@@ -66,6 +96,9 @@ fn main() {
             }
             "--log" => log_path = Some(take(&mut i)),
             "--allow-shutdown" => config.allow_remote_shutdown = true,
+            "--data-dir" => data_dir = Some(take(&mut i)),
+            "--shards" => shards = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--no-fsync" => fsync = FsyncPolicy::Never,
             _ => usage(),
         }
         i += 1;
@@ -78,16 +111,42 @@ fn main() {
         })
     }));
 
-    let engine = Arc::new(ExpFinder::default());
+    let backend = match &data_dir {
+        None => Backend::Local(Arc::new(ExpFinder::default())),
+        Some(dir) => {
+            let mut rc = RuntimeConfig {
+                fsync,
+                ..RuntimeConfig::default()
+            };
+            if let Some(n) = shards {
+                rc.shards = n.max(1);
+            }
+            let rt = DurableExpFinder::open(dir, rc).unwrap_or_else(|e| {
+                eprintln!("cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            });
+            let recovered = rt.wal_totals();
+            log.line(&format!(
+                "durable runtime on {dir}: {} graphs recovered \
+                 ({} WAL frames / {} updates replayed, {} torn tails repaired)",
+                rt.graph_names().len(),
+                recovered.replayed_frames,
+                recovered.replayed_updates,
+                recovered.truncated_tails,
+            ));
+            Backend::Durable(Arc::new(rt))
+        }
+    };
+
     for fixture in &fixtures {
         match fixture.as_str() {
             "fig1" => {
-                engine
-                    .add_graph(
-                        "fig1",
-                        expfinder_graph::fixtures::collaboration_fig1().graph,
-                    )
-                    .expect("fresh engine");
+                seed(
+                    &backend,
+                    &mut log,
+                    "fig1",
+                    expfinder_graph::fixtures::collaboration_fig1().graph,
+                );
                 log.line("loaded fixture fig1 (paper Fig. 1 collaboration network)");
             }
             other => {
@@ -101,15 +160,12 @@ fn main() {
             eprintln!("cannot load {path}: {e}");
             std::process::exit(1);
         });
-        engine.add_graph(name, g).unwrap_or_else(|e| {
-            eprintln!("cannot add {name}: {e}");
-            std::process::exit(1);
-        });
+        seed(&backend, &mut log, name, g);
         log.line(&format!("loaded {name} from {path}"));
     }
 
     let workers = config.workers;
-    let server = Server::bind(engine, addr.as_str(), config).unwrap_or_else(|e| {
+    let server = Server::bind_backend(backend, addr.as_str(), config).unwrap_or_else(|e| {
         eprintln!("bind {addr}: {e}");
         std::process::exit(1);
     });
@@ -121,7 +177,6 @@ fn main() {
     let _ = std::io::stdout().flush();
 
     // stdin EOF ⇒ drain (offline stand-in for SIGTERM)
-    let engine = Arc::clone(handle.engine());
     let draining = Arc::new(std::sync::atomic::AtomicBool::new(false));
     {
         let draining = Arc::clone(&draining);
@@ -142,6 +197,7 @@ fn main() {
     }
 
     // wait for either shutdown source, then drain
+    let backend = handle.backend().clone();
     let served = loop {
         if handle.is_draining() {
             break handle.join();
@@ -153,6 +209,6 @@ fn main() {
     };
     log.line(&format!(
         "drained and stopped: {served} requests served, {} graphs managed",
-        engine.graph_names().len()
+        backend.graph_names().len()
     ));
 }

@@ -97,8 +97,12 @@ fn main() {
         sibling.to_string_lossy().into_owned()
     });
 
-    // ---- boot ----
-    println!("booting {server_bin} (log: {log_path})");
+    // ---- boot (durable: the smoke drives the WAL-backed shard runtime) ----
+    let data_dir =
+        std::env::temp_dir().join(format!("expfinder_smoke_data_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let data_dir_arg = data_dir.to_string_lossy().into_owned();
+    println!("booting {server_bin} (log: {log_path}, data dir: {data_dir_arg})");
     let mut child = Command::new(&server_bin)
         .args([
             "--addr",
@@ -108,6 +112,8 @@ fn main() {
             "--allow-shutdown",
             "--log",
             &log_path,
+            "--data-dir",
+            &data_dir_arg,
         ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -307,6 +313,32 @@ fn main() {
         || metrics.to_string_compact(),
     );
     h.check(
+        "metrics export WAL counters from the durable backend",
+        // one update batch was accepted → exactly that many appends;
+        // fresh data dir → nothing replayed, no torn tails
+        i64_at(&metrics, &["engine", "wal", "appends"]) >= 1
+            && i64_at(&metrics, &["engine", "wal", "bytes"]) >= 1
+            && i64_at(&metrics, &["engine", "wal", "fsyncs"]) >= 1
+            && i64_at(&metrics, &["engine", "wal", "replayed_frames"]) == 0
+            && i64_at(&metrics, &["engine", "wal", "truncated_tails"]) == 0,
+        || metrics.to_string_compact(),
+    );
+    let shards = metrics
+        .field("engine")
+        .and_then(|e| e.field("shard"))
+        .and_then(|s| s.as_array())
+        .map(|a| a.to_vec())
+        .unwrap_or_default();
+    h.check(
+        "metrics export per-shard mailbox depth and ownership gauges",
+        !shards.is_empty()
+            && shards
+                .iter()
+                .all(|s| i64_at(s, &["depth"]) >= 0 && i64_at(s, &["commands"]) >= 1)
+            && shards.iter().map(|s| i64_at(s, &["graphs"])).sum::<i64>() == 2,
+        || metrics.to_string_compact(),
+    );
+    h.check(
         "metrics export live graph versions",
         metrics
             .field("graphs")
@@ -336,6 +368,23 @@ fn main() {
         log.contains("listening on") && log.contains("drained and stopped"),
         || format!("log was: {log:?}"),
     );
+
+    h.check(
+        "data dir holds a snapshot and a WAL per graph",
+        data_dir.join("fig1.efg").is_file()
+            && data_dir.join("fig1.wal").is_file()
+            && data_dir.join("uploaded.efg").is_file(),
+        || {
+            let listing: Vec<String> = std::fs::read_dir(&data_dir)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            format!("{listing:?}")
+        },
+    );
+    let _ = std::fs::remove_dir_all(&data_dir);
 
     // g2 only exists to exercise upload; touch it so nothing is unused
     assert_eq!(g2.node_count(), 2);

@@ -9,7 +9,10 @@
 //! same hand-rolled `expfinder_graph::json` module the on-disk formats
 //! use (see [`wire`]).
 //!
-//! * [`server`] — bounded worker pool sharing one `Arc<ExpFinder>`,
+//! * [`backend`] — the engine behind the routes: an in-memory
+//!   `Arc<ExpFinder>` or a durable `Arc<DurableExpFinder>` shard
+//!   runtime (WAL-logged updates, snapshot reads, replay on restart).
+//! * [`server`] — bounded worker pool sharing one [`Backend`],
 //!   keep-alive connections, graceful drain.
 //! * [`routes`] — the endpoint table; `ExpFinderError`s map to statuses
 //!   through [`expfinder_engine::ExpFinderError::http_status`].
@@ -51,6 +54,7 @@
 //! handle.shutdown();
 //! ```
 
+pub mod backend;
 pub mod client;
 pub mod http;
 pub mod metrics;
@@ -59,6 +63,7 @@ pub mod server;
 pub mod shell_ext;
 pub mod wire;
 
+pub use backend::Backend;
 pub use client::{Client, ClientError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use shell_ext::ServedShell;

@@ -6,7 +6,7 @@
 //! in-flight gauge (RAII guard) and connection open/close counters.
 //! Graph versions are read live from the engine at export time.
 
-use expfinder_engine::ExpFinder;
+use crate::backend::Backend;
 use expfinder_graph::json::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -230,18 +230,34 @@ impl Metrics {
     }
 
     /// The `GET /metrics` document. Graph versions, cache counters and
-    /// cumulative evaluation-work counters come live from the engine so
+    /// cumulative evaluation-work counters come live from the backend so
     /// the exporter doubles as a serving-path profiler: cache hit rates
     /// and `EvalStats` wins (refresh skipping, BFS-node reduction) are
-    /// visible without attaching a profiler.
-    pub fn to_json(&self, engine: &ExpFinder) -> Value {
+    /// visible without attaching a profiler. The durability block
+    /// (`engine.wal`) and the per-shard gauges (`engine.shard`) are
+    /// always present so dashboards see one schema — an in-memory
+    /// backend exports zeroes and an empty shard list.
+    pub fn to_json(&self, backend: &Backend) -> Value {
         let requests = RouteKey::ALL
             .iter()
             .map(|k| (k.name(), self.routes[k.index()].to_json()))
             .collect::<Vec<_>>();
-        let cache = engine.cache_stats();
-        let eval = engine.eval_totals();
-        let index = engine.index_totals();
+        let cache = backend.cache_stats();
+        let eval = backend.eval_totals();
+        let index = backend.index_totals();
+        let wal = backend.wal_totals();
+        let shards: Vec<Value> = backend
+            .shard_stats()
+            .into_iter()
+            .map(|s| {
+                obj(vec![
+                    ("shard", Value::Int(s.shard as i64)),
+                    ("depth", Value::Int(s.depth as i64)),
+                    ("graphs", Value::Int(s.graphs as i64)),
+                    ("commands", Value::Int(s.commands as i64)),
+                ])
+            })
+            .collect();
         let engine_doc = obj(vec![
             (
                 "cache",
@@ -249,7 +265,7 @@ impl Metrics {
                     ("hits", Value::Int(cache.hits as i64)),
                     ("misses", Value::Int(cache.misses as i64)),
                     ("evictions", Value::Int(cache.evictions as i64)),
-                    ("entries", Value::Int(engine.cache_len() as i64)),
+                    ("entries", Value::Int(backend.cache_len() as i64)),
                 ]),
             ),
             (
@@ -276,8 +292,20 @@ impl Metrics {
                     ("bytes", Value::Int(index.bytes as i64)),
                 ]),
             ),
+            (
+                "wal",
+                obj(vec![
+                    ("appends", Value::Int(wal.appends as i64)),
+                    ("fsyncs", Value::Int(wal.fsyncs as i64)),
+                    ("bytes", Value::Int(wal.bytes as i64)),
+                    ("replayed_frames", Value::Int(wal.replayed_frames as i64)),
+                    ("replayed_updates", Value::Int(wal.replayed_updates as i64)),
+                    ("truncated_tails", Value::Int(wal.truncated_tails as i64)),
+                ]),
+            ),
+            ("shard", Value::Array(shards)),
         ]);
-        let graphs: Vec<Value> = engine
+        let graphs: Vec<Value> = backend
             .graph_infos()
             .into_iter()
             .map(|info| {
@@ -328,6 +356,12 @@ pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use expfinder_engine::ExpFinder;
+    use std::sync::Arc;
+
+    fn local() -> Backend {
+        Backend::Local(Arc::new(ExpFinder::default()))
+    }
 
     #[test]
     fn histogram_buckets_and_classes() {
@@ -338,8 +372,7 @@ mod tests {
         m.record(RouteKey::Query, 500, Duration::from_secs(10));
         assert_eq!(m.total_requests(), 4);
 
-        let engine = ExpFinder::default();
-        let doc = m.to_json(&engine);
+        let doc = m.to_json(&local());
         let q = doc.field("requests").unwrap().field("query").unwrap();
         assert_eq!(q.field("count").unwrap().as_i64().unwrap(), 4);
         let status = q.field("status").unwrap();
@@ -372,13 +405,33 @@ mod tests {
     }
 
     #[test]
+    fn wal_and_shard_blocks_always_present() {
+        // one metrics schema for both deployment shapes: an in-memory
+        // backend exports the durability block as zeroes / empty
+        let doc = Metrics::default().to_json(&local());
+        let wal = doc.field("engine").unwrap().field("wal").unwrap();
+        for key in [
+            "appends",
+            "fsyncs",
+            "bytes",
+            "replayed_frames",
+            "replayed_updates",
+            "truncated_tails",
+        ] {
+            assert_eq!(wal.field(key).unwrap().as_i64().unwrap(), 0, "{key}");
+        }
+        let shards = doc.field("engine").unwrap().field("shard").unwrap();
+        assert!(shards.as_array().unwrap().is_empty());
+    }
+
+    #[test]
     fn graph_versions_exported_live() {
-        let engine = ExpFinder::default();
-        engine
+        let backend = local();
+        backend
             .add_graph("g", expfinder_graph::fixtures::collaboration_fig1().graph)
             .unwrap();
         let m = Metrics::default();
-        let doc = m.to_json(&engine);
+        let doc = m.to_json(&backend);
         let graphs = doc.field("graphs").unwrap().as_array().unwrap();
         assert_eq!(graphs.len(), 1);
         assert_eq!(graphs[0].field("name").unwrap().as_str().unwrap(), "g");
@@ -387,7 +440,7 @@ mod tests {
 
     #[test]
     fn engine_cache_and_eval_counters_exported() {
-        let engine = ExpFinder::default();
+        let engine = Arc::new(ExpFinder::default());
         let h = engine
             .add_graph("g", expfinder_graph::fixtures::collaboration_fig1().graph)
             .unwrap();
@@ -395,7 +448,7 @@ mod tests {
         // miss + direct eval, then a hit
         engine.evaluate(&h, &q).unwrap();
         engine.evaluate(&h, &q).unwrap();
-        let doc = Metrics::default().to_json(&engine);
+        let doc = Metrics::default().to_json(&Backend::Local(engine));
         let cache = doc.field("engine").unwrap().field("cache").unwrap();
         assert_eq!(cache.field("hits").unwrap().as_i64().unwrap(), 1);
         assert_eq!(cache.field("misses").unwrap().as_i64().unwrap(), 1);

@@ -34,7 +34,7 @@ pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Response) {
             ("GET", ["healthz"]) => (RouteKey::Healthz, healthz(inner)),
             ("GET", ["metrics"]) => (
                 RouteKey::Metrics,
-                Ok(Response::json(200, &inner.metrics.to_json(&inner.engine))),
+                Ok(Response::json(200, &inner.metrics.to_json(&inner.backend))),
             ),
             ("GET", ["graphs"]) => (RouteKey::GraphsList, graphs_list(inner)),
             ("POST", ["graphs"]) => (RouteKey::GraphAdd, graph_add(inner, req)),
@@ -73,7 +73,7 @@ fn healthz(inner: &Inner) -> Result<Response, WireError> {
         ("status", Value::Str("ok".into())),
         (
             "graphs",
-            Value::Int(inner.engine.graph_names().len() as i64),
+            Value::Int(inner.backend.graph_names().len() as i64),
         ),
         ("in_flight", Value::Int(inner.metrics.in_flight() as i64)),
         ("draining", Value::Bool(inner.draining())),
@@ -83,7 +83,7 @@ fn healthz(inner: &Inner) -> Result<Response, WireError> {
 
 fn graphs_list(inner: &Inner) -> Result<Response, WireError> {
     let graphs: Vec<Value> = inner
-        .engine
+        .backend
         .graph_infos()
         .iter()
         .map(wire::encode_graph_info)
@@ -98,8 +98,7 @@ fn graph_add(inner: &Inner, req: &Request) -> Result<Response, WireError> {
     let body = wire::parse_body(&req.body)?;
     let (name, graph) = wire::decode_add_graph(&body)?;
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
-    let handle = inner.engine.add_graph(&name, graph)?;
-    let version = inner.engine.read_graph(&handle, |g| g.version())?;
+    let version = inner.backend.add_graph(&name, graph)?;
     let body = obj(vec![
         ("name", Value::Str(name)),
         ("nodes", Value::Int(nodes as i64)),
@@ -112,19 +111,10 @@ fn graph_add(inner: &Inner, req: &Request) -> Result<Response, WireError> {
 fn query(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
     let body = wire::parse_body(&req.body)?;
     let q = wire::decode_query(&body)?;
-    let handle = inner.engine.handle(name)?;
-    let mut builder = inner
-        .engine
-        .query(&handle)
-        .pattern(q.pattern.clone())
-        .prefer(q.route);
-    if let Some(k) = q.top_k {
-        builder = builder.top_k(k);
-    }
-    let resp = builder.run()?;
+    let resp = inner.backend.query(name, &q.pattern, q.top_k, q.route)?;
     // resolve expert display names under a fresh read lock; queries and
     // updates may interleave, but expert node ids are stable
-    let encoded = inner.engine.read_graph(&handle, |g| {
+    let encoded = inner.backend.read_graph(name, |g| {
         wire::encode_query_response(&resp, &q.pattern, q.include_matches, |n| {
             if (n.0 as usize) < g.node_count() {
                 g.attr_of(n, "name").and_then(|a| match a {
@@ -142,7 +132,6 @@ fn query(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError
 fn batch(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
     let body = wire::parse_body(&req.body)?;
     let decoded = wire::decode_batch(&body)?;
-    let handle = inner.engine.handle(name)?;
     // wire-level decode failures keep their slot, mirroring the engine's
     // per-slot Results: build specs only for well-formed slots
     let specs: Vec<QuerySpec> = decoded
@@ -156,7 +145,7 @@ fn batch(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError
             spec
         })
         .collect();
-    let mut engine_results = inner.engine.query_batch(&handle, specs).into_iter();
+    let mut engine_results = inner.backend.query_batch(name, specs)?.into_iter();
     let results: Vec<Value> = decoded
         .iter()
         .map(|d| match d {
@@ -182,8 +171,7 @@ fn batch(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError
 fn updates(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
     let body = wire::parse_body(&req.body)?;
     let ups = wire::decode_updates(&body)?;
-    let handle = inner.engine.handle(name)?;
-    let report = inner.engine.apply_updates_traced(&handle, &ups)?;
+    let report = inner.backend.apply_updates_traced(name, &ups)?;
     Ok(Response::json(200, &wire::encode_update_report(&report)))
 }
 
@@ -200,12 +188,8 @@ fn register(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireEr
         .map_err(|e| WireError::bad_request(e.to_string()))?;
     let pattern = expfinder_pattern::parser::parse(dsl)
         .map_err(|e| WireError::from(ExpFinderError::from(e)))?;
-    let handle = inner.engine.handle(name)?;
-    inner.engine.register_query(&handle, &qname, pattern)?;
-    let pairs = inner
-        .engine
-        .registered_result(&handle, &qname)?
-        .total_pairs();
+    inner.backend.register_query(name, &qname, pattern)?;
+    let pairs = inner.backend.registered_result(name, &qname)?.total_pairs();
     let body = obj(vec![
         ("registered", Value::Str(qname)),
         ("pairs", Value::Int(pairs as i64)),

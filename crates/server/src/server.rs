@@ -18,10 +18,12 @@
 //! supervisor needs (the `serve` binary wires this to stdin EOF and the
 //! admin endpoint; bare `std` cannot install signal handlers).
 
+use crate::backend::Backend;
 use crate::http::{self, HttpError, Response};
 use crate::metrics::Metrics;
 use crate::routes;
 use expfinder_engine::ExpFinder;
+use expfinder_runtime::DurableExpFinder;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,7 +65,7 @@ impl Default for ServerConfig {
 
 /// Shared server state (everything a worker needs).
 pub(crate) struct Inner {
-    pub(crate) engine: Arc<ExpFinder>,
+    pub(crate) backend: Backend,
     pub(crate) metrics: Metrics,
     pub(crate) config: ServerConfig,
     pub(crate) shutdown: AtomicBool,
@@ -92,9 +94,29 @@ pub struct Server {
 const POLL: Duration = Duration::from_millis(25);
 
 impl Server {
-    /// Bind to `addr` (use port 0 for an ephemeral port).
+    /// Bind to `addr` (use port 0 for an ephemeral port), serving an
+    /// in-memory engine.
     pub fn bind(
         engine: Arc<ExpFinder>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind_backend(Backend::Local(engine), addr, config)
+    }
+
+    /// Bind to `addr`, serving a durable shard runtime: updates are
+    /// WAL-logged, queries run on published snapshots, restarts replay.
+    pub fn bind_durable(
+        runtime: Arc<DurableExpFinder>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind_backend(Backend::Durable(runtime), addr, config)
+    }
+
+    /// Bind to `addr` with an explicit [`Backend`].
+    pub fn bind_backend(
+        backend: Backend,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
@@ -104,7 +126,7 @@ impl Server {
             listener,
             addr,
             inner: Arc::new(Inner {
-                engine,
+                backend,
                 metrics: Metrics::default(),
                 config,
                 shutdown: AtomicBool::new(false),
@@ -165,9 +187,18 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The engine this server fronts.
-    pub fn engine(&self) -> &Arc<ExpFinder> {
-        &self.inner.engine
+    /// The backend this server fronts.
+    pub fn backend(&self) -> &Backend {
+        &self.inner.backend
+    }
+
+    /// The in-memory engine this server fronts, when it is serving one
+    /// (`None` on a durable backend).
+    pub fn engine(&self) -> Option<&Arc<ExpFinder>> {
+        match &self.inner.backend {
+            Backend::Local(e) => Some(e),
+            Backend::Durable(_) => None,
+        }
     }
 
     /// Requests served so far (all routes).

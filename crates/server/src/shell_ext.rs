@@ -7,6 +7,12 @@
 //! * `serve [addr]` — boot an HTTP server **on the shell's own engine**
 //!   (default `127.0.0.1:0`); graphs generated or loaded in the shell are
 //!   immediately queryable over the wire.
+//! * `serve durable <dir> [addr]` — boot a server on a **durable shard
+//!   runtime** rooted at `<dir>` instead: graphs already in the
+//!   directory are recovered (snapshot + WAL replay) and updates
+//!   accepted over the wire are WAL-logged. Separate from the shell's
+//!   in-memory engine by design — durability is a property of the data
+//!   dir, not of the shell session.
 //! * `serve stop` — graceful drain; prints how many requests were served.
 //! * `connect <addr>` — attach the blocking client to a remote server.
 //! * `remote <graph> <pattern-dsl>` — run one query over the connection.
@@ -15,14 +21,17 @@
 //! `examples/expfinder_shell.rs` wires this wrapper (not the bare
 //! `Shell`) to stdin.
 
+use crate::backend::Backend;
 use crate::client::{query_body, Client};
 use crate::server::{Server, ServerConfig, ServerHandle};
 use expfinder_engine::shell::{Shell, ShellResult};
 use expfinder_engine::EngineConfig;
+use expfinder_runtime::{DurableExpFinder, RuntimeConfig};
 use std::sync::Arc;
 
 const SERVE_HELP: &str = "\
   serve [addr]                   serve this shell's engine over HTTP
+  serve durable <dir> [addr]     serve a durable (WAL-backed) data dir
   serve stop                     drain and stop the server
   connect <addr>                 attach to a remote expfinder-server
   remote <graph> <pattern-dsl>   run a query over the connection
@@ -102,13 +111,37 @@ impl ServedShell {
                 self.serving_addr().expect("server is running")
             ));
         }
-        let addr = if rest.is_empty() { "127.0.0.1:0" } else { rest };
+        let (backend, addr, recovered) = match rest.strip_prefix("durable") {
+            Some(durable_rest) => {
+                let mut parts = durable_rest.split_whitespace();
+                let dir = parts.next().ok_or("usage: serve durable <dir> [addr]")?;
+                let addr = parts.next().unwrap_or("127.0.0.1:0").to_owned();
+                let rt = DurableExpFinder::open(dir, RuntimeConfig::default())
+                    .map_err(|e| format!("open data dir {dir}: {e}"))?;
+                let recovered = rt.graph_names().len();
+                (Backend::Durable(Arc::new(rt)), addr, Some(recovered))
+            }
+            None => {
+                let addr = if rest.is_empty() { "127.0.0.1:0" } else { rest };
+                (
+                    Backend::Local(Arc::clone(self.shell.engine())),
+                    addr.to_owned(),
+                    None,
+                )
+            }
+        };
         let config = ServerConfig::default();
         let workers = config.workers;
-        let server = Server::bind(Arc::clone(self.shell.engine()), addr, config)
+        let server = Server::bind_backend(backend, addr.as_str(), config)
             .map_err(|e| format!("bind {addr}: {e}"))?;
         let handle = server.spawn();
-        let out = format!("serving on {} ({workers} workers)", handle.addr());
+        let out = match recovered {
+            Some(n) => format!(
+                "serving durable on {} ({workers} workers, {n} graphs recovered)",
+                handle.addr()
+            ),
+            None => format!("serving on {} ({workers} workers)", handle.addr()),
+        };
         self.server = Some(handle);
         Ok(out)
     }
@@ -220,6 +253,41 @@ mod tests {
         let out = sh.exec("serve stop").unwrap();
         assert!(out.contains("server drained and stopped"), "{out}");
         assert!(out.contains("requests served"), "{out}");
+    }
+
+    #[test]
+    fn serve_durable_recovers_graphs_across_serve_sessions() {
+        let dir =
+            std::env::temp_dir().join(format!("expfinder_shell_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+
+        let mut sh = ServedShell::default();
+        let out = sh.exec(&format!("serve durable {dir_arg}")).unwrap();
+        assert!(out.contains("serving durable"), "{out}");
+        assert!(out.contains("0 graphs recovered"), "{out}");
+
+        // upload over the wire; the durable backend snapshots + WALs it
+        let mut client = Client::new(sh.serving_addr().unwrap());
+        client
+            .add_graph("persisted", &collaboration_fig1().graph)
+            .unwrap();
+        sh.exec("serve stop").unwrap();
+
+        // a second durable session on the same dir recovers the graph
+        let out = sh.exec(&format!("serve durable {dir_arg}")).unwrap();
+        assert!(out.contains("1 graphs recovered"), "{out}");
+        let addr = sh.serving_addr().unwrap().to_string();
+        let out = sh.exec(&format!("connect {addr}")).unwrap();
+        assert!(out.contains("persisted"), "{out}");
+        let out = sh
+            .exec("remote persisted node sa* where label = \"SA\";")
+            .unwrap();
+        assert!(out.contains("2 pairs"), "{out}");
+        sh.exec("serve stop").unwrap();
+
+        assert!(sh.exec("serve durable").is_err(), "dir is required");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -179,33 +179,19 @@ pub fn decode_updates(v: &Value) -> Result<Vec<EdgeUpdate>, WireError> {
         .iter()
         .enumerate()
         .map(|(i, item)| {
-            let bad = |e: expfinder_graph::json::JsonError| {
-                WireError::bad_request(format!("update {i}: {e}"))
-            };
-            let from = NodeId(item.field("from").and_then(|x| x.as_u32()).map_err(bad)?);
-            let to = NodeId(item.field("to").and_then(|x| x.as_u32()).map_err(bad)?);
-            match item.field("op").and_then(|x| x.as_str()).map_err(bad)? {
-                "insert" => Ok(EdgeUpdate::Insert(from, to)),
-                "delete" => Ok(EdgeUpdate::Delete(from, to)),
-                other => Err(WireError::bad_request(format!(
-                    "update {i}: unknown op {other:?} (insert|delete)"
-                ))),
-            }
+            // the canonical codec lives in expfinder_graph::io (shared
+            // with the runtime's write-ahead log); the wire layer only
+            // adds the slot index to the error
+            expfinder_graph::io::update_from_json(item)
+                .map_err(|e| WireError::bad_request(format!("update {i}: {e}")))
         })
         .collect()
 }
 
-/// Encode one [`EdgeUpdate`] (used by the client).
+/// Encode one [`EdgeUpdate`] (used by the client). Delegates to the
+/// canonical codec in `expfinder_graph::io`.
 pub fn encode_update(up: EdgeUpdate) -> Value {
-    let (op, from, to) = match up {
-        EdgeUpdate::Insert(a, b) => ("insert", a, b),
-        EdgeUpdate::Delete(a, b) => ("delete", a, b),
-    };
-    obj(vec![
-        ("op", Value::Str(op.to_owned())),
-        ("from", Value::Int(from.0 as i64)),
-        ("to", Value::Int(to.0 as i64)),
-    ])
+    expfinder_graph::io::update_to_json(up)
 }
 
 /// Decode `{"name": g, "graph": GraphDoc}`.

@@ -59,10 +59,18 @@ serve:
     cargo run --release -p expfinder-server --bin serve -- --addr 127.0.0.1:7878 --fixture fig1 --allow-shutdown
 
 # the CI `serve-smoke` job: build release, boot the real `serve` binary
-# on an ephemeral port, drive every endpoint over TCP, drain, check the log
+# on an ephemeral port (durable data dir), drive every endpoint over
+# TCP, drain, check the log
 serve-smoke:
-    cargo build --release
+    cargo build --release -p expfinder-server
     cargo run --release -p expfinder-server --bin serve_smoke -- --log target/serve-smoke.log
+
+# the CI `recovery-smoke` job: boot `serve --data-dir`, stream updates,
+# kill -9, restart, and assert WAL replay answers bit-identically to an
+# in-memory oracle — including a torn-final-frame restart
+recovery-smoke:
+    cargo build --release -p expfinder-server
+    cargo run --release -p expfinder-server --bin recovery_smoke -- --log target/recovery-smoke
 
 # full server throughput benchmark (writes BENCH_3.json)
 bench-serve:

@@ -62,6 +62,7 @@ pub use expfinder_engine as engine;
 pub use expfinder_graph as graph;
 pub use expfinder_incremental as incremental;
 pub use expfinder_pattern as pattern;
+pub use expfinder_runtime as runtime;
 pub use expfinder_server as server;
 
 #[doc(inline)]
@@ -81,5 +82,6 @@ pub mod prelude {
     pub use expfinder_graph::{AttrValue, CsrGraph, DiGraph, EdgeUpdate, GraphView, NodeId};
     pub use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim};
     pub use expfinder_pattern::{Bound, Pattern, PatternBuilder, Predicate};
+    pub use expfinder_runtime::{DurableExpFinder, FsyncPolicy, RuntimeConfig};
     pub use expfinder_server::{Client, ServedShell, Server, ServerConfig, ServerHandle};
 }
