@@ -443,6 +443,15 @@ impl RegisteredDelta {
     }
 }
 
+/// Observer of committed update batches, installed with
+/// [`ExpFinder::set_update_hook`]. Called once per batch with the graph
+/// name and the full traced [`UpdateReport`], *while the graph's write
+/// lock is still held* — so hook invocations for one graph are totally
+/// ordered and carry consecutive `graph_version`s. Implementations must
+/// not block (the server's subscription fan-out uses non-blocking
+/// queue sends) and must not call back into the engine.
+pub type UpdateHook = Arc<dyn Fn(&str, &UpdateReport) + Send + Sync>;
+
 /// Result of [`ExpFinder::apply_updates_traced`].
 #[derive(Clone, Debug)]
 pub struct UpdateReport {
@@ -546,6 +555,8 @@ pub struct ExpFinder {
     /// Cumulative [`EvalStats`] across every direct/compressed
     /// evaluation, exported on `GET /metrics`.
     eval_totals: EvalTotals,
+    /// Observer of committed update batches (ΔM push fan-out).
+    update_hook: RwLock<Option<UpdateHook>>,
     next_id: AtomicU64,
 }
 
@@ -631,8 +642,17 @@ impl ExpFinder {
             cache,
             scratch_pool: ScratchPool::new(),
             eval_totals: EvalTotals::default(),
+            update_hook: RwLock::new(None),
             next_id: AtomicU64::new(1),
         }
+    }
+
+    /// Install (or, with `None`, remove) the [`UpdateHook`] observing
+    /// every committed update batch. While a hook is installed, update
+    /// batches are always traced — the hook sees the full ΔM report even
+    /// when the caller used the untraced [`ExpFinder::apply_updates`].
+    pub fn set_update_hook(&self, hook: Option<UpdateHook>) {
+        *self.update_hook.write() = hook;
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -884,6 +904,9 @@ impl ExpFinder {
         trace: bool,
     ) -> Result<UpdateReport, ExpFinderError> {
         let drift = self.config.recompress_drift;
+        // an installed hook forces tracing so its frames always carry ΔM
+        let hook = self.update_hook.read().clone();
+        let trace = trace || hook.is_some();
         let slot = self.slot(handle)?;
         let mut stored = slot.write();
         let stored = &mut *stored;
@@ -924,12 +947,18 @@ impl ExpFinder {
                 .total_pairs();
         }
         registered.sort_by(|a, b| a.query.cmp(&b.query));
-        Ok(UpdateReport {
+        let report = UpdateReport {
             applied,
             attempted: updates.len(),
             graph_version: stored.graph.version(),
             registered,
-        })
+        };
+        if let Some(hook) = &hook {
+            // still under the graph's write lock: per-graph hook calls
+            // are totally ordered by graph_version
+            hook(handle.name(), &report);
+        }
+        Ok(report)
     }
 
     // ----------------------------- evaluation ----------------------------
@@ -1574,6 +1603,42 @@ mod tests {
         let out = e.evaluate(&h, &q).unwrap();
         assert_eq!(out.route, EvalRoute::Registered);
         assert_eq!(out.matches.total_pairs(), 8);
+    }
+
+    #[test]
+    fn update_hook_sees_traced_reports_in_order() {
+        let (e, h, f) = engine_with_fig1();
+        e.register_query(&h, "team", fig1_pattern()).unwrap();
+        type SeenReports = Vec<(String, u64, Vec<RegisteredDelta>)>;
+        let seen: Arc<parking_lot::Mutex<SeenReports>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        e.set_update_hook(Some(Arc::new(move |graph: &str, report: &UpdateReport| {
+            sink.lock().push((
+                graph.to_owned(),
+                report.graph_version,
+                report.registered.clone(),
+            ));
+        })));
+
+        // untraced entry point: the hook forces tracing anyway
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        e.apply_updates(&h, &[EdgeUpdate::Delete(f.e1.0, f.e1.1)])
+            .unwrap();
+
+        let frames = seen.lock().clone();
+        assert_eq!(frames.len(), 2);
+        assert!(frames.iter().all(|(g, _, _)| g == "fig1"));
+        assert!(frames[0].1 < frames[1].1, "versions strictly ordered");
+        assert_eq!(frames[0].2.len(), 1, "ΔM present despite untraced call");
+        assert_eq!(frames[0].2[0].delta(), 1);
+        assert_eq!(frames[1].2[0].delta(), -1);
+
+        e.set_update_hook(None);
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        assert_eq!(seen.lock().len(), 2, "removed hook no longer fires");
     }
 
     #[test]

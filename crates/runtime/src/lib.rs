@@ -24,11 +24,38 @@
 //! so readers never block on writers and a query's `graph_version` is
 //! exact for the state it saw.
 //!
+//! The WAL is *event-sourced serving state*, not just graph history:
+//! registered queries are logged as `register`/`unregister` records and
+//! replayed in sequence order on cold start, so standing queries (and
+//! the push subscriptions built on them) survive a restart. Compaction
+//! re-seeds the truncated log with one register record per live query.
+//!
 //! What the runtime deliberately does **not** replicate from the
 //! engine: maintained compression. `Route::Compressed` falls back to
 //! direct evaluation here (the cache and registered-query routes are
-//! intact). Registered queries are in-memory state — re-register after
-//! a restart; the WAL records the graph's history, not the query set.
+//! intact).
+//!
+//! ```
+//! use expfinder_runtime::{DurableExpFinder, RuntimeConfig, FsyncPolicy};
+//! use expfinder_engine::Route;
+//! use expfinder_graph::fixtures::collaboration_fig1;
+//! use expfinder_pattern::fixtures::fig1_pattern;
+//!
+//! let dir = std::env::temp_dir().join(format!("ef-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let config = RuntimeConfig { fsync: FsyncPolicy::Never, ..RuntimeConfig::default() };
+//! let rt = DurableExpFinder::open(&dir, config.clone()).unwrap();
+//! rt.add_graph("fig1", collaboration_fig1().graph).unwrap();
+//! rt.register_query("fig1", "team", fig1_pattern()).unwrap();
+//! drop(rt);
+//!
+//! // reopen: the graph *and* its registered query are recovered
+//! let rt = DurableExpFinder::open(&dir, config).unwrap();
+//! assert_eq!(rt.registered_queries("fig1").unwrap(), vec!["team".to_owned()]);
+//! let resp = rt.query("fig1", &fig1_pattern(), Some(2), Route::Auto).unwrap();
+//! assert_eq!(resp.experts.len(), 2);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 pub mod wal;
 
@@ -47,7 +74,7 @@ use expfinder_core::{
 use expfinder_engine::cache::{CacheStats, QueryCache};
 use expfinder_engine::{
     validate_graph_name, EvalRoute, ExecConfig, ExpFinderError, GraphInfo, IndexTotals,
-    QueryResponse, QuerySpec, QueryTimings, Route, UpdateReport,
+    QueryResponse, QuerySpec, QueryTimings, Route, UpdateHook, UpdateReport,
 };
 use expfinder_graph::{io as gio, CsrGraph, DiGraph, EdgeUpdate, GraphView, ReachIndex};
 use expfinder_pattern::Pattern;
@@ -197,7 +224,8 @@ impl WalCounters {
 /// `engine.wal` block of `GET /metrics`.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct WalTotals {
-    /// Frames appended (one per accepted update batch).
+    /// Frames appended (one per accepted update batch or
+    /// register/unregister record).
     pub appends: u64,
     /// `fsync` calls issued by appends.
     pub fsyncs: u64,
@@ -307,6 +335,9 @@ pub struct DurableExpFinder {
     scratch: ScratchPool,
     eval_totals: EvalTotals,
     wal_counters: Arc<WalCounters>,
+    /// Observer of committed update batches, shared with every shard
+    /// worker (ΔM push fan-out; see [`DurableExpFinder::set_update_hook`]).
+    update_hook: Arc<RwLock<Option<UpdateHook>>>,
     next_id: AtomicU64,
 }
 
@@ -330,8 +361,16 @@ impl DurableExpFinder {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let wal_counters = Arc::new(WalCounters::default());
+        let update_hook: Arc<RwLock<Option<UpdateHook>>> = Arc::new(RwLock::new(None));
         let shards: Vec<ShardHandle> = (0..config.shards.max(1))
-            .map(|i| ShardHandle::spawn(i, config.mailbox_capacity, Arc::clone(&wal_counters)))
+            .map(|i| {
+                ShardHandle::spawn(
+                    i,
+                    config.mailbox_capacity,
+                    Arc::clone(&wal_counters),
+                    Arc::clone(&update_hook),
+                )
+            })
             .collect();
         let ring = Ring::new(config.shards.max(1));
         let cache = Mutex::new(QueryCache::new(config.cache_capacity));
@@ -345,6 +384,7 @@ impl DurableExpFinder {
             scratch: ScratchPool::new(),
             eval_totals: EvalTotals::default(),
             wal_counters,
+            update_hook,
             next_id: AtomicU64::new(1),
         };
 
@@ -365,31 +405,49 @@ impl DurableExpFinder {
         Ok(rt)
     }
 
-    /// Cold-start one graph: snapshot + WAL replay + shard adoption.
+    /// Cold-start one graph: load the snapshot, replay the WAL's records
+    /// — update batches *and* register/unregister records — in sequence
+    /// order onto an actor, publish the recovered state (registered
+    /// queries included), then hand ownership to the shard.
     fn recover_graph(&self, name: &str) -> Result<(), ExpFinderError> {
-        let mut graph = gio::load_text(self.dir.join(format!("{name}.efg")))?;
+        let graph = gio::load_text(self.dir.join(format!("{name}.efg")))?;
         let wal_path = self.wal_path(name);
         let (records, summary) = Wal::replay(&wal_path)
             .map_err(|e| ExpFinderError::Storage(format!("wal replay for {name:?}: {e}")))?;
-        let mut last_seq = 0;
-        for rec in &records {
-            for &up in &rec.updates {
-                graph.apply(up);
-            }
-            last_seq = rec.seq;
-        }
+        let last_seq = records.last().map_or(0, |r| r.seq);
         self.wal_counters.on_replay(&summary);
         let wal = Wal::open(&wal_path, self.config.fsync, last_seq)
             .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
         let shard = self.ring.shard_for(name);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let published = Arc::new(PublishedGraph::new(id, shard, &graph));
+        let mut actor = GraphActor::new(
+            name.to_owned(),
+            self.dir.clone(),
+            graph,
+            wal,
+            Arc::clone(&published),
+        );
+        for rec in &records {
+            actor.replay_op(&rec.op)?;
+        }
+        // publish before adoption: the first snapshot readers see
+        // already carries the replayed graph and its registered queries
+        actor.publish();
         self.graphs
             .write()
             .insert(name.to_owned(), Arc::clone(&published));
-        let actor = GraphActor::new(name.to_owned(), self.dir.clone(), graph, wal, published);
         self.request(shard, |reply| Cmd::Adopt { actor, reply })?;
         Ok(())
+    }
+
+    /// Install (or, with `None`, remove) the [`UpdateHook`] every shard
+    /// worker fires after committing an update batch. The hook runs on
+    /// the actor thread right after the snapshot publish, so per-graph
+    /// invocations arrive in commit order; while one is installed,
+    /// batches are always traced (full ΔM in every report).
+    pub fn set_update_hook(&self, hook: Option<UpdateHook>) {
+        *self.update_hook.write() = hook;
     }
 
     /// The catalog directory.
@@ -397,6 +455,7 @@ impl DurableExpFinder {
         &self.dir
     }
 
+    /// The configuration the runtime was opened with.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
     }
@@ -772,7 +831,10 @@ impl DurableExpFinder {
     // ---------------------- registered queries ---------------------
 
     /// Register a query for incremental maintenance on its shard. The
-    /// registration is in-memory: re-register after a restart.
+    /// registration is durable: a `register` record (carrying the
+    /// pattern's DSL source) is WAL-appended before the ack, and cold
+    /// start replays it — the query, and any push subscription that
+    /// names it, survives a restart.
     pub fn register_query(
         &self,
         name: &str,
@@ -788,6 +850,8 @@ impl DurableExpFinder {
         })
     }
 
+    /// Drop a registered query. The removal is WAL-logged before it
+    /// takes effect, so it survives a restart like the registration did.
     pub fn unregister_query(&self, name: &str, query_name: &str) -> Result<(), ExpFinderError> {
         let pg = self.published(name)?;
         self.request(pg.shard, |reply| Cmd::Unregister {
@@ -842,10 +906,12 @@ impl DurableExpFinder {
 
     // --------------------------- metrics ---------------------------
 
+    /// Cumulative query-cache hit/miss/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().stats()
     }
 
+    /// Entries currently held by the query cache.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().len()
     }
@@ -1047,6 +1113,104 @@ mod tests {
 
         rt.unregister_query("fig1", "team").unwrap();
         assert!(rt.registered_queries("fig1").unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registrations_survive_reopen() {
+        let dir = tmpdir("reg_reopen");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        {
+            let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+            rt.add_graph("fig1", f.graph.clone()).unwrap();
+            rt.register_query("fig1", "team", fig1_pattern()).unwrap();
+            rt.register_query("fig1", "sim", fig1_pattern_simulation())
+                .unwrap();
+            rt.unregister_query("fig1", "sim").unwrap();
+            rt.apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+                .unwrap();
+        } // no snapshot write: recovery must replay the query set
+
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        assert_eq!(
+            rt.registered_queries("fig1").unwrap(),
+            vec!["team".to_owned()],
+            "register and unregister records both replayed"
+        );
+        // the recovered maintainer saw the post-registration update
+        let maintained = rt.registered_result("fig1", "team").unwrap();
+        let fresh = rt
+            .query("fig1", &fig1_pattern(), None, Route::Direct)
+            .unwrap();
+        assert_eq!(*fresh.matches, maintained);
+        // a duplicate registration is still rejected after recovery
+        assert!(matches!(
+            rt.register_query("fig1", "team", fig1_pattern()),
+            Err(ExpFinderError::DuplicateQuery(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registrations_survive_compaction() {
+        let dir = tmpdir("reg_compact");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        {
+            let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+            rt.add_graph("fig1", f.graph.clone()).unwrap();
+            rt.register_query("fig1", "team", fig1_pattern()).unwrap();
+            rt.apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+                .unwrap();
+            // compaction truncates the log; the register record must be
+            // re-seeded or the query would vanish on the next cold start
+            rt.compact("fig1").unwrap();
+        }
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        assert_eq!(
+            rt.registered_queries("fig1").unwrap(),
+            vec!["team".to_owned()]
+        );
+        let maintained = rt.registered_result("fig1", "team").unwrap();
+        let fresh = rt
+            .query("fig1", &fig1_pattern(), None, Route::Direct)
+            .unwrap();
+        assert_eq!(*fresh.matches, maintained);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_hook_fires_in_commit_order() {
+        let dir = tmpdir("hook");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        rt.register_query("fig1", "team", fig1_pattern()).unwrap();
+        let seen: Arc<Mutex<Vec<(String, u64, i64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        rt.set_update_hook(Some(Arc::new(move |graph: &str, report: &UpdateReport| {
+            let delta = report.registered.iter().map(|d| d.delta()).sum();
+            sink.lock()
+                .push((graph.to_owned(), report.graph_version, delta));
+        })));
+
+        // the untraced entry point still produces fully-traced frames
+        rt.apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+            .unwrap();
+        rt.apply_updates("fig1", &[EdgeUpdate::Delete(x, y)])
+            .unwrap();
+        let frames = seen.lock().clone();
+        assert_eq!(frames.len(), 2);
+        assert!(frames[0].1 < frames[1].1, "commit order");
+        assert_eq!(frames[0].2, 1);
+        assert_eq!(frames[1].2, -1);
+
+        rt.set_update_hook(None);
+        rt.apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+            .unwrap();
+        assert_eq!(seen.lock().len(), 2, "removed hook no longer fires");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

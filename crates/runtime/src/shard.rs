@@ -16,12 +16,13 @@
 //! `/metrics` (`engine.shard`), so a hot shard is visible before it is
 //! a problem.
 
-use crate::wal::Wal;
+use crate::wal::{Wal, WalOp};
 use crate::{PublishedGraph, RegisteredView, Snapshot, WalCounters};
-use expfinder_engine::{ExpFinderError, RegisteredDelta, UpdateReport};
+use expfinder_engine::{ExpFinderError, RegisteredDelta, UpdateHook, UpdateReport};
 use expfinder_graph::{io as gio, DiGraph, EdgeUpdate, ReachIndex};
 use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
-use expfinder_pattern::Pattern;
+use expfinder_pattern::{parser, Pattern};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -98,11 +99,26 @@ pub struct CompactReport {
     pub wal_bytes_dropped: u64,
 }
 
-/// A registered query riding on an actor: the pattern and its
+/// A registered query riding on an actor: the pattern, its DSL source
+/// (what the WAL record carries — see [`WalOp::Register`]) and its
 /// incremental maintainer (mirrors the engine's routing contract).
 struct RegisteredQuery {
     pattern: Pattern,
+    source: String,
     maintainer: Box<dyn Maintainer + Send + Sync>,
+}
+
+/// Build the incremental maintainer of one pattern, seeded from the
+/// current graph — the same routing rule the engine uses.
+fn build_maintainer(
+    graph: &DiGraph,
+    pattern: &Pattern,
+) -> Result<Box<dyn Maintainer + Send + Sync>, ExpFinderError> {
+    Ok(if pattern.is_simulation() {
+        Box::new(IncrementalSim::new(graph, pattern)?)
+    } else {
+        Box::new(IncrementalBoundedSim::new(graph, pattern))
+    })
 }
 
 /// One graph's actor state: the authoritative mutable graph, its WAL
@@ -141,11 +157,50 @@ impl GraphActor {
         self.dir.join(format!("{}.efg", self.name))
     }
 
+    /// Replay one recovered WAL record onto the actor's in-memory state:
+    /// no WAL append, no publish (recovery publishes once at the end).
+    /// Records replay in sequence order, so a registration's maintainer
+    /// is seeded from the graph exactly as it stood when the query was
+    /// registered, then maintained by the update frames that follow it.
+    pub(crate) fn replay_op(&mut self, op: &WalOp) -> Result<(), ExpFinderError> {
+        match op {
+            WalOp::Updates(ups) => {
+                for &up in ups {
+                    if self.graph.apply(up) {
+                        for rq in self.registered.values_mut() {
+                            rq.maintainer.on_update(&self.graph, up);
+                        }
+                    }
+                }
+            }
+            WalOp::Register { query, pattern } => {
+                let parsed = parser::parse(pattern).map_err(|e| {
+                    ExpFinderError::Storage(format!(
+                        "wal register record for {query:?} has an unparseable pattern: {e}"
+                    ))
+                })?;
+                let maintainer = build_maintainer(&self.graph, &parsed)?;
+                self.registered.insert(
+                    query.clone(),
+                    RegisteredQuery {
+                        pattern: parsed,
+                        source: pattern.clone(),
+                        maintainer,
+                    },
+                );
+            }
+            WalOp::Unregister { query } => {
+                self.registered.remove(query);
+            }
+        }
+        Ok(())
+    }
+
     /// Swap a fresh immutable snapshot into the published slot. The
     /// write lock covers one `Arc` store, so a racing reader is delayed
     /// by a pointer swap, never by evaluation or IO (copy-on-publish:
     /// the actor pays a graph clone here so readers pay nothing).
-    fn publish(&self) {
+    pub(crate) fn publish(&self) {
         let version = self.graph.version();
         let registered = self
             .registered
@@ -168,13 +223,20 @@ impl GraphActor {
 
     /// The write path: append the batch to the WAL (fsync per policy)
     /// *before* touching the graph, then apply, maintain registered
-    /// queries, and republish.
+    /// queries, republish, and fire the update hook. The hook runs on
+    /// the actor thread after the snapshot swap, so subscribers observe
+    /// frames in commit order and a frame's `graph_version` is already
+    /// readable when it arrives.
     fn apply(
         &mut self,
         updates: &[EdgeUpdate],
         trace: bool,
         wal_counters: &WalCounters,
+        hook: &RwLock<Option<UpdateHook>>,
     ) -> Result<UpdateReport, ExpFinderError> {
+        // an installed hook forces tracing so its frames always carry ΔM
+        let hook = hook.read().clone();
+        let trace = trace || hook.is_some();
         let (_, frame_bytes) = self
             .wal
             .append(updates)
@@ -208,27 +270,54 @@ impl GraphActor {
         }
         registered.sort_by(|a, b| a.query.cmp(&b.query));
         self.publish();
-        Ok(UpdateReport {
+        let report = UpdateReport {
             applied,
             attempted: updates.len(),
             graph_version: self.graph.version(),
             registered,
-        })
+        };
+        if let Some(hook) = &hook {
+            hook(&self.name, &report);
+        }
+        Ok(report)
     }
 
-    fn register(&mut self, query_name: &str, pattern: Pattern) -> Result<(), ExpFinderError> {
+    /// Register a query: WAL-append the registration record (fsynced per
+    /// policy) *before* building the maintainer, so a crash right after
+    /// the ack still replays the registration. The DSL source written to
+    /// the log is the pattern's `Display` form, verified to re-parse to
+    /// the same fingerprint before anything is committed.
+    fn register(
+        &mut self,
+        query_name: &str,
+        pattern: Pattern,
+        wal_counters: &WalCounters,
+    ) -> Result<(), ExpFinderError> {
         if self.registered.contains_key(query_name) {
             return Err(ExpFinderError::DuplicateQuery(query_name.to_owned()));
         }
-        let maintainer: Box<dyn Maintainer + Send + Sync> = if pattern.is_simulation() {
-            Box::new(IncrementalSim::new(&self.graph, &pattern)?)
-        } else {
-            Box::new(IncrementalBoundedSim::new(&self.graph, &pattern))
-        };
+        let source = pattern.to_string();
+        let reparsed = parser::parse(&source)
+            .map_err(|e| ExpFinderError::Storage(format!("pattern does not round-trip: {e}")))?;
+        if reparsed.fingerprint() != pattern.fingerprint() {
+            return Err(ExpFinderError::Storage(
+                "pattern does not round-trip through its DSL form".to_owned(),
+            ));
+        }
+        let maintainer = build_maintainer(&self.graph, &pattern)?;
+        let (_, frame_bytes) = self
+            .wal
+            .append_op(&WalOp::Register {
+                query: query_name.to_owned(),
+                pattern: source.clone(),
+            })
+            .map_err(|e| ExpFinderError::Storage(format!("wal append: {e}")))?;
+        wal_counters.on_append(frame_bytes as u64, self.wal.fsyncs_per_append());
         self.registered.insert(
             query_name.to_owned(),
             RegisteredQuery {
                 pattern,
+                source,
                 maintainer,
             },
         );
@@ -236,10 +325,22 @@ impl GraphActor {
         Ok(())
     }
 
-    fn unregister(&mut self, query_name: &str) -> Result<(), ExpFinderError> {
-        self.registered
-            .remove(query_name)
-            .ok_or_else(|| ExpFinderError::UnknownQuery(query_name.to_owned()))?;
+    fn unregister(
+        &mut self,
+        query_name: &str,
+        wal_counters: &WalCounters,
+    ) -> Result<(), ExpFinderError> {
+        if !self.registered.contains_key(query_name) {
+            return Err(ExpFinderError::UnknownQuery(query_name.to_owned()));
+        }
+        let (_, frame_bytes) = self
+            .wal
+            .append_op(&WalOp::Unregister {
+                query: query_name.to_owned(),
+            })
+            .map_err(|e| ExpFinderError::Storage(format!("wal append: {e}")))?;
+        wal_counters.on_append(frame_bytes as u64, self.wal.fsyncs_per_append());
+        self.registered.remove(query_name);
         self.publish();
         Ok(())
     }
@@ -252,7 +353,7 @@ impl GraphActor {
         Ok(path)
     }
 
-    fn compact(&mut self) -> Result<CompactReport, ExpFinderError> {
+    fn compact(&mut self, wal_counters: &WalCounters) -> Result<CompactReport, ExpFinderError> {
         let snapshot = self.save_snapshot()?;
         // snapshot is durable; now the log frames are redundant. Crash
         // between the rename and this truncation replays the full WAL
@@ -264,6 +365,22 @@ impl GraphActor {
         self.wal
             .reset()
             .map_err(|e| ExpFinderError::Storage(format!("wal reset: {e}")))?;
+        // the snapshot holds the graph but not the query set: re-seed
+        // the truncated log with one register record per live query so
+        // registrations survive a restart after compaction too
+        let mut names: Vec<&String> = self.registered.keys().collect();
+        names.sort();
+        for name in names {
+            let source = self.registered[name].source.clone();
+            let (_, frame_bytes) = self
+                .wal
+                .append_op(&WalOp::Register {
+                    query: name.clone(),
+                    pattern: source,
+                })
+                .map_err(|e| ExpFinderError::Storage(format!("wal append: {e}")))?;
+            wal_counters.on_append(frame_bytes as u64, self.wal.fsyncs_per_append());
+        }
         Ok(CompactReport {
             snapshot,
             wal_bytes_dropped,
@@ -293,7 +410,12 @@ pub(crate) struct ShardHandle {
 
 impl ShardHandle {
     /// Spawn shard worker `index` with a mailbox of `capacity` slots.
-    pub fn spawn(index: usize, capacity: usize, wal_counters: Arc<WalCounters>) -> ShardHandle {
+    pub fn spawn(
+        index: usize,
+        capacity: usize,
+        wal_counters: Arc<WalCounters>,
+        hook: Arc<RwLock<Option<UpdateHook>>>,
+    ) -> ShardHandle {
         let (tx, rx) = mpsc::sync_channel(capacity.max(1));
         let depth = Arc::new(AtomicUsize::new(0));
         let commands = Arc::new(AtomicU64::new(0));
@@ -301,7 +423,7 @@ impl ShardHandle {
         let worker_commands = Arc::clone(&commands);
         let join = std::thread::Builder::new()
             .name(format!("efshard-{index}"))
-            .spawn(move || run_worker(rx, worker_depth, worker_commands, wal_counters))
+            .spawn(move || run_worker(rx, worker_depth, worker_commands, wal_counters, hook))
             .expect("spawn shard worker");
         ShardHandle {
             tx,
@@ -347,6 +469,7 @@ fn run_worker(
     depth: Arc<AtomicUsize>,
     commands: Arc<AtomicU64>,
     wal_counters: Arc<WalCounters>,
+    hook: Arc<RwLock<Option<UpdateHook>>>,
 ) {
     let mut graphs: HashMap<String, GraphActor> = HashMap::new();
     while let Ok(cmd) = rx.recv() {
@@ -369,7 +492,7 @@ fn run_worker(
                 reply,
             } => {
                 let result = match graphs.get_mut(&name) {
-                    Some(actor) => actor.apply(&updates, trace, &wal_counters),
+                    Some(actor) => actor.apply(&updates, trace, &wal_counters, &hook),
                     None => Err(ExpFinderError::UnknownGraph(name)),
                 };
                 let _ = reply.send(result);
@@ -381,7 +504,7 @@ fn run_worker(
                 reply,
             } => {
                 let result = match graphs.get_mut(&name) {
-                    Some(actor) => actor.register(&query_name, pattern),
+                    Some(actor) => actor.register(&query_name, pattern, &wal_counters),
                     None => Err(ExpFinderError::UnknownGraph(name)),
                 };
                 let _ = reply.send(result);
@@ -392,7 +515,7 @@ fn run_worker(
                 reply,
             } => {
                 let result = match graphs.get_mut(&name) {
-                    Some(actor) => actor.unregister(&query_name),
+                    Some(actor) => actor.unregister(&query_name, &wal_counters),
                     None => Err(ExpFinderError::UnknownGraph(name)),
                 };
                 let _ = reply.send(result);
@@ -406,7 +529,7 @@ fn run_worker(
             }
             Cmd::Compact { name, reply } => {
                 let result = match graphs.get_mut(&name) {
-                    Some(actor) => actor.compact(),
+                    Some(actor) => actor.compact(&wal_counters),
                     None => Err(ExpFinderError::UnknownGraph(name)),
                 };
                 let _ = reply.send(result);

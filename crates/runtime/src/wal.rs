@@ -9,11 +9,21 @@
 //! [len: u32 LE][crc: u32 LE][payload: len]    frame, repeated
 //! ```
 //!
-//! `crc` is FNV-1a over the payload bytes; `payload` is the compact JSON
-//! document `{"seq": N, "updates": [{"op","from","to"}, ...]}` using the
-//! canonical update codec of `expfinder_graph::io` — the same encoding
-//! the HTTP wire protocol speaks, so a WAL frame is a replayable
-//! `/updates` request body plus a sequence number.
+//! `crc` is FNV-1a over the payload bytes; `payload` is a compact JSON
+//! document. An update frame is `{"seq": N, "updates": [{"op","from",
+//! "to"}, ...]}` using the canonical update codec of
+//! `expfinder_graph::io` — the same encoding the HTTP wire protocol
+//! speaks, so a WAL frame is a replayable `/updates` request body plus a
+//! sequence number. Since the log is *event-sourced serving state*, not
+//! just graph history, registered-query changes are records too:
+//!
+//! ```text
+//! {"seq": N, "op": "register", "query": "team", "pattern": "<dsl>"}
+//! {"seq": N, "op": "unregister", "query": "team"}
+//! ```
+//!
+//! The `"op"` field is absent on update frames, so logs written before
+//! registration records existed replay unchanged.
 //!
 //! **Durability contract.** A batch is appended (and, under
 //! [`FsyncPolicy::Always`], fsynced) *before* it is applied to the owning
@@ -52,6 +62,7 @@ pub enum FsyncPolicy {
 /// Errors from the WAL layer.
 #[derive(Debug)]
 pub enum WalError {
+    /// Transport-level file IO failure.
     Io(std::io::Error),
     /// The file does not start with [`WAL_MAGIC`].
     BadHeader,
@@ -90,29 +101,65 @@ pub fn checksum(bytes: &[u8]) -> u32 {
     h
 }
 
-/// One decoded WAL record: a sequence number and its update batch.
+/// The event one WAL record carries. Update batches are the common
+/// case; register/unregister records make the registered-query set part
+/// of the replayable serving state (subscriptions survive a restart).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// An accepted edge-update batch.
+    Updates(Vec<EdgeUpdate>),
+    /// A query put under incremental maintenance.
+    Register {
+        /// The registered query's name.
+        query: String,
+        /// The pattern's DSL source, re-parsed at replay.
+        pattern: String,
+    },
+    /// A registered query dropped.
+    Unregister {
+        /// The registered query's name.
+        query: String,
+    },
+}
+
+/// One decoded WAL record: a sequence number and its event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
+    /// Monotone per-graph sequence number.
     pub seq: u64,
-    pub updates: Vec<EdgeUpdate>,
+    /// The event this record carries.
+    pub op: WalOp,
 }
 
 impl WalRecord {
+    /// The update batch, when this record is one (replay loops that only
+    /// care about graph history can `filter_map` on this).
+    pub fn as_updates(&self) -> Option<&[EdgeUpdate]> {
+        match &self.op {
+            WalOp::Updates(ups) => Some(ups),
+            _ => None,
+        }
+    }
+
     fn to_payload(&self) -> Vec<u8> {
-        let updates = Value::Array(
-            self.updates
-                .iter()
-                .map(|&u| gio::update_to_json(u))
-                .collect(),
-        );
-        let doc = Value::Object(
-            [
-                ("seq".to_owned(), Value::Int(self.seq as i64)),
-                ("updates".to_owned(), updates),
-            ]
-            .into_iter()
-            .collect(),
-        );
+        let mut fields: Vec<(String, Value)> =
+            vec![("seq".to_owned(), Value::Int(self.seq as i64))];
+        match &self.op {
+            WalOp::Updates(ups) => {
+                let updates = Value::Array(ups.iter().map(|&u| gio::update_to_json(u)).collect());
+                fields.push(("updates".to_owned(), updates));
+            }
+            WalOp::Register { query, pattern } => {
+                fields.push(("op".to_owned(), Value::Str("register".to_owned())));
+                fields.push(("query".to_owned(), Value::Str(query.clone())));
+                fields.push(("pattern".to_owned(), Value::Str(pattern.clone())));
+            }
+            WalOp::Unregister { query } => {
+                fields.push(("op".to_owned(), Value::Str("unregister".to_owned())));
+                fields.push(("query".to_owned(), Value::Str(query.clone())));
+            }
+        }
+        let doc = Value::Object(fields.into_iter().collect());
         doc.to_string_compact().into_bytes()
     }
 
@@ -123,15 +170,41 @@ impl WalRecord {
             .field("seq")
             .and_then(|s| s.as_i64())
             .map_err(|e| e.to_string())? as u64;
-        let updates = doc
-            .field("updates")
-            .and_then(|u| u.as_array())
-            .map_err(|e| e.to_string())?
-            .iter()
-            .map(gio::update_from_json)
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(|e| e.to_string())?;
-        Ok(WalRecord { seq, updates })
+        // `"op"` absent → an update frame (the pre-registration format)
+        let op = match doc.field("op").ok().map(|o| o.as_str()) {
+            None => {
+                let updates = doc
+                    .field("updates")
+                    .and_then(|u| u.as_array())
+                    .map_err(|e| e.to_string())?
+                    .iter()
+                    .map(gio::update_from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| e.to_string())?;
+                WalOp::Updates(updates)
+            }
+            Some(kind) => {
+                let kind = kind.map_err(|e| e.to_string())?;
+                let query = doc
+                    .field("query")
+                    .and_then(|q| q.as_str())
+                    .map_err(|e| e.to_string())?
+                    .to_owned();
+                match kind {
+                    "register" => WalOp::Register {
+                        query,
+                        pattern: doc
+                            .field("pattern")
+                            .and_then(|p| p.as_str())
+                            .map_err(|e| e.to_string())?
+                            .to_owned(),
+                    },
+                    "unregister" => WalOp::Unregister { query },
+                    other => return Err(format!("unknown wal op {other:?}")),
+                }
+            }
+        };
+        Ok(WalRecord { seq, op })
     }
 }
 
@@ -215,10 +288,17 @@ impl Wal {
     /// Under [`FsyncPolicy::Always`] the frame is on stable storage when
     /// this returns — the caller may then apply the batch and ack it.
     pub fn append(&mut self, updates: &[EdgeUpdate]) -> Result<(u64, usize), WalError> {
+        self.append_op(&WalOp::Updates(updates.to_vec()))
+    }
+
+    /// Append one record of any kind (update batch, register,
+    /// unregister); returns `(seq, frame_bytes)` with the same
+    /// durability contract as [`Wal::append`].
+    pub fn append_op(&mut self, op: &WalOp) -> Result<(u64, usize), WalError> {
         let seq = self.next_seq;
         let payload = WalRecord {
             seq,
-            updates: updates.to_vec(),
+            op: op.clone(),
         }
         .to_payload();
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -298,7 +378,7 @@ impl Wal {
             }
             match WalRecord::from_payload(payload) {
                 Ok(rec) => {
-                    summary.updates += rec.updates.len();
+                    summary.updates += rec.as_updates().map_or(0, <[EdgeUpdate]>::len);
                     records.push(rec);
                 }
                 Err(msg) => {
@@ -355,8 +435,8 @@ mod tests {
         let (records, summary) = Wal::replay(&p).unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].seq, 1);
-        assert_eq!(records[0].updates, vec![ins(0, 1), del(2, 3)]);
-        assert_eq!(records[1].updates, Vec::<EdgeUpdate>::new());
+        assert_eq!(records[0].as_updates(), Some(&[ins(0, 1), del(2, 3)][..]));
+        assert_eq!(records[1].as_updates(), Some(&[][..]));
         assert_eq!(records[2].seq, 3);
         assert!(!summary.truncated_tail);
         assert_eq!(summary.frames, 3);
@@ -450,8 +530,57 @@ mod tests {
         let (records, _) = Wal::replay(&p).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].seq, 1);
-        assert_eq!(records[0].updates, vec![ins(2, 3)]);
+        assert_eq!(records[0].as_updates(), Some(&[ins(2, 3)][..]));
         let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn register_records_roundtrip() {
+        let p = tmp("register");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, FsyncPolicy::Never, 0).unwrap();
+        let reg = WalOp::Register {
+            query: "team".to_owned(),
+            pattern: "node pm; node dba; edge pm -> dba within 2;".to_owned(),
+        };
+        wal.append_op(&reg).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        wal.append_op(&WalOp::Unregister {
+            query: "team".to_owned(),
+        })
+        .unwrap();
+        drop(wal);
+
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].op, reg);
+        assert_eq!(records[0].as_updates(), None);
+        assert_eq!(records[1].as_updates(), Some(&[ins(0, 1)][..]));
+        assert_eq!(
+            records[2].op,
+            WalOp::Unregister {
+                query: "team".to_owned()
+            }
+        );
+        // only update frames count toward the update tally
+        assert_eq!(summary.frames, 3);
+        assert_eq!(summary.updates, 1);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn payload_without_op_field_decodes_as_updates() {
+        // the pre-registration frame format: no "op" key at all
+        let legacy = br#"{"seq":7,"updates":[{"from":1,"op":"insert","to":2}]}"#;
+        let rec = WalRecord::from_payload(legacy).unwrap();
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.as_updates(), Some(&[ins(1, 2)][..]));
+    }
+
+    #[test]
+    fn unknown_op_is_a_decode_error() {
+        let bad = br#"{"op":"truncate","query":"x","seq":1}"#;
+        assert!(WalRecord::from_payload(bad).is_err());
     }
 
     #[test]

@@ -80,7 +80,7 @@ proptest! {
         prop_assert_eq!(records.len(), batches.len());
         for (i, (rec, batch)) in records.iter().zip(&batches).enumerate() {
             prop_assert_eq!(rec.seq, i as u64 + 1);
-            prop_assert_eq!(&rec.updates, batch);
+            prop_assert_eq!(rec.as_updates().unwrap(), &batch[..]);
         }
         let _ = std::fs::remove_file(&path);
     }
@@ -108,7 +108,7 @@ proptest! {
         prop_assert!(records.len() <= batches.len());
         for (i, (rec, batch)) in records.iter().zip(&batches).enumerate() {
             prop_assert_eq!(rec.seq, i as u64 + 1);
-            prop_assert_eq!(&rec.updates, batch);
+            prop_assert_eq!(rec.as_updates().unwrap(), &batch[..]);
         }
         // the repair is persistent: a second replay is clean and equal
         let (again, summary2) = Wal::replay(&path).unwrap();

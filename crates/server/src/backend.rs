@@ -17,7 +17,7 @@
 
 use expfinder_core::{EvalStats, MatchRelation};
 use expfinder_engine::{
-    ExpFinder, ExpFinderError, GraphInfo, IndexTotals, QueryResponse, QuerySpec, Route,
+    ExpFinder, ExpFinderError, GraphInfo, IndexTotals, QueryResponse, QuerySpec, Route, UpdateHook,
     UpdateReport,
 };
 use expfinder_graph::{DiGraph, EdgeUpdate};
@@ -154,6 +154,29 @@ impl Backend {
                 e.register_query(&handle, query_name, pattern)
             }
             Backend::Durable(rt) => rt.register_query(name, query_name, pattern),
+        }
+    }
+
+    /// Names of the registered queries on one graph, sorted.
+    pub fn registered_queries(&self, name: &str) -> Result<Vec<String>, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                e.registered_queries(&handle)
+            }
+            Backend::Durable(rt) => rt.registered_queries(name),
+        }
+    }
+
+    /// Install (or clear, with `None`) the update hook both engines fire
+    /// after every committed update batch — the feed for `/subscribe`
+    /// push streams. One hook per backend: installing replaces any
+    /// previous one, so the last server bound to a shared engine owns
+    /// the fan-out.
+    pub fn install_update_hook(&self, hook: Option<UpdateHook>) {
+        match self {
+            Backend::Local(e) => e.set_update_hook(hook),
+            Backend::Durable(rt) => rt.set_update_hook(hook),
         }
     }
 

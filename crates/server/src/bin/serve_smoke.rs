@@ -114,6 +114,10 @@ fn main() {
             &log_path,
             "--data-dir",
             &data_dir_arg,
+            // a live subscription pins one worker for its whole stream;
+            // keep headroom beyond the small-machine default of 2
+            "--workers",
+            "4",
         ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -192,6 +196,28 @@ fn main() {
         String::new,
     );
 
+    // ---- subscribe (push stream; frames asserted after /updates) ----
+    let sub = client.subscribe("fig1", None);
+    h.require("POST /subscribe opens a push stream", sub.is_ok(), || {
+        format!("{sub:?}")
+    });
+    let mut sub = sub.unwrap();
+    let hello = sub.next_frame();
+    h.check(
+        "subscription hello frame lists the registered query",
+        hello
+            .as_ref()
+            .ok()
+            .and_then(|f| f.as_ref())
+            .is_some_and(|f| {
+                f.field("frame").and_then(|x| x.as_str()).ok() == Some("hello")
+                    && f.field("queries")
+                        .and_then(|q| q.as_array())
+                        .is_ok_and(|qs| qs.iter().any(|q| q.as_str().ok() == Some("team")))
+            }),
+        || format!("{hello:?}"),
+    );
+
     // ---- query ----
     let resp = client
         .query("fig1", &query_body(FIG1_DSL, Some(2), "auto", true))
@@ -251,6 +277,20 @@ fn main() {
         "query after update sees 8 pairs at a newer version",
         i64_at(&resp, &["pairs"]) == 8 && i64_at(&resp, &["graph_version"]) > 0,
         || resp.to_string_compact(),
+    );
+    let frame = sub.next_frame();
+    h.check(
+        "subscription pushed the committed batch's ΔM frame verbatim",
+        frame
+            .as_ref()
+            .ok()
+            .and_then(|f| f.as_ref())
+            .is_some_and(|f| {
+                f.field("frame").and_then(|x| x.as_str()).ok() == Some("update")
+                    && f.field("report").map(Value::to_string_compact).ok()
+                        == Some(report.to_string_compact())
+            }),
+        || format!("{frame:?}"),
     );
 
     // ---- error statuses over the wire ----
@@ -339,6 +379,13 @@ fn main() {
         || metrics.to_string_compact(),
     );
     h.check(
+        "metrics export subscription gauges",
+        i64_at(&metrics, &["subscriptions", "live"]) == 1
+            && i64_at(&metrics, &["subscriptions", "frames_pushed"]) >= 1
+            && i64_at(&metrics, &["subscriptions", "slow_consumer_disconnects"]) == 0,
+        || metrics.to_string_compact(),
+    );
+    h.check(
         "metrics export live graph versions",
         metrics
             .field("graphs")
@@ -358,6 +405,26 @@ fn main() {
     h.check("POST /admin/shutdown accepted", drain.is_ok(), || {
         format!("{drain:?}")
     });
+    // drain pushes a terminal bye frame down the live subscription before
+    // the chunked stream ends
+    sub.set_timeout(Duration::from_secs(10));
+    let bye = loop {
+        match sub.next_frame() {
+            Ok(Some(f)) if f.field("frame").and_then(|x| x.as_str()).ok() == Some("bye") => {
+                break Ok(Some(f));
+            }
+            Ok(Some(_)) => continue,
+            other => break other,
+        }
+    };
+    h.check(
+        "drain ends the subscription with a bye frame",
+        bye.as_ref()
+            .ok()
+            .and_then(|f| f.as_ref())
+            .is_some_and(|f| f.field("reason").and_then(|r| r.as_str()).ok() == Some("drain")),
+        || format!("{bye:?}"),
+    );
     let status = h.child.wait().expect("wait for server");
     h.check("server exited 0 after drain", status.success(), || {
         format!("{status:?}")

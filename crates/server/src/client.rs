@@ -18,7 +18,7 @@ use expfinder_graph::json::Value;
 use expfinder_graph::{DiGraph, EdgeUpdate};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -278,6 +278,196 @@ impl Client {
     /// `POST /admin/shutdown` (requires the server to allow it).
     pub fn shutdown_server(&mut self) -> Result<Value, ClientError> {
         self.request("POST", "/admin/shutdown", None)?.into_ok()
+    }
+
+    /// `POST /graphs/{graph}/subscribe`: open a push stream of ΔM
+    /// frames. `queries` narrows the stream to those registered-query
+    /// names; `None` subscribes to all of them. The stream lives on its
+    /// own connection — this client's keep-alive connection stays free
+    /// for requests, so one `Client` can subscribe and then drive
+    /// updates that arrive back as pushed frames.
+    ///
+    /// ```
+    /// use expfinder_engine::ExpFinder;
+    /// use expfinder_server::{client::Client, Server, ServerConfig};
+    /// use std::sync::Arc;
+    ///
+    /// let engine = Arc::new(ExpFinder::default());
+    /// engine
+    ///     .add_graph("fig1", expfinder_graph::fixtures::collaboration_fig1().graph)
+    ///     .unwrap();
+    /// // a live subscription pins one worker; keep headroom beyond it
+    /// let config = ServerConfig { workers: 4, ..ServerConfig::default() };
+    /// let handle = Server::bind(engine, "127.0.0.1:0", config).unwrap().spawn();
+    ///
+    /// let mut client = Client::new(handle.addr());
+    /// client
+    ///     .register("fig1", "team", "node sa* where label = \"SA\";")
+    ///     .unwrap();
+    /// let mut sub = client.subscribe("fig1", None).unwrap();
+    /// let hello = sub.next_frame().unwrap().unwrap();
+    /// assert_eq!(hello.field("frame").unwrap().as_str().unwrap(), "hello");
+    ///
+    /// // an update committed elsewhere arrives as a pushed frame, its
+    /// // report byte-identical to the /updates response
+    /// use expfinder_graph::{EdgeUpdate, NodeId};
+    /// let report = client
+    ///     .updates("fig1", &[EdgeUpdate::Insert(NodeId(8), NodeId(3))])
+    ///     .unwrap();
+    /// let frame = sub.next_frame().unwrap().unwrap();
+    /// assert_eq!(frame.field("frame").unwrap().as_str().unwrap(), "update");
+    /// assert_eq!(
+    ///     frame.field("report").unwrap().to_string_compact(),
+    ///     report.to_string_compact(),
+    /// );
+    ///
+    /// handle.shutdown(); // pushes a terminal bye frame and ends the stream
+    /// ```
+    pub fn subscribe(
+        &mut self,
+        graph: &str,
+        queries: Option<&[&str]>,
+    ) -> Result<Subscription, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| ClientError::Transport(format!("connect {}: {e}", self.addr)))?;
+        let _ = stream.set_nodelay(true);
+        // short socket timeout: read_chunk surfaces quiet periods as
+        // Idle, and Subscription::next_frame polls up to its deadline
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let payload = queries
+            .map(|qs| {
+                crate::metrics::obj(vec![(
+                    "queries",
+                    Value::Array(qs.iter().map(|&q| Value::Str(q.to_owned())).collect()),
+                )])
+                .to_string_compact()
+            })
+            .unwrap_or_default();
+        let mut w = stream
+            .try_clone()
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        write!(
+            w,
+            "POST /graphs/{graph}/subscribe HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len()
+        )
+        .and_then(|()| w.flush())
+        .map_err(|e| ClientError::Transport(format!("send: {e}")))?;
+
+        let mut reader = BufReader::new(stream);
+        let started = Instant::now();
+        let (status_line, headers) = loop {
+            match http::read_head(&mut reader, self.timeout) {
+                Ok(head) => break head,
+                Err(HttpError::Idle) => {
+                    if started.elapsed() >= self.timeout {
+                        return Err(ClientError::Transport(
+                            "timed out waiting for the subscription head".into(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(ClientError::Transport(e.to_string())),
+            }
+        };
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Transport(format!("bad status line {status_line:?}")))?;
+        if status != 200 {
+            // refusals are ordinary Content-Length error bodies
+            let body = http::read_body(&mut reader, &headers, usize::MAX, self.timeout)
+                .map_err(|e| ClientError::Transport(e.to_string()))?;
+            let message = std::str::from_utf8(&body)
+                .ok()
+                .and_then(|t| expfinder_graph::json::parse(t).ok())
+                .and_then(|v| {
+                    v.field("error")
+                        .and_then(|e| e.field("message"))
+                        .and_then(|m| m.as_str())
+                        .map(str::to_owned)
+                        .ok()
+                })
+                .unwrap_or_else(|| "(no error body)".to_owned());
+            return Err(ClientError::Status { status, message });
+        }
+        if !http::header_of(&headers, "transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"))
+        {
+            return Err(ClientError::Transport(
+                "subscription response is not chunked".into(),
+            ));
+        }
+        Ok(Subscription {
+            reader,
+            timeout: self.timeout,
+        })
+    }
+}
+
+/// The receiving end of one `/subscribe` stream: call
+/// [`Subscription::next_frame`] repeatedly. The first frame is always
+/// `hello`; `update` frames follow as batches commit; `bye` / `error`
+/// end the stream (followed by `Ok(None)` once the terminal chunk is
+/// read).
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("timeout", &self.timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Subscription {
+    /// How long [`next_frame`](Subscription::next_frame) waits for the
+    /// next pushed frame before giving up.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Block (up to the timeout) for the next frame. Returns `Ok(None)`
+    /// when the server terminated the stream cleanly; a quiet stream —
+    /// no update committed within the timeout — is a
+    /// [`ClientError::Transport`] timeout, so callers distinguish "ended"
+    /// from "nothing yet".
+    pub fn next_frame(&mut self) -> Result<Option<Value>, ClientError> {
+        let started = Instant::now();
+        loop {
+            match http::read_chunk(&mut self.reader, self.timeout) {
+                Ok(None) => return Ok(None),
+                Ok(Some(bytes)) => {
+                    let text = std::str::from_utf8(&bytes)
+                        .map_err(|_| ClientError::Transport("non-utf8 frame".into()))?;
+                    return expfinder_graph::json::parse(text.trim_end())
+                        .map(Some)
+                        .map_err(|e| ClientError::Transport(format!("bad frame json: {e}")));
+                }
+                Err(HttpError::Idle) => {
+                    if started.elapsed() >= self.timeout {
+                        return Err(ClientError::Transport(
+                            "timed out waiting for a frame".into(),
+                        ));
+                    }
+                }
+                Err(HttpError::Closed) => {
+                    return Err(ClientError::Transport(
+                        "connection closed mid-subscription".into(),
+                    ))
+                }
+                Err(e) => return Err(ClientError::Transport(e.to_string())),
+            }
+        }
     }
 }
 

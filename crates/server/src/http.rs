@@ -2,11 +2,13 @@
 //!
 //! The container builds offline, so there is no tokio/hyper; this module
 //! hand-rolls exactly the subset the wire protocol needs — request-line +
-//! header parsing, `Content-Length` bodies, keep-alive negotiation and
-//! response serialization — the same vendored-stand-in philosophy as
-//! `vendor/`. Both the server's connection loop and the blocking
-//! [`client`](crate::client) parse message heads through [`read_head`],
-//! so the two sides cannot drift.
+//! header parsing, `Content-Length` bodies, keep-alive negotiation,
+//! response serialization, and chunked *response* streaming (requests
+//! with `Transfer-Encoding` stay rejected with 501; only the server
+//! pushes chunks, one subscription frame per chunk) — the same
+//! vendored-stand-in philosophy as `vendor/`. Both the server's
+//! connection loop and the blocking [`client`](crate::client) parse
+//! message heads through [`read_head`], so the two sides cannot drift.
 //!
 //! Sockets are driven with short read timeouts: [`read_head`] surfaces a
 //! timeout *before the first byte* as [`HttpError::Idle`] (the caller
@@ -346,6 +348,93 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------
+// chunked response streaming (subscriptions)
+// ---------------------------------------------------------------------
+
+/// Hard cap on one received chunk's declared size — far above any real
+/// subscription frame; a larger length field is framing corruption, not
+/// an allocation request.
+pub const MAX_CHUNK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Write the head of a chunked streaming response. Chunked responses
+/// always close the connection when they end — a subscription consumes
+/// its connection, so there is no keep-alive to negotiate.
+pub fn write_chunked_head(w: &mut impl Write, status: u16, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type
+    )?;
+    w.flush()
+}
+
+/// Write one chunk and flush it to the peer. The subscription protocol
+/// maps one JSON frame to exactly one chunk, so a reader that decodes
+/// chunk-by-chunk never has to scan for frame boundaries. `data` must
+/// not be empty — a zero-length chunk is the stream terminator, written
+/// by [`finish_chunked`].
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    debug_assert!(!data.is_empty(), "empty chunk would terminate the stream");
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminate a chunked response (`0\r\n\r\n`, no trailers).
+pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Read one chunk of a chunked response body (client side). Returns
+/// `Ok(None)` on the terminal zero-length chunk. A timeout before the
+/// first byte of a chunk surfaces as [`HttpError::Idle`] — the caller
+/// decides whether to keep waiting for the next pushed frame — while a
+/// stall *mid-chunk* is bounded by `deadline` like any other message.
+pub fn read_chunk(r: &mut impl BufRead, deadline: Duration) -> Result<Option<Vec<u8>>, HttpError> {
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    let line = read_line(r, &mut buf, started, deadline, true, 0)?;
+    // chunk extensions (";ext=val") are tolerated and ignored
+    let size_str = line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_str, 16)
+        .map_err(|_| HttpError::Malformed(format!("bad chunk size {line:?}")))?;
+    if size > MAX_CHUNK_BYTES {
+        return Err(HttpError::TooLarge("chunk"));
+    }
+    // payload plus its trailing CRLF (the terminal chunk carries no
+    // payload but still ends with the empty trailer section's CRLF)
+    let mut data = vec![0u8; size + 2];
+    let mut read = 0usize;
+    while read < data.len() {
+        match r.read(&mut data[read..]) {
+            Ok(0) => return Err(HttpError::Malformed("eof mid-chunk".into())),
+            Ok(n) => {
+                read += n;
+                if read < data.len() {
+                    check_deadline(started, deadline)?;
+                }
+            }
+            Err(e) if is_timeout(&e) => check_deadline(started, deadline)?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if &data[size..] != b"\r\n" {
+        return Err(HttpError::Malformed("chunk not CRLF-terminated".into()));
+    }
+    data.truncate(size);
+    if size == 0 {
+        Ok(None)
+    } else {
+        Ok(Some(data))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +572,68 @@ mod tests {
     fn chunked_bodies_unsupported() {
         let e = req(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
         assert!(matches!(e, HttpError::Unsupported(_)));
+    }
+
+    #[test]
+    fn chunked_stream_roundtrips() {
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire, 200, "application/x-ndjson").unwrap();
+        write_chunk(&mut wire, br#"{"frame":"hello"}"#).unwrap();
+        write_chunk(&mut wire, br#"{"frame":"update","n":1}"#).unwrap();
+        write_chunk(&mut wire, br#"{"frame":"bye"}"#).unwrap();
+        finish_chunked(&mut wire).unwrap();
+
+        let mut r = BufReader::new(&wire[..]);
+        let (status, headers) = read_head(&mut r, DL).unwrap();
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        assert_eq!(
+            header_of(&headers, "transfer-encoding"),
+            Some("chunked"),
+            "{headers:?}"
+        );
+        assert_eq!(header_of(&headers, "connection"), Some("close"));
+        let mut frames = Vec::new();
+        while let Some(chunk) = read_chunk(&mut r, DL).unwrap() {
+            frames.push(String::from_utf8(chunk).unwrap());
+        }
+        assert_eq!(
+            frames,
+            vec![
+                r#"{"frame":"hello"}"#,
+                r#"{"frame":"update","n":1}"#,
+                r#"{"frame":"bye"}"#
+            ]
+        );
+        // the terminator consumed everything
+        assert!(matches!(read_chunk(&mut r, DL), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn bad_chunks_rejected() {
+        // non-hex size line
+        let mut r = BufReader::new(&b"zz\r\nabc\r\n"[..]);
+        assert!(matches!(
+            read_chunk(&mut r, DL),
+            Err(HttpError::Malformed(_))
+        ));
+        // payload not CRLF-terminated
+        let mut r = BufReader::new(&b"3\r\nabcXX"[..]);
+        assert!(matches!(
+            read_chunk(&mut r, DL),
+            Err(HttpError::Malformed(_))
+        ));
+        // truncated payload (server died mid-frame)
+        let mut r = BufReader::new(&b"10\r\nonly-seven"[..]);
+        assert!(matches!(
+            read_chunk(&mut r, DL),
+            Err(HttpError::Malformed(_))
+        ));
+        // absurd declared size fails before allocating
+        let mut r = BufReader::new(&b"fffffffff\r\n"[..]);
+        assert!(matches!(
+            read_chunk(&mut r, DL),
+            Err(HttpError::TooLarge(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   `Arc<ExpFinder>` or a durable `Arc<DurableExpFinder>` shard
 //!   runtime (WAL-logged updates, snapshot reads, replay on restart).
 //! * [`server`] — bounded worker pool sharing one [`Backend`],
-//!   keep-alive connections, graceful drain.
+//!   keep-alive connections, graceful drain, and the `/subscribe` push
+//!   loop (one chunked ΔM frame per committed update batch, fed by the
+//!   backend's update hook through a per-subscriber bounded queue).
 //! * [`routes`] — the endpoint table; `ExpFinderError`s map to statuses
 //!   through [`expfinder_engine::ExpFinderError::http_status`].
 //! * [`metrics`] — lock-free request counters, per-route latency
@@ -61,9 +63,10 @@ pub mod metrics;
 pub mod routes;
 pub mod server;
 pub mod shell_ext;
+pub(crate) mod subscribe;
 pub mod wire;
 
 pub use backend::Backend;
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Subscription};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use shell_ext::ServedShell;

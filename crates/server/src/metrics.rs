@@ -30,13 +30,14 @@ pub enum RouteKey {
     Batch,
     Updates,
     Register,
+    Subscribe,
     Shutdown,
     /// Anything that did not resolve to a known route.
     Other,
 }
 
 impl RouteKey {
-    pub const ALL: [RouteKey; 10] = [
+    pub const ALL: [RouteKey; 11] = [
         RouteKey::Healthz,
         RouteKey::Metrics,
         RouteKey::GraphsList,
@@ -45,6 +46,7 @@ impl RouteKey {
         RouteKey::Batch,
         RouteKey::Updates,
         RouteKey::Register,
+        RouteKey::Subscribe,
         RouteKey::Shutdown,
         RouteKey::Other,
     ];
@@ -59,6 +61,7 @@ impl RouteKey {
             RouteKey::Batch => "batch",
             RouteKey::Updates => "updates",
             RouteKey::Register => "register",
+            RouteKey::Subscribe => "subscribe",
             RouteKey::Shutdown => "shutdown",
             RouteKey::Other => "other",
         }
@@ -236,8 +239,11 @@ impl Metrics {
     /// visible without attaching a profiler. The durability block
     /// (`engine.wal`) and the per-shard gauges (`engine.shard`) are
     /// always present so dashboards see one schema — an in-memory
-    /// backend exports zeroes and an empty shard list.
-    pub fn to_json(&self, backend: &Backend) -> Value {
+    /// backend exports zeroes and an empty shard list. `subscriptions`
+    /// is the push-streaming gauge block built by the server's
+    /// subscription hub (live subscribers, frames pushed, slow-consumer
+    /// disconnects).
+    pub fn to_json(&self, backend: &Backend, subscriptions: Value) -> Value {
         let requests = RouteKey::ALL
             .iter()
             .map(|k| (k.name(), self.routes[k.index()].to_json()))
@@ -337,6 +343,7 @@ impl Metrics {
                 ]),
             ),
             ("requests", obj(requests)),
+            ("subscriptions", subscriptions),
             ("engine", engine_doc),
             ("graphs", Value::Array(graphs)),
         ])
@@ -363,6 +370,10 @@ mod tests {
         Backend::Local(Arc::new(ExpFinder::default()))
     }
 
+    fn subs() -> Value {
+        crate::subscribe::SubscriptionHub::new(8).to_json()
+    }
+
     #[test]
     fn histogram_buckets_and_classes() {
         let m = Metrics::default();
@@ -372,7 +383,7 @@ mod tests {
         m.record(RouteKey::Query, 500, Duration::from_secs(10));
         assert_eq!(m.total_requests(), 4);
 
-        let doc = m.to_json(&local());
+        let doc = m.to_json(&local(), subs());
         let q = doc.field("requests").unwrap().field("query").unwrap();
         assert_eq!(q.field("count").unwrap().as_i64().unwrap(), 4);
         let status = q.field("status").unwrap();
@@ -408,7 +419,7 @@ mod tests {
     fn wal_and_shard_blocks_always_present() {
         // one metrics schema for both deployment shapes: an in-memory
         // backend exports the durability block as zeroes / empty
-        let doc = Metrics::default().to_json(&local());
+        let doc = Metrics::default().to_json(&local(), subs());
         let wal = doc.field("engine").unwrap().field("wal").unwrap();
         for key in [
             "appends",
@@ -431,7 +442,7 @@ mod tests {
             .add_graph("g", expfinder_graph::fixtures::collaboration_fig1().graph)
             .unwrap();
         let m = Metrics::default();
-        let doc = m.to_json(&backend);
+        let doc = m.to_json(&backend, subs());
         let graphs = doc.field("graphs").unwrap().as_array().unwrap();
         assert_eq!(graphs.len(), 1);
         assert_eq!(graphs[0].field("name").unwrap().as_str().unwrap(), "g");
@@ -448,7 +459,7 @@ mod tests {
         // miss + direct eval, then a hit
         engine.evaluate(&h, &q).unwrap();
         engine.evaluate(&h, &q).unwrap();
-        let doc = Metrics::default().to_json(&Backend::Local(engine));
+        let doc = Metrics::default().to_json(&Backend::Local(engine), subs());
         let cache = doc.field("engine").unwrap().field("cache").unwrap();
         assert_eq!(cache.field("hits").unwrap().as_i64().unwrap(), 1);
         assert_eq!(cache.field("misses").unwrap().as_i64().unwrap(), 1);

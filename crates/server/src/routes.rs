@@ -10,6 +10,7 @@
 //! | POST   | `/graphs/{name}/batch`    | a batch through `ExpFinder::query_batch`|
 //! | POST   | `/graphs/{name}/updates`  | edge updates + ΔM report                |
 //! | POST   | `/graphs/{name}/register` | register a query for maintenance        |
+//! | POST   | `/graphs/{name}/subscribe`| push stream of ΔM update frames         |
 //! | POST   | `/admin/shutdown`         | graceful drain (when enabled)           |
 //!
 //! Engine failures map to statuses through
@@ -20,21 +21,46 @@
 use crate::http::{Request, Response};
 use crate::metrics::{obj, RouteKey};
 use crate::server::Inner;
+use crate::subscribe::Subscriber;
 use crate::wire::{self, WireError};
 use expfinder_engine::{ExpFinderError, QuerySpec};
 use expfinder_graph::json::Value;
 use expfinder_graph::{AttrValue, GraphView};
 
+/// What the connection loop should do with a dispatched request: every
+/// route answers with one [`Response`] except `/subscribe`, which takes
+/// over the connection as a long-lived chunked push stream.
+pub(crate) enum Dispatch {
+    /// Write this response; keep-alive as negotiated.
+    Respond(Response),
+    /// Switch the connection into subscription streaming: send the
+    /// chunked head plus `hello`, then relay frames from the hub until
+    /// the stream ends (the connection always closes afterwards).
+    Subscribe { hello: Value, sub: Subscriber },
+}
+
 /// Resolve and handle one request. Returns the metrics key alongside the
-/// response so the caller can record latency per route family.
-pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Response) {
+/// dispatch so the caller can record latency per route family.
+pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Dispatch) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    if let ("POST", ["graphs", name, "subscribe"]) = (req.method.as_str(), segments.as_slice()) {
+        let dispatch = subscribe(inner, name, req).unwrap_or_else(|e| {
+            Dispatch::Respond(Response::json(
+                e.status,
+                &wire::error_body(e.status, &e.message),
+            ))
+        });
+        return (RouteKey::Subscribe, dispatch);
+    }
     let (key, result): (RouteKey, Result<Response, WireError>) =
         match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => (RouteKey::Healthz, healthz(inner)),
             ("GET", ["metrics"]) => (
                 RouteKey::Metrics,
-                Ok(Response::json(200, &inner.metrics.to_json(&inner.backend))),
+                Ok(Response::json(
+                    200,
+                    &inner.metrics.to_json(&inner.backend, inner.subs.to_json()),
+                )),
             ),
             ("GET", ["graphs"]) => (RouteKey::GraphsList, graphs_list(inner)),
             ("POST", ["graphs"]) => (RouteKey::GraphAdd, graph_add(inner, req)),
@@ -47,7 +73,7 @@ pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Response) {
             ("POST", ["admin", "shutdown"]) => (RouteKey::Shutdown, shutdown(inner)),
             // known paths with the wrong method → 405, anything else → 404
             (_, ["healthz" | "metrics" | "graphs"])
-            | (_, ["graphs", _, "query" | "batch" | "updates" | "register"])
+            | (_, ["graphs", _, "query" | "batch" | "updates" | "register" | "subscribe"])
             | (_, ["admin", "shutdown"]) => (
                 RouteKey::Other,
                 Err(WireError {
@@ -65,7 +91,7 @@ pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Response) {
         };
     let resp = result
         .unwrap_or_else(|e| Response::json(e.status, &wire::error_body(e.status, &e.message)));
-    (key, resp)
+    (key, Dispatch::Respond(resp))
 }
 
 fn healthz(inner: &Inner) -> Result<Response, WireError> {
@@ -195,6 +221,43 @@ fn register(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireEr
         ("pairs", Value::Int(pairs as i64)),
     ]);
     Ok(Response::json(201, &body))
+}
+
+/// Validate a subscription request and register it with the hub. The
+/// body is optional: absent (or `{}`) subscribes to every registered
+/// query; `{"queries":[...]}` narrows the pushed ΔM to those names,
+/// each of which must already be registered (404 otherwise) — register
+/// first, then subscribe. A draining server refuses new subscriptions
+/// with 503 so the drain is not prolonged by fresh long-lived streams.
+fn subscribe(inner: &Inner, name: &str, req: &Request) -> Result<Dispatch, WireError> {
+    let filter = if req.body.is_empty() {
+        None
+    } else {
+        wire::decode_subscribe(&wire::parse_body(&req.body)?)?
+    };
+    // resolves the graph too: unknown graph → 404 before any state change
+    let registered = inner.backend.registered_queries(name)?;
+    if let Some(keep) = &filter {
+        for q in keep {
+            if !registered.contains(q) {
+                return Err(WireError {
+                    status: 404,
+                    message: format!("no registered query {q:?} on graph {name:?}"),
+                });
+            }
+        }
+    }
+    if inner.draining() {
+        return Err(WireError {
+            status: 503,
+            message: "server is draining".into(),
+        });
+    }
+    let version = inner.backend.read_graph(name, |g| g.version())?;
+    let sub = inner.subs.subscribe(name, filter.clone());
+    let queries = filter.unwrap_or(registered);
+    let hello = wire::subscription_hello(name, version, &queries, sub.id);
+    Ok(Dispatch::Subscribe { hello, sub })
 }
 
 fn shutdown(inner: &Inner) -> Result<Response, WireError> {

@@ -17,11 +17,17 @@
 //! return no request is half-served — the SIGTERM-safe drain a process
 //! supervisor needs (the `serve` binary wires this to stdin EOF and the
 //! admin endpoint; bare `std` cannot install signal handlers).
+//!
+//! `/subscribe` turns a connection into a long-lived chunked push
+//! stream (`stream_subscription`): the worker stays pinned to it,
+//! polling the shutdown flag between frames, so a drain ends every live
+//! subscription with a terminal `bye` frame within one poll interval.
 
 use crate::backend::Backend;
 use crate::http::{self, HttpError, Response};
 use crate::metrics::Metrics;
-use crate::routes;
+use crate::routes::{self, Dispatch};
+use crate::subscribe::{Subscriber, SubscriptionHub};
 use expfinder_engine::ExpFinder;
 use expfinder_runtime::DurableExpFinder;
 use std::io::BufReader;
@@ -49,6 +55,11 @@ pub struct ServerConfig {
     /// it; production deployments should leave it off and stop the
     /// process instead).
     pub allow_remote_shutdown: bool,
+    /// Bounded per-subscriber frame queue for `/subscribe` push streams.
+    /// A subscriber whose queue is full when the next batch commits is
+    /// evicted as a slow consumer — the update path never blocks on a
+    /// slow socket.
+    pub subscriber_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +70,7 @@ impl Default for ServerConfig {
             keep_alive: Duration::from_secs(30),
             request_deadline: Duration::from_secs(10),
             allow_remote_shutdown: false,
+            subscriber_queue: 64,
         }
     }
 }
@@ -69,6 +81,8 @@ pub(crate) struct Inner {
     pub(crate) metrics: Metrics,
     pub(crate) config: ServerConfig,
     pub(crate) shutdown: AtomicBool,
+    /// Live `/subscribe` streams; fed by the backend's update hook.
+    pub(crate) subs: Arc<SubscriptionHub>,
 }
 
 impl Inner {
@@ -114,7 +128,10 @@ impl Server {
         Server::bind_backend(Backend::Durable(runtime), addr, config)
     }
 
-    /// Bind to `addr` with an explicit [`Backend`].
+    /// Bind to `addr` with an explicit [`Backend`]. Binding installs the
+    /// backend's update hook, so committed batches start reaching the
+    /// subscription hub before the first connection is accepted; the
+    /// hook is cleared again when the server shuts down.
     pub fn bind_backend(
         backend: Backend,
         addr: impl ToSocketAddrs,
@@ -122,6 +139,13 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let subs = Arc::new(SubscriptionHub::new(config.subscriber_queue));
+        let hook_subs = Arc::clone(&subs);
+        backend.install_update_hook(Some(Arc::new(
+            move |graph: &str, report: &expfinder_engine::UpdateReport| {
+                hook_subs.publish(graph, report);
+            },
+        )));
         Ok(Server {
             listener,
             addr,
@@ -130,6 +154,7 @@ impl Server {
                 metrics: Metrics::default(),
                 config,
                 shutdown: AtomicBool::new(false),
+                subs,
             }),
         })
     }
@@ -230,6 +255,9 @@ impl ServerHandle {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // the backend may outlive this server (tests and the shell share
+        // engines): stop feeding a hub nobody is draining
+        self.inner.backend.install_update_hook(None);
     }
 }
 
@@ -312,11 +340,21 @@ fn serve_connection(inner: &Inner, stream: TcpStream) {
                 let keep_alive = req.wants_keep_alive() && !inner.draining();
                 let _guard = inner.metrics.begin_request();
                 let started = Instant::now();
-                let (key, mut resp) = routes::dispatch(inner, &req);
-                inner.metrics.record(key, resp.status, started.elapsed());
-                resp.close = resp.close || !keep_alive;
-                if resp.write_to(&mut writer, keep_alive).is_err() || resp.close {
-                    return;
+                match routes::dispatch(inner, &req) {
+                    (key, Dispatch::Respond(mut resp)) => {
+                        inner.metrics.record(key, resp.status, started.elapsed());
+                        resp.close = resp.close || !keep_alive;
+                        if resp.write_to(&mut writer, keep_alive).is_err() || resp.close {
+                            return;
+                        }
+                    }
+                    (key, Dispatch::Subscribe { hello, sub }) => {
+                        // the latency recorded for a subscription is its
+                        // setup time, not its (unbounded) stream lifetime
+                        inner.metrics.record(key, 200, started.elapsed());
+                        stream_subscription(inner, &mut writer, &hello, sub);
+                        return;
+                    }
                 }
             }
             Err(HttpError::Idle) => {
@@ -349,4 +387,54 @@ fn serve_connection(inner: &Inner, stream: TcpStream) {
             }
         }
     }
+}
+
+/// The push loop of one `/subscribe` stream: chunked head, `hello`
+/// frame, then one chunk per frame the hub enqueues, until the client
+/// goes away, the server drains (terminal `bye`), or the subscriber is
+/// evicted as a slow consumer (terminal `error`, after flushing the
+/// frames that were already queued). Frames are newline-terminated
+/// (`application/x-ndjson`), one JSON document per chunk. The worker
+/// thread is pinned for the lifetime of the stream — subscriptions
+/// compete with request handling for the bounded pool by design.
+fn stream_subscription(
+    inner: &Inner,
+    writer: &mut TcpStream,
+    hello: &expfinder_graph::json::Value,
+    sub: Subscriber,
+) {
+    fn push(w: &mut TcpStream, frame: &expfinder_graph::json::Value) -> bool {
+        let mut line = frame.to_string_compact();
+        line.push('\n');
+        http::write_chunk(w, line.as_bytes()).is_ok()
+    }
+    if http::write_chunked_head(writer, 200, "application/x-ndjson").is_ok() && push(writer, hello)
+    {
+        loop {
+            if inner.draining() {
+                if push(writer, &crate::wire::subscription_bye("drain")) {
+                    let _ = http::finish_chunked(writer);
+                }
+                break;
+            }
+            match sub.rx.recv_timeout(POLL) {
+                Ok(frame) => {
+                    if !push(writer, &frame) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // the hub dropped our sender: evicted as a slow
+                    // consumer (buffered frames were already delivered
+                    // by the recv loop above)
+                    if push(writer, &crate::wire::subscription_error("slow-consumer")) {
+                        let _ = http::finish_chunked(writer);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    inner.subs.remove(sub.id);
 }

@@ -7,13 +7,15 @@
 //! [`ExpFinderError::http_status`], the engine's single error→status
 //! mapping.
 //!
-//! Request shapes (see README "Serving" for the full spec):
+//! Request shapes (see `docs/PROTOCOL.md` for the full spec):
 //!
 //! * query:    `{"pattern": "<dsl>", "top_k": 5, "route": "auto",
 //!   "include_matches": false}`
 //! * batch:    `{"queries": [<query body>, ...]}`
 //! * updates:  `{"updates": [{"op": "insert", "from": 0, "to": 3}, ...]}`
 //! * register: `{"name": "team", "pattern": "<dsl>"}`
+//! * subscribe: `{}` or `{"queries": ["team", ...]}` (see the
+//!   subscription-frame encoders below for the pushed stream)
 //! * add graph: `{"name": "g", "graph": {"nodes": [...], "edges": [...]}}`
 
 use crate::metrics::obj;
@@ -306,6 +308,105 @@ pub fn encode_update_report(report: &UpdateReport) -> Value {
     ])
 }
 
+/// Decode a `POST /graphs/{name}/subscribe` body: `{}` or
+/// `{"queries": ["team", ...]}`. Returns the optional filter — `None`
+/// means "every registered query". An explicitly empty filter is
+/// rejected: it would subscribe to nothing.
+pub fn decode_subscribe(v: &Value) -> Result<Option<Vec<String>>, WireError> {
+    let o = v
+        .as_object()
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    for key in o.keys() {
+        if key != "queries" {
+            return Err(WireError::bad_request(format!("unknown field {key:?}")));
+        }
+    }
+    match o.get("queries") {
+        None | Some(Value::Null) => Ok(None),
+        Some(q) => {
+            let names = q
+                .as_array()
+                .map_err(|e| WireError::bad_request(e.to_string()))?
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_owned)
+                        .map_err(|e| WireError::bad_request(e.to_string()))
+                })
+                .collect::<Result<Vec<String>, WireError>>()?;
+            if names.is_empty() {
+                return Err(WireError::bad_request(
+                    "queries filter must not be empty (omit it to subscribe to all)",
+                ));
+            }
+            Ok(Some(names))
+        }
+    }
+}
+
+// ------------------------- subscription frames -----------------------
+//
+// Every frame on a subscription stream is one JSON object with a
+// `"frame"` discriminator: `hello` (first), `update` (one per committed
+// batch), and the terminals `bye` (graceful) / `error` (abnormal).
+
+/// The `hello` frame opening every subscription stream.
+pub fn subscription_hello(graph: &str, version: u64, queries: &[String], subscriber: u64) -> Value {
+    obj(vec![
+        ("frame", Value::Str("hello".into())),
+        ("graph", Value::Str(graph.to_owned())),
+        ("graph_version", Value::Int(version as i64)),
+        (
+            "queries",
+            Value::Array(queries.iter().map(|q| Value::Str(q.clone())).collect()),
+        ),
+        ("subscriber", Value::Int(subscriber as i64)),
+    ])
+}
+
+/// An `update` frame: the exact [`encode_update_report`] document under
+/// `"report"` — byte-identical to the `POST /updates` response body for
+/// the same batch, so a pushed frame and a polled response never
+/// disagree. A filter narrows `registered_delta` to the subscriber's
+/// query set; the batch-level fields are untouched.
+pub fn subscription_update_frame(report: &UpdateReport, filter: Option<&[String]>) -> Value {
+    let doc = match filter {
+        None => encode_update_report(report),
+        Some(keep) => encode_update_report(&UpdateReport {
+            applied: report.applied,
+            attempted: report.attempted,
+            graph_version: report.graph_version,
+            registered: report
+                .registered
+                .iter()
+                .filter(|d| keep.contains(&d.query))
+                .cloned()
+                .collect(),
+        }),
+    };
+    obj(vec![
+        ("frame", Value::Str("update".into())),
+        ("report", doc),
+    ])
+}
+
+/// The graceful terminal frame (`reason` is `"drain"` on shutdown).
+pub fn subscription_bye(reason: &str) -> Value {
+    obj(vec![
+        ("frame", Value::Str("bye".into())),
+        ("reason", Value::Str(reason.to_owned())),
+    ])
+}
+
+/// The abnormal terminal frame (`reason` is `"slow-consumer"` when the
+/// subscriber's bounded queue overflowed).
+pub fn subscription_error(reason: &str) -> Value {
+    obj(vec![
+        ("frame", Value::Str("error".into())),
+        ("reason", Value::Str(reason.to_owned())),
+    ])
+}
+
 /// Encode one [`GraphInfo`] catalog row.
 pub fn encode_graph_info(info: &GraphInfo) -> Value {
     obj(vec![
@@ -447,6 +548,78 @@ mod tests {
         // without include_matches the field is absent
         let v = encode_query_response(&resp, &q, false, |_| None);
         assert!(v.field("matches").is_err());
+    }
+
+    #[test]
+    fn subscribe_body_decoding() {
+        assert_eq!(decode_subscribe(&parse("{}").unwrap()).unwrap(), None);
+        assert_eq!(
+            decode_subscribe(&parse(r#"{"queries":["team","sim"]}"#).unwrap()).unwrap(),
+            Some(vec!["team".to_owned(), "sim".to_owned()])
+        );
+        for bad in [r#"{"queries":[]}"#, r#"{"queries":[7]}"#, r#"{"what":1}"#] {
+            let e = decode_subscribe(&parse(bad).unwrap()).unwrap_err();
+            assert_eq!(e.status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn subscription_frames_encode() {
+        use expfinder_engine::{RegisteredDelta, UpdateReport};
+        let hello = subscription_hello("g", 4, &["team".to_owned()], 9);
+        assert_eq!(hello.field("frame").unwrap().as_str().unwrap(), "hello");
+        assert_eq!(hello.field("graph_version").unwrap().as_i64().unwrap(), 4);
+        assert_eq!(hello.field("subscriber").unwrap().as_i64().unwrap(), 9);
+
+        let report = UpdateReport {
+            applied: 1,
+            attempted: 1,
+            graph_version: 5,
+            registered: vec![
+                RegisteredDelta {
+                    query: "team".into(),
+                    before_pairs: 7,
+                    after_pairs: 8,
+                },
+                RegisteredDelta {
+                    query: "other".into(),
+                    before_pairs: 1,
+                    after_pairs: 1,
+                },
+            ],
+        };
+        // unfiltered: the report sub-document is exactly the /updates body
+        let frame = subscription_update_frame(&report, None);
+        assert_eq!(frame.field("frame").unwrap().as_str().unwrap(), "update");
+        assert_eq!(
+            frame.field("report").unwrap().to_string_compact(),
+            encode_update_report(&report).to_string_compact()
+        );
+        // filtered: registered_delta narrowed, batch fields untouched
+        let filter = vec!["team".to_owned()];
+        let frame = subscription_update_frame(&report, Some(&filter));
+        let doc = frame.field("report").unwrap();
+        assert_eq!(doc.field("graph_version").unwrap().as_i64().unwrap(), 5);
+        let delta = doc.field("registered_delta").unwrap();
+        assert!(delta.field("team").is_ok());
+        assert!(delta.field("other").is_err());
+
+        assert_eq!(
+            subscription_bye("drain")
+                .field("reason")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "drain"
+        );
+        assert_eq!(
+            subscription_error("slow-consumer")
+                .field("frame")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "error"
+        );
     }
 
     #[test]

@@ -417,6 +417,310 @@ fn keep_alive_reuses_one_connection() {
     handle.shutdown();
 }
 
+// ------------------------ subscriptions ------------------------------
+
+/// A throwaway on-disk runtime directory for the durable-backend tests.
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("expfinder_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config() -> expfinder_runtime::RuntimeConfig {
+    expfinder_runtime::RuntimeConfig {
+        shards: 2,
+        fsync: expfinder_runtime::wal::FsyncPolicy::Never,
+        exec: expfinder_engine::ExecConfig::sequential(),
+        ..expfinder_runtime::RuntimeConfig::default()
+    }
+}
+
+/// Drive one subscription end-to-end against `handle`: register `team`,
+/// subscribe, post two update batches, and assert each pushed frame's
+/// `report` is byte-identical to the `POST /updates` response body for
+/// the same batch. Shared by the Local and Durable backend tests — the
+/// push stream is a wire-level contract, not a backend detail.
+fn assert_push_matches_poll(handle: &ServerHandle) {
+    let f = expfinder_graph::fixtures::collaboration_fig1();
+    let mut client = Client::new(handle.addr());
+    client.register("fig1", "team", FIG1_DSL).unwrap();
+
+    let mut sub = client.subscribe("fig1", None).unwrap();
+    let hello = sub.next_frame().unwrap().unwrap();
+    assert_eq!(hello.field("frame").unwrap().as_str().unwrap(), "hello");
+    assert_eq!(hello.field("graph").unwrap().as_str().unwrap(), "fig1");
+    let queries = hello.field("queries").unwrap().as_array().unwrap();
+    assert!(queries.iter().any(|q| q.as_str().unwrap() == "team"));
+    assert!(hello.field("graph_version").unwrap().as_i64().unwrap() >= 1);
+
+    // two batches: Example 3's insert, then the matching delete
+    for up in [
+        EdgeUpdate::Insert(f.e1.0, f.e1.1),
+        EdgeUpdate::Delete(f.e1.0, f.e1.1),
+    ] {
+        let polled = client.updates("fig1", &[up]).unwrap();
+        let frame = sub.next_frame().unwrap().unwrap();
+        assert_eq!(frame.field("frame").unwrap().as_str().unwrap(), "update");
+        assert_eq!(
+            frame.field("report").unwrap().to_string_compact(),
+            polled.to_string_compact(),
+            "pushed frame must be bit-identical to the /updates response"
+        );
+    }
+
+    // the /metrics gauges saw the live stream
+    let metrics = client.metrics().unwrap();
+    let subs = metrics.field("subscriptions").unwrap();
+    assert_eq!(subs.field("live").unwrap().as_i64().unwrap(), 1);
+    assert!(subs.field("frames_pushed").unwrap().as_i64().unwrap() >= 2);
+    assert_eq!(
+        subs.field("slow_consumer_disconnects")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
+        0
+    );
+}
+
+#[test]
+fn subscription_pushes_frames_matching_updates_responses_local() {
+    let handle = fig1_server();
+    assert_push_matches_poll(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn subscription_pushes_frames_matching_updates_responses_durable() {
+    let dir = tmpdir("push");
+    let rt = Arc::new(expfinder_runtime::DurableExpFinder::open(&dir, durable_config()).unwrap());
+    rt.add_graph(
+        "fig1",
+        expfinder_graph::fixtures::collaboration_fig1().graph,
+    )
+    .unwrap();
+    let handle = Server::bind_durable(rt, "127.0.0.1:0", ServerConfig::default())
+        .unwrap()
+        .spawn();
+    assert_push_matches_poll(&handle);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn subscription_filters_and_rejections() {
+    // a live subscription pins its worker; leave headroom for the
+    // refused subscribe attempts below (the default pool is 2 on small
+    // machines: one for the keep-alive client, one for the stream)
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(handle.addr());
+    client.register("fig1", "team", FIG1_DSL).unwrap();
+    client
+        .register("fig1", "solo", "node sa* where label = \"SA\";")
+        .unwrap();
+
+    // a filtered stream sees only its query's ΔM
+    let mut sub = client.subscribe("fig1", Some(&["team"])).unwrap();
+    let hello = sub.next_frame().unwrap().unwrap();
+    let names: Vec<&str> = hello
+        .field("queries")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|q| q.as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["team"]);
+    let f = expfinder_graph::fixtures::collaboration_fig1();
+    client
+        .updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+        .unwrap();
+    let frame = sub.next_frame().unwrap().unwrap();
+    let delta = frame
+        .field("report")
+        .unwrap()
+        .field("registered_delta")
+        .unwrap();
+    assert!(delta.field("team").is_ok());
+    assert!(delta.field("solo").is_err(), "filtered out");
+
+    // refusals: unknown graph and unregistered query name
+    match client.subscribe("ghost", None) {
+        Err(ClientError::Status { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.subscribe("fig1", Some(&["nope"])) {
+        Err(ClientError::Status { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_subscriber_is_evicted_not_waited_on() {
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            subscriber_queue: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(handle.addr());
+    // a huge query name inflates every frame, so the unread stream
+    // fills the socket buffers after a bounded number of updates
+    let big_name = "q".repeat(32 * 1024);
+    client.register("fig1", &big_name, FIG1_DSL).unwrap();
+
+    let mut sub = client.subscribe("fig1", None).unwrap();
+    let f = expfinder_graph::fixtures::collaboration_fig1();
+
+    // never read from `sub`: once the socket and the 1-slot queue are
+    // both full, the next publish must evict rather than block the
+    // update path — every /updates call keeps answering promptly
+    let mut evicted = false;
+    for i in 0..400 {
+        let up = if i % 2 == 0 {
+            EdgeUpdate::Insert(f.e1.0, f.e1.1)
+        } else {
+            EdgeUpdate::Delete(f.e1.0, f.e1.1)
+        };
+        client.updates("fig1", &[up]).unwrap();
+        if i % 20 == 19 {
+            let m = client.metrics().unwrap();
+            let subs = m.field("subscriptions").unwrap();
+            if subs
+                .field("slow_consumer_disconnects")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                >= 1
+            {
+                evicted = true;
+                break;
+            }
+        }
+    }
+    assert!(evicted, "slow consumer was never evicted");
+
+    // now drain the stream: buffered frames, then the terminal error
+    sub.set_timeout(Duration::from_secs(10));
+    let mut saw_error = false;
+    loop {
+        match sub.next_frame().unwrap() {
+            None => break,
+            Some(frame) => {
+                if frame.field("frame").unwrap().as_str().unwrap() == "error" {
+                    assert_eq!(
+                        frame.field("reason").unwrap().as_str().unwrap(),
+                        "slow-consumer"
+                    );
+                    saw_error = true;
+                }
+            }
+        }
+    }
+    assert!(saw_error, "stream must end with the slow-consumer frame");
+
+    let m = client.metrics().unwrap();
+    let subs = m.field("subscriptions").unwrap();
+    assert_eq!(subs.field("live").unwrap().as_i64().unwrap(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn drain_terminates_subscriptions_with_bye() {
+    let handle = fig1_server();
+    let mut client = Client::new(handle.addr());
+    client.register("fig1", "team", FIG1_DSL).unwrap();
+    let mut sub = client.subscribe("fig1", None).unwrap();
+    let hello = sub.next_frame().unwrap().unwrap();
+    assert_eq!(hello.field("frame").unwrap().as_str().unwrap(), "hello");
+
+    // drain while the stream is live: the pinned worker notices within
+    // one poll interval and says goodbye before closing
+    let drainer = std::thread::spawn(move || handle.shutdown());
+    let bye = sub.next_frame().unwrap().unwrap();
+    assert_eq!(bye.field("frame").unwrap().as_str().unwrap(), "bye");
+    assert_eq!(bye.field("reason").unwrap().as_str().unwrap(), "drain");
+    assert_eq!(sub.next_frame().unwrap(), None, "clean chunked terminator");
+    drainer.join().unwrap();
+}
+
+#[test]
+fn durable_registration_survives_restart_and_feeds_new_subscriptions() {
+    let dir = tmpdir("restart");
+    let f = expfinder_graph::fixtures::collaboration_fig1();
+
+    // first server lifetime: add the graph, register over the wire
+    {
+        let rt =
+            Arc::new(expfinder_runtime::DurableExpFinder::open(&dir, durable_config()).unwrap());
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        let handle = Server::bind_durable(rt, "127.0.0.1:0", ServerConfig::default())
+            .unwrap()
+            .spawn();
+        let mut client = Client::new(handle.addr());
+        client.register("fig1", "team", FIG1_DSL).unwrap();
+        client
+            .updates("fig1", &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        handle.shutdown();
+    }
+
+    // second lifetime: recovery replays the WAL's register record, so a
+    // client can subscribe immediately — no re-registration step
+    let rt = Arc::new(expfinder_runtime::DurableExpFinder::open(&dir, durable_config()).unwrap());
+    let handle = Server::bind_durable(rt, "127.0.0.1:0", ServerConfig::default())
+        .unwrap()
+        .spawn();
+    let mut client = Client::new(handle.addr());
+    let mut sub = client.subscribe("fig1", Some(&["team"])).unwrap();
+    let hello = sub.next_frame().unwrap().unwrap();
+    let names: Vec<&str> = hello
+        .field("queries")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|q| q.as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["team"], "registration must survive the restart");
+
+    // and the replayed maintainer still produces ΔM: deleting the edge
+    // inserted before the restart shrinks the maintained result
+    let polled = client
+        .updates("fig1", &[EdgeUpdate::Delete(f.e1.0, f.e1.1)])
+        .unwrap();
+    let frame = sub.next_frame().unwrap().unwrap();
+    assert_eq!(
+        frame.field("report").unwrap().to_string_compact(),
+        polled.to_string_compact()
+    );
+    let team = frame
+        .field("report")
+        .unwrap()
+        .field("registered_delta")
+        .unwrap()
+        .field("team")
+        .unwrap();
+    assert_eq!(team.field("delta").unwrap().as_i64().unwrap(), -1);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn graceful_shutdown_drains_and_closes_the_port() {
     let handle = serve(

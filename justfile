@@ -1,7 +1,7 @@
 # Offline CI entry points (the container mirror of .github/workflows/ci.yml).
 
 # everything the CI `check` job runs, in order
-verify: fmt-check clippy test
+verify: fmt-check clippy test docs-check
 
 fmt-check:
     cargo fmt --all --check
@@ -16,6 +16,12 @@ test:
 # the CI `doc` job: rustdoc with warnings promoted to errors
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# every route served by crates/server/src/routes.rs must have a section
+# in docs/PROTOCOL.md (the inventory comes from the dispatch match arms,
+# so an undocumented handler fails CI)
+docs-check:
+    python3 scripts/docs_check.py
 
 # the CI MSRV leg: build/test on the pinned 1.82 toolchain (requires
 # `rustup toolchain install 1.82` once; no fmt/clippy gates — their

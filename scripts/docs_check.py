@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail if a route served by crates/server/src/routes.rs has no matching
+section in docs/PROTOCOL.md.
+
+The route inventory is read from the dispatch match arms (the code that
+actually serves traffic), not from any hand-maintained table, so adding
+a handler without documenting it fails CI. A route's section heading
+must be of the form:
+
+    ### `METHOD /path/{name}/segment`
+
+where dynamic path segments (bare identifiers in the match arm) render
+as `{name}`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ROUTES = ROOT / "crates" / "server" / "src" / "routes.rs"
+PROTOCOL = ROOT / "docs" / "PROTOCOL.md"
+
+# ("POST", ["graphs", name, "subscribe"]) — including arms wrapped over
+# lines; stop at the closing bracket of the segment list
+ARM = re.compile(r'\(\s*"(GET|POST|PUT|DELETE|PATCH)"\s*,\s*\[([^\]]*)\]\s*\)')
+
+
+def arm_to_path(segments: str):
+    """Render one match-arm segment list as a URL path, or None for the
+    405/404 catch-all arms (alternations and `_` wildcards)."""
+    path = []
+    for raw in segments.split(","):
+        seg = raw.strip()
+        if not seg:
+            continue
+        if "|" in seg or seg == "_":
+            return None  # catch-all arm, not a served route
+        if seg.startswith('"') and seg.endswith('"'):
+            path.append(seg[1:-1])
+        elif seg.isidentifier():
+            path.append("{name}")
+        else:
+            return None
+    return "/" + "/".join(path)
+
+
+def main() -> int:
+    src = ROUTES.read_text()
+    spec = PROTOCOL.read_text()
+    routes = []
+    for m in ARM.finditer(src):
+        path = arm_to_path(m.group(2))
+        if path is not None:
+            routes.append((m.group(1), path))
+    routes = sorted(set(routes))
+    if len(routes) < 5:
+        print(
+            f"docs-check: only {len(routes)} routes parsed from {ROUTES} — "
+            "the dispatch match shape changed; update scripts/docs_check.py",
+            file=sys.stderr,
+        )
+        return 1
+    missing = [
+        f"{method} {path}"
+        for method, path in routes
+        if f"### `{method} {path}`" not in spec
+    ]
+    for route in missing:
+        print(
+            f"docs-check: no `### \\`{route}\\`` section in docs/PROTOCOL.md",
+            file=sys.stderr,
+        )
+    if missing:
+        return 1
+    print(f"docs-check OK: {len(routes)} routes, all specified in docs/PROTOCOL.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
