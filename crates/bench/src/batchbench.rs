@@ -278,6 +278,11 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> Value {
 pub fn write_bench_json(path: &str, doc: &Value) -> std::io::Result<()> {
     let mut text = doc.to_string_pretty();
     text.push('\n');
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     std::fs::write(path, text)?;
     println!("wrote {path}");
     Ok(())

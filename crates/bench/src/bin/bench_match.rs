@@ -8,6 +8,13 @@
 //!   cargo run --release -p expfinder-bench --bin bench_match -- \
 //!       --out BENCH_4.json --min-speedup 1.5 \
 //!       --warm-out BENCH_5.json --min-warm-speedup 1.3
+//!   cargo run --release -p expfinder-bench --bin bench_match -- \
+//!       --plan-out plans.json
+//!
+//! `--plan-out FILE` is an exclusive mode: instead of the timing
+//! benchmarks it writes the deterministic planner-decision snapshot of
+//! [`expfinder_bench::planbench::run_plan_bench`] and exits — CI diffs
+//! that output against the checked-in `PLANS.json` (`just plan-check`).
 //!
 //! Two documents are written: the sequential old-vs-new measurement of
 //! [`expfinder_bench::matchbench::run_match_bench`] (default
@@ -22,12 +29,14 @@
 
 use expfinder_bench::batchbench::write_bench_json;
 use expfinder_bench::matchbench::{run_match_bench, run_warm_bench, MatchBenchOptions};
+use expfinder_bench::planbench::run_plan_bench;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out = "BENCH_4.json".to_owned();
     let mut warm_out = "BENCH_5.json".to_owned();
+    let mut plan_out: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
     let mut min_warm_speedup: Option<f64> = None;
 
@@ -46,6 +55,7 @@ fn main() {
             "--quick" => quick = true,
             "--out" => out = take(&mut i),
             "--warm-out" => warm_out = take(&mut i),
+            "--plan-out" => plan_out = Some(take(&mut i)),
             "--min-speedup" => min_speedup = Some(take(&mut i).parse().expect("bad --min-speedup")),
             "--min-warm-speedup" => {
                 min_warm_speedup = Some(take(&mut i).parse().expect("bad --min-warm-speedup"))
@@ -56,6 +66,13 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = plan_out {
+        let doc = run_plan_bench();
+        write_bench_json(&path, &doc).expect("writing plan snapshot");
+        println!("planner-decision snapshot written to {path}");
+        return;
     }
 
     let opts = MatchBenchOptions { quick };

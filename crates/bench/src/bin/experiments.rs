@@ -6,6 +6,10 @@
 //!   cargo run --release --bin experiments            # all experiments
 //!   cargo run --release --bin experiments -- e8      # one experiment
 //!   cargo run --release --bin experiments -- --quick # smaller workloads
+//!   cargo run --release --bin experiments -- --quick --out FRESH.json
+//!       # write E13's benchmark document to FRESH.json instead of the
+//!       # profile default, leaving the checked-in baseline untouched
+//!       # (what the CI regression compare uses)
 
 use expfinder_bench::batchbench::{run_batch_bench, write_bench_json, BatchBenchOptions};
 use expfinder_bench::*;
@@ -27,18 +31,39 @@ use std::time::Duration;
 
 struct Opts {
     quick: bool,
+    out: Option<String>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = Opts {
-        quick: args.iter().any(|a| a == "--quick"),
+    let mut opts = Opts {
+        quick: false,
+        out: None,
     };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut selected: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                i += 1;
+                opts.out = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| {
+                            eprintln!("missing value after --out");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other:?}");
+                std::process::exit(2);
+            }
+            name => selected.push(name),
+        }
+        i += 1;
+    }
     let all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 
@@ -847,12 +872,14 @@ fn e13_batch_parallel(opts: &Opts) {
         BatchBenchOptions::default()
     };
     // quick runs record to a scratch file so the checked-in full-profile
-    // baseline (BENCH_2.json) is only ever rewritten by a full run
-    let out = if opts.quick {
+    // baseline (BENCH_2.json) is only ever rewritten by a full run;
+    // --out redirects either profile (CI writes a fresh doc next to the
+    // checked-in baseline and diffs the two)
+    let out = opts.out.as_deref().unwrap_or(if opts.quick {
         "BENCH_smoke.json"
     } else {
         "BENCH_2.json"
-    };
+    });
     // run_batch_bench asserts sequential/parallel result equality itself
     let doc = run_batch_bench(&bench_opts);
     let written = write_bench_json(out, &doc).is_ok();

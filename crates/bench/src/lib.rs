@@ -6,6 +6,7 @@
 
 pub mod batchbench;
 pub mod matchbench;
+pub mod planbench;
 pub mod servebench;
 
 use expfinder_graph::generate::{

@@ -16,12 +16,17 @@
 //! yields [`ExpFinderError::StaleHandle`].
 //!
 //! Query routing follows paper §II: (1) the version-keyed result cache,
-//! (2) registered incrementally-maintained queries, (3) the compressed
-//! graph when one exists and the query is compression-safe, and
-//! otherwise (4) direct evaluation — quadratic simulation for 1-bounded
-//! patterns, cubic bounded simulation for the rest. Updates flow through
-//! [`ExpFinder::apply_updates`], which maintains the graph, its
-//! compressed counterpart and every registered query in one pass.
+//! (2) registered incrementally-maintained queries, and otherwise (3)
+//! the cost-based [`planner`], which estimates the work of every
+//! applicable physical route — the live adjacency, the reach-indexed
+//! CSR snapshot (sequential or parallel), the compressed quotient when
+//! one exists and the query is compression-safe — from the graph's
+//! [`CostProfile`] and picks the cheapest (quadratic simulation for
+//! 1-bounded patterns, cubic bounded simulation for the rest, on
+//! whichever substrate won). Every [`QueryResponse`] carries the full
+//! [`PlanDecision`]. Updates flow through [`ExpFinder::apply_updates`],
+//! which maintains the graph, its compressed counterpart and every
+//! registered query in one pass.
 //!
 //! Execution is parallel by default ([`ExecConfig`]): direct evaluation
 //! runs the parallel refinement of `expfinder-core` over an immutable
@@ -54,9 +59,14 @@
 //! ```
 
 pub mod cache;
+pub mod planner;
 pub mod report;
 pub mod shell;
 pub mod storage;
+
+pub use planner::{
+    CandidateCost, CostInputs, CostProfile, PlanContext, PlanDecision, PlanRoute, PlannerTotals,
+};
 
 use cache::QueryCache;
 use expfinder_compress::maintain::MaintainedCompression;
@@ -73,6 +83,7 @@ use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
 use expfinder_pattern::parser::ParseError;
 use expfinder_pattern::{Pattern, PatternError};
 use parking_lot::{Mutex, RwLock};
+use planner::PlannerCounters;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -284,6 +295,10 @@ pub struct QueryResponse {
     pub graph_version: u64,
     /// Wall-clock breakdown.
     pub timings: QueryTimings,
+    /// The planner's verdict: chosen route, the route it would have
+    /// picked without a preference, and every costed candidate — the
+    /// `timings.plan` object on the wire.
+    pub plan: PlanDecision,
 }
 
 /// A registered query with its incremental maintainer.
@@ -314,17 +329,11 @@ struct StoredGraph {
     /// unchanged graph version ([`ExpFinder::compress`]), since the
     /// quotient graph can change without a version bump.
     reach_c: Mutex<Option<Arc<ReachIndex>>>,
-    /// Version of the last *sequential* direct read — the
-    /// build-on-second-read marker of [`StoredGraph::csr_for_sequential`].
-    seq_read_version: AtomicU64,
+    /// Per-graph workload statistics the cost-based [`planner`] runs on:
+    /// reads per version, reach-index hit rates, update and CSR-build
+    /// counters.
+    profile: CostProfile,
 }
-
-/// Graphs smaller than this (|V| + |E|) never take the CSR path: below
-/// it a sequential evaluation finishes in roughly the time a snapshot
-/// build (or a thread spawn) costs, so the fast path would be a slow
-/// path — in particular on update-heavy workloads, where every version
-/// bump would trigger a rebuild.
-const PARALLEL_MIN_GRAPH_SIZE: usize = 4096;
 
 impl StoredGraph {
     fn new(graph: DiGraph) -> StoredGraph {
@@ -335,7 +344,7 @@ impl StoredGraph {
             csr: Mutex::new(None),
             reach: Mutex::new(None),
             reach_c: Mutex::new(None),
-            seq_read_version: AtomicU64::new(u64::MAX),
+            profile: CostProfile::default(),
         }
     }
 
@@ -355,25 +364,19 @@ impl StoredGraph {
         }
     }
 
-    /// Should evaluation take the CSR + *parallel-refinement* path at
-    /// this thread budget? Only when there is real work to parallelize.
-    fn parallel_eligible(&self, threads: usize) -> bool {
-        threads > 1 && self.csr_eligible()
-    }
-
-    /// Is the graph large enough for a CSR snapshot to ever pay off?
-    fn csr_eligible(&self) -> bool {
-        self.graph.size() >= PARALLEL_MIN_GRAPH_SIZE
-    }
-
     /// The CSR snapshot for the current graph version, building (and
-    /// caching) it if the version moved since the last build.
+    /// caching) it if the version moved since the last build. Builds are
+    /// timed into the graph's [`CostProfile`] (observability only — the
+    /// planner's estimates stay deterministic).
     fn csr(&self) -> Arc<CsrGraph> {
         let mut slot = self.csr.lock();
         match &*slot {
             Some(c) if c.version() == self.graph.version() => Arc::clone(c),
             _ => {
+                let started = Instant::now();
                 let c = Arc::new(CsrGraph::snapshot(&self.graph));
+                self.profile
+                    .note_csr_build(started.elapsed().as_nanos() as u64);
                 *slot = Some(Arc::clone(&c));
                 c
             }
@@ -387,30 +390,6 @@ impl StoredGraph {
         slot.as_ref()
             .filter(|c| c.version() == self.graph.version())
             .map(Arc::clone)
-    }
-
-    /// The snapshot a *sequential* direct evaluation should use, if any.
-    /// Sequential queries also win from label-indexed candidate seeding
-    /// and contiguous adjacency — on a 1-core host this is the serving
-    /// fast path — but the per-version build must not be paid by
-    /// update-heavy traffic that reads each version once. So: use a fresh
-    /// snapshot whenever one exists, and otherwise build only on the
-    /// *second* sequential read of a version (read-heavy traffic
-    /// amortizes the build from query two on; alternating update/query
-    /// streams stay on the live adjacency and never pay it).
-    fn csr_for_sequential(&self) -> Option<Arc<CsrGraph>> {
-        if !self.csr_eligible() {
-            return None;
-        }
-        if let Some(c) = self.csr_if_fresh() {
-            return Some(c);
-        }
-        let v = self.graph.version();
-        if self.seq_read_version.swap(v, Ordering::Relaxed) == v {
-            Some(self.csr())
-        } else {
-            None
-        }
     }
 }
 
@@ -555,6 +534,9 @@ pub struct ExpFinder {
     /// Cumulative [`EvalStats`] across every direct/compressed
     /// evaluation, exported on `GET /metrics`.
     eval_totals: EvalTotals,
+    /// Cumulative planner counters (decisions, overrides, mispredicts)
+    /// — the `engine.planner` block of `GET /metrics`.
+    planner: PlannerCounters,
     /// Observer of committed update batches (ΔM push fan-out).
     update_hook: RwLock<Option<UpdateHook>>,
     next_id: AtomicU64,
@@ -642,6 +624,7 @@ impl ExpFinder {
             cache,
             scratch_pool: ScratchPool::new(),
             eval_totals: EvalTotals::default(),
+            planner: PlannerCounters::default(),
             update_hook: RwLock::new(None),
             next_id: AtomicU64::new(1),
         }
@@ -936,6 +919,9 @@ impl ExpFinder {
                 rq.maintainer.on_update(&stored.graph, up);
             }
         }
+        if applied > 0 {
+            stored.profile.note_update_batch();
+        }
         if let Some(mc) = stored.compressed.as_mut() {
             mc.refresh(&stored.graph);
             mc.maybe_recompress(&stored.graph, drift)?;
@@ -986,7 +972,7 @@ impl ExpFinder {
     ) -> Result<QueryOutcome, ExpFinderError> {
         let slot = self.slot(handle)?;
         let stored = slot.read();
-        let (matches, route) = self.scratch_pool.with(|scratch| {
+        let (matches, route, _plan) = self.scratch_pool.with(|scratch| {
             self.route_and_eval(
                 handle,
                 &stored,
@@ -1048,6 +1034,14 @@ impl ExpFinder {
     /// — the serving-path observability hook behind `GET /metrics`.
     pub fn eval_totals(&self) -> EvalStats {
         self.eval_totals.snapshot()
+    }
+
+    /// Cumulative planner counters — how many route decisions were made,
+    /// how many were forced by a caller preference, and how many the
+    /// evaluation then contradicted ([`PlanDecision::mispredicted`]) —
+    /// the `engine.planner` block of `GET /metrics`.
+    pub fn planner_totals(&self) -> PlannerTotals {
+        self.planner.totals()
     }
 
     /// Reach-index totals: cumulative hits/misses plus live entry/byte
@@ -1177,7 +1171,7 @@ impl ExpFinder {
         let started = Instant::now();
         let slot = self.slot(handle)?;
         let stored = slot.read();
-        let (matches, route) =
+        let (matches, route, plan) =
             self.route_and_eval(handle, &stored, pattern, prefer, threads, scratch)?;
         let evaluate_time = started.elapsed();
 
@@ -1216,6 +1210,7 @@ impl ExpFinder {
                 rank: rank_time,
                 total: started.elapsed(),
             },
+            plan,
         })
     }
 
@@ -1223,6 +1218,12 @@ impl ExpFinder {
     /// query (evaluate + rank) sees one consistent graph state. `threads`
     /// is the budget for direct evaluation's parallel refinement;
     /// `scratch` carries the reusable buffers of the sequential paths.
+    ///
+    /// The exact-result short circuits (cache, registered) still run
+    /// first, in paper §II order; everything after them is decided by the
+    /// cost-based [`planner`] from the graph's [`CostProfile`]. A
+    /// non-`Auto` `prefer` no longer takes a separate code path — the
+    /// planner still produces its decision and records the override.
     fn route_and_eval(
         &self,
         handle: &GraphHandle,
@@ -1231,14 +1232,17 @@ impl ExpFinder {
         prefer: Route,
         threads: usize,
         scratch: &mut EvalScratch,
-    ) -> Result<(Arc<MatchRelation>, EvalRoute), ExpFinderError> {
+    ) -> Result<(Arc<MatchRelation>, EvalRoute, PlanDecision), ExpFinderError> {
         let fingerprint = pattern.fingerprint();
-        let key = QueryCache::key_for(handle.id, stored.graph.version(), &fingerprint);
+        let version = stored.graph.version();
+        let key = QueryCache::key_for(handle.id, version, &fingerprint);
 
         if prefer == Route::Auto {
             // 1. cache (the fingerprint guards against key-hash collisions)
             if let Some(hit) = self.cache.lock().get(&key, &fingerprint) {
-                return Ok((hit, EvalRoute::Cache));
+                let plan = PlanDecision::exact(PlanRoute::Cache);
+                self.planner.on_decision(&plan);
+                return Ok((hit, EvalRoute::Cache, plan));
             }
 
             // 2. registered incremental state
@@ -1248,113 +1252,143 @@ impl ExpFinder {
                     self.cache
                         .lock()
                         .put(key, &fingerprint, Arc::clone(&matches));
-                    return Ok((matches, EvalRoute::Registered));
+                    let plan = PlanDecision::exact(PlanRoute::Registered);
+                    self.planner.on_decision(&plan);
+                    return Ok((matches, EvalRoute::Registered, plan));
                 }
             }
         }
 
-        // 3. compressed graph, when safe
+        // 3. plan: cost every applicable physical route and take the
+        // cheapest. The compressed quotient is a candidate only when one
+        // exists, the pattern is compression-safe, and the preference
+        // (or `auto_use_compressed`) allows it.
         let try_compressed = match prefer {
             Route::Auto => self.config.auto_use_compressed,
             Route::Compressed => true,
             Route::Direct => false,
         };
-        if try_compressed {
-            if let Some(mc) = stored.compressed.as_ref() {
+        let compression_ratio = if try_compressed {
+            stored.compressed.as_ref().and_then(|mc| {
                 let gc = mc.compressed();
                 if gc.validate_pattern(pattern).is_ok() {
-                    let on_c = if pattern.is_simulation() {
-                        let (m, stats) = graph_simulation_scratch(gc, pattern, scratch)?;
-                        self.eval_totals.add(stats);
-                        m
-                    } else if gc.has_label_index() {
-                        // the reach index is wired here, but only bound
-                        // when the quotient can actually answer class
-                        // lookups — an always-miss provider would pay the
-                        // cache lock per query and poison the hit/miss
-                        // ratio (today `CompressedGraph` has no label
-                        // index; see ROADMAP)
-                        let ri = StoredGraph::reach_index(&stored.reach_c, stored.graph.version());
-                        let bound = ri.bind(gc);
-                        let (m, stats) = bounded_simulation_indexed(
-                            gc,
-                            pattern,
-                            EvalOptions::default(),
-                            scratch,
-                            Some(&bound),
-                        );
-                        self.eval_totals.add(stats);
-                        m
-                    } else {
-                        let (m, stats) = bounded_simulation_scratch(
-                            gc,
-                            pattern,
-                            EvalOptions::default(),
-                            scratch,
-                        );
-                        self.eval_totals.add(stats);
-                        m
-                    };
-                    let matches = Arc::new(gc.expand(&on_c));
-                    self.cache
-                        .lock()
-                        .put(key, &fingerprint, Arc::clone(&matches));
-                    return Ok((matches, EvalRoute::Compressed));
+                    let cs = gc.stats();
+                    let original = (cs.original_nodes + cs.original_edges).max(1);
+                    let quotient = (cs.compressed_nodes + cs.compressed_edges).max(1);
+                    Some(quotient as f64 / original as f64)
+                } else {
+                    None
                 }
-            }
-        }
+            })
+        } else {
+            None
+        };
+        let inputs = stored.profile.inputs(
+            version,
+            stored.graph.size(),
+            stored.csr_if_fresh().is_some(),
+        );
+        let ctx = PlanContext {
+            threads,
+            pattern_edges: pattern.edge_count(),
+            compression_ratio,
+        };
+        let mut plan = planner::plan(&inputs, &ctx);
+        plan.apply_preference(prefer);
 
-        // 4. direct evaluation — through the CSR snapshot with parallel
-        // refinement when the thread budget and graph size warrant it,
-        // through the same snapshot with the sequential frontier engine
-        // when read-heavy sequential traffic amortizes it (see
-        // `csr_for_sequential`), and on the live adjacency otherwise.
-        // Both snapshot paths consult the per-version [`ReachIndex`], so
-        // on a warm version every class-seeded first refresh is one
-        // bitset copy. All paths compute the same greatest fixpoint.
-        let (m, stats, route) = if stored.parallel_eligible(threads) {
-            let csr = stored.csr();
-            let ri = StoredGraph::reach_index(&stored.reach, csr.version());
-            let bound = ri.bind(&*csr);
-            if pattern.is_simulation() {
-                let (m, stats) =
-                    parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                (m, stats, EvalRoute::DirectSimulation)
-            } else {
-                let (m, stats) =
-                    parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                (m, stats, EvalRoute::DirectBounded)
+        // 4. evaluate on the chosen substrate. The snapshot routes
+        // consult the per-version [`ReachIndex`], so on a warm version
+        // every class-seeded first refresh is one bitset copy. All
+        // routes compute the same greatest fixpoint.
+        let (m, stats, route) = match plan.chosen {
+            PlanRoute::Compressed => {
+                let mc = stored
+                    .compressed
+                    .as_ref()
+                    .expect("compressed candidate implies a maintained quotient");
+                let gc = mc.compressed();
+                let (on_c, stats) = if pattern.is_simulation() {
+                    graph_simulation_scratch(gc, pattern, scratch)?
+                } else if gc.has_label_index() {
+                    // the reach index is wired here, but only bound
+                    // when the quotient can actually answer class
+                    // lookups — an always-miss provider would pay the
+                    // cache lock per query and poison the hit/miss
+                    // ratio (today `CompressedGraph` has no label
+                    // index; see ROADMAP)
+                    let ri = StoredGraph::reach_index(&stored.reach_c, version);
+                    let bound = ri.bind(gc);
+                    bounded_simulation_indexed(
+                        gc,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                        Some(&bound),
+                    )
+                } else {
+                    bounded_simulation_scratch(gc, pattern, EvalOptions::default(), scratch)
+                };
+                (gc.expand(&on_c), stats, EvalRoute::Compressed)
             }
-        } else if let Some(csr) = stored.csr_for_sequential() {
-            if pattern.is_simulation() {
-                let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
-                (m, stats, EvalRoute::DirectSimulation)
-            } else {
+            PlanRoute::SnapshotParallel => {
+                let csr = stored.csr();
                 let ri = StoredGraph::reach_index(&stored.reach, csr.version());
                 let bound = ri.bind(&*csr);
-                let (m, stats) = bounded_simulation_indexed(
-                    &*csr,
-                    pattern,
-                    EvalOptions::default(),
-                    scratch,
-                    Some(&bound),
-                );
-                (m, stats, EvalRoute::DirectBounded)
+                if pattern.is_simulation() {
+                    let (m, stats) =
+                        parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
+                    (m, stats, EvalRoute::DirectSimulation)
+                } else {
+                    let (m, stats) =
+                        parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
+                    (m, stats, EvalRoute::DirectBounded)
+                }
             }
-        } else if pattern.is_simulation() {
-            let (m, stats) = graph_simulation_scratch(&stored.graph, pattern, scratch)?;
-            (m, stats, EvalRoute::DirectSimulation)
-        } else {
-            let (m, stats) =
-                bounded_simulation_scratch(&stored.graph, pattern, EvalOptions::default(), scratch);
-            (m, stats, EvalRoute::DirectBounded)
+            PlanRoute::Snapshot => {
+                let csr = stored.csr();
+                if pattern.is_simulation() {
+                    let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
+                    (m, stats, EvalRoute::DirectSimulation)
+                } else {
+                    let ri = StoredGraph::reach_index(&stored.reach, csr.version());
+                    let bound = ri.bind(&*csr);
+                    let (m, stats) = bounded_simulation_indexed(
+                        &*csr,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                        Some(&bound),
+                    );
+                    (m, stats, EvalRoute::DirectBounded)
+                }
+            }
+            // Live (Cache/Registered never reach this point)
+            _ => {
+                if pattern.is_simulation() {
+                    let (m, stats) = graph_simulation_scratch(&stored.graph, pattern, scratch)?;
+                    (m, stats, EvalRoute::DirectSimulation)
+                } else {
+                    let (m, stats) = bounded_simulation_scratch(
+                        &stored.graph,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                    );
+                    (m, stats, EvalRoute::DirectBounded)
+                }
+            }
         };
+        stored.profile.note_eval(version, &stats);
+        if plan.mispredicted(&stats) {
+            self.planner.on_mispredict();
+        }
+        self.planner.on_decision(&plan);
         self.eval_totals.add(stats);
         let matches = Arc::new(m);
         self.cache
             .lock()
             .put(key, &fingerprint, Arc::clone(&matches));
-        Ok((matches, route))
+        Ok((matches, route, plan))
     }
 }
 
@@ -1506,6 +1540,11 @@ mod tests {
     use super::*;
     use expfinder_graph::fixtures::collaboration_fig1;
     use expfinder_pattern::fixtures::fig1_pattern;
+
+    /// Padding target for tests that want the planner's snapshot routes
+    /// to win: large enough that an amortized (or thread-divided) CSR
+    /// build beats the live adjacency.
+    const PAD_SIZE: usize = 4096;
 
     fn engine_with_fig1() -> (ExpFinder, GraphHandle, expfinder_graph::fixtures::Fig1) {
         let f = collaboration_fig1();
@@ -1881,7 +1920,7 @@ mod tests {
         // size threshold (a bare fig1 stays on the sequential path)
         let f = collaboration_fig1();
         let mut g = f.graph.clone();
-        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+        while g.size() < PAD_SIZE {
             g.add_node("pad", []);
         }
         let e = ExpFinder::new(EngineConfig {
@@ -1917,7 +1956,7 @@ mod tests {
         // exact on every step of an alternating update/query stream
         let f = collaboration_fig1();
         let mut g = f.graph.clone();
-        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+        while g.size() < PAD_SIZE {
             g.add_node("pad", []);
         }
         let e = ExpFinder::new(EngineConfig {
@@ -1959,7 +1998,7 @@ mod tests {
         // engages on the sequential engine
         let f = collaboration_fig1();
         let mut g = f.graph.clone();
-        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+        while g.size() < PAD_SIZE {
             g.add_node("pad", []);
         }
         let e = ExpFinder::new(EngineConfig {
@@ -2029,7 +2068,7 @@ mod tests {
     fn parallel_route_consults_the_index_with_identical_results() {
         let f = collaboration_fig1();
         let mut g = f.graph.clone();
-        while g.size() < PARALLEL_MIN_GRAPH_SIZE {
+        while g.size() < PAD_SIZE {
             g.add_node("pad", []);
         }
         let e = ExpFinder::new(EngineConfig {
@@ -2153,5 +2192,72 @@ mod tests {
         assert_eq!(h, h3);
         assert_eq!(h.name(), "fig1");
         assert_eq!(format!("{h}"), format!("fig1#{}", h.id()));
+    }
+
+    #[test]
+    fn every_response_carries_a_plan_decision() {
+        let (e, h, _) = engine_with_fig1();
+        let q = fig1_pattern();
+        // cost-modeled evaluation: candidates present, live wins on tiny
+        let first = e.query(&h).pattern(q.clone()).run().unwrap();
+        assert_eq!(first.plan.chosen, PlanRoute::Live);
+        assert!(!first.plan.overridden);
+        assert!(
+            first.plan.candidates.len() >= 2,
+            "live and snapshot were costed: {:?}",
+            first.plan.candidates
+        );
+        // exact short circuit: the cache hit is recorded without costing
+        let second = e.query(&h).pattern(q.clone()).run().unwrap();
+        assert_eq!(second.plan.chosen, PlanRoute::Cache);
+        assert!(second.plan.candidates.is_empty());
+        // a preference is recorded as an override, not a silent branch
+        let forced = e.query(&h).pattern(q).prefer(Route::Direct).run().unwrap();
+        assert!(forced.plan.overridden);
+        let t = e.planner_totals();
+        assert_eq!(t.decisions, 3);
+        assert_eq!(t.overrides, 1);
+    }
+
+    #[test]
+    fn planner_warms_into_the_snapshot_route_and_resets_on_update() {
+        // the acceptance workload: repeated reads of one version migrate
+        // live → snapshot as the build amortizes; an update batch resets
+        // the window and the next read drops back to the live adjacency
+        let f = collaboration_fig1();
+        let mut g = f.graph.clone();
+        while g.size() < PAD_SIZE {
+            g.add_node("pad", []);
+        }
+        let e = ExpFinder::new(EngineConfig {
+            exec: ExecConfig::sequential(),
+            ..EngineConfig::default()
+        });
+        let h = e.add_graph("fig1", g).unwrap();
+        let q = fig1_pattern();
+        let run = || {
+            e.query(&h)
+                .pattern(q.clone())
+                .prefer(Route::Direct)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(run().plan.chosen, PlanRoute::Live, "cold first read");
+        assert_eq!(run().plan.chosen, PlanRoute::Snapshot, "amortized");
+        assert_eq!(run().plan.chosen, PlanRoute::Snapshot, "sunk build");
+        e.apply_updates(&h, &[EdgeUpdate::Insert(f.e1.0, f.e1.1)])
+            .unwrap();
+        let post = run();
+        assert_eq!(post.plan.chosen, PlanRoute::Live, "window reset");
+        let snap = post
+            .plan
+            .candidates
+            .iter()
+            .find(|c| c.route == PlanRoute::Snapshot)
+            .unwrap();
+        assert!(
+            snap.cost.is_infinite(),
+            "stale snapshot has no amortization horizon"
+        );
     }
 }

@@ -30,10 +30,20 @@
 //! the push subscriptions built on them) survive a restart. Compaction
 //! re-seeds the truncated log with one register record per live query.
 //!
-//! What the runtime deliberately does **not** replicate from the
-//! engine: maintained compression. `Route::Compressed` falls back to
-//! direct evaluation here (the cache and registered-query routes are
-//! intact).
+//! Maintained compression works here too: [`DurableExpFinder::compress`]
+//! asks the owning shard actor to build the quotient, which then travels
+//! with every published snapshot (like the reach index) and is
+//! maintained through update batches, so `Route::Compressed` — and the
+//! planner's compressed candidate — evaluate on the quotient exactly as
+//! on the in-memory engine. Compression is *session* state, not
+//! WAL-logged: it is derived, rebuildable on demand, and a restart
+//! comes back uncompressed.
+//!
+//! Route selection is the engine's cost-based planner
+//! ([`expfinder_engine::planner`]): each graph's published slot carries
+//! a [`CostProfile`] that survives republishing, so read/update
+//! frequencies and index hit rates accumulate across snapshot versions
+//! and every [`QueryResponse`] carries its [`PlanDecision`].
 //!
 //! ```
 //! use expfinder_runtime::{DurableExpFinder, RuntimeConfig, FsyncPolicy};
@@ -66,15 +76,18 @@ pub use wal::FsyncPolicy;
 
 use crate::shard::{write_efg_atomic, Cmd, GraphActor, Reply, Ring, ShardHandle};
 use crate::wal::{ReplaySummary, Wal};
+use expfinder_compress::{CompressStats, CompressedGraph, CompressionMethod};
 use expfinder_core::{
     bounded_simulation_indexed, bounded_simulation_scratch, graph_simulation_scratch,
     parallel_bounded_simulation_indexed, parallel_simulation_indexed, rank_matches_top_k,
     BuildOptions, EvalOptions, EvalScratch, EvalStats, MatchRelation, ResultGraph, ScratchPool,
 };
 use expfinder_engine::cache::{CacheStats, QueryCache};
+use expfinder_engine::planner::{self, PlannerCounters};
 use expfinder_engine::{
-    validate_graph_name, EvalRoute, ExecConfig, ExpFinderError, GraphInfo, IndexTotals,
-    QueryResponse, QuerySpec, QueryTimings, Route, UpdateHook, UpdateReport,
+    validate_graph_name, CostProfile, EvalRoute, ExecConfig, ExpFinderError, GraphInfo,
+    IndexTotals, PlanContext, PlanDecision, PlanRoute, PlannerTotals, QueryResponse, QuerySpec,
+    QueryTimings, Route, UpdateHook, UpdateReport,
 };
 use expfinder_graph::{io as gio, CsrGraph, DiGraph, EdgeUpdate, GraphView, ReachIndex};
 use expfinder_pattern::Pattern;
@@ -85,10 +98,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
-
-/// Same floor as the engine: below this `|V| + |E|`, a CSR snapshot or
-/// parallel refinement costs more than it saves.
-const PARALLEL_MIN_GRAPH_SIZE: usize = 4096;
 
 // ---------------------------------------------------------------------
 // published snapshots (the read side)
@@ -117,6 +126,14 @@ pub(crate) struct Snapshot {
     /// Class-reach memo for this exact version (interior mutability;
     /// entries fill lazily).
     pub reach: Arc<ReachIndex>,
+    /// The maintained compressed quotient published by the actor, when
+    /// one was built ([`DurableExpFinder::compress`]). Immutable like
+    /// the graph — the actor publishes a fresh clone after maintenance.
+    pub compressed: Option<Arc<CompressedGraph>>,
+    /// The per-snapshot reach memo of the quotient. Fresh on every
+    /// publish: the quotient can change without a version bump, so
+    /// version-keyed invalidation alone would not be safe.
+    pub reach_c: Arc<ReachIndex>,
     pub registered: Vec<RegisteredView>,
 }
 
@@ -128,37 +145,47 @@ impl Snapshot {
             version,
             csr: OnceLock::new(),
             reach: Arc::new(ReachIndex::new(version)),
+            compressed: None,
+            reach_c: Arc::new(ReachIndex::new(version)),
             registered,
         }
     }
 
-    fn csr(&self) -> Arc<CsrGraph> {
-        Arc::clone(
+    /// The CSR snapshot, building it if this snapshot does not have one
+    /// yet (concurrent first readers race in `get_or_init`, one build
+    /// wins). The build is timed into `profile` — observability only,
+    /// the planner's estimates stay deterministic.
+    fn csr(&self, profile: &CostProfile) -> Arc<CsrGraph> {
+        if let Some(c) = self.csr.get() {
+            return Arc::clone(c);
+        }
+        let started = Instant::now();
+        let c = Arc::clone(
             self.csr
                 .get_or_init(|| Arc::new(CsrGraph::snapshot(&self.graph))),
-        )
+        );
+        profile.note_csr_build(started.elapsed().as_nanos() as u64);
+        c
     }
 
-    /// The CSR only if some earlier query already paid for it — the
-    /// sequential path never builds one (mirrors the engine's rule that
-    /// write-heavy, read-once versions stay on the live adjacency).
+    /// The CSR only if some earlier query already paid for it — its
+    /// build is sunk cost, which the planner treats as free.
     fn csr_if_built(&self) -> Option<Arc<CsrGraph>> {
         self.csr.get().map(Arc::clone)
-    }
-
-    fn parallel_eligible(&self, threads: usize) -> bool {
-        threads > 1 && self.graph.size() >= PARALLEL_MIN_GRAPH_SIZE
     }
 }
 
 /// The stable identity of one graph in the runtime: its cache-key id,
-/// owning shard, and the slot the actor publishes snapshots into. The
+/// owning shard, the slot the actor publishes snapshots into, and the
+/// graph's [`CostProfile`] — which lives here, not on the snapshot, so
+/// workload statistics accumulate across republished versions. The
 /// `state` lock is held for one `Arc` clone (readers) or one `Arc`
 /// store (the actor) — never across evaluation.
 pub(crate) struct PublishedGraph {
     pub id: u64,
     pub shard: usize,
     pub state: RwLock<Arc<Snapshot>>,
+    pub profile: Arc<CostProfile>,
 }
 
 impl PublishedGraph {
@@ -167,6 +194,7 @@ impl PublishedGraph {
             id,
             shard,
             state: RwLock::new(Arc::new(Snapshot::new(graph, Vec::new()))),
+            profile: Arc::new(CostProfile::default()),
         }
     }
 
@@ -334,6 +362,7 @@ pub struct DurableExpFinder {
     cache: Mutex<QueryCache>,
     scratch: ScratchPool,
     eval_totals: EvalTotals,
+    planner: PlannerCounters,
     wal_counters: Arc<WalCounters>,
     /// Observer of committed update batches, shared with every shard
     /// worker (ΔM push fan-out; see [`DurableExpFinder::set_update_hook`]).
@@ -383,6 +412,7 @@ impl DurableExpFinder {
             cache,
             scratch: ScratchPool::new(),
             eval_totals: EvalTotals::default(),
+            planner: PlannerCounters::default(),
             wal_counters,
             update_hook,
             next_id: AtomicU64::new(1),
@@ -437,7 +467,10 @@ impl DurableExpFinder {
         self.graphs
             .write()
             .insert(name.to_owned(), Arc::clone(&published));
-        self.request(shard, |reply| Cmd::Adopt { actor, reply })?;
+        self.request(shard, |reply| Cmd::Adopt {
+            actor: Box::new(actor),
+            reply,
+        })?;
         Ok(())
     }
 
@@ -515,7 +548,10 @@ impl DurableExpFinder {
             let wal = Wal::open(&wal_path, self.config.fsync, 0)
                 .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
             let actor = GraphActor::new(name.to_owned(), self.dir.clone(), graph, wal, published);
-            self.request(shard, |reply| Cmd::Adopt { actor, reply })
+            self.request(shard, |reply| Cmd::Adopt {
+                actor: Box::new(actor),
+                reply,
+            })
         })();
         match result {
             Ok(version) => Ok(version),
@@ -564,7 +600,7 @@ impl DurableExpFinder {
                     edges: snap.graph.edge_count(),
                     version: snap.version,
                     registered_queries: snap.registered.len(),
-                    compressed: false,
+                    compressed: snap.compressed.is_some(),
                 }
             })
             .collect();
@@ -678,8 +714,8 @@ impl DurableExpFinder {
         let started = Instant::now();
         let pg = self.published(name)?;
         let snap = pg.snapshot();
-        let (matches, route) =
-            self.eval_snapshot(pg.id, &snap, pattern, prefer, threads, scratch)?;
+        let (matches, route, plan) =
+            self.eval_snapshot(&pg, &snap, pattern, prefer, threads, scratch)?;
         let evaluate_time = started.elapsed();
 
         let rank_started = Instant::now();
@@ -713,29 +749,34 @@ impl DurableExpFinder {
                 rank: rank_time,
                 total: started.elapsed(),
             },
+            plan,
         })
     }
 
-    /// The engine's routing order minus compression: cache → registered
-    /// → direct (parallel over CSR when eligible, sequential-indexed
-    /// when a CSR already exists, live adjacency otherwise).
-    /// `Route::Compressed` deliberately falls through to direct — the
-    /// runtime keeps no maintained quotient.
+    /// The engine's routing: the exact-result short circuits (cache →
+    /// registered) in paper §II order, then the cost-based planner over
+    /// the published snapshot's physical routes — live adjacency,
+    /// reach-indexed CSR (sequential or parallel), and the published
+    /// quotient when one exists and the pattern is compression-safe.
+    /// The [`CostProfile`] lives on the graph's stable [`PublishedGraph`]
+    /// slot, so statistics accumulate across republished versions.
     fn eval_snapshot(
         &self,
-        graph_id: u64,
+        pg: &PublishedGraph,
         snap: &Snapshot,
         pattern: &Pattern,
         prefer: Route,
         threads: usize,
         scratch: &mut EvalScratch,
-    ) -> Result<(Arc<MatchRelation>, EvalRoute), ExpFinderError> {
+    ) -> Result<(Arc<MatchRelation>, EvalRoute, PlanDecision), ExpFinderError> {
         let fingerprint = pattern.fingerprint();
-        let key = QueryCache::key_for(graph_id, snap.version, &fingerprint);
+        let key = QueryCache::key_for(pg.id, snap.version, &fingerprint);
 
         if prefer == Route::Auto {
             if let Some(hit) = self.cache.lock().get(&key, &fingerprint) {
-                return Ok((hit, EvalRoute::Cache));
+                let plan = PlanDecision::exact(PlanRoute::Cache);
+                self.planner.on_decision(&plan);
+                return Ok((hit, EvalRoute::Cache, plan));
             }
             for rv in &snap.registered {
                 if rv.fingerprint == fingerprint {
@@ -743,52 +784,120 @@ impl DurableExpFinder {
                     self.cache
                         .lock()
                         .put(key, &fingerprint, Arc::clone(&matches));
-                    return Ok((matches, EvalRoute::Registered));
+                    let plan = PlanDecision::exact(PlanRoute::Registered);
+                    self.planner.on_decision(&plan);
+                    return Ok((matches, EvalRoute::Registered, plan));
                 }
             }
         }
 
-        let (m, stats, route) = if snap.parallel_eligible(threads) {
-            let csr = snap.csr();
-            let bound = snap.reach.bind(&*csr);
-            if pattern.is_simulation() {
-                let (m, stats) =
-                    parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                (m, stats, EvalRoute::DirectSimulation)
-            } else {
-                let (m, stats) =
-                    parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                (m, stats, EvalRoute::DirectBounded)
-            }
-        } else if let Some(csr) = snap.csr_if_built() {
-            if pattern.is_simulation() {
-                let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
-                (m, stats, EvalRoute::DirectSimulation)
-            } else {
-                let bound = snap.reach.bind(&*csr);
-                let (m, stats) = bounded_simulation_indexed(
-                    &*csr,
-                    pattern,
-                    EvalOptions::default(),
-                    scratch,
-                    Some(&bound),
-                );
-                (m, stats, EvalRoute::DirectBounded)
-            }
-        } else if pattern.is_simulation() {
-            let (m, stats) = graph_simulation_scratch(&*snap.graph, pattern, scratch)?;
-            (m, stats, EvalRoute::DirectSimulation)
+        let try_compressed = prefer != Route::Direct;
+        let compression_ratio = if try_compressed {
+            snap.compressed.as_ref().and_then(|gc| {
+                if gc.validate_pattern(pattern).is_ok() {
+                    let cs = gc.stats();
+                    let original = (cs.original_nodes + cs.original_edges).max(1);
+                    let quotient = (cs.compressed_nodes + cs.compressed_edges).max(1);
+                    Some(quotient as f64 / original as f64)
+                } else {
+                    None
+                }
+            })
         } else {
-            let (m, stats) =
-                bounded_simulation_scratch(&*snap.graph, pattern, EvalOptions::default(), scratch);
-            (m, stats, EvalRoute::DirectBounded)
+            None
         };
+        let inputs = pg.profile.inputs(
+            snap.version,
+            snap.graph.size(),
+            snap.csr_if_built().is_some(),
+        );
+        let ctx = PlanContext {
+            threads,
+            pattern_edges: pattern.edge_count(),
+            compression_ratio,
+        };
+        let mut plan = planner::plan(&inputs, &ctx);
+        plan.apply_preference(prefer);
+
+        let (m, stats, route) = match plan.chosen {
+            PlanRoute::Compressed => {
+                let gc = snap
+                    .compressed
+                    .as_ref()
+                    .expect("compressed candidate implies a published quotient");
+                let (on_c, stats) = if pattern.is_simulation() {
+                    graph_simulation_scratch(&**gc, pattern, scratch)?
+                } else if gc.has_label_index() {
+                    let bound = snap.reach_c.bind(&**gc);
+                    bounded_simulation_indexed(
+                        &**gc,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                        Some(&bound),
+                    )
+                } else {
+                    bounded_simulation_scratch(&**gc, pattern, EvalOptions::default(), scratch)
+                };
+                (gc.expand(&on_c), stats, EvalRoute::Compressed)
+            }
+            PlanRoute::SnapshotParallel => {
+                let csr = snap.csr(&pg.profile);
+                let bound = snap.reach.bind(&*csr);
+                if pattern.is_simulation() {
+                    let (m, stats) =
+                        parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
+                    (m, stats, EvalRoute::DirectSimulation)
+                } else {
+                    let (m, stats) =
+                        parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
+                    (m, stats, EvalRoute::DirectBounded)
+                }
+            }
+            PlanRoute::Snapshot => {
+                let csr = snap.csr(&pg.profile);
+                if pattern.is_simulation() {
+                    let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
+                    (m, stats, EvalRoute::DirectSimulation)
+                } else {
+                    let bound = snap.reach.bind(&*csr);
+                    let (m, stats) = bounded_simulation_indexed(
+                        &*csr,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                        Some(&bound),
+                    );
+                    (m, stats, EvalRoute::DirectBounded)
+                }
+            }
+            // Live (Cache/Registered never reach this point)
+            _ => {
+                if pattern.is_simulation() {
+                    let (m, stats) = graph_simulation_scratch(&*snap.graph, pattern, scratch)?;
+                    (m, stats, EvalRoute::DirectSimulation)
+                } else {
+                    let (m, stats) = bounded_simulation_scratch(
+                        &*snap.graph,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                    );
+                    (m, stats, EvalRoute::DirectBounded)
+                }
+            }
+        };
+        pg.profile.note_eval(snap.version, &stats);
+        if plan.mispredicted(&stats) {
+            self.planner.on_mispredict();
+        }
+        self.planner.on_decision(&plan);
         self.eval_totals.add(stats);
         let matches = Arc::new(m);
         self.cache
             .lock()
             .put(key, &fingerprint, Arc::clone(&matches));
-        Ok((matches, route))
+        Ok((matches, route, plan))
     }
 
     // --------------------------- updates ---------------------------
@@ -883,6 +992,44 @@ impl DurableExpFinder {
             .ok_or_else(|| ExpFinderError::UnknownQuery(query_name.to_owned()))
     }
 
+    // ------------------------- compression -------------------------
+
+    /// Build (or rebuild) a maintained reachability-preserving
+    /// compression of a graph on its shard and publish the quotient with
+    /// the next snapshot. The quotient is session state — it is *not*
+    /// WAL-logged, so a restart comes back uncompressed and `compress`
+    /// must be called again.
+    pub fn compress(
+        &self,
+        name: &str,
+        method: CompressionMethod,
+    ) -> Result<CompressStats, ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::Compress {
+            name: name.to_owned(),
+            method,
+            reply,
+        })
+    }
+
+    /// Drop a graph's maintained compression; subsequent snapshots
+    /// publish without a quotient and the planner stops considering
+    /// the compressed route.
+    pub fn drop_compression(&self, name: &str) -> Result<(), ExpFinderError> {
+        let pg = self.published(name)?;
+        self.request(pg.shard, |reply| Cmd::DropCompression {
+            name: name.to_owned(),
+            reply,
+        })
+    }
+
+    /// Compression statistics of the currently published quotient, or
+    /// `None` when the graph is not compressed.
+    pub fn compression_stats(&self, name: &str) -> Result<Option<CompressStats>, ExpFinderError> {
+        let snap = self.published(name)?.snapshot();
+        Ok(snap.compressed.as_ref().map(|gc| gc.stats()))
+    }
+
     // ---------------------- snapshot / compact ---------------------
 
     /// Rewrite `<name>.efg` from the current graph (WAL untouched).
@@ -945,6 +1092,12 @@ impl DurableExpFinder {
     /// Cumulative WAL activity.
     pub fn wal_totals(&self) -> WalTotals {
         self.wal_counters.totals()
+    }
+
+    /// Cumulative planner counters: decisions made, preference
+    /// overrides recorded, and index-warmth mispredictions.
+    pub fn planner_totals(&self) -> PlannerTotals {
+        self.planner.totals()
     }
 
     /// Per-shard load: mailbox depth, owned graphs, processed commands.
@@ -1292,6 +1445,115 @@ mod tests {
         assert_eq!(stats.len(), 2);
         assert_eq!(stats.iter().map(|s| s.graphs).sum::<usize>(), 1);
         assert!(stats.iter().map(|s| s.commands).sum::<u64>() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_durable_response_carries_a_plan() {
+        let dir = tmpdir("plan");
+        let f = collaboration_fig1();
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph).unwrap();
+
+        let first = rt
+            .query("fig1", &fig1_pattern(), None, Route::Auto)
+            .unwrap();
+        assert_eq!(first.plan.chosen, PlanRoute::Live, "cold first read");
+        assert!(
+            first.plan.candidates.len() >= 2,
+            "planned decisions expose the costed candidates"
+        );
+        assert!(!first.plan.overridden);
+
+        let cached = rt
+            .query("fig1", &fig1_pattern(), None, Route::Auto)
+            .unwrap();
+        assert_eq!(cached.plan.chosen, PlanRoute::Cache);
+        assert!(
+            cached.plan.candidates.is_empty(),
+            "exact routes cost nothing"
+        );
+
+        let forced = rt
+            .query("fig1", &fig1_pattern(), None, Route::Direct)
+            .unwrap();
+        assert!(forced.plan.overridden, "preference is recorded, not hidden");
+
+        let totals = rt.planner_totals();
+        assert_eq!(totals.decisions, 3);
+        assert_eq!(totals.overrides, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compression_serves_identical_matches_and_survives_updates() {
+        let dir = tmpdir("compress");
+        let f = collaboration_fig1();
+        let (x, y) = f.e1;
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", f.graph.clone()).unwrap();
+        assert_eq!(rt.compression_stats("fig1").unwrap(), None);
+
+        let stats = rt
+            .compress("fig1", CompressionMethod::Bisimulation)
+            .unwrap();
+        assert!(stats.compressed_nodes <= stats.original_nodes);
+        assert_eq!(rt.compression_stats("fig1").unwrap(), Some(stats));
+        let infos = rt.graph_infos();
+        assert!(infos.iter().any(|i| i.name == "fig1" && i.compressed));
+
+        // a forced compressed route answers exactly like a direct one
+        let via_quotient = rt
+            .query("fig1", &fig1_pattern(), None, Route::Compressed)
+            .unwrap();
+        assert_eq!(via_quotient.route, EvalRoute::Compressed);
+        assert_eq!(via_quotient.plan.chosen, PlanRoute::Compressed);
+        let direct = rt
+            .query("fig1", &fig1_pattern(), None, Route::Direct)
+            .unwrap();
+        assert_eq!(*via_quotient.matches, *direct.matches);
+
+        // the quotient is maintained through updates on the shard
+        rt.apply_updates("fig1", &[EdgeUpdate::Insert(x, y)])
+            .unwrap();
+        let after_q = rt
+            .query("fig1", &fig1_pattern(), None, Route::Compressed)
+            .unwrap();
+        let after_d = rt
+            .query("fig1", &fig1_pattern(), None, Route::Direct)
+            .unwrap();
+        assert_eq!(*after_q.matches, *after_d.matches);
+
+        rt.drop_compression("fig1").unwrap();
+        assert_eq!(rt.compression_stats("fig1").unwrap(), None);
+        let dropped = rt
+            .query("fig1", &fig1_pattern(), None, Route::Compressed)
+            .unwrap();
+        assert_ne!(
+            dropped.route,
+            EvalRoute::Compressed,
+            "no quotient to route to"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compression_is_session_state_not_replayed() {
+        let dir = tmpdir("compress_reopen");
+        let f = collaboration_fig1();
+        {
+            let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+            rt.add_graph("fig1", f.graph.clone()).unwrap();
+            rt.compress("fig1", CompressionMethod::Bisimulation)
+                .unwrap();
+            assert!(rt.compression_stats("fig1").unwrap().is_some());
+        }
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        assert_eq!(
+            rt.compression_stats("fig1").unwrap(),
+            None,
+            "quotients are not WAL-logged; a restart comes back uncompressed"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

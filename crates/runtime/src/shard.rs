@@ -18,6 +18,8 @@
 
 use crate::wal::{Wal, WalOp};
 use crate::{PublishedGraph, RegisteredView, Snapshot, WalCounters};
+use expfinder_compress::maintain::MaintainedCompression;
+use expfinder_compress::{CompressStats, CompressionMethod};
 use expfinder_engine::{ExpFinderError, RegisteredDelta, UpdateHook, UpdateReport};
 use expfinder_graph::{io as gio, DiGraph, EdgeUpdate, ReachIndex};
 use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
@@ -54,7 +56,9 @@ pub(crate) enum Cmd {
     /// Take ownership of a fully-constructed graph actor (initial add
     /// and cold-start adoption; the facade did the durable IO already).
     Adopt {
-        actor: GraphActor,
+        // boxed: an actor (graph + WAL + maintained state) dwarfs every
+        // other command, and `Cmd` travels by value through the ring
+        actor: Box<GraphActor>,
         reply: Reply<u64>,
     },
     /// WAL-append, then apply an update batch and republish.
@@ -86,6 +90,16 @@ pub(crate) enum Cmd {
         name: String,
         reply: Reply<CompactReport>,
     },
+    /// Build (or rebuild) the maintained compressed quotient and
+    /// publish it with the next snapshot. Session state, not WAL-logged
+    /// — a restart comes back uncompressed.
+    Compress {
+        name: String,
+        method: CompressionMethod,
+        reply: Reply<CompressStats>,
+    },
+    /// Drop the maintained quotient and republish without it.
+    DropCompression { name: String, reply: Reply<()> },
     /// Drop the graph and delete its `.efg` and `.wal` files.
     Remove { name: String, reply: Reply<()> },
 }
@@ -133,7 +147,17 @@ pub(crate) struct GraphActor {
     pub wal: Wal,
     pub published: Arc<PublishedGraph>,
     registered: HashMap<String, RegisteredQuery>,
+    /// The maintained compressed quotient, when [`Cmd::Compress`] built
+    /// one. Published as an immutable clone with every snapshot (like
+    /// the reach index), maintained through update batches here.
+    /// Deliberately *not* WAL-logged: compression is derived serving
+    /// state, rebuildable on demand — a restart comes back uncompressed.
+    compressed: Option<MaintainedCompression>,
 }
+
+/// Recompress when maintenance drift exceeds this factor — the same
+/// default the engine's `EngineConfig::recompress_drift` uses.
+const RECOMPRESS_DRIFT: f64 = 2.0;
 
 impl GraphActor {
     pub fn new(
@@ -150,6 +174,7 @@ impl GraphActor {
             wal,
             published,
             registered: HashMap::new(),
+            compressed: None,
         }
     }
 
@@ -216,9 +241,35 @@ impl GraphActor {
             version,
             csr: OnceLock::new(),
             reach: Arc::new(ReachIndex::new(version)),
+            // copy-on-publish, like the graph: readers keep evaluating
+            // on their snapshot's quotient while the actor maintains its
+            // own — the fresh reach_c drops any memo the old quotient
+            // accumulated (the quotient can change without a version
+            // bump, so version-keyed invalidation alone is not enough)
+            compressed: self
+                .compressed
+                .as_ref()
+                .map(|mc| Arc::new(mc.compressed().clone())),
+            reach_c: Arc::new(ReachIndex::new(version)),
             registered,
         });
         *self.published.state.write() = snap;
+    }
+
+    /// Build (or rebuild) the maintained quotient and republish so the
+    /// read path can route compression-safe queries through it.
+    fn compress(&mut self, method: CompressionMethod) -> Result<CompressStats, ExpFinderError> {
+        let mc = MaintainedCompression::new(&self.graph, method)?;
+        let stats = mc.compressed().stats();
+        self.compressed = Some(mc);
+        self.publish();
+        Ok(stats)
+    }
+
+    /// Drop the maintained quotient and republish without it.
+    fn drop_compression(&mut self) {
+        self.compressed = None;
+        self.publish();
     }
 
     /// The write path: append the batch to the WAL (fsync per policy)
@@ -261,9 +312,19 @@ impl GraphActor {
                 continue;
             }
             applied += 1;
+            if let Some(mc) = self.compressed.as_mut() {
+                mc.on_update(&self.graph, up);
+            }
             for rq in self.registered.values_mut() {
                 rq.maintainer.on_update(&self.graph, up);
             }
+        }
+        if let Some(mc) = self.compressed.as_mut() {
+            mc.refresh(&self.graph);
+            mc.maybe_recompress(&self.graph, RECOMPRESS_DRIFT)?;
+        }
+        if applied > 0 {
+            self.published.profile.note_update_batch();
         }
         for d in &mut registered {
             d.after_pairs = self.registered[&d.query].maintainer.current().total_pairs();
@@ -482,7 +543,7 @@ fn run_worker(
                 // the facade published the initial snapshot when it
                 // built the PublishedGraph — nothing to publish here
                 let version = actor.graph.version();
-                graphs.insert(actor.name.clone(), actor);
+                graphs.insert(actor.name.clone(), *actor);
                 let _ = reply.send(Ok(version));
             }
             Cmd::Apply {
@@ -530,6 +591,27 @@ fn run_worker(
             Cmd::Compact { name, reply } => {
                 let result = match graphs.get_mut(&name) {
                     Some(actor) => actor.compact(&wal_counters),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Compress {
+                name,
+                method,
+                reply,
+            } => {
+                let result = match graphs.get_mut(&name) {
+                    Some(actor) => actor.compress(method),
+                    None => Err(ExpFinderError::UnknownGraph(name)),
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::DropCompression { name, reply } => {
+                let result = match graphs.get_mut(&name) {
+                    Some(actor) => {
+                        actor.drop_compression();
+                        Ok(())
+                    }
                     None => Err(ExpFinderError::UnknownGraph(name)),
                 };
                 let _ = reply.send(result);

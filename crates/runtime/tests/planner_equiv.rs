@@ -1,0 +1,179 @@
+//! Property tests pinning the route planner to its contract: routing is
+//! an *optimization*, never a semantic choice. For any seeded graph,
+//! update history and pattern, the match relation under `Route::Auto`
+//! (planner's pick) is bit-identical to forced `Route::Direct`, and to
+//! `Route::Compressed` once the graph carries a quotient — on both the
+//! in-process engine and the durable runtime, cold (first read, planner
+//! leans live) and warm (profile amortized, planner leans snapshot).
+
+use expfinder_compress::CompressionMethod;
+use expfinder_engine::{ExecConfig, ExpFinder, Route};
+use expfinder_graph::{DiGraph, EdgeUpdate, NodeId};
+use expfinder_pattern::{Bound, Pattern, PatternBuilder, Predicate};
+use expfinder_runtime::{DurableExpFinder, FsyncPolicy, RuntimeConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NODES: u32 = 16;
+
+/// Unique temp dir per proptest case (cases run concurrently).
+fn tmpdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "expfinder_planprop_{tag}_{}_{n}",
+        std::process::id()
+    ))
+}
+
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig {
+        shards: 2,
+        fsync: FsyncPolicy::Never,
+        exec: ExecConfig::sequential(),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// A graph with `NODES` nodes, labels cycling over three classes, and
+/// the given edges (modulo the node count).
+fn graph_with_edges(edges: &[(u32, u32)]) -> DiGraph {
+    let mut g = DiGraph::new();
+    for i in 0..NODES {
+        g.add_node(["A", "B", "C"][i as usize % 3], []);
+    }
+    for &(a, b) in edges {
+        g.add_edge(NodeId(a % NODES), NodeId(b % NODES));
+    }
+    g
+}
+
+fn update_strategy() -> impl Strategy<Value = EdgeUpdate> {
+    (proptest::bool::ANY, 0..NODES, 0..NODES).prop_map(|(ins, a, b)| {
+        if ins {
+            EdgeUpdate::Insert(NodeId(a), NodeId(b))
+        } else {
+            EdgeUpdate::Delete(NodeId(a), NodeId(b))
+        }
+    })
+}
+
+/// A small family over the three label classes: a single edge, a star
+/// and a chain, with proptest-chosen hop bounds (bound 1 everywhere
+/// makes the pattern a plain-simulation one, exercising that algorithm
+/// family too).
+fn pattern_for(kind: u8, b1: u32, b2: u32) -> Pattern {
+    let base = PatternBuilder::new().node_output("x", Predicate::label("A"));
+    match kind {
+        0 => base
+            .node("y", Predicate::label("B"))
+            .edge("x", "y", Bound::hops(b1)),
+        1 => base
+            .node("y", Predicate::label("B"))
+            .node("z", Predicate::label("C"))
+            .edge("x", "y", Bound::hops(b1))
+            .edge("x", "z", Bound::hops(b2)),
+        _ => base
+            .node("y", Predicate::label("B"))
+            .node("z", Predicate::label("C"))
+            .edge("x", "y", Bound::hops(b1))
+            .edge("y", "z", Bound::hops(b2)),
+    }
+    .build()
+    .unwrap()
+}
+
+/// Fixed pattern used only to warm a graph's `CostProfile` (every eval
+/// bumps reads-at-version, pushing the planner from live to snapshot).
+fn warm_pattern() -> Pattern {
+    PatternBuilder::new()
+        .node_output("u", Predicate::label("B"))
+        .node("v", Predicate::label("C"))
+        .edge("u", "v", Bound::hops(2))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn planner_routes_are_semantics_preserving(
+        initial in proptest::collection::vec((0..NODES, 0..NODES), 4..40),
+        updates in proptest::collection::vec(update_strategy(), 1..12),
+        kind in 0u8..3,
+        b1 in 1u32..4,
+        b2 in 1u32..4,
+    ) {
+        let g = graph_with_edges(&initial);
+        let p = pattern_for(kind, b1, b2);
+        let p2 = pattern_for((kind + 1) % 3, b2, b1);
+        let warm = warm_pattern();
+
+        // ----- in-process engine (default exec: available parallelism,
+        // so the SnapshotParallel candidate is in play) -----
+        let engine = ExpFinder::default();
+        let h = engine.add_graph("g", g.clone()).unwrap();
+
+        // cold: first read on a fresh graph (Auto must run first — a
+        // Direct eval would populate the cache and turn the Auto query
+        // into a trivial cache hit)
+        let cold = engine.query(&h).pattern(p.clone()).prefer(Route::Auto).run().unwrap();
+        let direct = engine.query(&h).pattern(p.clone()).prefer(Route::Direct).run().unwrap();
+        prop_assert_eq!(&*cold.matches, &*direct.matches);
+        prop_assert!(!cold.plan.candidates.is_empty());
+
+        // warm: amortize the profile, then plan a pattern the cache has
+        // never seen — the planner now leans snapshot
+        for _ in 0..4 {
+            engine.query(&h).pattern(warm.clone()).prefer(Route::Direct).run().unwrap();
+        }
+        let warm2 = engine.query(&h).pattern(p2.clone()).prefer(Route::Auto).run().unwrap();
+        let direct2 = engine.query(&h).pattern(p2.clone()).prefer(Route::Direct).run().unwrap();
+        prop_assert_eq!(&*warm2.matches, &*direct2.matches);
+
+        // after updates: cache invalidated, profile reads reset, replan
+        engine.apply_updates(&h, &updates).unwrap();
+        let auto3 = engine.query(&h).pattern(p.clone()).prefer(Route::Auto).run().unwrap();
+        let direct3 = engine.query(&h).pattern(p.clone()).prefer(Route::Direct).run().unwrap();
+        prop_assert_eq!(&*auto3.matches, &*direct3.matches);
+
+        // compressed override: evaluate on the quotient, expand, compare
+        engine.compress(&h).unwrap();
+        let comp = engine.query(&h).pattern(p.clone()).prefer(Route::Compressed).run().unwrap();
+        prop_assert_eq!(&*comp.matches, &*direct3.matches);
+
+        // ----- durable runtime (sequential exec, WAL-backed) -----
+        let dir = tmpdir("equiv");
+        let rt = DurableExpFinder::open(&dir, runtime_config()).unwrap();
+        rt.add_graph("g", g).unwrap();
+
+        let d_cold = rt.query("g", &p, None, Route::Auto).unwrap();
+        let d_direct = rt.query("g", &p, None, Route::Direct).unwrap();
+        prop_assert_eq!(&*d_cold.matches, &*d_direct.matches);
+        // cross-check: the durable runtime agrees with the engine
+        prop_assert_eq!(&*d_direct.matches, &*direct.matches);
+
+        for _ in 0..4 {
+            rt.query("g", &warm, None, Route::Direct).unwrap();
+        }
+        let d_warm2 = rt.query("g", &p2, None, Route::Auto).unwrap();
+        let d_direct2 = rt.query("g", &p2, None, Route::Direct).unwrap();
+        prop_assert_eq!(&*d_warm2.matches, &*d_direct2.matches);
+        prop_assert_eq!(&*d_direct2.matches, &*direct2.matches);
+
+        rt.apply_updates("g", &updates).unwrap();
+        let d_auto3 = rt.query("g", &p, None, Route::Auto).unwrap();
+        let d_direct3 = rt.query("g", &p, None, Route::Direct).unwrap();
+        prop_assert_eq!(&*d_auto3.matches, &*d_direct3.matches);
+        prop_assert_eq!(&*d_direct3.matches, &*direct3.matches);
+
+        rt.compress("g", CompressionMethod::Bisimulation).unwrap();
+        let d_comp = rt.query("g", &p, None, Route::Compressed).unwrap();
+        prop_assert_eq!(&*d_comp.matches, &*d_direct3.matches);
+
+        drop(rt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,8 +17,8 @@
 
 use expfinder_core::{EvalStats, MatchRelation};
 use expfinder_engine::{
-    ExpFinder, ExpFinderError, GraphInfo, IndexTotals, QueryResponse, QuerySpec, Route, UpdateHook,
-    UpdateReport,
+    ExpFinder, ExpFinderError, GraphInfo, IndexTotals, PlannerTotals, QueryResponse, QuerySpec,
+    Route, UpdateHook, UpdateReport,
 };
 use expfinder_graph::{DiGraph, EdgeUpdate};
 use expfinder_pattern::Pattern;
@@ -222,6 +222,14 @@ impl Backend {
         match self {
             Backend::Local(e) => e.index_totals(),
             Backend::Durable(rt) => rt.index_totals(),
+        }
+    }
+
+    /// Cumulative route-planner counters from either engine.
+    pub fn planner_totals(&self) -> PlannerTotals {
+        match self {
+            Backend::Local(e) => e.planner_totals(),
+            Backend::Durable(rt) => rt.planner_totals(),
         }
     }
 

@@ -251,6 +251,7 @@ impl Metrics {
         let cache = backend.cache_stats();
         let eval = backend.eval_totals();
         let index = backend.index_totals();
+        let planner = backend.planner_totals();
         let wal = backend.wal_totals();
         let shards: Vec<Value> = backend
             .shard_stats()
@@ -296,6 +297,14 @@ impl Metrics {
                     ("misses", Value::Int(index.misses as i64)),
                     ("entries", Value::Int(index.entries as i64)),
                     ("bytes", Value::Int(index.bytes as i64)),
+                ]),
+            ),
+            (
+                "planner",
+                obj(vec![
+                    ("decisions", Value::Int(planner.decisions as i64)),
+                    ("overrides", Value::Int(planner.overrides as i64)),
+                    ("mispredicts", Value::Int(planner.mispredicts as i64)),
                 ]),
             ),
             (
@@ -475,5 +484,10 @@ mod tests {
         for key in ["hits", "misses", "entries", "bytes"] {
             assert!(index.field(key).unwrap().as_i64().unwrap() >= 0, "{key}");
         }
+        // planner counters: one decision per evaluate call above
+        let planner = doc.field("engine").unwrap().field("planner").unwrap();
+        assert_eq!(planner.field("decisions").unwrap().as_i64().unwrap(), 2);
+        assert_eq!(planner.field("overrides").unwrap().as_i64().unwrap(), 0);
+        assert_eq!(planner.field("mispredicts").unwrap().as_i64().unwrap(), 0);
     }
 }

@@ -19,7 +19,9 @@
 //! * add graph: `{"name": "g", "graph": {"nodes": [...], "edges": [...]}}`
 
 use crate::metrics::obj;
-use expfinder_engine::{EvalRoute, ExpFinderError, GraphInfo, QueryResponse, Route, UpdateReport};
+use expfinder_engine::{
+    EvalRoute, ExpFinderError, GraphInfo, PlanDecision, QueryResponse, Route, UpdateReport,
+};
 use expfinder_graph::io::GraphDoc;
 use expfinder_graph::json::Value;
 use expfinder_graph::{DiGraph, EdgeUpdate, NodeId};
@@ -212,6 +214,40 @@ pub fn decode_add_graph(v: &Value) -> Result<(String, DiGraph), WireError> {
     Ok((name, graph))
 }
 
+/// Encode a planner cost estimate; `+∞` (a route the planner refused to
+/// amortize, e.g. a CSR build on a version's first read) follows the
+/// rank convention and goes out as the string `"inf"`.
+fn cost_value(cost: f64) -> Value {
+    if cost.is_finite() {
+        Value::Float(cost)
+    } else {
+        Value::Str("inf".into())
+    }
+}
+
+/// Encode the planner's [`PlanDecision`] for `timings.plan`: the chosen
+/// and originally-planned routes, whether a caller preference overrode
+/// the plan, and every candidate the planner costed (empty for exact
+/// routes — cache and registered hits are never planned).
+pub fn encode_plan(plan: &PlanDecision) -> Value {
+    let candidates: Vec<Value> = plan
+        .candidates
+        .iter()
+        .map(|c| {
+            obj(vec![
+                ("route", Value::Str(c.route.as_str().to_owned())),
+                ("cost", cost_value(c.cost)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("chosen", Value::Str(plan.chosen.as_str().to_owned())),
+        ("planned", Value::Str(plan.planned.as_str().to_owned())),
+        ("overridden", Value::Bool(plan.overridden)),
+        ("candidates", Value::Array(candidates)),
+    ])
+}
+
 /// Encode a [`QueryResponse`]. The full match relation is included only
 /// on request (`include_matches`) — it can dwarf the rest of the
 /// response on large graphs. `resolve_name` maps a node id to its `name`
@@ -263,6 +299,7 @@ pub fn encode_query_response(
                     "total_ms",
                     Value::Float(resp.timings.total.as_secs_f64() * 1e3),
                 ),
+                ("plan", encode_plan(&resp.plan)),
             ]),
         ),
     ];
@@ -542,8 +579,37 @@ mod tests {
         assert_eq!(matches.len(), q.node_count());
         assert!(matches.contains_key("sa"), "{matches:?}");
         assert_eq!(matches["sa"].as_array().unwrap().len(), 2, "Bob and Walt");
+        // every response's timings carries the planner decision
+        let plan = v.field("timings").unwrap().field("plan").unwrap();
+        assert_eq!(plan.field("chosen").unwrap().as_str().unwrap(), "live");
+        assert_eq!(plan.field("planned").unwrap().as_str().unwrap(), "live");
+        assert!(!plan.field("overridden").unwrap().as_bool().unwrap());
+        let candidates = plan.field("candidates").unwrap().as_array().unwrap();
+        assert!(candidates.len() >= 2, "{plan:?}");
+        for c in candidates {
+            assert!(c.field("route").unwrap().as_str().is_ok());
+            // cost is a finite number or the string "inf"
+            let cost = c.field("cost").unwrap();
+            assert!(
+                matches!(cost, Value::Float(x) if x.is_finite())
+                    || cost.as_str().ok() == Some("inf"),
+                "{cost:?}"
+            );
+        }
         // round-trips through the parser (wire-safe)
         assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
+
+        // an exact route (cache hit) plans nothing but still reports
+        let hit = engine.query(&h).pattern(q.clone()).top_k(2).run().unwrap();
+        let v2 = encode_query_response(&hit, &q, false, |_| None);
+        let plan2 = v2.field("timings").unwrap().field("plan").unwrap();
+        assert_eq!(plan2.field("chosen").unwrap().as_str().unwrap(), "cache");
+        assert!(plan2
+            .field("candidates")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
 
         // without include_matches the field is absent
         let v = encode_query_response(&resp, &q, false, |_| None);

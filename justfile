@@ -34,6 +34,29 @@ msrv:
 # the BENCH_*.json baselines CI uploads as artifacts
 bench-smoke: experiments
 
+# the CI perf-regression gate: rerun the quick deterministic benchmarks
+# and compare against the checked-in quick baselines. Deterministic
+# counters (bfs_nodes_visited, refreshes, index hits/misses) and exact
+# outputs (sizes, match_pairs, results_identical) block on >25%
+# regression / any mismatch; wall-clock numbers are advisory only.
+bench-compare:
+    cargo run --release -p expfinder-bench --bin experiments -- e13 --quick --out target/ci/BENCH_smoke_fresh.json
+    cargo run --release -p expfinder-bench --bin bench_match -- --quick --out target/ci/BENCH_4_smoke_fresh.json --warm-out target/ci/BENCH_5_smoke_fresh.json
+    python3 scripts/bench_compare.py BENCH_smoke.json target/ci/BENCH_smoke_fresh.json --report target/ci/bench_compare_batch.md
+    python3 scripts/bench_compare.py BENCH_4_smoke.json target/ci/BENCH_4_smoke_fresh.json --report target/ci/bench_compare_match.md
+    python3 scripts/bench_compare.py BENCH_5_smoke.json target/ci/BENCH_5_smoke_fresh.json --report target/ci/bench_compare_warm.md
+
+# regenerate the checked-in planner-decision snapshot (commit the diff)
+plan-snapshot:
+    cargo run --release -p expfinder-bench --bin bench_match -- --plan-out PLANS.json
+
+# the CI planner gate: the planner is deterministic in its counters, so
+# a fresh snapshot must be bit-identical to the checked-in PLANS.json —
+# any diff is a behavior change to review, then `just plan-snapshot`
+plan-check:
+    cargo run --release -p expfinder-bench --bin bench_match -- --plan-out target/ci/PLANS_fresh.json
+    python3 scripts/plan_diff.py PLANS.json target/ci/PLANS_fresh.json
+
 # quick experiment-harness smoke run
 experiments:
     cargo run --release -p expfinder-bench --bin experiments -- --quick

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark document against its checked-in baseline.
+
+Usage:
+    bench_compare.py BASELINE.json FRESH.json [--threshold 0.25]
+                     [--report FILE.md]
+
+The two documents must come from the same benchmark (their ``bench``
+fields must agree); workloads are aligned by ``name`` (plus ``pattern``
+when present). Fields are classified by key, not by position, so the
+same script covers every BENCH_*.json schema in this repository:
+
+* **equal-required** (blocking on any difference) — deterministic
+  outputs of a seeded workload: graph sizes, match-pair counts,
+  result-equality flags. A mismatch means the benchmark is no longer
+  measuring the same computation.
+* **deterministic counters** (blocking beyond the threshold) —
+  evaluation-work counters (``bfs_nodes_visited``, ``refreshes``,
+  ``removals``, ``index_misses`` are worse when higher; ``index_hits``
+  and ``refreshes_skipped`` are worse when lower). These are exact
+  functions of the algorithm, so a >25% regression is a real algorithmic
+  regression, not runner noise.
+* **advisory** (reported, never blocking) — wall-clock milliseconds,
+  throughput, and speedup ratios: honest but hostage to the runner.
+
+Exit status 0 when no blocking finding, 1 otherwise. ``--report`` also
+writes the full comparison as markdown (CI uploads it as an artifact).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+EQUAL_KEYS = {
+    "bench",
+    "seed",
+    "quick",
+    "batch_size",
+    "nodes",
+    "edges",
+    "size",
+    "match_pairs",
+    "results_identical",
+    "gated",
+    "pattern",
+}
+HIGHER_IS_WORSE = {"refreshes", "removals", "bfs_nodes_visited", "index_misses"}
+LOWER_IS_WORSE = {"index_hits", "refreshes_skipped"}
+# machine-shape fields: neither comparable nor interesting
+IGNORED = {"note", "available_parallelism", "threads"}
+ADVISORY_SUFFIXES = ("_ms", "_qps")
+ADVISORY_KEYS = {
+    "ms",
+    "qps",
+    "speedup",
+    "warm_speedup",
+    "bfs_nodes_reduction",
+    "entries",
+    "bytes",
+}
+
+
+def is_advisory(key: str) -> bool:
+    return key.endswith(ADVISORY_SUFFIXES) or key in ADVISORY_KEYS
+
+
+def workload_label(w) -> str:
+    if not isinstance(w, dict):
+        return "?"
+    label = str(w.get("name", "?"))
+    if "pattern" in w:
+        label += "/" + str(w["pattern"])
+    return label
+
+
+def align_lists(base, fresh, path):
+    """Pair up workload arrays by label; anything unmatched is blocking."""
+    pairs, findings = [], []
+    if all(isinstance(w, dict) and "name" in w for w in base + fresh):
+        fresh_by = {workload_label(w): w for w in fresh}
+        base_by = {workload_label(w): w for w in base}
+        for label, w in base_by.items():
+            if label in fresh_by:
+                pairs.append((w, fresh_by[label], f"{path}[{label}]"))
+            else:
+                findings.append(("blocking", f"{path}[{label}]", "workload missing from fresh run"))
+        for label in fresh_by:
+            if label not in base_by:
+                findings.append(("blocking", f"{path}[{label}]", "workload absent from baseline"))
+    else:
+        if len(base) != len(fresh):
+            findings.append(
+                ("blocking", path, f"array length changed: {len(base)} -> {len(fresh)}")
+            )
+        pairs = [(b, f, f"{path}[{i}]") for i, (b, f) in enumerate(zip(base, fresh))]
+    return pairs, findings
+
+
+def compare(base, fresh, path, key, threshold, findings):
+    if key in IGNORED:
+        return
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for k in sorted(set(base) | set(fresh)):
+            if k not in base or k not in fresh:
+                findings.append(("blocking", f"{path}.{k}", "field added or removed"))
+                continue
+            compare(base[k], fresh[k], f"{path}.{k}", k, threshold, findings)
+        return
+    if isinstance(base, list) and isinstance(fresh, list):
+        pairs, list_findings = align_lists(base, fresh, path)
+        findings.extend(list_findings)
+        for b, f, p in pairs:
+            compare(b, f, p, key, threshold, findings)
+        return
+    if key in EQUAL_KEYS:
+        if base != fresh:
+            findings.append(("blocking", path, f"must be identical: {base!r} -> {fresh!r}"))
+        return
+    if key in HIGHER_IS_WORSE or key in LOWER_IS_WORSE:
+        # +1 smoothing keeps zero baselines comparable
+        ratio = (fresh + 1) / (base + 1)
+        regressed = ratio > 1 + threshold if key in HIGHER_IS_WORSE else ratio < 1 / (1 + threshold)
+        kind = "blocking" if regressed else "info"
+        if base != fresh:
+            findings.append((kind, path, f"counter {base} -> {fresh} ({ratio:.3f}x)"))
+        return
+    if is_advisory(key):
+        if isinstance(base, (int, float)) and isinstance(fresh, (int, float)) and base:
+            delta = (fresh - base) / abs(base)
+            if abs(delta) > threshold:
+                findings.append(("advisory", path, f"{base:.4g} -> {fresh:.4g} ({delta:+.1%})"))
+        return
+    # unclassified scalar: surface schema drift without blocking
+    if base != fresh:
+        findings.append(("advisory", path, f"unclassified field changed: {base!r} -> {fresh!r}"))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("fresh", type=Path)
+    ap.add_argument("--threshold", type=float, default=0.25)
+    ap.add_argument("--report", type=Path)
+    args = ap.parse_args()
+
+    base = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if base.get("bench") != fresh.get("bench"):
+        print(
+            f"bench-compare: documents disagree on 'bench': "
+            f"{base.get('bench')!r} vs {fresh.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    findings = []
+    compare(base, fresh, "$", "", args.threshold, findings)
+    blocking = [f for f in findings if f[0] == "blocking"]
+    advisory = [f for f in findings if f[0] == "advisory"]
+
+    name = base.get("bench", "?")
+    lines = [
+        f"# bench-compare: {name}",
+        "",
+        f"baseline `{args.baseline}` vs fresh `{args.fresh}`, "
+        f"threshold {args.threshold:.0%}",
+        "",
+    ]
+    for title, rows in (("Blocking", blocking), ("Advisory (wall-clock)", advisory)):
+        lines.append(f"## {title} ({len(rows)})")
+        lines.extend(f"- `{p}`: {msg}" for _, p, msg in rows)
+        lines.append("")
+    report = "\n".join(lines)
+    if args.report:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report)
+    print(report)
+
+    if blocking:
+        print(
+            f"bench-compare FAIL [{name}]: {len(blocking)} blocking finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench-compare OK [{name}]: no blocking findings ({len(advisory)} advisory)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,13 @@ must be of the form:
 
 where dynamic path segments (bare identifiers in the match arm) render
 as `{name}`.
+
+The same principle covers the routing vocabulary: every variant of the
+engine's `Route` (the query-body preference), `EvalRoute` (the reported
+evaluation route) and `PlanRoute` (the planner's `timings.plan` routes)
+enums must appear in docs/PROTOCOL.md as its backticked wire string
+(the variant name in snake_case), so a new route variant cannot ship
+undocumented.
 """
 
 import re
@@ -20,6 +27,54 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 ROUTES = ROOT / "crates" / "server" / "src" / "routes.rs"
 PROTOCOL = ROOT / "docs" / "PROTOCOL.md"
+ROUTE_ENUMS = [
+    ("Route", ROOT / "crates" / "engine" / "src" / "lib.rs"),
+    ("EvalRoute", ROOT / "crates" / "engine" / "src" / "lib.rs"),
+    ("PlanRoute", ROOT / "crates" / "engine" / "src" / "planner.rs"),
+]
+
+ENUM_VARIANT = re.compile(r"^\s*([A-Z][A-Za-z0-9]*)\s*(?:,|$)")
+
+
+def snake_case(variant: str) -> str:
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", variant).lower()
+
+
+def enum_variants(name: str, source: str):
+    """Variant identifiers of `pub enum <name> { ... }` in `source`."""
+    m = re.search(rf"pub enum {name}\s*\{{(.*?)\n\}}", source, re.DOTALL)
+    if not m:
+        return None
+    variants = []
+    for line in m.group(1).splitlines():
+        stripped = line.strip()
+        if stripped.startswith(("//", "#", "/*")):
+            continue
+        vm = ENUM_VARIANT.match(line)
+        if vm:
+            variants.append(vm.group(1))
+    return variants
+
+
+def check_route_enums(spec: str) -> list:
+    """Wire strings of Route/EvalRoute/PlanRoute missing from the spec."""
+    missing = []
+    for enum_name, path in ROUTE_ENUMS:
+        variants = enum_variants(enum_name, path.read_text())
+        if not variants:
+            missing.append(
+                f"enum {enum_name} not parsed from {path} — "
+                "its shape changed; update scripts/docs_check.py"
+            )
+            continue
+        for v in variants:
+            wire = snake_case(v)
+            if f"`{wire}`" not in spec:
+                missing.append(
+                    f"{enum_name}::{v}: wire string `{wire}` "
+                    "not mentioned in docs/PROTOCOL.md"
+                )
+    return missing
 
 # ("POST", ["graphs", name, "subscribe"]) — including arms wrapped over
 # lines; stop at the closing bracket of the segment list
@@ -71,9 +126,16 @@ def main() -> int:
             f"docs-check: no `### \\`{route}\\`` section in docs/PROTOCOL.md",
             file=sys.stderr,
         )
-    if missing:
+    variant_missing = check_route_enums(spec)
+    for msg in variant_missing:
+        print(f"docs-check: {msg}", file=sys.stderr)
+    if missing or variant_missing:
         return 1
-    print(f"docs-check OK: {len(routes)} routes, all specified in docs/PROTOCOL.md")
+    n_variants = sum(len(enum_variants(n, p.read_text()) or []) for n, p in ROUTE_ENUMS)
+    print(
+        f"docs-check OK: {len(routes)} routes and {n_variants} route-enum "
+        "variants, all specified in docs/PROTOCOL.md"
+    )
     return 0
 
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Diff a fresh planner-decision snapshot against the checked-in one.
+
+Usage:
+    plan_diff.py PLANS.json FRESH.json
+
+The snapshot (``bench_match --plan-out``) is deterministic in graph
+sizes and read/hit counters — wall-clock never decides a route — so ANY
+difference is a planner behavior change, not noise. The diff is
+reported per scenario and per step so the review sees exactly which
+decision moved; exit status is 1 on any difference.
+
+If the change is intentional, regenerate and commit the snapshot:
+``just plan-snapshot``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def fmt_plan(plan) -> str:
+    cand = ", ".join(f"{c['route']}={c['cost']}" for c in plan.get("candidates", []))
+    tag = " (overridden)" if plan.get("overridden") else ""
+    return f"chosen={plan['chosen']} planned={plan['planned']}{tag} [{cand}]"
+
+
+def diff_scenario(name: str, base, fresh, out) -> bool:
+    changed = False
+    base_steps = base.get("steps", [])
+    fresh_steps = fresh.get("steps", [])
+    for key in ("nodes", "edges", "threads"):
+        if base.get(key) != fresh.get(key):
+            out.append(f"  {name}: {key} {base.get(key)} -> {fresh.get(key)}")
+            changed = True
+    if len(base_steps) != len(fresh_steps):
+        out.append(f"  {name}: step count {len(base_steps)} -> {len(fresh_steps)}")
+        return True
+    for i, (b, f) in enumerate(zip(base_steps, fresh_steps)):
+        if b != f:
+            out.append(f"  {name} step {i} (prefer={f.get('prefer')}):")
+            out.append(f"    baseline: {fmt_plan(b['plan'])}")
+            out.append(f"    fresh:    {fmt_plan(f['plan'])}")
+            changed = True
+    return changed
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base = json.loads(Path(sys.argv[1]).read_text())
+    fresh = json.loads(Path(sys.argv[2]).read_text())
+    if base == fresh:
+        n = len(base.get("scenarios", []))
+        print(f"plan-check OK: planner snapshot unchanged ({n} scenarios)")
+        return 0
+
+    out = ["plan-check FAIL: planner decisions changed"]
+    base_by = {s["name"]: s for s in base.get("scenarios", [])}
+    fresh_by = {s["name"]: s for s in fresh.get("scenarios", [])}
+    for name in base_by:
+        if name not in fresh_by:
+            out.append(f"  {name}: scenario missing from fresh snapshot")
+        else:
+            diff_scenario(name, base_by[name], fresh_by[name], out)
+    for name in fresh_by:
+        if name not in base_by:
+            out.append(f"  {name}: new scenario not in checked-in snapshot")
+    out.append("")
+    out.append("intentional? regenerate with `just plan-snapshot` and commit PLANS.json")
+    print("\n".join(out), file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
