@@ -67,10 +67,12 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 
+pub mod faults;
 pub mod wal;
 
 pub(crate) mod shard;
 
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultTotals, IoOp};
 pub use shard::{CompactReport, ShardStats};
 pub use wal::FsyncPolicy;
 
@@ -364,6 +366,10 @@ pub struct DurableExpFinder {
     eval_totals: EvalTotals,
     planner: PlannerCounters,
     wal_counters: Arc<WalCounters>,
+    /// The fault-injection gate every durability-critical I/O site of
+    /// this runtime routes through (disarmed in production — see
+    /// [`faults`]).
+    faults: Arc<FaultInjector>,
     /// Observer of committed update batches, shared with every shard
     /// worker (ΔM push fan-out; see [`DurableExpFinder::set_update_hook`]).
     update_hook: Arc<RwLock<Option<UpdateHook>>>,
@@ -414,6 +420,7 @@ impl DurableExpFinder {
             eval_totals: EvalTotals::default(),
             planner: PlannerCounters::default(),
             wal_counters,
+            faults: FaultInjector::disarmed(),
             update_hook,
             next_id: AtomicU64::new(1),
         };
@@ -446,8 +453,13 @@ impl DurableExpFinder {
             .map_err(|e| ExpFinderError::Storage(format!("wal replay for {name:?}: {e}")))?;
         let last_seq = records.last().map_or(0, |r| r.seq);
         self.wal_counters.on_replay(&summary);
-        let wal = Wal::open(&wal_path, self.config.fsync, last_seq)
-            .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
+        let wal = Wal::open_with_faults(
+            &wal_path,
+            self.config.fsync,
+            last_seq,
+            Arc::clone(&self.faults),
+        )
+        .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
         let shard = self.ring.shard_for(name);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let published = Arc::new(PublishedGraph::new(id, shard, &graph));
@@ -457,6 +469,7 @@ impl DurableExpFinder {
             graph,
             wal,
             Arc::clone(&published),
+            Arc::clone(&self.faults),
         );
         for rec in &records {
             actor.replay_op(&rec.op)?;
@@ -544,10 +557,18 @@ impl DurableExpFinder {
             // a stale log from a removed former life must not replay
             // onto the new graph
             let _ = std::fs::remove_file(&wal_path);
-            write_efg_atomic(&graph, &self.dir.join(format!("{name}.efg")))?;
-            let wal = Wal::open(&wal_path, self.config.fsync, 0)
-                .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
-            let actor = GraphActor::new(name.to_owned(), self.dir.clone(), graph, wal, published);
+            write_efg_atomic(&graph, &self.dir.join(format!("{name}.efg")), &self.faults)?;
+            let wal =
+                Wal::open_with_faults(&wal_path, self.config.fsync, 0, Arc::clone(&self.faults))
+                    .map_err(|e| ExpFinderError::Storage(format!("wal open for {name:?}: {e}")))?;
+            let actor = GraphActor::new(
+                name.to_owned(),
+                self.dir.clone(),
+                graph,
+                wal,
+                published,
+                Arc::clone(&self.faults),
+            );
             self.request(shard, |reply| Cmd::Adopt {
                 actor: Box::new(actor),
                 reply,
@@ -1092,6 +1113,19 @@ impl DurableExpFinder {
     /// Cumulative WAL activity.
     pub fn wal_totals(&self) -> WalTotals {
         self.wal_counters.totals()
+    }
+
+    /// Cumulative fault-injection activity (`engine.faults` in
+    /// `/metrics`); all zeros unless a test harness armed a plan.
+    pub fn fault_totals(&self) -> FaultTotals {
+        self.faults.totals()
+    }
+
+    /// The fault-injection gate of this runtime, for test harnesses to
+    /// arm ([`FaultInjector::arm`]). Production code never touches it —
+    /// disarmed hooks cost one relaxed atomic load per I/O boundary.
+    pub fn fault_injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.faults)
     }
 
     /// Cumulative planner counters: decisions made, preference

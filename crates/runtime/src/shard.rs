@@ -16,6 +16,7 @@
 //! `/metrics` (`engine.shard`), so a hot shard is visible before it is
 //! a problem.
 
+use crate::faults::{FaultInjector, IoOp};
 use crate::wal::{Wal, WalOp};
 use crate::{PublishedGraph, RegisteredView, Snapshot, WalCounters};
 use expfinder_compress::maintain::MaintainedCompression;
@@ -26,6 +27,7 @@ use expfinder_incremental::{IncrementalBoundedSim, IncrementalSim, Maintainer};
 use expfinder_pattern::{parser, Pattern};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
@@ -153,6 +155,9 @@ pub(crate) struct GraphActor {
     /// Deliberately *not* WAL-logged: compression is derived serving
     /// state, rebuildable on demand — a restart comes back uncompressed.
     compressed: Option<MaintainedCompression>,
+    /// The runtime's fault-injection gate; every snapshot write, fsync
+    /// and rename routes through it (the WAL carries its own clone).
+    faults: Arc<FaultInjector>,
 }
 
 /// Recompress when maintenance drift exceeds this factor — the same
@@ -166,6 +171,7 @@ impl GraphActor {
         graph: DiGraph,
         wal: Wal,
         published: Arc<PublishedGraph>,
+        faults: Arc<FaultInjector>,
     ) -> GraphActor {
         GraphActor {
             name,
@@ -175,6 +181,7 @@ impl GraphActor {
             published,
             registered: HashMap::new(),
             compressed: None,
+            faults,
         }
     }
 
@@ -406,41 +413,45 @@ impl GraphActor {
         Ok(())
     }
 
-    /// Write `<name>.efg` atomically (tmp + rename), so a crash mid-write
-    /// leaves the previous snapshot intact and the WAL still replayable.
+    /// Write `<name>.efg` atomically (tmp + fsync + rename + dir fsync),
+    /// so a crash mid-write — or right after the rename — leaves either
+    /// the previous snapshot or the complete new one, never a torn or
+    /// empty file, and the WAL stays replayable onto whichever survives.
     fn save_snapshot(&self) -> Result<PathBuf, ExpFinderError> {
         let path = self.efg_path();
-        write_efg_atomic(&self.graph, &path)?;
+        write_efg_atomic(&self.graph, &path, &self.faults)?;
         Ok(path)
     }
 
     fn compact(&mut self, wal_counters: &WalCounters) -> Result<CompactReport, ExpFinderError> {
         let snapshot = self.save_snapshot()?;
         // snapshot is durable; now the log frames are redundant. Crash
-        // between the rename and this truncation replays the full WAL
-        // onto the new snapshot, which converges to the same graph.
+        // between the snapshot rename and the log swap replays the full
+        // WAL onto the new snapshot, which converges to the same graph.
         let wal_bytes_dropped = self
             .wal
             .frame_bytes()
             .map_err(|e| ExpFinderError::Storage(format!("wal size: {e}")))?;
-        self.wal
-            .reset()
-            .map_err(|e| ExpFinderError::Storage(format!("wal reset: {e}")))?;
-        // the snapshot holds the graph but not the query set: re-seed
-        // the truncated log with one register record per live query so
-        // registrations survive a restart after compaction too
+        // the snapshot holds the graph but not the query set: swap in a
+        // fresh log seeded with one register record per live query. The
+        // swap is atomic (tmp + rename), so no crash point between the
+        // old log and the new one can lose a live registration.
         let mut names: Vec<&String> = self.registered.keys().collect();
         names.sort();
-        for name in names {
-            let source = self.registered[name].source.clone();
-            let (_, frame_bytes) = self
-                .wal
-                .append_op(&WalOp::Register {
-                    query: name.clone(),
-                    pattern: source,
-                })
-                .map_err(|e| ExpFinderError::Storage(format!("wal append: {e}")))?;
-            wal_counters.on_append(frame_bytes as u64, self.wal.fsyncs_per_append());
+        let seeds: Vec<WalOp> = names
+            .into_iter()
+            .map(|name| WalOp::Register {
+                query: name.clone(),
+                pattern: self.registered[name].source.clone(),
+            })
+            .collect();
+        let sizes = self
+            .wal
+            .reset_seeded(&seeds)
+            .map_err(|e| ExpFinderError::Storage(format!("wal swap: {e}")))?;
+        for frame_bytes in sizes {
+            // the swap fsyncs once for the whole batch, not per frame
+            wal_counters.on_append(frame_bytes as u64, 0);
         }
         Ok(CompactReport {
             snapshot,
@@ -450,12 +461,29 @@ impl GraphActor {
 }
 
 /// Save a graph to `path` via a sibling `.tmp` file and an atomic
-/// rename. Shared by the actor's snapshot/compact path and the facade's
-/// initial `add_graph` write.
-pub(crate) fn write_efg_atomic(g: &DiGraph, path: &Path) -> Result<(), ExpFinderError> {
+/// rename, fsyncing the tmp file *before* the rename and the parent
+/// directory *after* it — without the first, the rename can become
+/// durable ahead of the bytes it names (publishing an empty snapshot
+/// after a power cut); without the second, the rename itself may not
+/// survive one. Shared by the actor's snapshot/compact path and the
+/// facade's initial `add_graph` write.
+pub(crate) fn write_efg_atomic(
+    g: &DiGraph,
+    path: &Path,
+    faults: &FaultInjector,
+) -> Result<(), ExpFinderError> {
     let tmp = path.with_extension("efg.tmp");
+    faults.check(IoOp::Write)?;
     gio::save_text(g, &tmp)?;
-    std::fs::rename(&tmp, path)?;
+    let f = File::open(&tmp)?;
+    faults.sync_all(&f)?;
+    drop(f);
+    faults.rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = File::open(parent)?;
+        faults.sync_all(&dir)?;
+    }
     Ok(())
 }
 

@@ -33,11 +33,13 @@
 //! which [`Wal::replay`] detects via the length/checksum envelope and
 //! truncates away rather than propagating.
 
+use crate::faults::{self, FaultInjector};
 use expfinder_graph::json::{self, Value};
 use expfinder_graph::{io as gio, EdgeUpdate};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File magic; the trailing newline keeps `head -c7` output readable.
 pub const WAL_MAGIC: &[u8; 7] = b"EFWAL1\n";
@@ -69,6 +71,11 @@ pub enum WalError {
     /// A fully-framed payload failed to decode — unlike a torn tail this
     /// is mid-file corruption and refuses to load (frame index, reason).
     BadFrame(usize, String),
+    /// The writer sealed itself after a failed fsync: whether earlier
+    /// frames reached stable storage is unknowable (fsyncgate), so
+    /// pretending to append durably again would be a lie. Reopen the
+    /// log — restart-time replay re-establishes ground truth.
+    Sealed,
 }
 
 impl std::fmt::Display for WalError {
@@ -77,6 +84,10 @@ impl std::fmt::Display for WalError {
             WalError::Io(e) => write!(f, "wal io error: {e}"),
             WalError::BadHeader => write!(f, "wal header is not {WAL_MAGIC:?}"),
             WalError::BadFrame(i, msg) => write!(f, "wal frame {i} is corrupt: {msg}"),
+            WalError::Sealed => write!(
+                f,
+                "wal writer is sealed after a failed fsync; reopen the log to recover"
+            ),
         }
     }
 }
@@ -99,6 +110,16 @@ pub fn checksum(bytes: &[u8]) -> u32 {
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// Encode one record as a length-prefixed, checksummed frame.
+fn encode_frame(rec: &WalRecord) -> Vec<u8> {
+    let payload = rec.to_payload();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&checksum(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 /// The event one WAL record carries. Update batches are the common
@@ -228,6 +249,10 @@ pub struct Wal {
     file: File,
     fsync: FsyncPolicy,
     next_seq: u64,
+    faults: Arc<FaultInjector>,
+    /// Set after a failed fsync (or a simulated crash): every further
+    /// append refuses with [`WalError::Sealed`].
+    sealed: bool,
 }
 
 impl Wal {
@@ -239,21 +264,34 @@ impl Wal {
         fsync: FsyncPolicy,
         last_seq: u64,
     ) -> Result<Wal, WalError> {
+        Wal::open_with_faults(path, fsync, last_seq, FaultInjector::disarmed())
+    }
+
+    /// [`Wal::open`] with an explicit fault-injection gate; every write,
+    /// fsync and rename this log performs routes through it.
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+        last_seq: u64,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Wal, WalError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
             .open(&path)?;
         if file.metadata()?.len() == 0 {
-            file.write_all(WAL_MAGIC)?;
-            file.sync_all()?;
+            faults.write_all(&file, WAL_MAGIC)?;
+            faults.sync_all(&file)?;
         }
         Ok(Wal {
             path,
             file,
             fsync,
             next_seq: last_seq + 1,
+            faults,
+            sealed: false,
         })
     }
 
@@ -265,6 +303,12 @@ impl Wal {
     /// The sequence number the next append will carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Whether the writer sealed itself after a failed fsync. A sealed
+    /// log is still *readable* and replayable — only appends refuse.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
     }
 
     /// How many fsyncs one append performs under the current policy.
@@ -294,20 +338,54 @@ impl Wal {
     /// Append one record of any kind (update batch, register,
     /// unregister); returns `(seq, frame_bytes)` with the same
     /// durability contract as [`Wal::append`].
+    ///
+    /// **Failure semantics.** A failed *write* (e.g. a transient ENOSPC
+    /// mid-frame) self-heals: the file is truncated back to the last
+    /// good frame before the error returns, so the log stays appendable
+    /// — the caller simply did not get its ack. A failed *fsync* seals
+    /// the writer instead ([`WalError::Sealed`] from then on): whether
+    /// the frame — or any earlier unflushed write — actually reached
+    /// stable storage is unknowable after fsync reports failure, and
+    /// silently pretending durability is how fsyncgate ate data. The
+    /// torn frame is dropped best-effort either way, so no unacked
+    /// record can surface at replay.
     pub fn append_op(&mut self, op: &WalOp) -> Result<(u64, usize), WalError> {
+        if self.sealed {
+            return Err(WalError::Sealed);
+        }
         let seq = self.next_seq;
-        let payload = WalRecord {
+        let frame = encode_frame(&WalRecord {
             seq,
             op: op.clone(),
+        });
+        let good_end = self.file.metadata()?.len();
+        if let Err(e) = self.faults.write_all(&self.file, &frame) {
+            if faults::is_simulated_crash(&e) {
+                // the "process" died here: no self-healing (a real crash
+                // runs none), torn bytes stay for replay to truncate
+                self.sealed = true;
+                return Err(e.into());
+            }
+            // transient write failure: drop the torn frame so the next
+            // append starts on a frame boundary — the log is not bricked
+            let _ = self.file.set_len(good_end);
+            return Err(e.into());
         }
-        .to_payload();
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&checksum(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
         if self.fsync == FsyncPolicy::Always {
-            self.file.sync_data()?;
+            if let Err(e) = self.faults.sync_data(&self.file) {
+                if faults::is_simulated_crash(&e) {
+                    self.sealed = true;
+                    return Err(e.into());
+                }
+                // drop the unacknowledged frame best-effort, then seal:
+                // after a failed fsync the kernel may have discarded
+                // dirty pages, so this writer can never honestly ack
+                // durability again
+                let _ = self.file.set_len(good_end);
+                let _ = self.file.sync_all();
+                self.sealed = true;
+                return Err(e.into());
+            }
         }
         self.next_seq += 1;
         Ok((seq, frame.len()))
@@ -316,11 +394,89 @@ impl Wal {
     /// Truncate the log back to an empty header (after a compaction
     /// rewrote the snapshot) and reset the sequence counter.
     pub fn reset(&mut self) -> Result<(), WalError> {
+        if self.sealed {
+            return Err(WalError::Sealed);
+        }
         self.file.set_len(WAL_MAGIC.len() as u64)?;
         self.file.seek(SeekFrom::End(0))?;
-        self.file.sync_all()?;
+        if let Err(e) = self.faults.sync_all(&self.file) {
+            // the truncation's durability is unknown — same fsyncgate
+            // reasoning as in append: seal rather than guess
+            self.sealed = true;
+            return Err(e.into());
+        }
         self.next_seq = 1;
         Ok(())
+    }
+
+    /// Atomically replace the log with a fresh one seeded with `ops`
+    /// (sequence numbers `1..=ops.len()`): write a sibling `.wal.tmp`,
+    /// fsync it, rename it over the log, fsync the directory. This is
+    /// the compaction path — unlike truncate-then-reappend, a crash at
+    /// *any* byte of this sequence leaves either the complete old log or
+    /// the complete new one, so the re-seeded records (live query
+    /// registrations) can never be lost to a badly-timed power cut.
+    /// Returns the byte size of each seeded frame.
+    pub fn reset_seeded(&mut self, ops: &[WalOp]) -> Result<Vec<usize>, WalError> {
+        if self.sealed {
+            return Err(WalError::Sealed);
+        }
+        let tmp = self.path.with_extension("wal.tmp");
+        // create truncates a stale tmp from an earlier crashed compaction
+        let fresh = File::create(&tmp)?;
+        let mut sizes = Vec::with_capacity(ops.len());
+        let result = (|| -> Result<(), WalError> {
+            self.faults.write_all(&fresh, WAL_MAGIC)?;
+            for (i, op) in ops.iter().enumerate() {
+                let frame = encode_frame(&WalRecord {
+                    seq: i as u64 + 1,
+                    op: op.clone(),
+                });
+                self.faults.write_all(&fresh, &frame)?;
+                sizes.push(frame.len());
+            }
+            self.faults.sync_all(&fresh)?;
+            Ok(())
+        })();
+        drop(fresh);
+        if let Err(e) = result {
+            // the old log is untouched and still the open handle: the
+            // writer stays usable unless this was a simulated crash
+            if matches!(&e, WalError::Io(io) if faults::is_simulated_crash(io)) {
+                self.sealed = true;
+            }
+            return Err(e);
+        }
+        if let Err(e) = self.faults.rename(&tmp, &self.path) {
+            if faults::is_simulated_crash(&e) {
+                self.sealed = true;
+            }
+            return Err(e.into());
+        }
+        // past the rename the open handle points at the unlinked old
+        // inode — any failure from here on seals until reopen
+        let swapped = (|| -> Result<File, WalError> {
+            #[cfg(unix)]
+            if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let dir = File::open(parent)?;
+                self.faults.sync_all(&dir)?;
+            }
+            Ok(OpenOptions::new()
+                .read(true)
+                .append(true)
+                .open(&self.path)?)
+        })();
+        match swapped {
+            Ok(file) => {
+                self.file = file;
+                self.next_seq = ops.len() as u64 + 1;
+                Ok(sizes)
+            }
+            Err(e) => {
+                self.sealed = true;
+                Err(e)
+            }
+        }
     }
 
     /// Read every whole frame of the log at `path`, truncating a torn
@@ -607,6 +763,123 @@ mod tests {
         let (records, summary) = Wal::replay(&p).unwrap();
         assert_eq!(records.len(), 1);
         assert!(summary.truncated_tail);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn transient_enospc_append_self_heals() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let p = tmp("enospc");
+        let _ = std::fs::remove_file(&p);
+        let inj = FaultInjector::disarmed();
+        let mut wal = Wal::open_with_faults(&p, FsyncPolicy::Always, 0, Arc::clone(&inj)).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        // the next frame write fails after 3 torn bytes hit the disk
+        inj.arm(FaultPlan::new().partial_write(0, 3, FaultKind::Enospc));
+        let err = wal.append(&[ins(1, 2)]).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+        assert!(!wal.is_sealed(), "a write failure does not seal");
+        inj.disarm();
+        // the log self-healed: the torn bytes are gone and the retry
+        // lands with the same sequence number
+        let (seq, _) = wal.append(&[ins(1, 2)]).unwrap();
+        assert_eq!(seq, 2, "failed append did not consume a sequence");
+        wal.append(&[ins(2, 3)]).unwrap();
+        drop(wal);
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(!summary.truncated_tail, "nothing left to repair");
+        assert_eq!(records[1].as_updates(), Some(&[ins(1, 2)][..]));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn fsync_failure_seals_the_writer() {
+        use crate::faults::{FaultKind, FaultPlan, IoOp};
+        let p = tmp("fsyncgate");
+        let _ = std::fs::remove_file(&p);
+        let inj = FaultInjector::disarmed();
+        let mut wal = Wal::open_with_faults(&p, FsyncPolicy::Always, 0, Arc::clone(&inj)).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        inj.arm(FaultPlan::new().fail_nth(IoOp::Fsync, 0, FaultKind::Eio));
+        let err = wal.append(&[ins(1, 2)]).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+        assert!(wal.is_sealed());
+        inj.disarm();
+        // sealed: appends and resets refuse with the distinct error
+        assert!(matches!(wal.append(&[ins(2, 3)]), Err(WalError::Sealed)));
+        assert!(matches!(wal.reset(), Err(WalError::Sealed)));
+        drop(wal);
+        // the unacknowledged frame was dropped; reopening recovers
+        let (records, _) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 1, "only the acknowledged frame survives");
+        let mut wal = Wal::open(&p, FsyncPolicy::Always, records.last().unwrap().seq).unwrap();
+        wal.append(&[ins(5, 6)]).unwrap();
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn crashed_partial_append_leaves_replayable_log() {
+        use crate::faults::FaultPlan;
+        let p = tmp("crash_partial");
+        let _ = std::fs::remove_file(&p);
+        let inj = FaultInjector::disarmed();
+        let mut wal = Wal::open_with_faults(&p, FsyncPolicy::Never, 0, Arc::clone(&inj)).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        // simulated crash 5 bytes into the next frame: no self-healing
+        // runs (a real crash runs none) and the writer is dead
+        inj.arm(FaultPlan::new().crash_at_partial(0, 5));
+        assert!(wal.append(&[ins(1, 2)]).is_err());
+        assert!(wal.is_sealed(), "a crashed writer accepts nothing more");
+        inj.disarm();
+        drop(wal);
+        let len_with_torn_tail = std::fs::metadata(&p).unwrap().len();
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(summary.truncated_tail, "the torn bytes were on disk");
+        assert!(std::fs::metadata(&p).unwrap().len() < len_with_torn_tail);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn reset_seeded_swaps_atomically() {
+        use crate::faults::{FaultKind, FaultPlan, IoOp};
+        let p = tmp("reseed");
+        let _ = std::fs::remove_file(&p);
+        let inj = FaultInjector::disarmed();
+        let mut wal = Wal::open_with_faults(&p, FsyncPolicy::Never, 0, Arc::clone(&inj)).unwrap();
+        wal.append(&[ins(0, 1)]).unwrap();
+        wal.append(&[ins(1, 2)]).unwrap();
+        let reg = WalOp::Register {
+            query: "team".to_owned(),
+            pattern: "node pm; node dba; edge pm -> dba within 2;".to_owned(),
+        };
+
+        // a failure before the rename leaves the old log fully intact
+        // and the writer usable
+        inj.arm(FaultPlan::new().fail_nth(IoOp::Fsync, 0, FaultKind::Enospc));
+        assert!(wal.reset_seeded(std::slice::from_ref(&reg)).is_err());
+        inj.disarm();
+        assert!(!wal.is_sealed());
+        let (records, _) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 2, "old log untouched by failed swap");
+
+        // the successful swap replaces the log with the seeded records
+        let sizes = wal.reset_seeded(std::slice::from_ref(&reg)).unwrap();
+        assert_eq!(sizes.len(), 1);
+        assert_eq!(wal.next_seq(), 2);
+        wal.append(&[ins(7, 8)]).unwrap();
+        drop(wal);
+        let (records, summary) = Wal::replay(&p).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].op, reg);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[1].as_updates(), Some(&[ins(7, 8)][..]));
+        assert!(!summary.truncated_tail);
+        assert!(
+            !p.with_extension("wal.tmp").exists(),
+            "the rename consumed the tmp file"
+        );
         let _ = std::fs::remove_file(&p);
     }
 }

@@ -165,6 +165,60 @@ fn snapshot_mid_stream_keeps_replay_convergent() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// An injected ENOSPC that tears an append mid-frame must not poison
+/// the run: the failed batch retries cleanly (the log self-healed), the
+/// oracle checks still pass, and recovery after restart is exact.
+#[test]
+fn injected_enospc_mid_run_keeps_recovery_exact() {
+    use expfinder_runtime::{FaultKind, FaultPlan};
+
+    let dir = tmpdir("enospc");
+    let base = collab(51);
+    let updates = random_updates(&mut StdRng::seed_from_u64(52), &base, 40, 0.5);
+    let batches: Vec<&[EdgeUpdate]> = updates.chunks(8).collect();
+
+    {
+        let rt = DurableExpFinder::open(&dir, config()).unwrap();
+        rt.add_graph("c", base.clone()).unwrap();
+        // tear the third append after 5 bytes, then report ENOSPC
+        let inj = rt.fault_injector();
+        inj.arm(FaultPlan::new().partial_write(2, 5, FaultKind::Enospc));
+        let mut failures = 0;
+        for batch in &batches {
+            if rt.apply_updates("c", batch).is_err() {
+                failures += 1;
+                // the log truncated the torn frame: the retry must land
+                rt.apply_updates("c", batch).unwrap();
+            }
+        }
+        assert_eq!(failures, 1, "exactly the armed append fails");
+        assert_eq!(rt.fault_totals().injected, 1);
+        inj.disarm();
+        assert_queries_match_oracle(&rt, "c", &{
+            let mut g = base.clone();
+            for &up in &updates {
+                g.apply(up);
+            }
+            g
+        });
+    }
+
+    let rt = DurableExpFinder::open(&dir, config()).unwrap();
+    let totals = rt.wal_totals();
+    assert_eq!(
+        totals.truncated_tails, 0,
+        "self-heal left no torn tail behind"
+    );
+    assert_eq!(totals.replayed_updates, updates.len() as u64);
+
+    let mut oracle = base;
+    for &up in &updates {
+        oracle.apply(up);
+    }
+    assert_queries_match_oracle(&rt, "c", &oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn compaction_survives_restart_with_short_log() {
     let dir = tmpdir("compact");

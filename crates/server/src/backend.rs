@@ -22,7 +22,7 @@ use expfinder_engine::{
 };
 use expfinder_graph::{DiGraph, EdgeUpdate};
 use expfinder_pattern::Pattern;
-use expfinder_runtime::{DurableExpFinder, ShardStats, WalTotals};
+use expfinder_runtime::{DurableExpFinder, FaultTotals, ShardStats, WalTotals};
 use std::sync::Arc;
 
 /// Cache statistics re-exported so `metrics` has one source type.
@@ -239,6 +239,16 @@ impl Backend {
         match self {
             Backend::Local(_) => WalTotals::default(),
             Backend::Durable(rt) => rt.wal_totals(),
+        }
+    }
+
+    /// Fault-injection counters (boundaries crossed while armed, faults
+    /// fired) — all zero on a [`Backend::Local`] and on any production
+    /// durable deployment, where the injector stays disarmed.
+    pub fn fault_totals(&self) -> FaultTotals {
+        match self {
+            Backend::Local(_) => FaultTotals::default(),
+            Backend::Durable(rt) => rt.fault_totals(),
         }
     }
 

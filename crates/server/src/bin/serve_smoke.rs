@@ -363,6 +363,17 @@ fn main() {
             && i64_at(&metrics, &["engine", "wal", "truncated_tails"]) == 0,
         || metrics.to_string_compact(),
     );
+    h.check(
+        "metrics export fault-injection and load-shedding counters (durable)",
+        // keys must exist (i64_at answers i64::MIN when missing) and be
+        // zero: the injector is disarmed and nothing was shed
+        i64_at(&metrics, &["engine", "faults", "injected"]) == 0
+            && i64_at(&metrics, &["engine", "faults", "writes"]) == 0
+            && i64_at(&metrics, &["engine", "faults", "fsyncs"]) == 0
+            && i64_at(&metrics, &["engine", "faults", "renames"]) == 0
+            && i64_at(&metrics, &["server", "shed"]) == 0,
+        || metrics.to_string_compact(),
+    );
     let shards = metrics
         .field("engine")
         .and_then(|e| e.field("shard"))
@@ -452,6 +463,76 @@ fn main() {
         },
     );
     let _ = std::fs::remove_dir_all(&data_dir);
+
+    // ---- second boot, Local backend (no --data-dir): the fault and
+    // shed counters must keep the same /metrics schema either way ----
+    let local_log = format!("{log_path}.local");
+    println!("booting {server_bin} without a data dir (log: {local_log})");
+    let mut child = Command::new(&server_bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--fixture",
+            "fig1",
+            "--allow-shutdown",
+            "--log",
+            &local_log,
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot spawn {server_bin}: {e}");
+            std::process::exit(1);
+        });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut first_line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("server stdout");
+    let addr: SocketAddr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| {
+            let _ = child.kill();
+            eprintln!("bad discovery line {first_line:?}");
+            std::process::exit(1);
+        })
+        .parse()
+        .expect("address in discovery line");
+    println!("local-backend server up on {addr}");
+    h.child = child;
+    let mut client = Client::new(addr);
+    client.set_timeout(Duration::from_secs(10));
+    let metrics = client.metrics();
+    h.require(
+        "GET /metrics answers on the Local backend",
+        metrics.is_ok(),
+        || format!("{metrics:?}"),
+    );
+    let metrics = metrics.unwrap();
+    h.check(
+        "metrics export fault-injection and load-shedding counters (local)",
+        i64_at(&metrics, &["engine", "faults", "injected"]) == 0
+            && i64_at(&metrics, &["engine", "faults", "writes"]) == 0
+            && i64_at(&metrics, &["engine", "faults", "fsyncs"]) == 0
+            && i64_at(&metrics, &["engine", "faults", "renames"]) == 0
+            && i64_at(&metrics, &["server", "shed"]) == 0,
+        || metrics.to_string_compact(),
+    );
+    let drain = client.shutdown_server();
+    h.check(
+        "local-backend server accepts /admin/shutdown",
+        drain.is_ok(),
+        || format!("{drain:?}"),
+    );
+    let status = h.child.wait().expect("wait for local-backend server");
+    h.check(
+        "local-backend server exited 0 after drain",
+        status.success(),
+        || format!("{status:?}"),
+    );
 
     // g2 only exists to exercise upload; touch it so nothing is unused
     assert_eq!(g2.node_count(), 2);

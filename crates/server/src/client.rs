@@ -4,13 +4,20 @@
 //! `serve_smoke` CI binary and the `bench_serve` load generator. One
 //! client holds one keep-alive connection and re-establishes it
 //! transparently when the server (or an idle timeout) closed it between
-//! requests. A transport failure on a *reused* connection (the normal
-//! keep-alive race: the server closed while the request was in flight)
-//! is retried once on a fresh connection — but only for requests whose
-//! replay is safe: reads, queries/batches, edge updates (insert/delete
-//! are idempotent) and shutdown. `POST /graphs` and `/register` are
-//! *not* replayed — a replay after a server-side success would turn into
-//! a spurious 409 — so those surface the transport error instead.
+//! requests.
+//!
+//! Requests whose replay is safe — reads, queries/batches, edge updates
+//! (insert/delete are idempotent) and shutdown — are retried on
+//! transport failures (connect refused, keep-alive race, mid-response
+//! drop) and on the server's load-shedding `503`, up to a small capped
+//! attempt budget with jittered exponential backoff. A `Retry-After`
+//! header on the 503 overrides the backoff schedule (capped, so a
+//! hostile or confused server cannot park the client for minutes). The
+//! common keep-alive race — the server closed a *reused* connection
+//! while the request was in flight — retries immediately on a fresh
+//! connection, as before. `POST /graphs` and `/register` are *not*
+//! replayed — a replay after a server-side success would turn into a
+//! spurious 409 — so those surface the transport error instead.
 
 use crate::http::{self, HttpError};
 use crate::wire;
@@ -48,6 +55,9 @@ impl std::error::Error for ClientError {}
 pub struct ApiResponse {
     pub status: u16,
     pub body: Value,
+    /// Decoded `Retry-After` header (seconds), when the server sent one
+    /// — the load-shedding 503 path does.
+    pub retry_after: Option<u64>,
 }
 
 impl ApiResponse {
@@ -129,33 +139,65 @@ impl Client {
             || path == "/admin/shutdown"
     }
 
-    /// Issue one request. A transport failure on a *reused* connection
-    /// (the server may have dropped it while idle) is retried once on a
-    /// fresh connection when the operation is replay-safe; failures on a
-    /// fresh connection are final.
+    /// Total tries per replay-safe request (first attempt included).
+    const MAX_ATTEMPTS: u32 = 4;
+    /// Longest `Retry-After` the client will actually honour.
+    const RETRY_AFTER_CAP: Duration = Duration::from_secs(2);
+
+    /// Jittered exponential backoff before retry `attempt` (0-based):
+    /// 50ms · 2^attempt, capped at 1s, plus a deterministic 0–25ms
+    /// jitter derived from the attempt and path so a fleet of clients
+    /// shed at the same instant does not reconverge in lockstep.
+    fn backoff_delay(attempt: u32, path: &str) -> Duration {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (attempt, path).hash(&mut h);
+        let base = Duration::from_millis(50 * (1u64 << attempt.min(10)));
+        base.min(Duration::from_secs(1)) + Duration::from_millis(h.finish() % 25)
+    }
+
+    /// Issue one request. Replay-safe operations retry transport
+    /// failures and load-shedding 503s with jittered exponential
+    /// backoff (see the module docs), honouring a `Retry-After` header
+    /// when present; everything else gets exactly one attempt.
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&Value>,
     ) -> Result<ApiResponse, ClientError> {
-        let reused = self.stream.is_some();
-        match self.request_once(method, path, body) {
-            Ok(resp) => Ok(resp),
-            Err(e) if reused => {
-                self.stream = None;
-                match e {
-                    // only transport failures on replay-safe operations
-                    // are worth one reconnect
-                    ClientError::Transport(_) if Self::replay_safe(method, path) => {
-                        self.request_once(method, path, body)
-                    }
-                    other => Err(other),
+        let replayable = Self::replay_safe(method, path);
+        let mut attempt: u32 = 0;
+        loop {
+            let reused = self.stream.is_some();
+            match self.request_once(method, path, body) {
+                Ok(resp)
+                    if resp.status == 503 && replayable && attempt + 1 < Self::MAX_ATTEMPTS =>
+                {
+                    // shed by the server: come back when it said to (or
+                    // on the backoff schedule when it did not say)
+                    let delay = resp
+                        .retry_after
+                        .map(|s| Duration::from_secs(s).min(Self::RETRY_AFTER_CAP))
+                        .unwrap_or_else(|| Self::backoff_delay(attempt, path));
+                    std::thread::sleep(delay);
+                    attempt += 1;
                 }
-            }
-            Err(e) => {
-                self.stream = None;
-                Err(e)
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.stream = None;
+                    let transport = matches!(e, ClientError::Transport(_));
+                    if !(transport && replayable && attempt + 1 < Self::MAX_ATTEMPTS) {
+                        return Err(e);
+                    }
+                    // the keep-alive race (server closed a reused
+                    // connection under us) retries immediately on a
+                    // fresh connection; real failures back off
+                    if !(reused && attempt == 0) {
+                        std::thread::sleep(Self::backoff_delay(attempt, path));
+                    }
+                    attempt += 1;
+                }
             }
         }
     }
@@ -204,6 +246,8 @@ impl Client {
             .ok_or_else(|| ClientError::Transport(format!("bad status line {status_line:?}")))?;
         let body_bytes = http::read_body(&mut reader, &headers, usize::MAX, timeout)
             .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let retry_after =
+            http::header_of(&headers, "retry-after").and_then(|v| v.trim().parse::<u64>().ok());
         if http::header_of(&headers, "connection").is_some_and(|c| c.eq_ignore_ascii_case("close"))
         {
             self.stream = None;
@@ -216,7 +260,11 @@ impl Client {
             expfinder_graph::json::parse(text)
                 .map_err(|e| ClientError::Transport(format!("bad response json: {e}")))?
         };
-        Ok(ApiResponse { status, body })
+        Ok(ApiResponse {
+            status,
+            body,
+            retry_after,
+        })
     }
 
     // ------------------------- typed endpoints -------------------------

@@ -314,6 +314,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Close the connection after this response (overrides keep-alive).
     pub close: bool,
+    /// Emit a `Retry-After: <secs>` header — the load-shedding 503 path
+    /// uses it to tell well-behaved clients when to come back.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -323,6 +326,7 @@ impl Response {
             body: doc.to_string_compact().into_bytes(),
             content_type: "application/json",
             close: false,
+            retry_after: None,
         }
     }
 
@@ -336,13 +340,17 @@ impl Response {
         };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len(),
             conn
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "Retry-After: {secs}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -658,5 +666,31 @@ mod tests {
         assert!(String::from_utf8(out)
             .unwrap()
             .contains("Connection: close"));
+    }
+
+    #[test]
+    fn retry_after_header_emitted_when_set() {
+        let doc = expfinder_graph::json::parse(r#"{"ok":false}"#).unwrap();
+        let mut out = Vec::new();
+        Response {
+            close: true,
+            retry_after: Some(2),
+            ..Response::json(503, &doc)
+        }
+        .write_to(&mut out, false)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        // the header block still terminates with exactly one blank line
+        assert!(text.contains("\r\n\r\n"), "{text}");
+
+        // and stays absent when unset
+        let mut out = Vec::new();
+        Response::json(200, &doc).write_to(&mut out, true).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 }

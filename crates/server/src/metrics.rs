@@ -175,6 +175,9 @@ pub struct Metrics {
     in_flight: AtomicU64,
     connections_opened: AtomicU64,
     connections_closed: AtomicU64,
+    /// Connections refused with `503 + Retry-After` because the worker
+    /// queue was full (load shedding, not an error).
+    shed: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -185,6 +188,7 @@ impl Default for Metrics {
             in_flight: AtomicU64::new(0),
             connections_opened: AtomicU64::new(0),
             connections_closed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 }
@@ -220,6 +224,11 @@ impl Metrics {
         self.connections_closed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one connection answered with the load-shedding 503.
+    pub fn connection_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn in_flight(&self) -> u64 {
         self.in_flight.load(Ordering::Relaxed)
     }
@@ -239,7 +248,10 @@ impl Metrics {
     /// visible without attaching a profiler. The durability block
     /// (`engine.wal`) and the per-shard gauges (`engine.shard`) are
     /// always present so dashboards see one schema — an in-memory
-    /// backend exports zeroes and an empty shard list. `subscriptions`
+    /// backend exports zeroes and an empty shard list — as are the
+    /// fault-injection counters (`engine.faults`, zero unless a chaos
+    /// harness armed the injector) and the load-shedding counter
+    /// (`server.shed`). `subscriptions`
     /// is the push-streaming gauge block built by the server's
     /// subscription hub (live subscribers, frames pushed, slow-consumer
     /// disconnects).
@@ -253,6 +265,7 @@ impl Metrics {
         let index = backend.index_totals();
         let planner = backend.planner_totals();
         let wal = backend.wal_totals();
+        let faults = backend.fault_totals();
         let shards: Vec<Value> = backend
             .shard_stats()
             .into_iter()
@@ -318,6 +331,15 @@ impl Metrics {
                     ("truncated_tails", Value::Int(wal.truncated_tails as i64)),
                 ]),
             ),
+            (
+                "faults",
+                obj(vec![
+                    ("injected", Value::Int(faults.injected as i64)),
+                    ("writes", Value::Int(faults.writes as i64)),
+                    ("fsyncs", Value::Int(faults.fsyncs as i64)),
+                    ("renames", Value::Int(faults.renames as i64)),
+                ]),
+            ),
             ("shard", Value::Array(shards)),
         ]);
         let graphs: Vec<Value> = backend
@@ -350,6 +372,13 @@ impl Metrics {
                         Value::Int(self.connections_closed.load(Ordering::Relaxed) as i64),
                     ),
                 ]),
+            ),
+            (
+                "server",
+                obj(vec![(
+                    "shed",
+                    Value::Int(self.shed.load(Ordering::Relaxed) as i64),
+                )]),
             ),
             ("requests", obj(requests)),
             ("subscriptions", subscriptions),
@@ -442,6 +471,22 @@ mod tests {
         }
         let shards = doc.field("engine").unwrap().field("shard").unwrap();
         assert!(shards.as_array().unwrap().is_empty());
+        let faults = doc.field("engine").unwrap().field("faults").unwrap();
+        for key in ["injected", "writes", "fsyncs", "renames"] {
+            assert_eq!(faults.field(key).unwrap().as_i64().unwrap(), 0, "{key}");
+        }
+        let server = doc.field("server").unwrap();
+        assert_eq!(server.field("shed").unwrap().as_i64().unwrap(), 0);
+    }
+
+    #[test]
+    fn shed_counter_exported() {
+        let m = Metrics::default();
+        m.connection_shed();
+        m.connection_shed();
+        let doc = m.to_json(&local(), subs());
+        let server = doc.field("server").unwrap();
+        assert_eq!(server.field("shed").unwrap().as_i64().unwrap(), 2);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! `TcpListener` and feeds accepted connections into a **bounded**
 //! channel; `workers` threads drain it, each running the keep-alive loop
 //! for one connection at a time. The bound gives natural backpressure —
-//! when every worker is busy and the queue is full, the acceptor blocks
-//! instead of buffering unbounded connections.
+//! when every worker is busy and the queue is full, the acceptor sheds
+//! the connection with `503 + Retry-After` (counted as `server.shed` on
+//! `/metrics`) instead of buffering unbounded connections or blocking
+//! the accept loop.
 //!
 //! Graceful shutdown is one `AtomicBool` ([`ServerHandle::shutdown`], or
 //! the `POST /admin/shutdown` endpoint when enabled): the acceptor stops
@@ -169,8 +171,8 @@ impl Server {
     pub fn spawn(self) -> ServerHandle {
         let workers = self.inner.config.workers.max(1);
         // bound = 2× workers: enough runway to keep workers fed, small
-        // enough that overload blocks the acceptor (backpressure) instead
-        // of queueing unboundedly
+        // enough that overload starts shedding (503) instead of queueing
+        // unboundedly
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
         let rx = Arc::new(Mutex::new(rx));
         let mut threads = Vec::with_capacity(workers + 1);
@@ -277,9 +279,15 @@ fn accept_loop(inner: &Inner, listener: TcpListener, tx: SyncSender<TcpStream>) 
         match listener.accept() {
             Ok((stream, _peer)) => {
                 inner.metrics.connection_opened();
-                // blocks when the queue is full: backpressure, see above
-                if tx.send(stream).is_err() {
-                    break;
+                // a full queue sheds the connection with 503 instead of
+                // blocking the acceptor: overload answers immediately and
+                // tells the client when to come back
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(std::sync::mpsc::TrySendError::Full(stream)) => {
+                        shed_connection(inner, stream);
+                    }
+                    Err(std::sync::mpsc::TrySendError::Disconnected(_)) => break,
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -288,6 +296,22 @@ fn accept_loop(inner: &Inner, listener: TcpListener, tx: SyncSender<TcpStream>) 
     }
     // dropping `tx` (and the listener) lets workers drain the queue and
     // exit, and refuses new connections at the OS level
+}
+
+/// Answer one over-capacity connection with `503 + Retry-After` and
+/// close it. Runs on the acceptor thread, so the write is bounded by a
+/// short timeout — a peer that won't read its 503 cannot stall accepts.
+fn shed_connection(inner: &Inner, mut stream: TcpStream) {
+    inner.metrics.connection_shed();
+    let _ = stream.set_write_timeout(Some(POLL));
+    let body = crate::wire::error_body(503, "server overloaded; retry later");
+    let resp = Response {
+        close: true,
+        retry_after: Some(1),
+        ..Response::json(503, &body)
+    };
+    let _ = resp.write_to(&mut stream, false);
+    inner.metrics.connection_closed();
 }
 
 fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<TcpStream>>>) {

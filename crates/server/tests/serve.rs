@@ -755,3 +755,82 @@ fn graceful_shutdown_drains_and_closes_the_port() {
     });
     assert!(refused, "listener should be closed after drain");
 }
+
+/// Overload answers immediately with `503 + Retry-After` instead of
+/// blocking the acceptor, and a replay-safe client request rides the
+/// backoff through the overload window and succeeds once it clears.
+#[test]
+fn overload_sheds_503_and_client_backoff_recovers() {
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            workers: 1,
+            // short idle budget so the pinned/queued connections cycle
+            // out and the overload window clears within the test
+            keep_alive: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // pin the only worker: one served keep-alive connection held open
+    let mut pin = TcpStream::connect(addr).unwrap();
+    pin.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    pin.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // read until the head is complete — a single read may return a
+    // partial TCP segment when the host is loaded
+    let mut got = Vec::new();
+    let mut buf = [0u8; 512];
+    while !got.windows(4).any(|w| w == b"\r\n\r\n") {
+        match pin.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+        }
+    }
+    assert!(
+        String::from_utf8_lossy(&got).contains("200 OK"),
+        "{}",
+        String::from_utf8_lossy(&got)
+    );
+
+    // fill the bounded queue (workers * 2 = 2) with idle connections
+    let _idle1 = TcpStream::connect(addr).unwrap();
+    let _idle2 = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let the acceptor enqueue them
+
+    // the next connection must be shed, not queued: raw 503 with
+    // Retry-After and Connection: close, answered while the worker is
+    // still busy
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    shed.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut head = Vec::new();
+    let mut byte = [0u8; 256];
+    loop {
+        match shed.read(&mut byte) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&byte[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    assert!(head.contains("503 Service Unavailable"), "{head}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(head.contains("Connection: close"), "{head}");
+
+    // a replay-safe client request retries past the overload: the shed
+    // 503 carries Retry-After, the pinned connections idle out within
+    // ~300ms, and the retry lands on a free worker
+    drop(pin);
+    let mut client = Client::new(addr);
+    client.set_timeout(Duration::from_secs(5));
+    let health = client.health().unwrap();
+    assert_eq!(health.field("status").unwrap().as_str().unwrap(), "ok");
+
+    handle.shutdown();
+}

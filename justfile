@@ -101,6 +101,15 @@ recovery-smoke:
     cargo build --release -p expfinder-server
     cargo run --release -p expfinder-server --bin recovery_smoke -- --log target/recovery-smoke
 
+# the CI `chaos-smoke` job: crash-point torture harness — replay a
+# fixed op script, simulate a crash at every I/O boundary it crosses
+# (plus torn-write variants), restart, and assert the recovered state
+# is a prefix of the acknowledged ops; also drives the ENOSPC
+# self-heal and fsync-seal scenarios
+chaos-smoke:
+    cargo build --release -p expfinder-server
+    cargo run --release -p expfinder-server --bin chaos_smoke -- --log target/chaos-smoke.log --data-dir target/chaos-data
+
 # full server throughput benchmark (writes BENCH_3.json)
 bench-serve:
     cargo run --release -p expfinder-bench --bin bench_serve
