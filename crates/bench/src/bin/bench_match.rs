@@ -7,7 +7,8 @@
 //!   cargo run --release -p expfinder-bench --bin bench_match -- --quick
 //!   cargo run --release -p expfinder-bench --bin bench_match -- \
 //!       --out BENCH_4.json --min-speedup 1.5 \
-//!       --warm-out BENCH_5.json --min-warm-speedup 1.3
+//!       --warm-out BENCH_5.json --min-warm-speedup 1.3 \
+//!       --max-cancel-overhead 0.02
 //!   cargo run --release -p expfinder-bench --bin bench_match -- \
 //!       --plan-out plans.json
 //!
@@ -24,8 +25,11 @@
 //! when any PR-4 workload's single-query speedup falls below `X`; with
 //! `--min-warm-speedup Y` it exits non-zero when any *gated* warm
 //! workload's second-query-on-version speedup over the PR-4 frontier
-//! path falls below `Y` — the perf gates the `bench-smoke` CI job
-//! attaches to.
+//! path falls below `Y`; with `--max-cancel-overhead F` it exits
+//! non-zero when carrying a *disarmed* `CancelToken` through the
+//! chain workload costs more than fraction `F` over the token-free
+//! path (0.02 holds the cancellation plumbing to within 2%) — the perf
+//! gates the `bench-smoke` CI job attaches to.
 
 use expfinder_bench::batchbench::write_bench_json;
 use expfinder_bench::matchbench::{run_match_bench, run_warm_bench, MatchBenchOptions};
@@ -39,6 +43,7 @@ fn main() {
     let mut plan_out: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
     let mut min_warm_speedup: Option<f64> = None;
+    let mut max_cancel_overhead: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +64,9 @@ fn main() {
             "--min-speedup" => min_speedup = Some(take(&mut i).parse().expect("bad --min-speedup")),
             "--min-warm-speedup" => {
                 min_warm_speedup = Some(take(&mut i).parse().expect("bad --min-warm-speedup"))
+            }
+            "--max-cancel-overhead" => {
+                max_cancel_overhead = Some(take(&mut i).parse().expect("bad --max-cancel-overhead"))
             }
             other => {
                 eprintln!("unknown option {other:?}");
@@ -95,6 +103,29 @@ fn main() {
         if ok {
             println!("gate passed: all single-query speedups >= {min:.2}x");
         }
+    }
+    if let Some(max) = max_cancel_overhead {
+        let workloads = doc.field("workloads").unwrap().as_array().unwrap();
+        let mut cancel_ok = true;
+        for w in workloads {
+            let name = w.field("name").unwrap().as_str().unwrap();
+            let ov = w.field("cancel_check_overhead").unwrap().as_f64().unwrap();
+            if ov > max {
+                eprintln!(
+                    "GATE FAIL: {name} disarmed cancel-check overhead {:.2}% > allowed {:.2}%",
+                    ov * 100.0,
+                    max * 100.0
+                );
+                cancel_ok = false;
+            }
+        }
+        if cancel_ok {
+            println!(
+                "cancel gate passed: disarmed token overhead <= {:.2}% on every workload",
+                max * 100.0
+            );
+        }
+        ok &= cancel_ok;
     }
     if let Some(min) = min_warm_speedup {
         let workloads = warm_doc.field("workloads").unwrap().as_array().unwrap();

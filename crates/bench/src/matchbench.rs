@@ -19,8 +19,8 @@
 
 use crate::{collab_graph, collab_pattern, fmt_dur, json_obj as obj, time, twitter_graph, SEED};
 use expfinder_core::{
-    bounded_simulation_indexed, bounded_simulation_scratch, bounded_simulation_with, EvalOptions,
-    EvalScratch, EvalStats, ReachIndex,
+    bounded_simulation_cancellable, bounded_simulation_indexed, bounded_simulation_scratch,
+    bounded_simulation_with, CancelToken, EvalOptions, EvalScratch, EvalStats, ReachIndex,
 };
 use expfinder_graph::json::Value;
 use expfinder_graph::{CsrGraph, DiGraph, GraphView};
@@ -156,6 +156,24 @@ fn bench_workload(name: &str, graph: &DiGraph, pattern: &Pattern, reps: usize) -
         bounded_simulation_scratch(&csr, pattern, EvalOptions::default(), &mut scratch)
     });
 
+    // the deadline-aware serving shape with a *disarmed* token: every
+    // cancellation point costs one relaxed atomic load and nothing else,
+    // so this must sit within noise of the token-free path above — the
+    // `--max-cancel-overhead` gate holds the chain workload to that
+    let disarmed = CancelToken::disarmed();
+    let (cancel_t, _) = measure(reps, || {
+        bounded_simulation_cancellable(
+            &csr,
+            pattern,
+            EvalOptions::default(),
+            &mut scratch,
+            None,
+            Some(&disarmed),
+        )
+        .expect("disarmed token never fires")
+    });
+    let cancel_overhead = cancel_t.as_secs_f64() / new_t.as_secs_f64().max(1e-12) - 1.0;
+
     let identical = old_m == new_m;
     assert!(
         identical,
@@ -182,6 +200,12 @@ fn bench_workload(name: &str, graph: &DiGraph, pattern: &Pattern, reps: usize) -
         bfs_reduction,
         new_stats.refreshes_skipped,
     );
+    println!(
+        "{:>10} disarmed cancel token: {} ({:+.2}% vs token-free)",
+        "",
+        fmt_dur(cancel_t),
+        cancel_overhead * 100.0,
+    );
 
     obj(vec![
         ("name", Value::Str(name.to_owned())),
@@ -202,6 +226,8 @@ fn bench_workload(name: &str, graph: &DiGraph, pattern: &Pattern, reps: usize) -
         ),
         ("speedup", Value::Float(speedup)),
         ("bfs_nodes_reduction", Value::Float(bfs_reduction)),
+        ("cancel_check_ms", ms(cancel_t)),
+        ("cancel_check_overhead", Value::Float(cancel_overhead)),
         ("results_identical", Value::Bool(identical)),
     ])
 }

@@ -33,11 +33,11 @@
 //! benchmark baseline. Both compute the same greatest fixpoint
 //! bit-for-bit (property-tested).
 
-use crate::fixpoint::{refine_constraints, Constraint, EvalScratch, IndexCtx};
+use crate::fixpoint::{refine_constraints, Cancelled, Constraint, EvalScratch, IndexCtx};
 use crate::matchrel::MatchRelation;
 use crate::{candidate_sets, candidate_sets_classed};
 use expfinder_graph::bfs::{BfsScratch, Direction};
-use expfinder_graph::{BitSet, GraphView, ReachProvider};
+use expfinder_graph::{BitSet, CancelToken, GraphView, ReachProvider};
 use expfinder_pattern::Pattern;
 
 /// Refresh-order heuristic ("query plan").
@@ -155,10 +155,31 @@ pub fn bounded_simulation_indexed<G: GraphView>(
     scratch: &mut EvalScratch,
     index: Option<&dyn ReachProvider>,
 ) -> (MatchRelation, EvalStats) {
+    match bounded_simulation_cancellable(g, q, opts, scratch, index, None) {
+        Ok(r) => r,
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`bounded_simulation_indexed`] polling a [`CancelToken`] at every
+/// refresh boundary — the deadline-aware serving path. A fired token
+/// aborts with [`Cancelled`] carrying the partial [`EvalStats`]; the
+/// scratch and any shared index stay sound for the next query (an
+/// aborted refresh is surfaced before its reach set is cached or
+/// applied, and the scratch restamps its caches on the next evaluation).
+pub fn bounded_simulation_cancellable<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+    scratch: &mut EvalScratch,
+    index: Option<&dyn ReachProvider>,
+    cancel: Option<&CancelToken>,
+) -> Result<(MatchRelation, EvalStats), Cancelled> {
     let n = g.node_count();
     let (sim, classes) = candidate_sets_classed(g, q);
-    let (sets, stats) = bounded_fixpoint_classed(g, q, sim, opts, true, scratch, &classes, index);
-    (MatchRelation::from_sets(sets, n), stats)
+    let (sets, stats) =
+        bounded_fixpoint_classed(g, q, sim, opts, true, scratch, &classes, index, cancel)?;
+    Ok((MatchRelation::from_sets(sets, n), stats))
 }
 
 /// The refinement fixpoint with paper semantics (early exit when a pattern
@@ -206,13 +227,33 @@ pub fn bounded_fixpoint_scratch<G: GraphView>(
     early_exit: bool,
     scratch: &mut EvalScratch,
 ) -> (Vec<BitSet>, EvalStats) {
-    bounded_fixpoint_classed(g, q, sim, opts, early_exit, scratch, &[], None)
+    match bounded_fixpoint_classed(g, q, sim, opts, early_exit, scratch, &[], None, None) {
+        Ok(r) => r,
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`bounded_fixpoint_scratch`] polling a [`CancelToken`] — the
+/// cancellable raw-fixpoint path the incremental module builds its
+/// initial state through. On abort the partially refined sets are
+/// dropped by the caller; nothing durable was mutated.
+#[allow(clippy::type_complexity)]
+pub fn bounded_fixpoint_cancellable<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    sim: Vec<BitSet>,
+    opts: EvalOptions,
+    early_exit: bool,
+    scratch: &mut EvalScratch,
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<BitSet>, EvalStats), Cancelled> {
+    bounded_fixpoint_classed(g, q, sim, opts, early_exit, scratch, &[], None, cancel)
 }
 
 /// The frontier fixpoint with the reach-index hook: `classes` marks which
 /// candidate sets were seeded as full label classes (empty slice = no
 /// markers), `index` is the per-snapshot provider (None = plain BFS).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn bounded_fixpoint_classed<G: GraphView>(
     g: &G,
     q: &Pattern,
@@ -222,7 +263,8 @@ fn bounded_fixpoint_classed<G: GraphView>(
     scratch: &mut EvalScratch,
     classes: &[Option<expfinder_graph::Sym>],
     index: Option<&dyn ReachProvider>,
-) -> (Vec<BitSet>, EvalStats) {
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<BitSet>, EvalStats), Cancelled> {
     let constraints: Vec<Constraint> = q
         .edges()
         .iter()
@@ -246,14 +288,15 @@ fn bounded_fixpoint_classed<G: GraphView>(
         early_exit,
         scratch,
         ictx,
-    );
+        cancel,
+    )?;
     if died {
         // some pattern node became unmatchable: M(Q,G) = ∅
         for s in &mut sim {
             s.clear();
         }
     }
-    (sim, stats)
+    Ok((sim, stats))
 }
 
 /// The original queue-based fixpoint — the [`FixpointEngine::Queue`]

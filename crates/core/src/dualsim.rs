@@ -18,11 +18,11 @@
 //! the hiring team is "dual-clean".
 
 use crate::bsim::{EvalOptions, EvalStats, FixpointEngine};
-use crate::fixpoint::{refine_constraints, Constraint, EvalScratch, IndexCtx};
+use crate::fixpoint::{refine_constraints, Cancelled, Constraint, EvalScratch, IndexCtx};
 use crate::matchrel::MatchRelation;
 use crate::{candidate_sets, candidate_sets_classed};
 use expfinder_graph::bfs::{BfsScratch, Direction};
-use expfinder_graph::{BitSet, GraphView, ReachProvider};
+use expfinder_graph::{BitSet, CancelToken, GraphView, ReachProvider};
 use expfinder_pattern::Pattern;
 
 /// Compute the maximum bounded **dual** simulation relation.
@@ -72,11 +72,28 @@ pub fn dual_simulation_indexed<G: GraphView>(
     scratch: &mut EvalScratch,
     index: Option<&dyn ReachProvider>,
 ) -> (MatchRelation, EvalStats) {
+    match dual_simulation_cancellable(g, q, opts, scratch, index, None) {
+        Ok(r) => r,
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`dual_simulation_indexed`] polling a [`CancelToken`] at every refresh
+/// boundary — aborts with [`Cancelled`] carrying partial [`EvalStats`]
+/// once the token fires, leaving scratch and index sound.
+pub fn dual_simulation_cancellable<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    opts: EvalOptions,
+    scratch: &mut EvalScratch,
+    index: Option<&dyn ReachProvider>,
+    cancel: Option<&CancelToken>,
+) -> Result<(MatchRelation, EvalStats), Cancelled> {
     let n = g.node_count();
     let ne = q.edge_count();
     let (mut sim, classes) = candidate_sets_classed(g, q);
     if ne == 0 {
-        return (MatchRelation::from_sets(sim, n), EvalStats::default());
+        return Ok((MatchRelation::from_sets(sim, n), EvalStats::default()));
     }
     let mut constraints = Vec::with_capacity(ne * 2);
     for e in q.edges() {
@@ -106,11 +123,12 @@ pub fn dual_simulation_indexed<G: GraphView>(
         true,
         scratch,
         ictx,
-    );
+        cancel,
+    )?;
     if died {
-        return (MatchRelation::empty(q, n), stats);
+        return Ok((MatchRelation::empty(q, n), stats));
     }
-    (MatchRelation::from_sets(sim, n), stats)
+    Ok((MatchRelation::from_sets(sim, n), stats))
 }
 
 /// The original queue-based bidirectional fixpoint — the

@@ -35,13 +35,42 @@
 use crate::bsim::{EvalStats, PlanMode};
 use expfinder_graph::bfs::Direction;
 use expfinder_graph::bfs_frontier::FrontierScratch;
-use expfinder_graph::{BitSet, GraphView, NodeId, ReachProvider, Sym};
+use expfinder_graph::{BitSet, CancelToken, GraphView, NodeId, ReachProvider, Sym};
 use expfinder_pattern::PNodeId;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// Stamp value meaning "this constraint has never been refreshed".
 const NEVER: u64 = u64::MAX;
+
+/// An evaluation was abandoned at a cancellation point (deadline or
+/// manual cancel). Carries the work counters accumulated up to the abort
+/// so callers can surface *partial* [`EvalStats`] — the paper-facing
+/// answer to "how far did the cubic fixpoint get before the budget ran
+/// out".
+///
+/// Cancellation never poisons reusable state: an aborted refresh is
+/// surfaced **before** its (possibly torn) reach set is recorded in the
+/// [`EvalScratch`] cache or intersected into a match set, and
+/// `EvalScratch::begin` restamps every cache entry as never-refreshed on
+/// the next evaluation, so whatever the aborted run left behind is inert.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Work done up to the abort.
+    pub stats: EvalStats,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "evaluation cancelled after {} refreshes / {} BFS nodes",
+            self.stats.refreshes, self.stats.bfs_nodes_visited
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// One refinement constraint: `sim(constrained) ∩= reach(sim(seeds))`,
 /// where the reach set is a bounded multi-source BFS from the seed set in
@@ -167,6 +196,12 @@ impl EvalScratch {
 /// The shared delta-aware refinement loop. Refines `sim` in place until
 /// every constraint holds; returns `(died, stats)` where `died` reports
 /// that some constrained set emptied and `early_exit` stopped the run.
+///
+/// `cancel` is polled at every refresh boundary (worklist pop) and after
+/// every multi-level BFS; a fired token aborts with [`Cancelled`] before
+/// the in-flight reach set is cached or applied, so `sim` is only ever a
+/// consistent over-approximation of the fixpoint and the scratch caches
+/// stay sound for the next evaluation.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_constraints<G: GraphView>(
     g: &G,
@@ -177,12 +212,13 @@ pub(crate) fn refine_constraints<G: GraphView>(
     early_exit: bool,
     scratch: &mut EvalScratch,
     index: Option<IndexCtx<'_>>,
-) -> (bool, EvalStats) {
+    cancel: Option<&CancelToken>,
+) -> Result<(bool, EvalStats), Cancelled> {
     let n = g.node_count();
     let nc = constraints.len();
     let mut stats = EvalStats::default();
     if nc == 0 {
-        return (false, stats);
+        return Ok((false, stats));
     }
     scratch.begin(n, nq, nc);
 
@@ -217,6 +253,10 @@ pub(crate) fn refine_constraints<G: GraphView>(
     queue.extend(order);
 
     while let Some(ci) = queue.pop_front() {
+        // refresh-boundary cancellation point
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled { stats });
+        }
         let c = &constraints[ci];
         let seed_ver = ver[c.seeds.index()];
         if stamp[ci] == seed_ver {
@@ -274,8 +314,14 @@ pub(crate) fn refine_constraints<G: GraphView>(
                 }
             } else {
                 let allowed = (stamp[ci] != NEVER).then_some(&reach[ci]);
-                stats.bfs_nodes_visited +=
-                    frontier.multi_source_within(g, seeds, c.depth, c.dir, allowed, tmp);
+                stats.bfs_nodes_visited += frontier
+                    .multi_source_within_cancel(g, seeds, c.depth, c.dir, allowed, cancel, tmp);
+                if cancel.is_some_and(|t| t.is_cancelled()) {
+                    // the BFS may have been abandoned mid-level: `tmp` is
+                    // torn and must not become this constraint's cache nor
+                    // shrink any match set
+                    return Err(Cancelled { stats });
+                }
             }
         }
         stamp[ci] = seed_ver;
@@ -290,7 +336,7 @@ pub(crate) fn refine_constraints<G: GraphView>(
             ver[u] += 1;
             if after == 0 && early_exit {
                 // some pattern node became unmatchable: M(Q,G) = ∅
-                return (true, stats);
+                return Ok((true, stats));
             }
             // sim(u) shrank: every constraint seeded from u must re-check
             for &ci2 in &by_seed[u] {
@@ -298,7 +344,7 @@ pub(crate) fn refine_constraints<G: GraphView>(
             }
         }
     }
-    (false, stats)
+    Ok((false, stats))
 }
 
 /// The dependency-aware constraint order behind the frontier engine's

@@ -32,25 +32,28 @@ pub mod result_graph;
 pub mod sim;
 
 pub use bsim::{
-    bounded_simulation, bounded_simulation_indexed, bounded_simulation_scratch,
-    bounded_simulation_with, EvalOptions, EvalStats, FixpointEngine, PlanMode,
+    bounded_simulation, bounded_simulation_cancellable, bounded_simulation_indexed,
+    bounded_simulation_scratch, bounded_simulation_with, EvalOptions, EvalStats, FixpointEngine,
+    PlanMode,
 };
 pub use dualsim::{
-    dual_simulation, dual_simulation_indexed, dual_simulation_scratch, dual_simulation_with,
+    dual_simulation, dual_simulation_cancellable, dual_simulation_indexed, dual_simulation_scratch,
+    dual_simulation_with,
 };
-pub use expfinder_graph::{ReachIndex, ReachProvider};
-pub use fixpoint::{EvalScratch, PooledScratch, ScratchPool};
+pub use expfinder_graph::{CancelToken, ReachIndex, ReachProvider};
+pub use fixpoint::{Cancelled, EvalScratch, PooledScratch, ScratchPool};
 pub use iso::{subgraph_isomorphism, IsoOptions};
 pub use matchrel::MatchRelation;
 pub use parallel::{
-    parallel_bounded_simulation, parallel_bounded_simulation_indexed,
-    parallel_bounded_simulation_stats, parallel_candidate_sets, parallel_dual_simulation,
+    parallel_bounded_simulation, parallel_bounded_simulation_cancellable,
+    parallel_bounded_simulation_indexed, parallel_bounded_simulation_stats,
+    parallel_candidate_sets, parallel_dual_simulation, parallel_dual_simulation_cancellable,
     parallel_dual_simulation_indexed, parallel_dual_simulation_stats, parallel_simulation,
-    parallel_simulation_indexed, parallel_simulation_stats,
+    parallel_simulation_cancellable, parallel_simulation_indexed, parallel_simulation_stats,
 };
 pub use rank::{rank_matches, rank_matches_top_k, rank_value, top_k, RankedMatch};
 pub use result_graph::{BuildOptions, ResultGraph};
-pub use sim::{graph_simulation, graph_simulation_scratch};
+pub use sim::{graph_simulation, graph_simulation_cancellable, graph_simulation_scratch};
 
 use std::fmt;
 

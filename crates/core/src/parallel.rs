@@ -37,12 +37,12 @@
 //! ([`crate::fixpoint`]).
 
 use crate::bsim::EvalStats;
-use crate::fixpoint::Constraint;
+use crate::fixpoint::{Cancelled, Constraint};
 use crate::matchrel::MatchRelation;
 use crate::{candidate_set, candidate_set_classed, MatchError};
 use expfinder_graph::bfs::Direction;
 use expfinder_graph::bfs_frontier::FrontierScratch;
-use expfinder_graph::{BitSet, GraphView, ReachProvider, Sym};
+use expfinder_graph::{BitSet, CancelToken, GraphView, ReachProvider, Sym};
 use expfinder_pattern::{PNodeId, Pattern};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -87,7 +87,26 @@ pub fn parallel_simulation_indexed<G: GraphView + Sync>(
     if !q.is_simulation() {
         return Err(MatchError::NotASimulationPattern);
     }
-    Ok(refine(g, q, Semantics::Forward, threads, index))
+    match refine(g, q, Semantics::Forward, threads, index, None) {
+        Ok(r) => Ok(r),
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`parallel_simulation_indexed`] polling a [`CancelToken`]. The outer
+/// `Result` reports pattern-shape errors, the inner one cancellation —
+/// the same nesting as [`crate::graph_simulation_cancellable`].
+pub fn parallel_simulation_cancellable<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+    index: Option<&dyn ReachProvider>,
+    cancel: Option<&CancelToken>,
+) -> Result<Result<(MatchRelation, EvalStats), Cancelled>, MatchError> {
+    if !q.is_simulation() {
+        return Err(MatchError::NotASimulationPattern);
+    }
+    Ok(refine(g, q, Semantics::Forward, threads, index, cancel))
 }
 
 /// Parallel bounded simulation: identical results to
@@ -118,7 +137,25 @@ pub fn parallel_bounded_simulation_indexed<G: GraphView + Sync>(
     threads: usize,
     index: Option<&dyn ReachProvider>,
 ) -> Result<(MatchRelation, EvalStats), MatchError> {
-    Ok(refine(g, q, Semantics::Forward, threads, index))
+    match refine(g, q, Semantics::Forward, threads, index, None) {
+        Ok(r) => Ok(r),
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`parallel_bounded_simulation_indexed`] polling a [`CancelToken`] at
+/// every refinement-round boundary and inside each worker's BFS. A fired
+/// token aborts the round before any of its (possibly torn) reach sets
+/// are applied or cached, so cancellation can never corrupt results; the
+/// partial [`EvalStats`] cover the completed rounds.
+pub fn parallel_bounded_simulation_cancellable<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+    index: Option<&dyn ReachProvider>,
+    cancel: Option<&CancelToken>,
+) -> Result<(MatchRelation, EvalStats), Cancelled> {
+    refine(g, q, Semantics::Forward, threads, index, cancel)
 }
 
 /// Parallel bounded dual simulation: identical results to
@@ -128,7 +165,7 @@ pub fn parallel_dual_simulation<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> MatchRelation {
-    refine(g, q, Semantics::Dual, threads, None).0
+    parallel_dual_simulation_stats(g, q, threads).0
 }
 
 /// [`parallel_dual_simulation`] with work counters.
@@ -137,7 +174,7 @@ pub fn parallel_dual_simulation_stats<G: GraphView + Sync>(
     q: &Pattern,
     threads: usize,
 ) -> (MatchRelation, EvalStats) {
-    refine(g, q, Semantics::Dual, threads, None)
+    parallel_dual_simulation_indexed(g, q, threads, None)
 }
 
 /// [`parallel_dual_simulation_stats`] consulting a per-snapshot
@@ -149,7 +186,23 @@ pub fn parallel_dual_simulation_indexed<G: GraphView + Sync>(
     threads: usize,
     index: Option<&dyn ReachProvider>,
 ) -> (MatchRelation, EvalStats) {
-    refine(g, q, Semantics::Dual, threads, index)
+    match refine(g, q, Semantics::Dual, threads, index, None) {
+        Ok(r) => r,
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`parallel_dual_simulation_indexed`] polling a [`CancelToken`] — the
+/// dual-semantics counterpart of
+/// [`parallel_bounded_simulation_cancellable`].
+pub fn parallel_dual_simulation_cancellable<G: GraphView + Sync>(
+    g: &G,
+    q: &Pattern,
+    threads: usize,
+    index: Option<&dyn ReachProvider>,
+    cancel: Option<&CancelToken>,
+) -> Result<(MatchRelation, EvalStats), Cancelled> {
+    refine(g, q, Semantics::Dual, threads, index, cancel)
 }
 
 /// Candidate sets computed with `threads` workers, one pattern node per
@@ -190,14 +243,17 @@ fn parallel_candidate_sets_classed<G: GraphView + Sync>(
     .unwrap_or_else(|| crate::candidate_sets_classed(g, q))
 }
 
-/// The shared fixpoint driver.
+/// The shared fixpoint driver. `cancel` is polled at every round boundary
+/// and threaded into each worker's BFS; a fired token aborts before the
+/// round's reach sets touch `sim` or the cache.
 fn refine<G: GraphView + Sync>(
     g: &G,
     q: &Pattern,
     semantics: Semantics,
     threads: usize,
     index: Option<&dyn ReachProvider>,
-) -> (MatchRelation, EvalStats) {
+    cancel: Option<&CancelToken>,
+) -> Result<(MatchRelation, EvalStats), Cancelled> {
     let n = g.node_count();
     let (mut sim, classes) = parallel_candidate_sets_classed(g, q, threads);
     let mut stats = EvalStats::default();
@@ -220,7 +276,7 @@ fn refine<G: GraphView + Sync>(
         }
     }
     if constraints.is_empty() {
-        return (MatchRelation::from_sets(sim, n), stats);
+        return Ok((MatchRelation::from_sets(sim, n), stats));
     }
 
     // per-constraint reach cache: sim sets only shrink, so a later round
@@ -230,6 +286,10 @@ fn refine<G: GraphView + Sync>(
     let mut frontier: Vec<usize> = (0..constraints.len()).collect();
     let mut first_round = true;
     while !frontier.is_empty() {
+        // round-boundary cancellation point
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled { stats });
+        }
         // phase 1: reach-sets of the frontier, computed in parallel from
         // an immutable snapshot of the current sets (each worker reuses
         // one BFS scratch across its items). In the first round every
@@ -240,12 +300,13 @@ fn refine<G: GraphView + Sync>(
         let use_index = first_round;
         let reach_bfs = |scratch: &mut FrontierScratch, cid: usize, c: &Constraint| {
             let mut reach = BitSet::new(n);
-            let visited = scratch.multi_source_within(
+            let visited = scratch.multi_source_within_cancel(
                 g,
                 &sim[c.seeds.index()],
                 c.depth,
                 c.dir,
                 reach_cache[cid].as_ref(),
+                cancel,
                 &mut reach,
             );
             (reach, visited)
@@ -283,6 +344,12 @@ fn refine<G: GraphView + Sync>(
         });
         first_round = false;
 
+        // the token may have fired mid-round: some reach sets are then
+        // torn — abort before any of them are applied or cached
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled { stats });
+        }
+
         // phase 2: apply intersections; note which pattern nodes shrank
         let mut shrunk = vec![false; q.node_count()];
         for (cid, reach, visited, hit) in reaches {
@@ -302,7 +369,7 @@ fn refine<G: GraphView + Sync>(
                 stats.removals += before - after;
                 if set.is_empty() {
                     // some pattern node became unmatchable: M(Q,G) = ∅
-                    return (MatchRelation::empty(q, n), stats);
+                    return Ok((MatchRelation::empty(q, n), stats));
                 }
                 shrunk[u.index()] = true;
             }
@@ -315,7 +382,7 @@ fn refine<G: GraphView + Sync>(
             .collect();
     }
 
-    (MatchRelation::from_sets(sim, n), stats)
+    Ok((MatchRelation::from_sets(sim, n), stats))
 }
 
 /// Map `f` over `items` with up to `threads` scoped workers pulling from a

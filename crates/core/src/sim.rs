@@ -15,10 +15,10 @@
 //! relation, in `O(|Q| · |G|)` time and space.
 
 use crate::bsim::EvalStats;
-use crate::fixpoint::EvalScratch;
+use crate::fixpoint::{Cancelled, EvalScratch};
 use crate::matchrel::MatchRelation;
 use crate::{candidate_sets, MatchError};
-use expfinder_graph::{BitSet, GraphView, NodeId};
+use expfinder_graph::{BitSet, CancelToken, GraphView, NodeId};
 use expfinder_pattern::{PNodeId, Pattern};
 
 /// Compute the maximum graph simulation `M(Q,G)`.
@@ -42,18 +42,44 @@ pub fn graph_simulation_scratch<G: GraphView>(
     q: &Pattern,
     scratch: &mut EvalScratch,
 ) -> Result<(MatchRelation, EvalStats), MatchError> {
+    match graph_simulation_cancellable(g, q, scratch, None)? {
+        Ok(r) => Ok(r),
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
+}
+
+/// [`graph_simulation_scratch`] polling a [`CancelToken`] — checked once
+/// per pattern edge during the counter build and every 1024 removals in
+/// the cascade, the counter fixpoint's analogue of the frontier engine's
+/// refresh boundaries. The outer `Result` reports pattern-shape errors;
+/// the inner one a fired token (with partial [`EvalStats`]). The scratch
+/// buffers are zero-filled on the next checkout, so an abort leaves no
+/// residue.
+#[allow(clippy::type_complexity)]
+pub fn graph_simulation_cancellable<G: GraphView>(
+    g: &G,
+    q: &Pattern,
+    scratch: &mut EvalScratch,
+    cancel: Option<&CancelToken>,
+) -> Result<Result<(MatchRelation, EvalStats), Cancelled>, MatchError> {
     if !q.is_simulation() {
         return Err(MatchError::NotASimulationPattern);
     }
     let n = g.node_count();
     let mut sim = candidate_sets(g, q);
     let (cnt, queue) = scratch.sim_buffers(q.edge_count(), n);
-    let removals = simulation_fixpoint_into(g, q, &mut sim, cnt, queue);
-    let stats = EvalStats {
-        removals,
-        ..EvalStats::default()
-    };
-    Ok((MatchRelation::from_sets(sim, n), stats))
+    Ok(
+        match simulation_fixpoint_cancel(g, q, &mut sim, cnt, queue, cancel) {
+            Ok(removals) => {
+                let stats = EvalStats {
+                    removals,
+                    ..EvalStats::default()
+                };
+                Ok((MatchRelation::from_sets(sim, n), stats))
+            }
+            Err(c) => Err(c),
+        },
+    )
 }
 
 /// The refinement fixpoint, exposed for the incremental module which needs
@@ -69,23 +95,35 @@ pub fn simulation_fixpoint<G: GraphView>(
     let n = g.node_count();
     let mut cnt: Vec<Vec<u32>> = vec![vec![0; n]; q.edge_count()];
     let mut queue: Vec<(PNodeId, NodeId)> = Vec::new();
-    simulation_fixpoint_into(g, q, &mut sim, &mut cnt, &mut queue);
+    match simulation_fixpoint_cancel(g, q, &mut sim, &mut cnt, &mut queue, None) {
+        Ok(_) => {}
+        Err(_) => unreachable!("no cancel token supplied"),
+    }
     (sim, cnt)
 }
 
 /// The counter-based refinement over caller-provided (zeroed) buffers;
-/// returns the number of pairs removed from the candidate sets.
-fn simulation_fixpoint_into<G: GraphView>(
+/// returns the number of pairs removed from the candidate sets, or
+/// [`Cancelled`] once `cancel` fires (then `sim` is torn and the caller
+/// discards it).
+fn simulation_fixpoint_cancel<G: GraphView>(
     g: &G,
     q: &Pattern,
     sim: &mut [BitSet],
     cnt: &mut [Vec<u32>],
     queue: &mut Vec<(PNodeId, NodeId)>,
-) -> usize {
+    cancel: Option<&CancelToken>,
+) -> Result<usize, Cancelled> {
     // cnt[e][v] = |succ(v) ∩ sim(target(e))| for ALL data nodes v (not just
     // candidates): the incremental module needs counters of non-members to
     // detect re-additions cheaply.
     for (ei, e) in q.edges().iter().enumerate() {
+        // per-edge cancellation point: each counter sweep is O(|G|)
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled {
+                stats: EvalStats::default(),
+            });
+        }
         let target = &sim[e.to.index()];
         let c = &mut cnt[ei];
         for v in g.ids() {
@@ -118,6 +156,15 @@ fn simulation_fixpoint_into<G: GraphView>(
 
     // cascade
     while let Some((u, v)) = queue.pop() {
+        // cascade cancellation point, amortized over 1024 removals
+        if removals & 1023 == 0 && cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(Cancelled {
+                stats: EvalStats {
+                    removals,
+                    ..EvalStats::default()
+                },
+            });
+        }
         removals += 1;
         // v left sim(u): decrement counters of every edge targeting u
         for &ei in q.in_edge_indices(u) {
@@ -133,7 +180,7 @@ fn simulation_fixpoint_into<G: GraphView>(
             }
         }
     }
-    removals
+    Ok(removals)
 }
 
 #[cfg(test)]

@@ -71,11 +71,12 @@ pub use planner::{
 use cache::QueryCache;
 use expfinder_compress::maintain::MaintainedCompression;
 use expfinder_compress::{CompressError, CompressStats, CompressionMethod};
+pub use expfinder_core::CancelToken;
 use expfinder_core::{
-    bounded_simulation_indexed, bounded_simulation_scratch, graph_simulation_scratch,
-    parallel_bounded_simulation_indexed, parallel_simulation_indexed, rank_matches_top_k,
-    EvalOptions, EvalScratch, EvalStats, MatchError, MatchRelation, RankedMatch, ResultGraph,
-    ScratchPool,
+    bounded_simulation_cancellable, graph_simulation_cancellable,
+    parallel_bounded_simulation_cancellable, parallel_simulation_cancellable, rank_matches_top_k,
+    Cancelled, EvalOptions, EvalScratch, EvalStats, MatchError, MatchRelation, RankedMatch,
+    ResultGraph, ScratchPool,
 };
 use expfinder_graph::io::GraphIoError;
 use expfinder_graph::{CsrGraph, DiGraph, EdgeUpdate, GraphView, ReachIndex};
@@ -191,6 +192,18 @@ pub enum ExpFinderError {
     Io(#[from] std::io::Error),
     #[error("storage error: {0}")]
     Storage(String),
+    #[error("query deadline exceeded during evaluation")]
+    DeadlineExceeded(EvalStats),
+}
+
+/// A fired [`CancelToken`] surfaces from the matching core as
+/// [`Cancelled`]; at the engine boundary it becomes the typed
+/// [`ExpFinderError::DeadlineExceeded`], carrying the partial work
+/// counters of the abandoned evaluation.
+impl From<Cancelled> for ExpFinderError {
+    fn from(c: Cancelled) -> Self {
+        ExpFinderError::DeadlineExceeded(c.stats)
+    }
 }
 
 impl ExpFinderError {
@@ -212,9 +225,20 @@ impl ExpFinderError {
             InvalidGraphName(_) | MissingPattern | Pattern(_) | Parse(_) | GraphIo(_) => 400,
             // well-formed but unprocessable against this graph
             Match(_) | Compress(_) => 422,
+            // the query's deadline fired mid-evaluation
+            DeadlineExceeded(_) => 408,
             // server-side faults: cross-engine handles never come off the
             // wire, and IO/storage failures are not the client's doing
             ForeignHandle(_) | Io(_) | Storage(_) => 500,
+        }
+    }
+
+    /// Partial work counters carried by a deadline abort, if this error
+    /// is one — what the server surfaces under `timings` in 408 bodies.
+    pub fn partial_stats(&self) -> Option<EvalStats> {
+        match self {
+            ExpFinderError::DeadlineExceeded(stats) => Some(*stats),
+            _ => None,
         }
     }
 }
@@ -537,6 +561,9 @@ pub struct ExpFinder {
     /// Cumulative planner counters (decisions, overrides, mispredicts)
     /// — the `engine.planner` block of `GET /metrics`.
     planner: PlannerCounters,
+    /// Cumulative cancellation counters (armed checks polled, deadline
+    /// fires) — the `engine.cancel` block of `GET /metrics`.
+    cancel_totals: CancelCounters,
     /// Observer of committed update batches (ΔM push fan-out).
     update_hook: RwLock<Option<UpdateHook>>,
     next_id: AtomicU64,
@@ -579,6 +606,34 @@ impl EvalTotals {
             index_misses: self.index_misses.load(Ordering::Relaxed) as usize,
         }
     }
+}
+
+/// Lock-free accumulator behind [`ExpFinder::cancel_totals`]: every
+/// deadline-carrying query drains its token's counters here when it
+/// finishes (successfully or by abort).
+#[derive(Default)]
+struct CancelCounters {
+    checked: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl CancelCounters {
+    fn drain(&self, token: &CancelToken) {
+        self.checked.fetch_add(token.checks(), Ordering::Relaxed);
+        self.fired.fetch_add(token.fired(), Ordering::Relaxed);
+    }
+}
+
+/// Cumulative cancellation totals, from [`ExpFinder::cancel_totals`] —
+/// the `engine.cancel` block of `GET /metrics`. Disarmed checks are not
+/// counted (they are a single relaxed load by design); `checked` counts
+/// armed polls, `fired` counts deadline/cancel transitions.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CancelTotals {
+    /// Armed cancellation polls performed inside evaluations.
+    pub checked: u64,
+    /// Tokens that fired (one per deadline-aborted evaluation).
+    pub fired: u64,
 }
 
 /// Point-in-time reach-index totals across every managed graph, from
@@ -625,6 +680,7 @@ impl ExpFinder {
             scratch_pool: ScratchPool::new(),
             eval_totals: EvalTotals::default(),
             planner: PlannerCounters::default(),
+            cancel_totals: CancelCounters::default(),
             update_hook: RwLock::new(None),
             next_id: AtomicU64::new(1),
         }
@@ -961,6 +1017,8 @@ impl ExpFinder {
             pattern: None,
             top_k: None,
             prefer: Route::Auto,
+            deadline: None,
+            token: None,
         }
     }
 
@@ -980,6 +1038,7 @@ impl ExpFinder {
                 Route::Auto,
                 self.config.exec.threads.max(1),
                 scratch,
+                None,
             )
         })?;
         Ok(QueryOutcome {
@@ -1042,6 +1101,66 @@ impl ExpFinder {
     /// the `engine.planner` block of `GET /metrics`.
     pub fn planner_totals(&self) -> PlannerTotals {
         self.planner.totals()
+    }
+
+    /// Cumulative cancellation counters — armed checks polled and tokens
+    /// fired across every deadline-carrying evaluation — the
+    /// `engine.cancel` block of `GET /metrics`.
+    pub fn cancel_totals(&self) -> CancelTotals {
+        CancelTotals {
+            checked: self.cancel_totals.checked.load(Ordering::Relaxed),
+            fired: self.cancel_totals.fired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimate the planner cost (abstract work units) of evaluating
+    /// `pattern` on `handle` right now, without evaluating anything —
+    /// the admission-control hook the server uses to reject queries that
+    /// cannot fit their deadline budget (429) before they consume a
+    /// worker. Runs the same deterministic cost model as
+    /// [`route_and_eval`](ExpFinder::query) and returns the cheapest
+    /// candidate's cost. Deliberately does **not** consult the cache or
+    /// registered results (peeking would skew their hit/miss counters),
+    /// so the estimate is conservative: an exact-route hit costs less
+    /// than reported here.
+    pub fn estimate_cost(
+        &self,
+        handle: &GraphHandle,
+        pattern: &Pattern,
+    ) -> Result<f64, ExpFinderError> {
+        let slot = self.slot(handle)?;
+        let stored = slot.read();
+        let compression_ratio = if self.config.auto_use_compressed {
+            stored.compressed.as_ref().and_then(|mc| {
+                let gc = mc.compressed();
+                if gc.validate_pattern(pattern).is_ok() {
+                    let cs = gc.stats();
+                    let original = (cs.original_nodes + cs.original_edges).max(1);
+                    let quotient = (cs.compressed_nodes + cs.compressed_edges).max(1);
+                    Some(quotient as f64 / original as f64)
+                } else {
+                    None
+                }
+            })
+        } else {
+            None
+        };
+        let inputs = stored.profile.inputs(
+            stored.graph.version(),
+            stored.graph.size(),
+            stored.csr_if_fresh().is_some(),
+        );
+        let ctx = PlanContext {
+            threads: self.config.exec.threads.max(1),
+            pattern_edges: pattern.edge_count(),
+            compression_ratio,
+        };
+        let plan = planner::plan(&inputs, &ctx);
+        Ok(plan
+            .candidates
+            .iter()
+            .find(|c| c.route == plan.planned)
+            .map_or(f64::INFINITY, |c| c.cost))
     }
 
     /// Reach-index totals: cumulative hits/misses plus live entry/byte
@@ -1108,9 +1227,26 @@ impl ExpFinder {
         handle: &GraphHandle,
         specs: Vec<QuerySpec>,
     ) -> Vec<Result<QueryResponse, ExpFinderError>> {
+        self.query_batch_deadline(handle, specs, None)
+    }
+
+    /// [`ExpFinder::query_batch`] under one shared deadline: a single
+    /// [`CancelToken`] armed with `deadline` is polled by every worker,
+    /// so slots still running when the budget runs out come back as
+    /// [`ExpFinderError::DeadlineExceeded`] while already-finished slots
+    /// keep their results. A per-spec [`QuerySpec::deadline`] further
+    /// tightens (never extends) the batch budget for its own slot.
+    pub fn query_batch_deadline(
+        &self,
+        handle: &GraphHandle,
+        specs: Vec<QuerySpec>,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<QueryResponse, ExpFinderError>> {
         if specs.is_empty() {
             return Vec::new();
         }
+        let batch_token = deadline.map(CancelToken::with_deadline);
+        let batch_cancel = batch_token.as_deref();
         let workers = self.config.exec.batch_parallelism.clamp(1, specs.len());
         let inner_threads = (self.config.exec.threads / workers).max(1);
         let indices: Vec<usize> = (0..specs.len()).collect();
@@ -1119,9 +1255,14 @@ impl ExpFinder {
             workers,
             &indices,
             || self.scratch_pool.take(),
-            |scratch, &i| (i, self.run_spec(handle, &specs[i], inner_threads, scratch)),
+            |scratch, &i| {
+                (
+                    i,
+                    self.run_spec(handle, &specs[i], inner_threads, scratch, batch_cancel),
+                )
+            },
         );
-        match pairs {
+        let out = match pairs {
             Some(mut pairs) => {
                 pairs.sort_by_key(|(i, _)| *i);
                 pairs.into_iter().map(|(_, r)| r).collect()
@@ -1131,26 +1272,52 @@ impl ExpFinder {
                 let mut scratch = self.scratch_pool.take();
                 specs
                     .iter()
-                    .map(|sp| self.run_spec(handle, sp, threads, &mut scratch))
+                    .map(|sp| self.run_spec(handle, sp, threads, &mut scratch, batch_cancel))
                     .collect()
             }
+        };
+        if let Some(t) = &batch_token {
+            self.cancel_totals.drain(t);
         }
+        out
     }
 
     /// Resolve one [`QuerySpec`] (parsing its DSL if needed) and run it
-    /// with the given inner-thread budget.
+    /// with the given inner-thread budget. A per-spec deadline becomes
+    /// its own token, clipped to whatever remains of the batch budget;
+    /// otherwise the shared batch token (if any) is polled directly.
     fn run_spec(
         &self,
         handle: &GraphHandle,
         spec: &QuerySpec,
         threads: usize,
         scratch: &mut EvalScratch,
+        batch_cancel: Option<&CancelToken>,
     ) -> Result<QueryResponse, ExpFinderError> {
         let pattern = match &spec.source {
             SpecSource::Pattern(p) => p.clone(),
             SpecSource::Dsl(s) => expfinder_pattern::parser::parse(s)?,
         };
-        self.execute(handle, &pattern, spec.top_k, spec.prefer, threads, scratch)
+        let own = spec.deadline.map(|d| {
+            let budget = batch_cancel
+                .and_then(CancelToken::remaining)
+                .map_or(d, |left| left.min(d));
+            CancelToken::with_deadline(budget)
+        });
+        let cancel = own.as_deref().or(batch_cancel);
+        let out = self.execute(
+            handle,
+            &pattern,
+            spec.top_k,
+            spec.prefer,
+            threads,
+            scratch,
+            cancel,
+        );
+        if let Some(t) = &own {
+            self.cancel_totals.drain(t);
+        }
+        out
     }
 
     /// The single-query execution path shared by [`QueryBuilder::run`] and
@@ -1158,6 +1325,7 @@ impl ExpFinder {
     /// construction and ranking under one read lock of the target graph,
     /// with `threads` workers for the parallel stages and `scratch` for
     /// the sequential ones.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         handle: &GraphHandle,
@@ -1166,13 +1334,14 @@ impl ExpFinder {
         prefer: Route,
         threads: usize,
         scratch: &mut EvalScratch,
+        cancel: Option<&CancelToken>,
     ) -> Result<QueryResponse, ExpFinderError> {
         let threads = threads.max(1);
         let started = Instant::now();
         let slot = self.slot(handle)?;
         let stored = slot.read();
         let (matches, route, plan) =
-            self.route_and_eval(handle, &stored, pattern, prefer, threads, scratch)?;
+            self.route_and_eval(handle, &stored, pattern, prefer, threads, scratch, cancel)?;
         let evaluate_time = started.elapsed();
 
         let rank_started = Instant::now();
@@ -1224,6 +1393,7 @@ impl ExpFinder {
     /// cost-based [`planner`] from the graph's [`CostProfile`]. A
     /// non-`Auto` `prefer` no longer takes a separate code path — the
     /// planner still produces its decision and records the override.
+    #[allow(clippy::too_many_arguments)]
     fn route_and_eval(
         &self,
         handle: &GraphHandle,
@@ -1232,7 +1402,14 @@ impl ExpFinder {
         prefer: Route,
         threads: usize,
         scratch: &mut EvalScratch,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Arc<MatchRelation>, EvalRoute, PlanDecision), ExpFinderError> {
+        // a token that fired before evaluation even started (deadline
+        // consumed upstream, or admission-level cancel) aborts here, with
+        // zero work to report
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(ExpFinderError::DeadlineExceeded(EvalStats::default()));
+        }
         let fingerprint = pattern.fingerprint();
         let version = stored.graph.version();
         let key = QueryCache::key_for(handle.id, version, &fingerprint);
@@ -1299,16 +1476,20 @@ impl ExpFinder {
         // 4. evaluate on the chosen substrate. The snapshot routes
         // consult the per-version [`ReachIndex`], so on a warm version
         // every class-seeded first refresh is one bitset copy. All
-        // routes compute the same greatest fixpoint.
-        let (m, stats, route) = match plan.chosen {
+        // routes compute the same greatest fixpoint. A fired token
+        // surfaces as the inner `Cancelled` before any torn state is
+        // cached or applied (see `expfinder-core`), so an aborted
+        // evaluation leaves scratch, cache and profile untouched.
+        let evaluated: Result<(MatchRelation, EvalStats, EvalRoute), Cancelled> = match plan.chosen
+        {
             PlanRoute::Compressed => {
                 let mc = stored
                     .compressed
                     .as_ref()
                     .expect("compressed candidate implies a maintained quotient");
                 let gc = mc.compressed();
-                let (on_c, stats) = if pattern.is_simulation() {
-                    graph_simulation_scratch(gc, pattern, scratch)?
+                let on_c = if pattern.is_simulation() {
+                    graph_simulation_cancellable(gc, pattern, scratch, cancel)?
                 } else if gc.has_label_index() {
                     // the reach index is wired here, but only bound
                     // when the quotient can actually answer class
@@ -1318,64 +1499,90 @@ impl ExpFinder {
                     // index; see ROADMAP)
                     let ri = StoredGraph::reach_index(&stored.reach_c, version);
                     let bound = ri.bind(gc);
-                    bounded_simulation_indexed(
+                    bounded_simulation_cancellable(
                         gc,
                         pattern,
                         EvalOptions::default(),
                         scratch,
                         Some(&bound),
+                        cancel,
                     )
                 } else {
-                    bounded_simulation_scratch(gc, pattern, EvalOptions::default(), scratch)
+                    bounded_simulation_cancellable(
+                        gc,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                        None,
+                        cancel,
+                    )
                 };
-                (gc.expand(&on_c), stats, EvalRoute::Compressed)
+                on_c.map(|(m, stats)| (gc.expand(&m), stats, EvalRoute::Compressed))
             }
             PlanRoute::SnapshotParallel => {
                 let csr = stored.csr();
                 let ri = StoredGraph::reach_index(&stored.reach, csr.version());
                 let bound = ri.bind(&*csr);
                 if pattern.is_simulation() {
-                    let (m, stats) =
-                        parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                    (m, stats, EvalRoute::DirectSimulation)
+                    parallel_simulation_cancellable(&*csr, pattern, threads, Some(&bound), cancel)?
+                        .map(|(m, stats)| (m, stats, EvalRoute::DirectSimulation))
                 } else {
-                    let (m, stats) =
-                        parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                    (m, stats, EvalRoute::DirectBounded)
+                    parallel_bounded_simulation_cancellable(
+                        &*csr,
+                        pattern,
+                        threads,
+                        Some(&bound),
+                        cancel,
+                    )
+                    .map(|(m, stats)| (m, stats, EvalRoute::DirectBounded))
                 }
             }
             PlanRoute::Snapshot => {
                 let csr = stored.csr();
                 if pattern.is_simulation() {
-                    let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
-                    (m, stats, EvalRoute::DirectSimulation)
+                    graph_simulation_cancellable(&*csr, pattern, scratch, cancel)?
+                        .map(|(m, stats)| (m, stats, EvalRoute::DirectSimulation))
                 } else {
                     let ri = StoredGraph::reach_index(&stored.reach, csr.version());
                     let bound = ri.bind(&*csr);
-                    let (m, stats) = bounded_simulation_indexed(
+                    bounded_simulation_cancellable(
                         &*csr,
                         pattern,
                         EvalOptions::default(),
                         scratch,
                         Some(&bound),
-                    );
-                    (m, stats, EvalRoute::DirectBounded)
+                        cancel,
+                    )
+                    .map(|(m, stats)| (m, stats, EvalRoute::DirectBounded))
                 }
             }
             // Live (Cache/Registered never reach this point)
             _ => {
                 if pattern.is_simulation() {
-                    let (m, stats) = graph_simulation_scratch(&stored.graph, pattern, scratch)?;
-                    (m, stats, EvalRoute::DirectSimulation)
+                    graph_simulation_cancellable(&stored.graph, pattern, scratch, cancel)?
+                        .map(|(m, stats)| (m, stats, EvalRoute::DirectSimulation))
                 } else {
-                    let (m, stats) = bounded_simulation_scratch(
+                    bounded_simulation_cancellable(
                         &stored.graph,
                         pattern,
                         EvalOptions::default(),
                         scratch,
-                    );
-                    (m, stats, EvalRoute::DirectBounded)
+                        None,
+                        cancel,
+                    )
+                    .map(|(m, stats)| (m, stats, EvalRoute::DirectBounded))
                 }
+            }
+        };
+        let (m, stats, route) = match evaluated {
+            Ok(t) => t,
+            Err(c) => {
+                // partial work still counts toward the engine totals, but
+                // never into the graph's cost profile (it would skew the
+                // planner's per-route estimates) and never into the cache
+                self.planner.on_decision(&plan);
+                self.eval_totals.add(c.stats);
+                return Err(ExpFinderError::DeadlineExceeded(c.stats));
             }
         };
         stored.profile.note_eval(version, &stats);
@@ -1424,6 +1631,8 @@ pub struct QueryBuilder<'a> {
     pattern: Option<Result<Pattern, ExpFinderError>>,
     top_k: Option<usize>,
     prefer: Route,
+    deadline: Option<Duration>,
+    token: Option<Arc<CancelToken>>,
 }
 
 impl QueryBuilder<'_> {
@@ -1452,6 +1661,28 @@ impl QueryBuilder<'_> {
         self
     }
 
+    /// Evaluation budget, measured from [`run`](Self::run): once it has
+    /// elapsed, the evaluation abandons work at its next cancellation
+    /// point and returns [`ExpFinderError::DeadlineExceeded`] carrying
+    /// the partial [`EvalStats`]. No deadline (the default) costs a
+    /// single relaxed atomic load per cancellation point.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Poll a caller-supplied [`CancelToken`] at every cancellation
+    /// point, so `cancel()` from another thread (a disconnected client,
+    /// a supervisor, a deterministic test fuse) aborts the run with
+    /// [`ExpFinderError::DeadlineExceeded`] carrying the partial stats.
+    /// Composes with [`deadline`](Self::deadline), which arms its budget
+    /// on this same token. The token's check/fire counts are folded into
+    /// [`ExpFinder::cancel_totals`] when the run returns.
+    pub fn cancel_token(mut self, token: Arc<CancelToken>) -> Self {
+        self.token = Some(token);
+        self
+    }
+
     /// Execute the query.
     pub fn run(self) -> Result<QueryResponse, ExpFinderError> {
         let pattern = match self.pattern {
@@ -1460,7 +1691,15 @@ impl QueryBuilder<'_> {
             Some(Ok(p)) => p,
         };
         let threads = self.engine.config.exec.threads.max(1);
-        self.engine.scratch_pool.with(|scratch| {
+        let token = match (self.token, self.deadline) {
+            (Some(t), Some(d)) => {
+                t.arm_deadline(d);
+                Some(t)
+            }
+            (Some(t), None) => Some(t),
+            (None, d) => d.map(CancelToken::with_deadline),
+        };
+        let out = self.engine.scratch_pool.with(|scratch| {
             self.engine.execute(
                 &self.handle,
                 &pattern,
@@ -1468,8 +1707,13 @@ impl QueryBuilder<'_> {
                 self.prefer,
                 threads,
                 scratch,
+                token.as_deref(),
             )
-        })
+        });
+        if let Some(t) = &token {
+            self.engine.cancel_totals.drain(t);
+        }
+        out
     }
 }
 
@@ -1489,6 +1733,7 @@ pub struct QuerySpec {
     source: SpecSource,
     top_k: Option<usize>,
     prefer: Route,
+    deadline: Option<Duration>,
 }
 
 impl QuerySpec {
@@ -1498,6 +1743,7 @@ impl QuerySpec {
             source: SpecSource::Pattern(pattern),
             top_k: None,
             prefer: Route::Auto,
+            deadline: None,
         }
     }
 
@@ -1507,6 +1753,7 @@ impl QuerySpec {
             source: SpecSource::Dsl(dsl.into()),
             top_k: None,
             prefer: Route::Auto,
+            deadline: None,
         }
     }
 
@@ -1520,6 +1767,20 @@ impl QuerySpec {
     pub fn prefer(mut self, route: Route) -> QuerySpec {
         self.prefer = route;
         self
+    }
+
+    /// Evaluation budget for this slot, measured from the moment the
+    /// batch worker picks it up. Combined with a batch-wide deadline the
+    /// *tighter* of the two applies.
+    pub fn deadline(mut self, budget: Duration) -> QuerySpec {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The per-slot evaluation budget, if one was set — for executors
+    /// outside this crate that share `QuerySpec` as the batch currency.
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// Resolve to the executable parts — the pattern (parsing DSL text
@@ -1850,7 +2111,7 @@ mod tests {
         for (i, spec) in specs.into_iter().enumerate() {
             let single = e
                 .scratch_pool
-                .with(|s| e.run_spec(&h, &spec, 1, s))
+                .with(|s| e.run_spec(&h, &spec, 1, s, None))
                 .unwrap();
             let b = batch[i].as_ref().unwrap();
             assert_eq!(*b.matches, *single.matches, "slot {i}");
@@ -2112,6 +2373,7 @@ mod tests {
             (ExpFinderError::MissingPattern, 400),
             (ExpFinderError::ForeignHandle("g".into()), 500),
             (ExpFinderError::Storage("boom".into()), 500),
+            (ExpFinderError::DeadlineExceeded(EvalStats::default()), 408),
         ];
         for (e, want) in cases {
             assert_eq!(e.http_status(), want, "{e}");
@@ -2121,6 +2383,70 @@ mod tests {
         assert_eq!(ExpFinderError::from(parse).http_status(), 400);
         let io = std::io::Error::other("x");
         assert_eq!(ExpFinderError::from(io).http_status(), 500);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_and_leaves_engine_unpoisoned() {
+        let (e, h, _) = engine_with_fig1();
+        let q = fig1_pattern();
+        let err = e
+            .query(&h)
+            .pattern(q.clone())
+            .deadline(Duration::ZERO)
+            .run()
+            .unwrap_err();
+        match &err {
+            ExpFinderError::DeadlineExceeded(_) => {}
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert_eq!(err.http_status(), 408);
+        assert!(err.partial_stats().is_some());
+        assert!(e.cancel_totals().fired >= 1, "fire transition drained");
+        // nothing was cached by the abort, and the next un-deadlined
+        // query on the same engine matches a fresh evaluation
+        let after = e.query(&h).pattern(q.clone()).run().unwrap();
+        assert_ne!(after.route, EvalRoute::Cache);
+        let fresh = ExpFinder::default();
+        let h2 = fresh.add_graph("fig1", collaboration_fig1().graph).unwrap();
+        let expect = fresh.query(&h2).pattern(q).run().unwrap();
+        assert_eq!(*after.matches, *expect.matches);
+    }
+
+    #[test]
+    fn batch_deadline_zero_fails_every_slot_with_408() {
+        let (e, h, _) = engine_with_fig1();
+        let specs = vec![
+            QuerySpec::pattern(fig1_pattern()),
+            QuerySpec::dsl("node sa* where label = \"SA\";"),
+        ];
+        let out = e.query_batch_deadline(&h, specs, Some(Duration::ZERO));
+        assert_eq!(out.len(), 2);
+        for r in out {
+            let err = r.unwrap_err();
+            assert_eq!(err.http_status(), 408);
+            assert!(err.partial_stats().is_some());
+        }
+        assert!(e.cancel_totals().fired >= 1);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let (e, h, _) = engine_with_fig1();
+        let q = fig1_pattern();
+        let with = e
+            .query(&h)
+            .pattern(q.clone())
+            .deadline(Duration::from_secs(3600))
+            .run()
+            .unwrap();
+        assert_eq!(with.matches.total_pairs(), 7);
+        assert_eq!(e.cancel_totals().fired, 0);
+        // a generous per-spec deadline in a batch is equally inert
+        let out = e.query_batch(
+            &h,
+            vec![QuerySpec::pattern(q).deadline(Duration::from_secs(3600))],
+        );
+        assert_eq!(out[0].as_ref().unwrap().matches.total_pairs(), 7);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property tests for cooperative cancellation: a deadline firing at an
+//! *arbitrary* cancellation point must leave the engine unpoisoned.
+//!
+//! The fuse token ([`CancelToken::after_checks`]) fires at an exact
+//! armed check instead of racing a timer, so every refinement round of
+//! every route is reachable deterministically. Whatever round the
+//! evaluation was abandoned at, the very next un-deadlined query on the
+//! same engine — cold, then through the now-warm cache — must be
+//! bit-identical to the independent oracle's fresh evaluation, on both
+//! the sequential and the parallel backend.
+
+use expfinder_core::bounded_simulation;
+use expfinder_engine::{
+    CancelToken, EngineConfig, ExecConfig, ExpFinder, ExpFinderError, QuerySpec,
+};
+use expfinder_graph::{AttrValue, DiGraph, NodeId};
+use expfinder_pattern::{Bound, PNodeId, Pattern, PatternEdge, PatternNode, Predicate};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A compact description of a random graph: labels per node + edge pairs.
+#[derive(Clone, Debug)]
+struct RawGraph {
+    labels: Vec<u8>,
+    exps: Vec<u8>,
+    edges: Vec<(u8, u8)>,
+}
+
+fn raw_graph(max_nodes: usize) -> impl Strategy<Value = RawGraph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0u8..3, n);
+        let exps = proptest::collection::vec(0u8..3, n);
+        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..n * 3);
+        (labels, exps, edges).prop_map(|(labels, exps, edges)| RawGraph {
+            labels,
+            exps,
+            edges,
+        })
+    })
+}
+
+fn build_graph(raw: &RawGraph) -> DiGraph {
+    let mut g = DiGraph::new();
+    for (l, e) in raw.labels.iter().zip(&raw.exps) {
+        g.add_node(
+            &format!("L{l}"),
+            [("experience", AttrValue::Int(*e as i64))],
+        );
+    }
+    for &(a, b) in &raw.edges {
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    g
+}
+
+/// A compact description of a random pattern.
+#[derive(Clone, Debug)]
+struct RawPattern {
+    labels: Vec<u8>,
+    thresholds: Vec<u8>,
+    edges: Vec<(u8, u8, u8)>, // from, to, bound (0 ⇒ unbounded)
+}
+
+fn raw_pattern() -> impl Strategy<Value = RawPattern> {
+    (2usize..=4).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..3, n);
+        let thresholds = proptest::collection::vec(0u8..3, n);
+        let edges = proptest::collection::vec((0u8..n as u8, 0u8..n as u8, 0u8..4), 1..n * 2);
+        (labels, thresholds, edges).prop_map(|(labels, thresholds, edges)| RawPattern {
+            labels,
+            thresholds,
+            edges,
+        })
+    })
+}
+
+fn build_pattern(raw: &RawPattern) -> Pattern {
+    let nodes: Vec<PatternNode> = raw
+        .labels
+        .iter()
+        .zip(&raw.thresholds)
+        .enumerate()
+        .map(|(i, (l, t))| PatternNode {
+            name: format!("v{i}"),
+            predicate: Predicate::label(format!("L{l}"))
+                .and(Predicate::attr_ge("experience", *t as i64)),
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for &(f, t, b) in &raw.edges {
+        if f == t || !seen.insert((f, t)) {
+            continue;
+        }
+        let bound = if b == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::hops(b as u32)
+        };
+        edges.push(PatternEdge {
+            from: PNodeId(f as u32),
+            to: PNodeId(t as u32),
+            bound,
+        });
+    }
+    Pattern::from_parts(nodes, edges, Some(PNodeId(0))).expect("valid pattern")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cancel at the `fuse`-th cancellation point, then re-query: the
+    /// abandoned evaluation must not have leaked partial state into the
+    /// cache, the scratch pool, the cost profile or the CSR snapshot.
+    #[test]
+    fn deadline_at_any_round_leaves_engine_unpoisoned(
+        rg in raw_graph(12),
+        rp in raw_pattern(),
+        fuse in 1u64..48,
+        parallel in proptest::bool::ANY,
+    ) {
+        let g = build_graph(&rg);
+        let q = build_pattern(&rp);
+        let oracle = bounded_simulation(&g, &q).unwrap();
+
+        let exec = if parallel {
+            ExecConfig { threads: 3, batch_parallelism: 2 }
+        } else {
+            ExecConfig::sequential()
+        };
+        let engine = ExpFinder::new(EngineConfig { exec, ..EngineConfig::default() });
+        let h = engine.add_graph("g", g).unwrap();
+
+        // fire at an arbitrary cancellation point; a fuse longer than
+        // the whole evaluation means the query completes — and then it
+        // must already agree with the oracle
+        let token = CancelToken::after_checks(fuse);
+        match engine.query(&h).pattern(q.clone()).cancel_token(token).run() {
+            Err(ExpFinderError::DeadlineExceeded(_)) => {}
+            Ok(resp) => prop_assert_eq!(&*resp.matches, &oracle),
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+
+        // the next un-deadlined query is bit-identical to a fresh
+        // evaluation — nothing partial was cached or left in scratch
+        let after = engine.query(&h).pattern(q.clone()).top_k(3).run().unwrap();
+        prop_assert_eq!(&*after.matches, &oracle);
+
+        // and so is the cache hit that follows it
+        let cached = engine.query(&h).pattern(q.clone()).run().unwrap();
+        prop_assert_eq!(&*cached.matches, &oracle);
+
+        // a zero batch budget deadlines every slot without poisoning
+        // the batch scratch pool either
+        let slots = engine.query_batch_deadline(
+            &h,
+            vec![QuerySpec::pattern(q.clone()), QuerySpec::pattern(q.clone())],
+            Some(Duration::ZERO),
+        );
+        for slot in slots {
+            match slot {
+                Err(ExpFinderError::DeadlineExceeded(_)) => {}
+                other => prop_assert!(false, "expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        let final_run = engine.query(&h).pattern(q).run().unwrap();
+        prop_assert_eq!(&*final_run.matches, &oracle);
+    }
+}

@@ -31,6 +31,7 @@
 
 use crate::bfs::Direction;
 use crate::bitset::BitSet;
+use crate::cancel::CancelToken;
 use crate::view::GraphView;
 use crate::NodeId;
 
@@ -117,6 +118,26 @@ impl FrontierScratch {
         allowed: Option<&BitSet>,
         out: &mut BitSet,
     ) -> usize {
+        self.multi_source_within_cancel(g, seeds, depth, dir, allowed, None, out)
+    }
+
+    /// [`multi_source_within`](Self::multi_source_within) polling a
+    /// [`CancelToken`] at every level boundary. When the token fires the
+    /// traversal stops early and returns the work done so far — `out` is
+    /// then **torn** (a subset of the true answer) and the caller must
+    /// discard it; the fixpoints do so by surfacing the cancellation
+    /// before `out` is ever intersected into a match set.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multi_source_within_cancel<G: GraphView>(
+        &mut self,
+        g: &G,
+        seeds: &BitSet,
+        depth: u32,
+        dir: Direction,
+        allowed: Option<&BitSet>,
+        cancel: Option<&CancelToken>,
+        out: &mut BitSet,
+    ) -> usize {
         out.clear();
         if depth == 0 || seeds.is_empty() {
             return 0;
@@ -133,6 +154,12 @@ impl FrontierScratch {
         let rev = dir.opposite();
         let mut level = 0u32;
         while level < depth && !self.frontier_vec.is_empty() {
+            // Frontier-round cancellation boundary: a level sweep is the
+            // unit of abandonment. On fire, `out` stays torn — callers
+            // discard it.
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                break;
+            }
             // Cost estimate: top-down scans ~frontier × avg_deg edges;
             // bottom-up scans the remaining candidates with early exit.
             let candidates = match allowed {
@@ -358,6 +385,46 @@ mod tests {
             assert_eq!(out, want, "seed {seed} depth {depth}");
             assert_eq!(va, vb, "work measure, seed {seed}");
         }
+    }
+
+    #[test]
+    fn cancelled_token_stops_at_the_first_level_boundary() {
+        let nn = 1_000u32;
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..nn).map(|_| g.add_node("x", [])).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let mut seeds = BitSet::new(nn as usize);
+        seeds.insert(ids[(nn - 1) as usize]);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut s = FrontierScratch::new();
+        let mut out = BitSet::new(nn as usize);
+        let visited = s.multi_source_within_cancel(
+            &g,
+            &seeds,
+            u32::MAX,
+            Direction::Backward,
+            None,
+            Some(&token),
+            &mut out,
+        );
+        assert_eq!(visited, 1, "only the seed was marked before the abort");
+        assert!(out.is_empty(), "no level was expanded");
+        // a disarmed token changes nothing
+        let calm = CancelToken::new();
+        let full = s.multi_source_within_cancel(
+            &g,
+            &seeds,
+            u32::MAX,
+            Direction::Backward,
+            None,
+            Some(&calm),
+            &mut out,
+        );
+        assert_eq!(full, nn as usize);
+        assert_eq!(calm.checks(), 0, "disarmed polls are uncounted");
     }
 
     #[test]

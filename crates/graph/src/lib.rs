@@ -21,6 +21,9 @@
 //!   ([`dijkstra`]), Tarjan SCC ([`scc`]).
 //! * [`bitset::BitSet`] — the dense set representation used by every
 //!   fixpoint computation in the workspace.
+//! * [`CancelToken`] — cooperative cancellation (shared atomic deadline +
+//!   cancel flag) polled at frontier-round boundaries by the traversals
+//!   here and at refresh boundaries by the matching fixpoints upstream.
 //! * Synthetic workload generators ([`generate`]) including the
 //!   Twitter-like generator that substitutes for the paper's proprietary
 //!   Twitter fraction (see DESIGN.md §3).
@@ -34,6 +37,7 @@ pub mod attrs;
 pub mod bfs;
 pub mod bfs_frontier;
 pub mod bitset;
+pub mod cancel;
 pub mod csr;
 pub mod digraph;
 pub mod dijkstra;
@@ -48,6 +52,7 @@ pub mod view;
 pub use attrs::{AttrValue, Interner, Sym};
 pub use bfs_frontier::FrontierScratch;
 pub use bitset::BitSet;
+pub use cancel::CancelToken;
 pub use csr::CsrGraph;
 pub use digraph::{DiGraph, EdgeUpdate, VertexData};
 pub use reach_index::{ReachIndex, ReachProvider};

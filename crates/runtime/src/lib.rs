@@ -79,17 +79,19 @@ pub use wal::FsyncPolicy;
 use crate::shard::{write_efg_atomic, Cmd, GraphActor, Reply, Ring, ShardHandle};
 use crate::wal::{ReplaySummary, Wal};
 use expfinder_compress::{CompressStats, CompressedGraph, CompressionMethod};
+pub use expfinder_core::CancelToken;
 use expfinder_core::{
-    bounded_simulation_indexed, bounded_simulation_scratch, graph_simulation_scratch,
-    parallel_bounded_simulation_indexed, parallel_simulation_indexed, rank_matches_top_k,
-    BuildOptions, EvalOptions, EvalScratch, EvalStats, MatchRelation, ResultGraph, ScratchPool,
+    bounded_simulation_cancellable, graph_simulation_cancellable,
+    parallel_bounded_simulation_cancellable, parallel_simulation_cancellable, rank_matches_top_k,
+    BuildOptions, Cancelled, EvalOptions, EvalScratch, EvalStats, MatchRelation, ResultGraph,
+    ScratchPool,
 };
 use expfinder_engine::cache::{CacheStats, QueryCache};
 use expfinder_engine::planner::{self, PlannerCounters};
 use expfinder_engine::{
-    validate_graph_name, CostProfile, EvalRoute, ExecConfig, ExpFinderError, GraphInfo,
-    IndexTotals, PlanContext, PlanDecision, PlanRoute, PlannerTotals, QueryResponse, QuerySpec,
-    QueryTimings, Route, UpdateHook, UpdateReport,
+    validate_graph_name, CancelTotals, CostProfile, EvalRoute, ExecConfig, ExpFinderError,
+    GraphInfo, IndexTotals, PlanContext, PlanDecision, PlanRoute, PlannerTotals, QueryResponse,
+    QuerySpec, QueryTimings, Route, UpdateHook, UpdateReport,
 };
 use expfinder_graph::{io as gio, CsrGraph, DiGraph, EdgeUpdate, GraphView, ReachIndex};
 use expfinder_pattern::Pattern;
@@ -99,7 +101,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
 // published snapshots (the read side)
@@ -311,6 +313,22 @@ impl EvalTotals {
     }
 }
 
+/// Lock-free accumulator behind [`DurableExpFinder::cancel_totals`] —
+/// every deadline-carrying query drains its token's counters here when
+/// it finishes (successfully or by abort).
+#[derive(Default)]
+struct CancelCounters {
+    checked: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl CancelCounters {
+    fn drain(&self, token: &CancelToken) {
+        self.checked.fetch_add(token.checks(), Ordering::Relaxed);
+        self.fired.fetch_add(token.fired(), Ordering::Relaxed);
+    }
+}
+
 // ---------------------------------------------------------------------
 // configuration
 // ---------------------------------------------------------------------
@@ -365,6 +383,7 @@ pub struct DurableExpFinder {
     scratch: ScratchPool,
     eval_totals: EvalTotals,
     planner: PlannerCounters,
+    cancel_totals: CancelCounters,
     wal_counters: Arc<WalCounters>,
     /// The fault-injection gate every durability-critical I/O site of
     /// this runtime routes through (disarmed in production — see
@@ -419,6 +438,7 @@ impl DurableExpFinder {
             scratch: ScratchPool::new(),
             eval_totals: EvalTotals::default(),
             planner: PlannerCounters::default(),
+            cancel_totals: CancelCounters::default(),
             wal_counters,
             faults: FaultInjector::disarmed(),
             update_hook,
@@ -657,9 +677,69 @@ impl DurableExpFinder {
         top_k: Option<usize>,
         prefer: Route,
     ) -> Result<QueryResponse, ExpFinderError> {
+        self.query_deadline(name, pattern, top_k, prefer, None)
+    }
+
+    /// [`DurableExpFinder::query`] under an evaluation budget: once
+    /// `deadline` has elapsed the evaluation abandons work at its next
+    /// cancellation point and returns
+    /// [`ExpFinderError::DeadlineExceeded`] with the partial
+    /// [`EvalStats`]. `None` costs nothing on the hot path.
+    pub fn query_deadline(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse, ExpFinderError> {
         let threads = self.config.exec.threads.max(1);
         let mut scratch = self.scratch.take();
-        self.execute(name, pattern, top_k, prefer, threads, &mut scratch)
+        let token = deadline.map(CancelToken::with_deadline);
+        let out = self.execute(
+            name,
+            pattern,
+            top_k,
+            prefer,
+            threads,
+            &mut scratch,
+            token.as_deref(),
+        );
+        if let Some(t) = &token {
+            self.cancel_totals.drain(t);
+        }
+        out
+    }
+
+    /// [`DurableExpFinder::query`] polling a caller-supplied
+    /// [`CancelToken`] at every cancellation point — the durable
+    /// counterpart of the engine's `QueryBuilder::cancel_token`: a
+    /// `cancel()` from another thread (a disconnected client, a
+    /// supervisor, a deterministic test fuse) aborts the evaluation with
+    /// [`ExpFinderError::DeadlineExceeded`] carrying the partial stats.
+    /// The token's check/fire counts are folded into
+    /// [`DurableExpFinder::cancel_totals`] when the call returns.
+    pub fn query_cancellable(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+        token: &CancelToken,
+    ) -> Result<QueryResponse, ExpFinderError> {
+        let threads = self.config.exec.threads.max(1);
+        let mut scratch = self.scratch.take();
+        let out = self.execute(
+            name,
+            pattern,
+            top_k,
+            prefer,
+            threads,
+            &mut scratch,
+            Some(token),
+        );
+        self.cancel_totals.drain(token);
+        out
     }
 
     /// Evaluate one [`QuerySpec`] (parsing DSL text if needed).
@@ -670,7 +750,7 @@ impl DurableExpFinder {
     ) -> Result<QueryResponse, ExpFinderError> {
         let threads = self.config.exec.threads.max(1);
         let mut scratch = self.scratch.take();
-        self.run_spec(name, spec, threads, &mut scratch)
+        self.run_spec(name, spec, threads, &mut scratch, None)
     }
 
     /// Evaluate a batch of specs against one graph, fanning out across
@@ -682,9 +762,25 @@ impl DurableExpFinder {
         name: &str,
         specs: Vec<QuerySpec>,
     ) -> Vec<Result<QueryResponse, ExpFinderError>> {
+        self.query_batch_deadline(name, specs, None)
+    }
+
+    /// [`DurableExpFinder::query_batch`] under one shared deadline — the
+    /// durable counterpart of
+    /// [`ExpFinder::query_batch_deadline`](expfinder_engine::ExpFinder::query_batch_deadline):
+    /// one token polled by every worker, per-spec deadlines tightening
+    /// their own slot.
+    pub fn query_batch_deadline(
+        &self,
+        name: &str,
+        specs: Vec<QuerySpec>,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<QueryResponse, ExpFinderError>> {
         if specs.is_empty() {
             return Vec::new();
         }
+        let batch_token = deadline.map(CancelToken::with_deadline);
+        let batch_cancel = batch_token.as_deref();
         let workers = self.config.exec.batch_parallelism.clamp(1, specs.len());
         let inner_threads = (self.config.exec.threads / workers).max(1);
         let indices: Vec<usize> = (0..specs.len()).collect();
@@ -692,9 +788,14 @@ impl DurableExpFinder {
             workers,
             &indices,
             || self.scratch.take(),
-            |scratch, &i| (i, self.run_spec(name, &specs[i], inner_threads, scratch)),
+            |scratch, &i| {
+                (
+                    i,
+                    self.run_spec(name, &specs[i], inner_threads, scratch, batch_cancel),
+                )
+            },
         );
-        match pairs {
+        let out = match pairs {
             Some(mut pairs) => {
                 pairs.sort_by_key(|(i, _)| *i);
                 pairs.into_iter().map(|(_, r)| r).collect()
@@ -704,10 +805,14 @@ impl DurableExpFinder {
                 let mut scratch = self.scratch.take();
                 specs
                     .iter()
-                    .map(|sp| self.run_spec(name, sp, threads, &mut scratch))
+                    .map(|sp| self.run_spec(name, sp, threads, &mut scratch, batch_cancel))
                     .collect()
             }
+        };
+        if let Some(t) = &batch_token {
+            self.cancel_totals.drain(t);
         }
+        out
     }
 
     fn run_spec(
@@ -716,13 +821,28 @@ impl DurableExpFinder {
         spec: &QuerySpec,
         threads: usize,
         scratch: &mut EvalScratch,
+        batch_cancel: Option<&CancelToken>,
     ) -> Result<QueryResponse, ExpFinderError> {
         let (pattern, top_k, prefer) = spec.resolve()?;
-        self.execute(name, &pattern, top_k, prefer, threads, scratch)
+        // a per-spec deadline becomes its own token, clipped to whatever
+        // remains of the batch budget
+        let own = spec.deadline_budget().map(|d| {
+            let budget = batch_cancel
+                .and_then(CancelToken::remaining)
+                .map_or(d, |left| left.min(d));
+            CancelToken::with_deadline(budget)
+        });
+        let cancel = own.as_deref().or(batch_cancel);
+        let out = self.execute(name, &pattern, top_k, prefer, threads, scratch, cancel);
+        if let Some(t) = &own {
+            self.cancel_totals.drain(t);
+        }
+        out
     }
 
     /// Snapshot-grab, evaluate, rank: the whole read path. No lock is
     /// held past the snapshot `Arc` clone.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         name: &str,
@@ -731,12 +851,13 @@ impl DurableExpFinder {
         prefer: Route,
         threads: usize,
         scratch: &mut EvalScratch,
+        cancel: Option<&CancelToken>,
     ) -> Result<QueryResponse, ExpFinderError> {
         let started = Instant::now();
         let pg = self.published(name)?;
         let snap = pg.snapshot();
         let (matches, route, plan) =
-            self.eval_snapshot(&pg, &snap, pattern, prefer, threads, scratch)?;
+            self.eval_snapshot(&pg, &snap, pattern, prefer, threads, scratch, cancel)?;
         let evaluate_time = started.elapsed();
 
         let rank_started = Instant::now();
@@ -781,6 +902,7 @@ impl DurableExpFinder {
     /// quotient when one exists and the pattern is compression-safe.
     /// The [`CostProfile`] lives on the graph's stable [`PublishedGraph`]
     /// slot, so statistics accumulate across republished versions.
+    #[allow(clippy::too_many_arguments)]
     fn eval_snapshot(
         &self,
         pg: &PublishedGraph,
@@ -789,7 +911,13 @@ impl DurableExpFinder {
         prefer: Route,
         threads: usize,
         scratch: &mut EvalScratch,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Arc<MatchRelation>, EvalRoute, PlanDecision), ExpFinderError> {
+        // a token that fired before evaluation started aborts here, with
+        // zero work to report
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(ExpFinderError::DeadlineExceeded(EvalStats::default()));
+        }
         let fingerprint = pattern.fingerprint();
         let key = QueryCache::key_for(pg.id, snap.version, &fingerprint);
 
@@ -840,72 +968,101 @@ impl DurableExpFinder {
         let mut plan = planner::plan(&inputs, &ctx);
         plan.apply_preference(prefer);
 
-        let (m, stats, route) = match plan.chosen {
+        // A fired token surfaces as the inner `Cancelled` before any torn
+        // state is cached or applied (see `expfinder-core`), so an
+        // aborted evaluation leaves scratch, cache and profile untouched.
+        let evaluated: Result<(MatchRelation, EvalStats, EvalRoute), Cancelled> = match plan.chosen
+        {
             PlanRoute::Compressed => {
                 let gc = snap
                     .compressed
                     .as_ref()
                     .expect("compressed candidate implies a published quotient");
-                let (on_c, stats) = if pattern.is_simulation() {
-                    graph_simulation_scratch(&**gc, pattern, scratch)?
+                let on_c = if pattern.is_simulation() {
+                    graph_simulation_cancellable(&**gc, pattern, scratch, cancel)?
                 } else if gc.has_label_index() {
                     let bound = snap.reach_c.bind(&**gc);
-                    bounded_simulation_indexed(
+                    bounded_simulation_cancellable(
                         &**gc,
                         pattern,
                         EvalOptions::default(),
                         scratch,
                         Some(&bound),
+                        cancel,
                     )
                 } else {
-                    bounded_simulation_scratch(&**gc, pattern, EvalOptions::default(), scratch)
+                    bounded_simulation_cancellable(
+                        &**gc,
+                        pattern,
+                        EvalOptions::default(),
+                        scratch,
+                        None,
+                        cancel,
+                    )
                 };
-                (gc.expand(&on_c), stats, EvalRoute::Compressed)
+                on_c.map(|(m, stats)| (gc.expand(&m), stats, EvalRoute::Compressed))
             }
             PlanRoute::SnapshotParallel => {
                 let csr = snap.csr(&pg.profile);
                 let bound = snap.reach.bind(&*csr);
                 if pattern.is_simulation() {
-                    let (m, stats) =
-                        parallel_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                    (m, stats, EvalRoute::DirectSimulation)
+                    parallel_simulation_cancellable(&*csr, pattern, threads, Some(&bound), cancel)?
+                        .map(|(m, stats)| (m, stats, EvalRoute::DirectSimulation))
                 } else {
-                    let (m, stats) =
-                        parallel_bounded_simulation_indexed(&*csr, pattern, threads, Some(&bound))?;
-                    (m, stats, EvalRoute::DirectBounded)
+                    parallel_bounded_simulation_cancellable(
+                        &*csr,
+                        pattern,
+                        threads,
+                        Some(&bound),
+                        cancel,
+                    )
+                    .map(|(m, stats)| (m, stats, EvalRoute::DirectBounded))
                 }
             }
             PlanRoute::Snapshot => {
                 let csr = snap.csr(&pg.profile);
                 if pattern.is_simulation() {
-                    let (m, stats) = graph_simulation_scratch(&*csr, pattern, scratch)?;
-                    (m, stats, EvalRoute::DirectSimulation)
+                    graph_simulation_cancellable(&*csr, pattern, scratch, cancel)?
+                        .map(|(m, stats)| (m, stats, EvalRoute::DirectSimulation))
                 } else {
                     let bound = snap.reach.bind(&*csr);
-                    let (m, stats) = bounded_simulation_indexed(
+                    bounded_simulation_cancellable(
                         &*csr,
                         pattern,
                         EvalOptions::default(),
                         scratch,
                         Some(&bound),
-                    );
-                    (m, stats, EvalRoute::DirectBounded)
+                        cancel,
+                    )
+                    .map(|(m, stats)| (m, stats, EvalRoute::DirectBounded))
                 }
             }
             // Live (Cache/Registered never reach this point)
             _ => {
                 if pattern.is_simulation() {
-                    let (m, stats) = graph_simulation_scratch(&*snap.graph, pattern, scratch)?;
-                    (m, stats, EvalRoute::DirectSimulation)
+                    graph_simulation_cancellable(&*snap.graph, pattern, scratch, cancel)?
+                        .map(|(m, stats)| (m, stats, EvalRoute::DirectSimulation))
                 } else {
-                    let (m, stats) = bounded_simulation_scratch(
+                    bounded_simulation_cancellable(
                         &*snap.graph,
                         pattern,
                         EvalOptions::default(),
                         scratch,
-                    );
-                    (m, stats, EvalRoute::DirectBounded)
+                        None,
+                        cancel,
+                    )
+                    .map(|(m, stats)| (m, stats, EvalRoute::DirectBounded))
                 }
+            }
+        };
+        let (m, stats, route) = match evaluated {
+            Ok(t) => t,
+            Err(c) => {
+                // partial work still counts toward the runtime totals,
+                // but never into the cost profile or the cache
+                self.planner.on_decision(&plan);
+                self.eval_totals.add(c.stats);
+                return Err(ExpFinderError::DeadlineExceeded(c.stats));
             }
         };
         pg.profile.note_eval(snap.version, &stats);
@@ -1134,6 +1291,53 @@ impl DurableExpFinder {
         self.planner.totals()
     }
 
+    /// Cumulative cancellation counters — armed checks polled and tokens
+    /// fired across every deadline-carrying query on this runtime.
+    pub fn cancel_totals(&self) -> CancelTotals {
+        CancelTotals {
+            checked: self.cancel_totals.checked.load(Ordering::Relaxed),
+            fired: self.cancel_totals.fired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimate the planner cost (abstract work units) of evaluating
+    /// `pattern` on the latest published snapshot of `name`, without
+    /// evaluating anything — the runtime-side twin of
+    /// [`expfinder_engine::ExpFinder::estimate_cost`], used by the
+    /// server's admission
+    /// control. Does not consult the cache or registered results, so
+    /// the estimate is conservative.
+    pub fn estimate_cost(&self, name: &str, pattern: &Pattern) -> Result<f64, ExpFinderError> {
+        let pg = self.published(name)?;
+        let snap = pg.snapshot();
+        let compression_ratio = snap.compressed.as_ref().and_then(|gc| {
+            if gc.validate_pattern(pattern).is_ok() {
+                let cs = gc.stats();
+                let original = (cs.original_nodes + cs.original_edges).max(1);
+                let quotient = (cs.compressed_nodes + cs.compressed_edges).max(1);
+                Some(quotient as f64 / original as f64)
+            } else {
+                None
+            }
+        });
+        let inputs = pg.profile.inputs(
+            snap.version,
+            snap.graph.size(),
+            snap.csr_if_built().is_some(),
+        );
+        let ctx = PlanContext {
+            threads: self.config.exec.threads.max(1),
+            pattern_edges: pattern.edge_count(),
+            compression_ratio,
+        };
+        let plan = planner::plan(&inputs, &ctx);
+        Ok(plan
+            .candidates
+            .iter()
+            .find(|c| c.route == plan.planned)
+            .map_or(f64::INFINITY, |c| c.cost))
+    }
+
     /// Per-shard load: mailbox depth, owned graphs, processed commands.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         let mut per_shard_graphs = vec![0usize; self.shards.len()];
@@ -1174,6 +1378,34 @@ mod tests {
             exec: ExecConfig::sequential(),
             ..RuntimeConfig::default()
         }
+    }
+
+    #[test]
+    fn zero_deadline_aborts_and_leaves_runtime_unpoisoned() {
+        let dir = tmpdir("deadline");
+        let rt = DurableExpFinder::open(&dir, sequential_config()).unwrap();
+        rt.add_graph("fig1", collaboration_fig1().graph).unwrap();
+        let q = fig1_pattern();
+        let err = rt
+            .query_deadline("fig1", &q, None, Route::Auto, Some(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err.http_status(), 408);
+        assert!(err.partial_stats().is_some());
+        assert!(rt.cancel_totals().fired >= 1);
+        // the next un-deadlined query is unaffected and uncached
+        let ok = rt.query("fig1", &q, None, Route::Auto).unwrap();
+        assert_ne!(ok.route, EvalRoute::Cache);
+        assert_eq!(ok.matches.total_pairs(), 7);
+        // batch-wide zero deadline fails every slot with 408
+        let out = rt.query_batch_deadline(
+            "fig1",
+            vec![QuerySpec::pattern(q.clone()), QuerySpec::pattern(q)],
+            Some(Duration::ZERO),
+        );
+        for r in out {
+            assert_eq!(r.unwrap_err().http_status(), 408);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

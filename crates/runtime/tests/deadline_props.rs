@@ -1,0 +1,149 @@
+//! Property tests for cooperative cancellation on the durable backend:
+//! a deadline firing at an arbitrary cancellation point must leave the
+//! published snapshot, the runtime cache and the scratch pool
+//! unpoisoned — the next un-deadlined query answers bit-identically to
+//! the independent oracle's fresh evaluation.
+
+use expfinder_core::bounded_simulation;
+use expfinder_engine::{ExecConfig, ExpFinderError, Route};
+use expfinder_graph::{AttrValue, DiGraph, NodeId};
+use expfinder_pattern::{Bound, PNodeId, Pattern, PatternEdge, PatternNode, Predicate};
+use expfinder_runtime::wal::FsyncPolicy;
+use expfinder_runtime::{CancelToken, DurableExpFinder, RuntimeConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique temp dir per proptest case (cases run concurrently).
+fn tmpdir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("expfinder_deadlineprop_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[derive(Clone, Debug)]
+struct RawCase {
+    labels: Vec<u8>,
+    exps: Vec<u8>,
+    edges: Vec<(u8, u8)>,
+    plabels: Vec<u8>,
+    pthresholds: Vec<u8>,
+    pedges: Vec<(u8, u8, u8)>,
+}
+
+fn raw_case() -> impl Strategy<Value = RawCase> {
+    ((2usize..=10), (2usize..=3)).prop_flat_map(|(n, pn)| {
+        (
+            (
+                proptest::collection::vec(0u8..3, n),
+                proptest::collection::vec(0u8..3, n),
+                proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..n * 3),
+            ),
+            (
+                proptest::collection::vec(0u8..3, pn),
+                proptest::collection::vec(0u8..3, pn),
+                proptest::collection::vec((0u8..pn as u8, 0u8..pn as u8, 0u8..4), 1..pn * 2),
+            ),
+        )
+            .prop_map(
+                |((labels, exps, edges), (plabels, pthresholds, pedges))| RawCase {
+                    labels,
+                    exps,
+                    edges,
+                    plabels,
+                    pthresholds,
+                    pedges,
+                },
+            )
+    })
+}
+
+fn build_case(raw: &RawCase) -> (DiGraph, Pattern) {
+    let mut g = DiGraph::new();
+    for (l, e) in raw.labels.iter().zip(&raw.exps) {
+        g.add_node(
+            &format!("L{l}"),
+            [("experience", AttrValue::Int(*e as i64))],
+        );
+    }
+    for &(a, b) in &raw.edges {
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    let nodes: Vec<PatternNode> = raw
+        .plabels
+        .iter()
+        .zip(&raw.pthresholds)
+        .enumerate()
+        .map(|(i, (l, t))| PatternNode {
+            name: format!("v{i}"),
+            predicate: Predicate::label(format!("L{l}"))
+                .and(Predicate::attr_ge("experience", *t as i64)),
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for &(f, t, b) in &raw.pedges {
+        if f == t || !seen.insert((f, t)) {
+            continue;
+        }
+        let bound = if b == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::hops(b as u32)
+        };
+        edges.push(PatternEdge {
+            from: PNodeId(f as u32),
+            to: PNodeId(t as u32),
+            bound,
+        });
+    }
+    let q = Pattern::from_parts(nodes, edges, Some(PNodeId(0))).expect("valid pattern");
+    (g, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cancel at the `fuse`-th cancellation point on a durable runtime,
+    /// then re-query without a deadline: same answer as the oracle.
+    #[test]
+    fn deadline_at_any_round_leaves_runtime_unpoisoned(
+        raw in raw_case(),
+        fuse in 1u64..40,
+    ) {
+        let (g, q) = build_case(&raw);
+        let oracle = bounded_simulation(&g, &q).unwrap();
+
+        let dir = tmpdir();
+        let rt = DurableExpFinder::open(
+            &dir,
+            RuntimeConfig {
+                shards: 1,
+                fsync: FsyncPolicy::Never,
+                exec: ExecConfig::sequential(),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        rt.add_graph("g", g).unwrap();
+
+        let token = CancelToken::after_checks(fuse);
+        match rt.query_cancellable("g", &q, None, Route::Auto, &token) {
+            Err(ExpFinderError::DeadlineExceeded(_)) => {}
+            Ok(resp) => prop_assert_eq!(&*resp.matches, &oracle),
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+
+        let after = rt.query("g", &q, Some(3), Route::Auto).unwrap();
+        prop_assert_eq!(&*after.matches, &oracle);
+
+        drop(rt);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

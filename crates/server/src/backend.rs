@@ -17,13 +17,14 @@
 
 use expfinder_core::{EvalStats, MatchRelation};
 use expfinder_engine::{
-    ExpFinder, ExpFinderError, GraphInfo, IndexTotals, PlannerTotals, QueryResponse, QuerySpec,
-    Route, UpdateHook, UpdateReport,
+    CancelTotals, ExpFinder, ExpFinderError, GraphInfo, IndexTotals, PlannerTotals, QueryResponse,
+    QuerySpec, Route, UpdateHook, UpdateReport,
 };
 use expfinder_graph::{DiGraph, EdgeUpdate};
 use expfinder_pattern::Pattern;
 use expfinder_runtime::{DurableExpFinder, FaultTotals, ShardStats, WalTotals};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Cache statistics re-exported so `metrics` has one source type.
 pub use expfinder_engine::cache::CacheStats;
@@ -90,6 +91,21 @@ impl Backend {
         top_k: Option<usize>,
         prefer: Route,
     ) -> Result<QueryResponse, ExpFinderError> {
+        self.query_deadline(name, pattern, top_k, prefer, None)
+    }
+
+    /// Evaluate one pattern under an optional end-to-end deadline:
+    /// evaluation aborts cooperatively once the budget is spent and
+    /// surfaces as [`ExpFinderError::DeadlineExceeded`] carrying the
+    /// partial [`EvalStats`].
+    pub fn query_deadline(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+        top_k: Option<usize>,
+        prefer: Route,
+        deadline: Option<Duration>,
+    ) -> Result<QueryResponse, ExpFinderError> {
         match self {
             Backend::Local(e) => {
                 let handle = e.handle(name)?;
@@ -97,9 +113,12 @@ impl Backend {
                 if let Some(k) = top_k {
                     builder = builder.top_k(k);
                 }
+                if let Some(d) = deadline {
+                    builder = builder.deadline(d);
+                }
                 builder.run()
             }
-            Backend::Durable(rt) => rt.query(name, pattern, top_k, prefer),
+            Backend::Durable(rt) => rt.query_deadline(name, pattern, top_k, prefer, deadline),
         }
     }
 
@@ -111,15 +130,40 @@ impl Backend {
         name: &str,
         specs: Vec<QuerySpec>,
     ) -> Result<Vec<Result<QueryResponse, ExpFinderError>>, ExpFinderError> {
+        self.query_batch_deadline(name, specs, None)
+    }
+
+    /// [`Backend::query_batch`] under an optional batch-wide deadline
+    /// shared by every slot (each spec may additionally carry its own,
+    /// clipped to whatever remains of the batch budget).
+    pub fn query_batch_deadline(
+        &self,
+        name: &str,
+        specs: Vec<QuerySpec>,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Result<QueryResponse, ExpFinderError>>, ExpFinderError> {
         match self {
             Backend::Local(e) => {
                 let handle = e.handle(name)?;
-                Ok(e.query_batch(&handle, specs))
+                Ok(e.query_batch_deadline(&handle, specs, deadline))
             }
             Backend::Durable(rt) => {
                 rt.graph_version(name)?;
-                Ok(rt.query_batch(name, specs))
+                Ok(rt.query_batch_deadline(name, specs, deadline))
             }
+        }
+    }
+
+    /// The planner's cost estimate (abstract work units) for evaluating
+    /// `pattern` on the named graph right now — the admission-control
+    /// input for the 429 path. Purely a read; nothing is evaluated.
+    pub fn estimate_cost(&self, name: &str, pattern: &Pattern) -> Result<f64, ExpFinderError> {
+        match self {
+            Backend::Local(e) => {
+                let handle = e.handle(name)?;
+                e.estimate_cost(&handle, pattern)
+            }
+            Backend::Durable(rt) => rt.estimate_cost(name, pattern),
         }
     }
 
@@ -230,6 +274,15 @@ impl Backend {
         match self {
             Backend::Local(e) => e.planner_totals(),
             Backend::Durable(rt) => rt.planner_totals(),
+        }
+    }
+
+    /// Cumulative cancellation counters (deadline checks polled, tokens
+    /// fired) from either engine — the `engine.cancel` metrics block.
+    pub fn cancel_totals(&self) -> CancelTotals {
+        match self {
+            Backend::Local(e) => e.cancel_totals(),
+            Backend::Durable(rt) => rt.cancel_totals(),
         }
     }
 

@@ -4,6 +4,8 @@
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--fixture fig1]
 //!       [--load <name> <path.efg>] [--log <path>] [--allow-shutdown]
 //!       [--data-dir <dir>] [--shards N] [--no-fsync]
+//!       [--default-deadline-ms N] [--max-deadline-ms N]
+//!       [--admission-max-cost F]
 //! ```
 //!
 //! Without `--data-dir` the daemon serves an in-memory engine (graphs
@@ -36,7 +38,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--fixture fig1] \
          [--load NAME PATH] [--log PATH] [--allow-shutdown] \
-         [--data-dir DIR] [--shards N] [--no-fsync]"
+         [--data-dir DIR] [--shards N] [--no-fsync] \
+         [--default-deadline-ms N] [--max-deadline-ms N] \
+         [--admission-max-cost F]"
     );
     std::process::exit(2);
 }
@@ -99,6 +103,15 @@ fn main() {
             "--data-dir" => data_dir = Some(take(&mut i)),
             "--shards" => shards = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             "--no-fsync" => fsync = FsyncPolicy::Never,
+            "--default-deadline-ms" => {
+                config.default_deadline_ms = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline_ms = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--admission-max-cost" => {
+                config.admission_max_cost = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
         i += 1;

@@ -160,6 +160,12 @@ impl Client {
     /// failures and load-shedding 503s with jittered exponential
     /// backoff (see the module docs), honouring a `Retry-After` header
     /// when present; everything else gets exactly one attempt.
+    ///
+    /// The whole retry loop runs inside the caller's per-request timeout:
+    /// a retry (or a `Retry-After` wait) that would land past the
+    /// remaining budget is never issued — the last response or error is
+    /// returned instead, so a caller with a 50ms budget is back in 50ms,
+    /// not parked on a backoff schedule it never asked for.
     pub fn request(
         &mut self,
         method: &str,
@@ -167,6 +173,8 @@ impl Client {
         body: Option<&Value>,
     ) -> Result<ApiResponse, ClientError> {
         let replayable = Self::replay_safe(method, path);
+        let started = Instant::now();
+        let budget = self.timeout;
         let mut attempt: u32 = 0;
         loop {
             let reused = self.stream.is_some();
@@ -175,11 +183,16 @@ impl Client {
                     if resp.status == 503 && replayable && attempt + 1 < Self::MAX_ATTEMPTS =>
                 {
                     // shed by the server: come back when it said to (or
-                    // on the backoff schedule when it did not say)
+                    // on the backoff schedule when it did not say) —
+                    // unless that lands past the caller's budget, in
+                    // which case the shed response is the final answer
                     let delay = resp
                         .retry_after
                         .map(|s| Duration::from_secs(s).min(Self::RETRY_AFTER_CAP))
                         .unwrap_or_else(|| Self::backoff_delay(attempt, path));
+                    if started.elapsed() + delay >= budget {
+                        return Ok(resp);
+                    }
                     std::thread::sleep(delay);
                     attempt += 1;
                 }
@@ -193,8 +206,16 @@ impl Client {
                     // the keep-alive race (server closed a reused
                     // connection under us) retries immediately on a
                     // fresh connection; real failures back off
-                    if !(reused && attempt == 0) {
-                        std::thread::sleep(Self::backoff_delay(attempt, path));
+                    let delay = if reused && attempt == 0 {
+                        Duration::ZERO
+                    } else {
+                        Self::backoff_delay(attempt, path)
+                    };
+                    if started.elapsed() + delay >= budget {
+                        return Err(e);
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
                     }
                     attempt += 1;
                 }
@@ -530,4 +551,21 @@ pub fn query_body(dsl: &str, top_k: Option<usize>, route: &str, include_matches:
         fields.push(("top_k", Value::Int(k as i64)));
     }
     crate::metrics::obj(fields)
+}
+
+/// [`query_body`] with an explicit end-to-end evaluation budget
+/// (`deadline_ms`): the server answers 408 with partial stats when the
+/// budget fires mid-evaluation.
+pub fn query_body_deadline(
+    dsl: &str,
+    top_k: Option<usize>,
+    route: &str,
+    include_matches: bool,
+    deadline_ms: u64,
+) -> Value {
+    let mut body = query_body(dsl, top_k, route, include_matches);
+    if let Value::Object(o) = &mut body {
+        o.insert("deadline_ms".to_owned(), Value::Int(deadline_ms as i64));
+    }
+    body
 }

@@ -82,6 +82,10 @@ struct RouteStats {
     latency_sum_us: AtomicU64,
     latency_max_us: AtomicU64,
     buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    /// Admitted planner cost currently being evaluated on this route, in
+    /// milli-work-units (fixed-point so the gauge stays a lock-free
+    /// atomic). Fed by [`Metrics::admit_cost`], drained by its guard.
+    cost_in_flight_milli: AtomicU64,
 }
 
 impl RouteStats {
@@ -125,6 +129,10 @@ impl RouteStats {
             .collect();
         obj(vec![
             ("count", Value::Int(count as i64)),
+            (
+                "cost_in_flight",
+                Value::Float(self.cost_in_flight_milli.load(Ordering::Relaxed) as f64 / 1e3),
+            ),
             (
                 "status",
                 obj(vec![
@@ -178,6 +186,11 @@ pub struct Metrics {
     /// Connections refused with `503 + Retry-After` because the worker
     /// queue was full (load shedding, not an error).
     shed: AtomicU64,
+    /// Queries answered 408 because their deadline fired mid-evaluation.
+    deadline_enforced: AtomicU64,
+    /// Queries answered 429 at admission: the planner's cost estimate
+    /// did not fit the deadline budget or the in-flight load threshold.
+    deadline_rejected: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -189,6 +202,8 @@ impl Default for Metrics {
             connections_opened: AtomicU64::new(0),
             connections_closed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            deadline_enforced: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
         }
     }
 }
@@ -201,6 +216,23 @@ pub struct InFlight<'a>(&'a Metrics);
 impl Drop for InFlight<'_> {
     fn drop(&mut self) {
         self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII admitted-cost marker from [`Metrics::admit_cost`]: holds the
+/// admitted work units on the route's in-flight cost gauge until the
+/// query finishes (or unwinds).
+pub struct CostInFlight<'a> {
+    metrics: &'a Metrics,
+    route: RouteKey,
+    milli: u64,
+}
+
+impl Drop for CostInFlight<'_> {
+    fn drop(&mut self) {
+        self.metrics.routes[self.route.index()]
+            .cost_in_flight_milli
+            .fetch_sub(self.milli, Ordering::Relaxed);
     }
 }
 
@@ -227,6 +259,54 @@ impl Metrics {
     /// Count one connection answered with the load-shedding 503.
     pub fn connection_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one query answered 408 (deadline fired mid-evaluation).
+    pub fn note_deadline_enforced(&self) {
+        self.deadline_enforced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one query rejected 429 at admission.
+    pub fn note_deadline_rejected(&self) {
+        self.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admit `cost` work units onto `route`'s in-flight gauge for the
+    /// lifetime of the returned guard (RAII, so the gauge is correct on
+    /// every exit path). Non-finite and negative costs clamp to zero —
+    /// they carry no admission weight.
+    pub fn admit_cost(&self, route: RouteKey, cost: f64) -> CostInFlight<'_> {
+        let milli = if cost.is_finite() && cost > 0.0 {
+            (cost * 1e3).min(u64::MAX as f64 / 2.0) as u64
+        } else {
+            0
+        };
+        let slot = &self.routes[route.index()];
+        slot.cost_in_flight_milli
+            .fetch_add(milli, Ordering::Relaxed);
+        CostInFlight {
+            metrics: self,
+            route,
+            milli,
+        }
+    }
+
+    /// Admitted planner cost currently in flight on `route`, in work
+    /// units — the load input of the 429 admission check.
+    pub fn cost_in_flight(&self, route: RouteKey) -> f64 {
+        self.routes[route.index()]
+            .cost_in_flight_milli
+            .load(Ordering::Relaxed) as f64
+            / 1e3
+    }
+
+    /// Admitted planner cost in flight across every route.
+    pub fn total_cost_in_flight(&self) -> f64 {
+        self.routes
+            .iter()
+            .map(|r| r.cost_in_flight_milli.load(Ordering::Relaxed))
+            .sum::<u64>() as f64
+            / 1e3
     }
 
     pub fn in_flight(&self) -> u64 {
@@ -264,6 +344,7 @@ impl Metrics {
         let eval = backend.eval_totals();
         let index = backend.index_totals();
         let planner = backend.planner_totals();
+        let cancel = backend.cancel_totals();
         let wal = backend.wal_totals();
         let faults = backend.fault_totals();
         let shards: Vec<Value> = backend
@@ -321,6 +402,13 @@ impl Metrics {
                 ]),
             ),
             (
+                "cancel",
+                obj(vec![
+                    ("checked", Value::Int(cancel.checked as i64)),
+                    ("fired", Value::Int(cancel.fired as i64)),
+                ]),
+            ),
+            (
                 "wal",
                 obj(vec![
                     ("appends", Value::Int(wal.appends as i64)),
@@ -375,10 +463,23 @@ impl Metrics {
             ),
             (
                 "server",
-                obj(vec![(
-                    "shed",
-                    Value::Int(self.shed.load(Ordering::Relaxed) as i64),
-                )]),
+                obj(vec![
+                    ("shed", Value::Int(self.shed.load(Ordering::Relaxed) as i64)),
+                    (
+                        "deadline",
+                        obj(vec![
+                            (
+                                "enforced",
+                                Value::Int(self.deadline_enforced.load(Ordering::Relaxed) as i64),
+                            ),
+                            (
+                                "rejected",
+                                Value::Int(self.deadline_rejected.load(Ordering::Relaxed) as i64),
+                            ),
+                        ]),
+                    ),
+                    ("cost_in_flight", Value::Float(self.total_cost_in_flight())),
+                ]),
             ),
             ("requests", obj(requests)),
             ("subscriptions", subscriptions),

@@ -19,13 +19,14 @@
 //! `StaleHandle` costs on the wire.
 
 use crate::http::{Request, Response};
-use crate::metrics::{obj, RouteKey};
-use crate::server::Inner;
+use crate::metrics::{obj, CostInFlight, RouteKey};
+use crate::server::{Inner, ServerConfig};
 use crate::subscribe::Subscriber;
 use crate::wire::{self, WireError};
 use expfinder_engine::{ExpFinderError, QuerySpec};
 use expfinder_graph::json::Value;
 use expfinder_graph::{AttrValue, GraphView};
+use std::time::Duration;
 
 /// What the connection loop should do with a dispatched request: every
 /// route answers with one [`Response`] except `/subscribe`, which takes
@@ -44,12 +45,8 @@ pub(crate) enum Dispatch {
 pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Dispatch) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     if let ("POST", ["graphs", name, "subscribe"]) = (req.method.as_str(), segments.as_slice()) {
-        let dispatch = subscribe(inner, name, req).unwrap_or_else(|e| {
-            Dispatch::Respond(Response::json(
-                e.status,
-                &wire::error_body(e.status, &e.message),
-            ))
-        });
+        let dispatch = subscribe(inner, name, req)
+            .unwrap_or_else(|e| Dispatch::Respond(Response::json(e.status, &e.body())));
         return (RouteKey::Subscribe, dispatch);
     }
     let (key, result): (RouteKey, Result<Response, WireError>) =
@@ -76,22 +73,65 @@ pub(crate) fn dispatch(inner: &Inner, req: &Request) -> (RouteKey, Dispatch) {
             | (_, ["graphs", _, "query" | "batch" | "updates" | "register" | "subscribe"])
             | (_, ["admin", "shutdown"]) => (
                 RouteKey::Other,
-                Err(WireError {
-                    status: 405,
-                    message: format!("method {} not allowed on {}", req.method, req.path),
-                }),
+                Err(WireError::new(
+                    405,
+                    format!("method {} not allowed on {}", req.method, req.path),
+                )),
             ),
             _ => (
                 RouteKey::Other,
-                Err(WireError {
-                    status: 404,
-                    message: format!("no route for {}", req.path),
-                }),
+                Err(WireError::new(404, format!("no route for {}", req.path))),
             ),
         };
-    let resp = result
-        .unwrap_or_else(|e| Response::json(e.status, &wire::error_body(e.status, &e.message)));
+    let resp = result.unwrap_or_else(|e| {
+        let mut resp = Response::json(e.status, &e.body());
+        // an admission rejection is backpressure, not an error: tell the
+        // client when to come back, like the acceptor's shedding 503
+        if e.status == 429 {
+            resp.retry_after = Some(1);
+        }
+        resp
+    });
     (key, Dispatch::Respond(resp))
+}
+
+/// Resolve the deadline one query actually runs under: the requested
+/// budget (or the server default when none was sent), clamped to the
+/// configured cap. A cap with no request still applies — `max_deadline_ms`
+/// bounds every query on the server.
+fn effective_deadline(config: &ServerConfig, requested: Option<u64>) -> Option<Duration> {
+    let ms = match (
+        requested.or(config.default_deadline_ms),
+        config.max_deadline_ms,
+    ) {
+        (Some(r), Some(cap)) => Some(r.min(cap)),
+        (Some(r), None) => Some(r),
+        (None, cap) => cap,
+    };
+    ms.map(Duration::from_millis)
+}
+
+/// The 429 admission gate. When a cost ceiling is configured, reject
+/// work whose planner estimate exceeds it — or would push the admitted
+/// in-flight cost past the concurrency-weighted pool (`ceiling ×
+/// workers`) — before it consumes a worker. Admitted cost is held on the
+/// route's in-flight gauge by the returned guard until evaluation ends.
+fn admit(inner: &Inner, route: RouteKey, est: f64) -> Result<CostInFlight<'_>, WireError> {
+    if let Some(ceiling) = inner.config.admission_max_cost {
+        let pool = ceiling * inner.config.workers.max(1) as f64;
+        let in_flight = inner.metrics.total_cost_in_flight();
+        if !est.is_finite() || est > ceiling || in_flight + est > pool {
+            inner.metrics.note_deadline_rejected();
+            return Err(WireError::new(
+                429,
+                format!(
+                    "rejected at admission: estimated cost {est:.0} work units \
+                     (ceiling {ceiling:.0}, {in_flight:.0} already in flight)"
+                ),
+            ));
+        }
+    }
+    Ok(inner.metrics.admit_cost(route, est))
 }
 
 fn healthz(inner: &Inner) -> Result<Response, WireError> {
@@ -137,7 +177,21 @@ fn graph_add(inner: &Inner, req: &Request) -> Result<Response, WireError> {
 fn query(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
     let body = wire::parse_body(&req.body)?;
     let q = wire::decode_query(&body)?;
-    let resp = inner.backend.query(name, &q.pattern, q.top_k, q.route)?;
+    let deadline = effective_deadline(&inner.config, q.deadline_ms);
+    // admission before evaluation: estimate the work, reject what cannot
+    // fit (429), and hold the admitted cost on the in-flight gauge while
+    // the query runs (also resolves the graph, so unknown names 404 here)
+    let est = inner.backend.estimate_cost(name, &q.pattern)?;
+    let _admitted = admit(inner, RouteKey::Query, est)?;
+    let resp = inner
+        .backend
+        .query_deadline(name, &q.pattern, q.top_k, q.route, deadline)
+        .map_err(|e| {
+            if matches!(e, ExpFinderError::DeadlineExceeded(_)) {
+                inner.metrics.note_deadline_enforced();
+            }
+            WireError::from(e)
+        })?;
     // resolve expert display names under a fresh read lock; queries and
     // updates may interleave, but expert node ids are stable
     let encoded = inner.backend.read_graph(name, |g| {
@@ -158,9 +212,14 @@ fn query(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError
 fn batch(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError> {
     let body = wire::parse_body(&req.body)?;
     let decoded = wire::decode_batch(&body)?;
+    let deadline = effective_deadline(&inner.config, decoded.deadline_ms);
     // wire-level decode failures keep their slot, mirroring the engine's
-    // per-slot Results: build specs only for well-formed slots
+    // per-slot Results: build specs only for well-formed slots. A slot's
+    // own deadline is clamped to the server cap; the engine additionally
+    // clips it to whatever remains of the batch budget.
+    let cap = inner.config.max_deadline_ms;
     let specs: Vec<QuerySpec> = decoded
+        .queries
         .iter()
         .filter_map(|d| d.as_ref().ok())
         .map(|q| {
@@ -168,18 +227,34 @@ fn batch(inner: &Inner, name: &str, req: &Request) -> Result<Response, WireError
             if let Some(k) = q.top_k {
                 spec = spec.top_k(k);
             }
+            if let Some(ms) = q.deadline_ms {
+                spec = spec.deadline(Duration::from_millis(cap.map_or(ms, |c| ms.min(c))));
+            }
             spec
         })
         .collect();
-    let mut engine_results = inner.backend.query_batch(name, specs)?.into_iter();
+    // admit the whole batch as one unit of work: the sum of the slots'
+    // estimates competes for the same in-flight pool as single queries
+    let mut est = 0.0;
+    for q in decoded.queries.iter().filter_map(|d| d.as_ref().ok()) {
+        est += inner.backend.estimate_cost(name, &q.pattern)?;
+    }
+    let _admitted = admit(inner, RouteKey::Batch, est)?;
+    let mut engine_results = inner
+        .backend
+        .query_batch_deadline(name, specs, deadline)?
+        .into_iter();
     let results: Vec<Value> = decoded
+        .queries
         .iter()
         .map(|d| match d {
-            Err(e) => obj(vec![("error", wire::error_fields(e.status, &e.message))]),
+            Err(e) => obj(vec![("error", e.fields())]),
             Ok(q) => match engine_results.next().expect("one result per spec") {
                 Err(e) => {
-                    let we = WireError::from(e);
-                    obj(vec![("error", wire::error_fields(we.status, &we.message))])
+                    if matches!(e, ExpFinderError::DeadlineExceeded(_)) {
+                        inner.metrics.note_deadline_enforced();
+                    }
+                    obj(vec![("error", WireError::from(e).fields())])
                 }
                 Ok(resp) => obj(vec![(
                     "ok",
@@ -240,18 +315,15 @@ fn subscribe(inner: &Inner, name: &str, req: &Request) -> Result<Dispatch, WireE
     if let Some(keep) = &filter {
         for q in keep {
             if !registered.contains(q) {
-                return Err(WireError {
-                    status: 404,
-                    message: format!("no registered query {q:?} on graph {name:?}"),
-                });
+                return Err(WireError::new(
+                    404,
+                    format!("no registered query {q:?} on graph {name:?}"),
+                ));
             }
         }
     }
     if inner.draining() {
-        return Err(WireError {
-            status: 503,
-            message: "server is draining".into(),
-        });
+        return Err(WireError::new(503, "server is draining"));
     }
     let version = inner.backend.read_graph(name, |g| g.version())?;
     let sub = inner.subs.subscribe(name, filter.clone());
@@ -262,10 +334,10 @@ fn subscribe(inner: &Inner, name: &str, req: &Request) -> Result<Dispatch, WireE
 
 fn shutdown(inner: &Inner) -> Result<Response, WireError> {
     if !inner.config.allow_remote_shutdown {
-        return Err(WireError {
-            status: 403,
-            message: "remote shutdown is disabled (start with --allow-shutdown)".into(),
-        });
+        return Err(WireError::new(
+            403,
+            "remote shutdown is disabled (start with --allow-shutdown)",
+        ));
     }
     inner.request_shutdown();
     let mut resp = Response::json(202, &obj(vec![("draining", Value::Bool(true))]));

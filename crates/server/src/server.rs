@@ -62,6 +62,21 @@ pub struct ServerConfig {
     /// evicted as a slow consumer — the update path never blocks on a
     /// slow socket.
     pub subscriber_queue: usize,
+    /// Evaluation deadline applied to queries that do not send their own
+    /// `deadline_ms`. `None` (the default) leaves unbudgeted queries
+    /// unbounded, exactly the pre-deadline behavior.
+    pub default_deadline_ms: Option<u64>,
+    /// Hard cap on any query deadline: requested budgets above it are
+    /// clamped down, and when set it also bounds queries that sent no
+    /// deadline at all. `None` disables the cap.
+    pub max_deadline_ms: Option<u64>,
+    /// Admission-control ceiling in planner work units (the same
+    /// abstract scale `timings.plan` reports). When set, a query whose
+    /// estimated cost exceeds the ceiling — or would push the total
+    /// admitted in-flight cost past `ceiling × workers` — is rejected
+    /// with `429 + Retry-After` before it consumes a worker. `None`
+    /// (the default) admits everything.
+    pub admission_max_cost: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +88,9 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             allow_remote_shutdown: false,
             subscriber_queue: 64,
+            default_deadline_ms: None,
+            max_deadline_ms: None,
+            admission_max_cost: None,
         }
     }
 }

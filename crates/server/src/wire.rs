@@ -19,6 +19,7 @@
 //! * add graph: `{"name": "g", "graph": {"nodes": [...], "edges": [...]}}`
 
 use crate::metrics::obj;
+use expfinder_core::EvalStats;
 use expfinder_engine::{
     EvalRoute, ExpFinderError, GraphInfo, PlanDecision, QueryResponse, Route, UpdateReport,
 };
@@ -27,11 +28,16 @@ use expfinder_graph::json::Value;
 use expfinder_graph::{DiGraph, EdgeUpdate, NodeId};
 use expfinder_pattern::Pattern;
 
-/// A decode failure plus the status it answers with.
+/// A decode failure plus the status it answers with. A deadline abort
+/// (408) additionally carries the partial [`EvalStats`] of the work the
+/// engine completed before the budget ran out, encoded under the error
+/// object's `"timings"` key.
 #[derive(Debug)]
 pub struct WireError {
     pub status: u16,
     pub message: String,
+    /// Partial evaluation work, present only on deadline aborts.
+    pub partial: Option<EvalStats>,
 }
 
 impl WireError {
@@ -39,7 +45,41 @@ impl WireError {
         WireError {
             status: 400,
             message: message.into(),
+            partial: None,
         }
+    }
+
+    pub fn new(status: u16, message: impl Into<String>) -> WireError {
+        WireError {
+            status,
+            message: message.into(),
+            partial: None,
+        }
+    }
+
+    /// The bare error object for this failure — [`error_fields`] plus,
+    /// on a deadline abort, `"timings": {"partial": true, "eval": {...}}`
+    /// so a 408 still reports how far evaluation got.
+    pub fn fields(&self) -> Value {
+        let mut fields = vec![
+            ("status", Value::Int(self.status as i64)),
+            ("message", Value::Str(self.message.clone())),
+        ];
+        if let Some(stats) = &self.partial {
+            fields.push((
+                "timings",
+                obj(vec![
+                    ("partial", Value::Bool(true)),
+                    ("eval", encode_eval_stats(stats)),
+                ]),
+            ));
+        }
+        obj(fields)
+    }
+
+    /// The full error body: `{"error": <fields>}`.
+    pub fn body(&self) -> Value {
+        obj(vec![("error", self.fields())])
     }
 }
 
@@ -47,6 +87,7 @@ impl From<ExpFinderError> for WireError {
     fn from(e: ExpFinderError) -> Self {
         WireError {
             status: e.http_status(),
+            partial: e.partial_stats(),
             message: e.to_string(),
         }
     }
@@ -64,6 +105,23 @@ pub fn error_fields(status: u16, message: &str) -> Value {
     obj(vec![
         ("status", Value::Int(status as i64)),
         ("message", Value::Str(message.to_owned())),
+    ])
+}
+
+/// Encode an [`EvalStats`] block (shared by the 408 partial-work body
+/// and nothing else on the wire — `/metrics` builds its own).
+fn encode_eval_stats(stats: &EvalStats) -> Value {
+    obj(vec![
+        ("refreshes", Value::Int(stats.refreshes as i64)),
+        (
+            "refreshes_skipped",
+            Value::Int(stats.refreshes_skipped as i64),
+        ),
+        (
+            "bfs_nodes_visited",
+            Value::Int(stats.bfs_nodes_visited as i64),
+        ),
+        ("removals", Value::Int(stats.removals as i64)),
     ])
 }
 
@@ -88,11 +146,15 @@ pub struct QueryRequest {
     pub top_k: Option<usize>,
     pub route: Route,
     pub include_matches: bool,
+    /// End-to-end evaluation budget in milliseconds; the server clamps
+    /// it to its configured cap and enforces it cooperatively (408 when
+    /// it fires mid-evaluation).
+    pub deadline_ms: Option<u64>,
 }
 
-/// Decode `{"pattern": dsl, "top_k"?, "route"?, "include_matches"?}`.
-/// The DSL is parsed here so the route handler has the [`Pattern`] (its
-/// node names key the serialized match relation).
+/// Decode `{"pattern": dsl, "top_k"?, "route"?, "include_matches"?,
+/// "deadline_ms"?}`. The DSL is parsed here so the route handler has the
+/// [`Pattern`] (its node names key the serialized match relation).
 pub fn decode_query(v: &Value) -> Result<QueryRequest, WireError> {
     let o = v
         .as_object()
@@ -100,7 +162,7 @@ pub fn decode_query(v: &Value) -> Result<QueryRequest, WireError> {
     for key in o.keys() {
         if !matches!(
             key.as_str(),
-            "pattern" | "top_k" | "route" | "include_matches"
+            "pattern" | "top_k" | "route" | "include_matches" | "deadline_ms"
         ) {
             return Err(WireError::bad_request(format!("unknown field {key:?}")));
         }
@@ -132,13 +194,28 @@ pub fn decode_query(v: &Value) -> Result<QueryRequest, WireError> {
             .as_bool()
             .map_err(|e| WireError::bad_request(e.to_string()))?,
     };
+    let deadline_ms = decode_deadline_ms(o.get("deadline_ms"))?;
     Ok(QueryRequest {
         pattern,
         dsl,
         top_k,
         route,
         include_matches,
+        deadline_ms,
     })
+}
+
+/// Decode an optional `deadline_ms` field (a non-negative integer; zero
+/// is legal and means "already expired" — the query 408s immediately).
+fn decode_deadline_ms(v: Option<&Value>) -> Result<Option<u64>, WireError> {
+    match v {
+        None | Some(Value::Null) => Ok(None),
+        Some(d) => Ok(Some(
+            d.as_usize()
+                .map_err(|e| WireError::bad_request(format!("deadline_ms: {e}")))?
+                as u64,
+        )),
+    }
 }
 
 pub fn decode_route(s: &str) -> Result<Route, WireError> {
@@ -162,15 +239,36 @@ pub fn eval_route_str(r: EvalRoute) -> &'static str {
     }
 }
 
-/// Decode `{"queries": [<query body>, ...]}`; per-slot decode errors are
-/// returned in-slot so one bad query cannot sink the batch (mirroring
-/// `ExpFinder::query_batch`).
-pub fn decode_batch(v: &Value) -> Result<Vec<Result<QueryRequest, WireError>>, WireError> {
+/// A decoded batch request: the optional batch-wide deadline plus one
+/// slot per query body.
+#[derive(Debug)]
+pub struct BatchRequest {
+    /// Budget shared by the whole batch; every slot's own `deadline_ms`
+    /// is additionally clipped to whatever remains of it.
+    pub deadline_ms: Option<u64>,
+    pub queries: Vec<Result<QueryRequest, WireError>>,
+}
+
+/// Decode `{"queries": [<query body>, ...], "deadline_ms"?}`; per-slot
+/// decode errors are returned in-slot so one bad query cannot sink the
+/// batch (mirroring `ExpFinder::query_batch`).
+pub fn decode_batch(v: &Value) -> Result<BatchRequest, WireError> {
+    let o = v
+        .as_object()
+        .map_err(|e| WireError::bad_request(e.to_string()))?;
+    for key in o.keys() {
+        if !matches!(key.as_str(), "queries" | "deadline_ms") {
+            return Err(WireError::bad_request(format!("unknown field {key:?}")));
+        }
+    }
     let queries = v
         .field("queries")
         .and_then(|q| q.as_array())
         .map_err(|e| WireError::bad_request(e.to_string()))?;
-    Ok(queries.iter().map(decode_query).collect())
+    Ok(BatchRequest {
+        deadline_ms: decode_deadline_ms(o.get("deadline_ms"))?,
+        queries: queries.iter().map(decode_query).collect(),
+    })
 }
 
 /// Decode `{"updates": [{"op","from","to"}, ...]}`.

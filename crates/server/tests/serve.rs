@@ -14,7 +14,7 @@ use expfinder_graph::generate::{collaboration, random_updates, CollabConfig};
 use expfinder_graph::json::Value;
 use expfinder_graph::{DiGraph, EdgeUpdate};
 use expfinder_pattern::Pattern;
-use expfinder_server::client::{query_body, Client};
+use expfinder_server::client::{query_body, query_body_deadline, Client};
 use expfinder_server::{ClientError, Server, ServerConfig, ServerHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -832,5 +832,306 @@ fn overload_sheds_503_and_client_backoff_recovers() {
     let health = client.health().unwrap();
     assert_eq!(health.field("status").unwrap().as_str().unwrap(), "ok");
 
+    handle.shutdown();
+}
+
+// ---------------- deadlines & admission control ----------------------
+
+/// An exhausted deadline answers 408 with partial stats in the error
+/// body — while concurrent un-deadlined queries on other workers keep
+/// answering 200 throughout. Afterwards the cancellation and deadline
+/// counters have moved and the in-flight cost gauge has drained.
+#[test]
+fn deadline_answers_408_while_other_workers_serve() {
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(move || {
+                let mut client = Client::new(addr);
+                for _ in 0..10 {
+                    let resp = client
+                        .query("fig1", &query_body(FIG1_DSL, None, "auto", false))
+                        .unwrap();
+                    assert_eq!(resp.field("pairs").unwrap().as_i64().unwrap(), 7);
+                }
+            });
+        }
+        s.spawn(move || {
+            let mut client = Client::new(addr);
+            for _ in 0..10 {
+                let resp = client
+                    .request(
+                        "POST",
+                        "/graphs/fig1/query",
+                        Some(&query_body_deadline(FIG1_DSL, None, "auto", false, 0)),
+                    )
+                    .unwrap();
+                assert_eq!(resp.status, 408, "{}", resp.body.to_string_compact());
+                let err = resp.body.field("error").unwrap();
+                assert_eq!(err.field("status").unwrap().as_i64().unwrap(), 408);
+                let timings = err.field("timings").unwrap();
+                assert!(timings.field("partial").unwrap().as_bool().unwrap());
+                // the partial stats object is present with all four counters
+                let eval = timings.field("eval").unwrap();
+                for key in [
+                    "refreshes",
+                    "refreshes_skipped",
+                    "bfs_nodes_visited",
+                    "removals",
+                ] {
+                    assert!(eval.field(key).unwrap().as_i64().unwrap() >= 0, "{key}");
+                }
+            }
+        });
+    });
+
+    let mut client = Client::new(addr);
+    let m = client.metrics().unwrap();
+    let cancel = m.field("engine").unwrap().field("cancel").unwrap();
+    assert!(cancel.field("checked").unwrap().as_i64().unwrap() >= 10);
+    assert!(cancel.field("fired").unwrap().as_i64().unwrap() >= 10);
+    let deadline = m.field("server").unwrap().field("deadline").unwrap();
+    assert_eq!(deadline.field("enforced").unwrap().as_i64().unwrap(), 10);
+    assert_eq!(deadline.field("rejected").unwrap().as_i64().unwrap(), 0);
+    // every RAII cost guard dropped: nothing in flight once all answered
+    let gauge = m
+        .field("server")
+        .unwrap()
+        .field("cost_in_flight")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(gauge, 0.0);
+    handle.shutdown();
+}
+
+/// The durable backend maps a fired deadline to the same 408 wire shape,
+/// and the very next un-deadlined query on the same connection is
+/// answered correctly — cancellation never poisons the shard state.
+#[test]
+fn deadline_408_on_durable_backend_leaves_state_clean() {
+    let dir = tmpdir("deadline");
+    let rt = Arc::new(expfinder_runtime::DurableExpFinder::open(&dir, durable_config()).unwrap());
+    rt.add_graph(
+        "fig1",
+        expfinder_graph::fixtures::collaboration_fig1().graph,
+    )
+    .unwrap();
+    let handle = Server::bind_durable(rt, "127.0.0.1:0", ServerConfig::default())
+        .unwrap()
+        .spawn();
+    let mut client = Client::new(handle.addr());
+
+    let resp = client
+        .request(
+            "POST",
+            "/graphs/fig1/query",
+            Some(&query_body_deadline(FIG1_DSL, None, "auto", true, 0)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 408, "{}", resp.body.to_string_compact());
+    let err = resp.body.field("error").unwrap();
+    assert!(err
+        .field("timings")
+        .unwrap()
+        .field("partial")
+        .unwrap()
+        .as_bool()
+        .unwrap());
+
+    let ok = client
+        .query("fig1", &query_body(FIG1_DSL, None, "auto", false))
+        .unwrap();
+    assert_eq!(ok.field("pairs").unwrap().as_i64().unwrap(), 7);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A batch-level `deadline_ms` caps the whole batch: when the budget is
+/// already spent, every slot reports 408 with partial stats — inside
+/// the usual 200 envelope, like any other per-slot error.
+#[test]
+fn batch_deadline_expires_every_slot() {
+    let handle = fig1_server();
+    let mut client = Client::new(handle.addr());
+
+    let body = Value::Object(BTreeMap::from([
+        ("deadline_ms".to_owned(), Value::Int(0)),
+        (
+            "queries".to_owned(),
+            Value::Array(vec![
+                query_body(FIG1_DSL, Some(1), "auto", false),
+                query_body("node sa* where label = \"SA\";", None, "direct", false),
+            ]),
+        ),
+    ]));
+    let resp = client
+        .request("POST", "/graphs/fig1/batch", Some(&body))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body.to_string_compact());
+    let results = resp.body.field("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 2);
+    for slot in results {
+        let err = slot.field("error").unwrap();
+        assert_eq!(err.field("status").unwrap().as_i64().unwrap(), 408);
+        assert!(err
+            .field("timings")
+            .unwrap()
+            .field("partial")
+            .unwrap()
+            .as_bool()
+            .unwrap());
+    }
+
+    let m = client.metrics().unwrap();
+    let deadline = m.field("server").unwrap().field("deadline").unwrap();
+    assert_eq!(deadline.field("enforced").unwrap().as_i64().unwrap(), 2);
+    handle.shutdown();
+}
+
+/// `default_deadline_ms` applies to requests that do not ask for a
+/// budget, and `max_deadline_ms` clamps requests that ask for more than
+/// the operator allows.
+#[test]
+fn server_default_and_cap_deadlines_apply() {
+    // server default: a plain query (no deadline_ms) inherits budget 0
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            default_deadline_ms: Some(0),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(handle.addr());
+    let resp = client
+        .request(
+            "POST",
+            "/graphs/fig1/query",
+            Some(&query_body(FIG1_DSL, None, "auto", false)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 408, "{}", resp.body.to_string_compact());
+    handle.shutdown();
+
+    // cap: a request asking for a minute is clamped down to 0
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            max_deadline_ms: Some(0),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(handle.addr());
+    let resp = client
+        .request(
+            "POST",
+            "/graphs/fig1/query",
+            Some(&query_body_deadline(FIG1_DSL, None, "auto", false, 60_000)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 408, "{}", resp.body.to_string_compact());
+    handle.shutdown();
+}
+
+/// With an admission ceiling configured, a query whose planner estimate
+/// exceeds it is rejected up front: 429 with `Retry-After`, nothing is
+/// evaluated, and endpoints that bypass admission keep working.
+#[test]
+fn admission_ceiling_rejects_429_with_retry_after() {
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            // far below any candidate's cost (≥ size × pattern_edges
+            // scaled by fixed discounts), so every query is rejected
+            admission_max_cost: Some(1e-6),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(handle.addr());
+
+    let resp = client
+        .request(
+            "POST",
+            "/graphs/fig1/query",
+            Some(&query_body(FIG1_DSL, None, "auto", false)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body.to_string_compact());
+    assert_eq!(resp.retry_after, Some(1), "429 must carry Retry-After");
+    let err = resp.body.field("error").unwrap();
+    assert_eq!(err.field("status").unwrap().as_i64().unwrap(), 429);
+    assert!(
+        err.field("timings").is_err(),
+        "no eval ran, no partial stats"
+    );
+
+    // health/metrics bypass admission; the rejection was counted and no
+    // cost is stuck in flight
+    let m = client.metrics().unwrap();
+    let deadline = m.field("server").unwrap().field("deadline").unwrap();
+    assert!(deadline.field("rejected").unwrap().as_i64().unwrap() >= 1);
+    assert_eq!(deadline.field("enforced").unwrap().as_i64().unwrap(), 0);
+    let gauge = m
+        .field("server")
+        .unwrap()
+        .field("cost_in_flight")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(gauge, 0.0);
+    handle.shutdown();
+}
+
+/// A generous ceiling admits normal traffic unchanged: same results,
+/// and the per-route gauge drains back to zero between requests.
+#[test]
+fn admission_ceiling_admits_within_budget_traffic() {
+    let handle = serve(
+        vec![(
+            "fig1",
+            expfinder_graph::fixtures::collaboration_fig1().graph,
+        )],
+        ServerConfig {
+            admission_max_cost: Some(1e12),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::new(handle.addr());
+    let resp = client
+        .query("fig1", &query_body(FIG1_DSL, Some(2), "auto", true))
+        .unwrap();
+    assert_eq!(resp.field("pairs").unwrap().as_i64().unwrap(), 7);
+    let m = client.metrics().unwrap();
+    assert_eq!(
+        m.field("server")
+            .unwrap()
+            .field("deadline")
+            .unwrap()
+            .field("rejected")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
+        0
+    );
     handle.shutdown();
 }

@@ -68,10 +68,11 @@ bench-batch:
 # matching-engine benchmark: queue fixpoint (pre-PR-4) vs delta-aware
 # frontier fixpoint over the CSR snapshot (writes BENCH_4.json), plus the
 # cold-vs-warm reach-index comparison (writes BENCH_5.json); the >= 1.5x
-# single-query bar is the ISSUE 4 acceptance gate and the >= 1.3x warm
-# bar is the ISSUE 5 one
+# single-query bar is the ISSUE 4 acceptance gate, the >= 1.3x warm bar
+# is the ISSUE 5 one, and the <= 2% disarmed cancel-token bar keeps the
+# PR-10 cancellation plumbing free when no deadline is armed
 bench-match:
-    cargo run --release -p expfinder-bench --bin bench_match -- --min-speedup 1.5 --min-warm-speedup 1.3
+    cargo run --release -p expfinder-bench --bin bench_match -- --min-speedup 1.5 --min-warm-speedup 1.3 --max-cancel-overhead 0.02
 
 # every bench_* bin in sequence, full profiles — refreshes all the
 # checked-in BENCH_*.json baselines in one go
@@ -109,6 +110,15 @@ recovery-smoke:
 chaos-smoke:
     cargo build --release -p expfinder-server
     cargo run --release -p expfinder-server --bin chaos_smoke -- --log target/chaos-smoke.log --data-dir target/chaos-data
+
+# the CI `stress-smoke` job: boot `serve` with tight deadline caps,
+# fire pathological worst-case patterns under millisecond budgets mixed
+# with normal traffic, assert every deadlined request answers 408 with
+# partial stats and bounded latency, then reboot with an admission
+# ceiling and assert 429 + Retry-After — clean drain both times
+stress-smoke:
+    cargo build --release -p expfinder-server
+    cargo run --release -p expfinder-server --bin stress_smoke -- --log target/stress-smoke.log
 
 # full server throughput benchmark (writes BENCH_3.json)
 bench-serve:

@@ -56,6 +56,7 @@ ADVISORY_KEYS = {
     "speedup",
     "warm_speedup",
     "bfs_nodes_reduction",
+    "cancel_check_overhead",
     "entries",
     "bytes",
 }
